@@ -1,0 +1,108 @@
+// Ablation: crypto backends — real microbenchmarks of this repository's
+// from-scratch primitives (google-benchmark, host CPU) plus the modelled
+// on-device costs of the three library profiles the paper evaluates.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "compress/lzss.hpp"
+#include "crypto/backend.hpp"
+#include "crypto/hsm.hpp"
+#include "diff/bsdiff.hpp"
+#include "sim/firmware.hpp"
+
+using namespace upkit;
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+    Rng rng(1);
+    const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(1024)->Arg(100 * 1024);
+
+void BM_EcdsaSign(benchmark::State& state) {
+    const crypto::PrivateKey key = crypto::PrivateKey::generate(to_bytes("bench"));
+    const auto digest = crypto::Sha256::digest(to_bytes("message"));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::ecdsa_sign(key, digest));
+    }
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+    const crypto::PrivateKey key = crypto::PrivateKey::generate(to_bytes("bench"));
+    const crypto::PublicKey pub = key.public_key();
+    const auto digest = crypto::Sha256::digest(to_bytes("message"));
+    const crypto::Signature sig = crypto::ecdsa_sign(key, digest);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::ecdsa_verify(pub, digest, sig));
+    }
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_LzssCompressFirmware(benchmark::State& state) {
+    const Bytes fw = sim::generate_firmware({.size = 64 * 1024, .seed = 1});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::lzss_compress(fw));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fw.size()));
+}
+BENCHMARK(BM_LzssCompressFirmware);
+
+void BM_LzssDecode(benchmark::State& state) {
+    const Bytes fw = sim::generate_firmware({.size = 64 * 1024, .seed = 1});
+    const auto compressed = compress::lzss_compress(fw);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compress::lzss_decompress(*compressed));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(fw.size()));
+}
+BENCHMARK(BM_LzssDecode);
+
+void BM_BsdiffOsChange(benchmark::State& state) {
+    const Bytes v1 = sim::generate_firmware({.size = 64 * 1024, .seed = 2});
+    const Bytes v2 = sim::mutate_os_version(v1, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(diff::bsdiff(v1, v2));
+    }
+}
+BENCHMARK(BM_BsdiffOsChange);
+
+void print_modeled_costs() {
+    std::printf("\nModelled on-device costs (64 MHz Cortex-M4 profile):\n");
+    std::printf("%-16s %10s %10s %14s %10s\n", "backend", "sign s", "verify s", "sha s/kB",
+                "extra mA");
+    const auto tinydtls = crypto::make_tinydtls_backend();
+    const auto tinycrypt = crypto::make_tinycrypt_backend();
+    const auto hsm = crypto::make_cryptoauthlib_backend(std::make_shared<crypto::Atecc508>());
+    for (const crypto::CryptoBackend* backend :
+         {tinydtls.get(), tinycrypt.get(), hsm.get()}) {
+        const crypto::BackendCosts costs = backend->costs();
+        std::printf("%-16s %10.3f %10.3f %14.4f %10.1f\n",
+                    std::string(backend->name()).c_str(), costs.sign_seconds,
+                    costs.verify_seconds, costs.sha256_seconds_per_kb,
+                    costs.active_current_ma);
+    }
+    std::printf("(the ATECC508 HSM verifies in fixed-function hardware: ~5x faster than\n");
+    std::printf(" software ECDSA on the same MCU, and saves ~2.5 kB flash — Table I)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::printf("================================================================\n");
+    std::printf("Ablation: crypto backends (host microbench + device cost model)\n");
+    std::printf("================================================================\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    print_modeled_costs();
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation: the cost of end-to-end payload confidentiality (the decryption
+// stage): airtime, time, and energy with and without encryption, for full
+// and differential updates.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace upkit;
+using namespace upkit::bench;
+
+namespace {
+
+core::SessionReport run(bool encrypted, bool differential, const char* label) {
+    Rig rig;
+    rig.publish(1, sim::generate_firmware({.size = 100 * 1024, .seed = 1}));
+    core::DeviceConfig config = rig.device_config(core::SlotLayout::kAB);
+    config.enable_differential = differential;
+    config.enable_encryption = encrypted;
+    auto device = rig.make_device(config);
+    if (encrypted) {
+        rig.server.register_device_key(kDeviceId, device->encryption_public_key());
+        rig.server.set_encryption_enabled(true);
+    }
+    rig.publish(2, sim::mutate_os_version(
+                       sim::generate_firmware({.size = 100 * 1024, .seed = 1}), 7));
+
+    core::UpdateSession session(*device, rig.server, net::ble_gatt());
+    const core::SessionReport report = session.run(kAppId);
+    if (report.status != Status::kOk) {
+        std::fprintf(stderr, "%s failed: %d\n", label, static_cast<int>(report.status));
+        std::abort();
+    }
+    return report;
+}
+
+void print(const char* label, const core::SessionReport& report) {
+    std::printf("%-28s total %6.1f s   air %7llu B   energy %6.0f mJ   %s\n", label,
+                report.phases.total(),
+                static_cast<unsigned long long>(report.bytes_over_air), report.energy_mj,
+                report.differential ? "diff" : "full");
+}
+
+}  // namespace
+
+int main() {
+    print_header("Ablation: payload encryption (ECDH + HKDF + ChaCha20, 100 kB image)");
+
+    const auto plain_full = run(false, false, "plain full");
+    const auto enc_full = run(true, false, "encrypted full");
+    const auto plain_diff = run(false, true, "plain differential");
+    const auto enc_diff = run(true, true, "encrypted differential");
+
+    print("full, plaintext", plain_full);
+    print("full, encrypted", enc_full);
+    print("differential, plaintext", plain_diff);
+    print("differential, encrypted", enc_diff);
+
+    std::printf("\noverheads of confidentiality:\n");
+    std::printf("  airtime: +%llu B (the 64-byte ephemeral key; ChaCha20 adds nothing)\n",
+                static_cast<unsigned long long>(enc_full.bytes_over_air -
+                                                plain_full.bytes_over_air));
+    std::printf("  time:    +%.2f s full / +%.2f s differential\n",
+                enc_full.phases.total() - plain_full.phases.total(),
+                enc_diff.phases.total() - plain_diff.phases.total());
+    std::printf("  energy:  +%.0f mJ full / +%.0f mJ differential\n",
+                enc_full.energy_mj - plain_full.energy_mj,
+                enc_diff.energy_mj - plain_diff.energy_mj);
+    std::printf("confidentiality no longer depends on the transport layer —\n");
+    std::printf("a compromised smartphone or gateway only ever sees ciphertext.\n");
+    return 0;
+}

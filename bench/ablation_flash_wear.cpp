@@ -1,0 +1,75 @@
+// Ablation: flash wear per update — erase counts across update strategies.
+//
+// Flash endurance (10k-100k cycles/sector) bounds a device's update budget;
+// this bench measures erases per update for full vs differential images and
+// static-swap vs A/B loading, plus the wear distribution across sectors.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace upkit;
+using namespace upkit::bench;
+
+namespace {
+
+struct WearResult {
+    std::uint64_t erases;
+    std::uint64_t max_sector_wear;
+};
+
+WearResult run(core::SlotLayout layout, bool differential, const char* label) {
+    Rig rig;
+    rig.publish(1, sim::generate_firmware({.size = 100 * 1024, .seed = 1}));
+    core::DeviceConfig config = rig.device_config(layout);
+    config.enable_differential = differential;
+    auto device = rig.make_device(config);
+    rig.publish(2, sim::mutate_os_version(
+                       sim::generate_firmware({.size = 100 * 1024, .seed = 1}), 3));
+
+    const std::uint64_t erases_before = device->internal_flash().total_erases();
+    core::UpdateSession session(*device, rig.server, net::ble_gatt());
+    if (session.run(kAppId).status != Status::kOk) {
+        std::fprintf(stderr, "%s failed\n", label);
+        std::abort();
+    }
+    WearResult result{device->internal_flash().total_erases() - erases_before, 0};
+    const auto sectors = device->internal_flash().geometry().sector_count();
+    for (std::uint64_t s = 0; s < sectors; ++s) {
+        result.max_sector_wear =
+            std::max(result.max_sector_wear, device->internal_flash().erase_count(s));
+    }
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    print_header("Ablation: flash wear per update (100 kB image, 4 KiB sectors)");
+    std::printf("%-34s %14s %18s\n", "strategy", "erases/update", "max sector wear");
+    std::printf("------------------------------------------------------------------\n");
+
+    const struct {
+        const char* name;
+        core::SlotLayout layout;
+        bool differential;
+    } cases[] = {
+        {"A/B + full image", core::SlotLayout::kAB, false},
+        {"A/B + differential", core::SlotLayout::kAB, true},
+        {"static (swap) + full image", core::SlotLayout::kStaticInternal, false},
+        {"static (swap) + differential", core::SlotLayout::kStaticInternal, true},
+    };
+    for (const auto& c : cases) {
+        const WearResult result = run(c.layout, c.differential, c.name);
+        std::printf("%-34s %14llu %18llu\n", c.name,
+                    static_cast<unsigned long long>(result.erases),
+                    static_cast<unsigned long long>(result.max_sector_wear));
+    }
+
+    std::printf("\nA/B cuts erase traffic to roughly a third of static mode's: the\n");
+    std::printf("swap erases every affected sector in BOTH slots on top of the\n");
+    std::printf("staging writes, while A/B just writes the incoming image once.\n");
+    std::printf("Differential updates save airtime, not flash wear — the whole new\n");
+    std::printf("image is still written once either way.\n");
+    return 0;
+}

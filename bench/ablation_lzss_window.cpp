@@ -1,0 +1,53 @@
+// Ablation: LZSS window size vs patch size vs decoder RAM.
+//
+// The paper picks lzss for its patch-size / footprint compromise (after
+// Stolikj et al.). The window is the decoder's RAM cost; this bench sweeps
+// it across the two Fig. 8b change profiles and reports the compressed
+// patch sizes the update server would ship.
+#include <cstdio>
+
+#include "compress/lzss.hpp"
+#include "diff/bsdiff.hpp"
+#include "sim/firmware.hpp"
+
+using namespace upkit;
+
+int main() {
+    std::printf("\n================================================================\n");
+    std::printf("Ablation: LZSS window size (100 kB firmware)\n");
+    std::printf("================================================================\n");
+
+    const Bytes v1 = sim::generate_firmware({.size = 100 * 1024, .seed = 5});
+    const Bytes os_change = sim::mutate_os_version(v1, 6);
+    const Bytes app_change = sim::mutate_app_change(v1, 7, 1000);
+
+    const auto os_patch = diff::bsdiff(v1, os_change);
+    const auto app_patch = diff::bsdiff(v1, app_change);
+    if (!os_patch || !app_patch) {
+        std::fprintf(stderr, "bsdiff failed\n");
+        return 1;
+    }
+
+    std::printf("%6s %10s | %16s %16s | %14s\n", "wbits", "RAM B", "os-change patch",
+                "app-change patch", "full image");
+    std::printf("----------------------------------------------------------------------\n");
+    for (unsigned wbits = 8; wbits <= 13; ++wbits) {
+        const compress::LzssParams params{.window_bits = wbits, .min_match = 3};
+        const auto os_c = compress::lzss_compress(*os_patch, params);
+        const auto app_c = compress::lzss_compress(*app_patch, params);
+        const auto full_c = compress::lzss_compress(v1, params);
+        if (!os_c || !app_c || !full_c) {
+            std::fprintf(stderr, "compression failed\n");
+            return 1;
+        }
+        std::printf("%6u %10u | %13zu B %15zu B | %11zu B\n", wbits, params.window_size(),
+                    os_c->size(), app_c->size(), full_c->size());
+    }
+    std::printf("\nTwo opposing forces (16-bit match tokens: window bits + length bits):\n");
+    std::printf("  - FULL images favour large windows (more history to reference);\n");
+    std::printf("  - bsdiff PATCHES are dominated by long zero runs, so the longer\n");
+    std::printf("    max-match of a small window beats the extra reach of a large one.\n");
+    std::printf("The 2 KiB default (wbits=11) balances both against decoder RAM on\n");
+    std::printf("devices with 10-50 kB of RAM.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+// Regenerates Fig. 8a: time to propagate, verify, and load a full-image
+// 100 kB firmware with UpKit on the nRF52840 (Zephyr build), comparing the
+// push (BLE, via smartphone) and pull (CoAP/6LoWPAN, via border router)
+// approaches. As in the paper, the two configurations differ in the size of
+// the image installed on the device (the push agent build is ~82 kB, the
+// pull build ~218 kB — Table II), which is what makes the pull loading
+// phase slower: more sectors to swap.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+
+using namespace upkit;
+using namespace upkit::bench;
+
+namespace {
+
+struct Scenario {
+    const char* name;
+    net::LinkParams link;
+    std::size_t installed_build_bytes;  // Table II build size for this mode
+    double paper_total;
+    double paper_propagation;
+    double paper_verification_pct;
+    double paper_loading_pct;
+};
+
+core::SessionReport run_scenario(const Scenario& scenario) {
+    Rig rig;
+    // Factory image sized like the corresponding agent build.
+    rig.publish(1, sim::generate_firmware({.size = scenario.installed_build_bytes, .seed = 1}));
+
+    core::DeviceConfig config = rig.device_config(core::SlotLayout::kStaticInternal);
+    config.enable_differential = false;  // Fig. 8a uses full-image updates
+    auto device = rig.make_device(config);
+
+    // The 100 kB full-image update of the experiment.
+    rig.publish(2, sim::generate_firmware({.size = 100 * 1024, .seed = 2}));
+
+    core::UpdateSession session(*device, rig.server, scenario.link);
+    return session.run(kAppId);
+}
+
+void print_scenario(const Scenario& scenario, const core::SessionReport& report) {
+    const core::PhaseBreakdown& p = report.phases;
+    std::printf("%s\n", scenario.name);
+    std::printf("  %-14s %8.1f s  (%5.1f%%)   paper: %5.1f s\n", "propagation",
+                p.propagation_s, 100.0 * p.propagation_s / p.total(),
+                scenario.paper_propagation);
+    std::printf("  %-14s %8.2f s  (%5.2f%%)   paper:  %.2f%% of total\n", "verification",
+                p.verification_s, 100.0 * p.verification_s / p.total(),
+                scenario.paper_verification_pct);
+    std::printf("  %-14s %8.1f s  (%5.1f%%)   paper:  %.1f%% of total\n", "loading",
+                p.loading_s, 100.0 * p.loading_s / p.total(), scenario.paper_loading_pct);
+    std::printf("  %-14s %8.1f s             paper: %5.1f s\n", "total", p.total(),
+                scenario.paper_total);
+    std::printf("  energy: %.0f mJ, bytes over the air: %llu\n\n", report.energy_mj,
+                static_cast<unsigned long long>(report.bytes_over_air));
+}
+
+}  // namespace
+
+int main() {
+    print_header("Fig. 8a: full-image 100 kB update, push vs pull (nRF52840)");
+
+    const Scenario push{"PUSH (BLE GATT via smartphone)", net::ble_gatt(), 81918, 61.5,
+                        47.7, 1.78, 20.6};
+    const Scenario pull{"PULL (CoAP blockwise via border router)", net::coap_6lowpan(),
+                        218472, 69.1, 41.7, 1.72, 37.9};
+
+    const core::SessionReport push_report = run_scenario(push);
+    const core::SessionReport pull_report = run_scenario(pull);
+    if (push_report.status != Status::kOk || pull_report.status != Status::kOk) {
+        std::fprintf(stderr, "update session failed\n");
+        return 1;
+    }
+    print_scenario(push, push_report);
+    print_scenario(pull, pull_report);
+
+    std::printf("Shape checks:\n");
+    std::printf("  push faster than pull overall:      %s (paper: push by 7.6 s)\n",
+                push_report.phases.total() < pull_report.phases.total() ? "yes" : "NO");
+    std::printf("  propagation dominates both:         %s\n",
+                (push_report.phases.propagation_s > 0.5 * push_report.phases.total() &&
+                 pull_report.phases.propagation_s > 0.5 * pull_report.phases.total())
+                    ? "yes"
+                    : "NO");
+    std::printf("  pull loading >> push loading:       %.1fx (paper: 2.1x)\n",
+                pull_report.phases.loading_s / push_report.phases.loading_s);
+    std::printf("  verification a ~2%% sliver in both:  %.2f%% / %.2f%%\n",
+                100.0 * push_report.phases.verification_s / push_report.phases.total(),
+                100.0 * pull_report.phases.verification_s / pull_report.phases.total());
+    return 0;
+}

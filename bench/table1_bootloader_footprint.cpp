@@ -1,0 +1,66 @@
+// Regenerates Table I: memory footprint of UpKit's bootloader across
+// operating systems and cryptographic libraries. Model values come from the
+// compositional footprint model (see DESIGN.md for the substitution note);
+// paper columns are the values reported in the ICDCS'19 paper.
+#include <array>
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "footprint/footprint.hpp"
+
+namespace fp = upkit::footprint;
+
+namespace {
+
+struct Row {
+    fp::Os os;
+    fp::CryptoLib lib;
+    unsigned paper_flash;
+    unsigned paper_ram;
+};
+
+constexpr std::array<Row, 7> kRows = {{
+    {fp::Os::kZephyr, fp::CryptoLib::kTinyDtls, 13040, 8180},
+    {fp::Os::kZephyr, fp::CryptoLib::kTinyCrypt, 14151, 8180},
+    {fp::Os::kRiot, fp::CryptoLib::kTinyDtls, 15420, 6512},
+    {fp::Os::kRiot, fp::CryptoLib::kTinyCrypt, 16552, 6512},
+    {fp::Os::kContiki, fp::CryptoLib::kTinyDtls, 15454, 6637},
+    {fp::Os::kContiki, fp::CryptoLib::kTinyCrypt, 16546, 6637},
+    {fp::Os::kContiki, fp::CryptoLib::kCryptoAuthLib, 14078, 6553},
+}};
+
+}  // namespace
+
+int main() {
+    upkit::bench::print_header(
+        "Table I: Memory footprint of UpKit's bootloader (bytes)");
+    std::printf("%-10s %-14s | %10s %10s | %10s %10s\n", "OS", "Library", "Flash",
+                "RAM", "Flash(pap)", "RAM(pap)");
+    std::printf("----------------------------------------------------------------\n");
+    for (const Row& row : kRows) {
+        const fp::Footprint model = fp::upkit_bootloader(row.os, row.lib);
+        std::printf("%-10s %-14s | %10u %10u | %10u %10u\n",
+                    std::string(fp::to_string(row.os)).c_str(),
+                    std::string(fp::to_string(row.lib)).c_str(), model.flash, model.ram,
+                    row.paper_flash, row.paper_ram);
+    }
+
+    const fp::Footprint zephyr = fp::upkit_bootloader(fp::Os::kZephyr, fp::CryptoLib::kTinyDtls);
+    const fp::Footprint riot = fp::upkit_bootloader(fp::Os::kRiot, fp::CryptoLib::kTinyDtls);
+    const fp::Footprint contiki =
+        fp::upkit_bootloader(fp::Os::kContiki, fp::CryptoLib::kTinyDtls);
+    std::printf("\nShape checks (paper Sect. VI-A):\n");
+    std::printf("  Zephyr flash vs others:   %.1f%% less (paper: ~15%%)\n",
+                upkit::bench::percent_less(zephyr.flash, (riot.flash + contiki.flash) / 2.0));
+    std::printf("  Zephyr RAM vs others:     %.1f%% more (paper: ~20%%)\n",
+                100.0 * (zephyr.ram / ((riot.ram + contiki.ram) / 2.0) - 1.0));
+    std::printf("  tinycrypt - TinyDTLS:     %u B flash (paper: ~1.10 kB)\n",
+                fp::upkit_bootloader(fp::Os::kZephyr, fp::CryptoLib::kTinyCrypt).flash -
+                    zephyr.flash);
+    std::printf("  CryptoAuthLib vs TinyDTLS (Contiki): %.1f%% less flash (paper: ~10%%)\n",
+                upkit::bench::percent_less(
+                    fp::upkit_bootloader(fp::Os::kContiki, fp::CryptoLib::kCryptoAuthLib).flash,
+                    contiki.flash));
+    std::printf("  Platform-independent bootloader code (paper): ~91%%\n");
+    return 0;
+}

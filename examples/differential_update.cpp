@@ -1,0 +1,68 @@
+// Differential updates through the pipeline: the update server derives a
+// bsdiff delta against the device's installed version (advertised in the
+// device token), LZSS-compresses it, and the device reconstructs the new
+// firmware on-the-fly — no extra slot for the patch, dramatic airtime
+// savings. Shown here on a CC2650 with its non-bootable slot on external
+// SPI flash and verification offloaded to an ATECC508 HSM.
+#include <cstdio>
+
+#include "core/device.hpp"
+#include "core/session.hpp"
+#include "net/link.hpp"
+#include "server/update_server.hpp"
+#include "server/vendor_server.hpp"
+#include "sim/firmware.hpp"
+
+using namespace upkit;
+
+int main() {
+    std::printf("== UpKit differential update (CC2650 + ATECC508 HSM) ==\n\n");
+
+    server::VendorServer vendor(to_bytes("vendor-key"));
+    server::UpdateServer update_server(to_bytes("server-key"));
+    const Bytes v1 = sim::generate_firmware({.size = 80 * 1024, .seed = 3});
+    update_server.publish(vendor.create_release(v1, {.version = 1, .app_id = 0x77}));
+
+    core::DeviceConfig config;
+    config.platform = &sim::cc2650();  // 128 kB internal flash: too small for 2 slots
+    config.layout = core::SlotLayout::kStaticExternal;  // staging on external flash
+    config.backend = core::BackendKind::kCryptoAuthLib;  // keys live in the HSM
+    config.bootloader_reserved = 16 * 1024;
+    config.device_id = 0x2650;
+    config.app_id = 0x77;
+    config.vendor_key = vendor.public_key();
+    config.server_key = update_server.public_key();
+    core::Device device(config);
+
+    auto factory = update_server.prepare_update(
+        0x77, {.device_id = 0x2650, .nonce = 0, .current_version = 0});
+    if (!factory || device.provision_factory(*factory) != Status::kOk) {
+        std::fprintf(stderr, "provisioning failed\n");
+        return 1;
+    }
+    std::printf("HSM provisioned and locked; vendor + server keys tamper-proof\n");
+
+    // A small application change: the classic best case for deltas.
+    update_server.publish(vendor.create_release(sim::mutate_app_change(v1, 9, 1000),
+                                                {.version = 2, .app_id = 0x77}));
+
+    core::UpdateSession session(device, update_server, net::coap_6lowpan());
+    const core::SessionReport report = session.run(0x77);
+    if (report.status != Status::kOk) {
+        std::fprintf(stderr, "update failed: %s\n",
+                     std::string(to_string(report.status)).c_str());
+        return 1;
+    }
+
+    std::printf("\nupdated to v%u using a %s update\n", report.final_version,
+                report.differential ? "DIFFERENTIAL" : "full");
+    std::printf("  bytes on air:        %llu (full image would be %zu)\n",
+                static_cast<unsigned long long>(report.bytes_over_air), 80 * 1024ul);
+    std::printf("  airtime saving:      %.0f%%\n",
+                100.0 * (1.0 - static_cast<double>(report.bytes_over_air) / (80.0 * 1024)));
+    std::printf("  propagation:         %.1f s\n", report.phases.propagation_s);
+    std::printf("  HSM verifications:   %llu (at 58 ms each, vs ~360 ms in software)\n",
+                static_cast<unsigned long long>(device.hsm()->verify_count()));
+    std::printf("  total energy:        %.0f mJ\n", report.energy_mj);
+    return 0;
+}

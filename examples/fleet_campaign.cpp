@@ -1,0 +1,95 @@
+// Fleet campaign: one update rolled out to a heterogeneous fleet — mixed
+// platforms, slot layouts, link conditions, and capabilities — with
+// per-device retry and an aggregated report.
+#include <cstdio>
+
+#include "core/fleet.hpp"
+#include "server/update_server.hpp"
+#include "server/vendor_server.hpp"
+#include "sim/firmware.hpp"
+
+using namespace upkit;
+
+namespace {
+constexpr std::uint32_t kApp = 0xF1EE;
+}
+
+int main() {
+    std::printf("== UpKit fleet campaign ==\n\n");
+
+    server::VendorServer vendor(to_bytes("vendor-key"));
+    server::UpdateServer server(to_bytes("server-key"));
+    const Bytes v1 = sim::generate_firmware({.size = 72 * 1024, .seed = 1});
+    server.publish(vendor.create_release(v1, {.version = 1, .app_id = kApp}));
+
+    struct Spec {
+        const char* name;
+        const sim::PlatformProfile* platform;
+        core::SlotLayout layout;
+        core::BackendKind backend;
+        bool differential;
+        net::LinkParams link;
+        double loss;
+    };
+    const Spec specs[] = {
+        {"nRF52840/A-B/BLE", &sim::nrf52840(), core::SlotLayout::kAB,
+         core::BackendKind::kTinyCrypt, true, net::ble_gatt(), 0.0},
+        {"nRF52840/A-B/BLE lossy", &sim::nrf52840(), core::SlotLayout::kAB,
+         core::BackendKind::kTinyCrypt, true, net::ble_gatt(), 0.08},
+        {"CC2538/static/CoAP", &sim::cc2538(), core::SlotLayout::kStaticInternal,
+         core::BackendKind::kTinyDtls, true, net::coap_6lowpan(), 0.0},
+        {"CC2538/static/no-diff", &sim::cc2538(), core::SlotLayout::kStaticInternal,
+         core::BackendKind::kTinyDtls, false, net::coap_6lowpan(), 0.0},
+        {"CC2650/ext-flash/HSM", &sim::cc2650(), core::SlotLayout::kStaticExternal,
+         core::BackendKind::kCryptoAuthLib, true, net::coap_6lowpan(), 0.02},
+    };
+
+    std::vector<std::unique_ptr<core::Device>> devices;
+    core::FleetCampaign campaign(server);
+    std::uint32_t next_id = 0x9000;
+    for (const Spec& spec : specs) {
+        core::DeviceConfig config;
+        config.platform = spec.platform;
+        config.layout = spec.layout;
+        config.backend = spec.backend;
+        config.enable_differential = spec.differential;
+        config.device_id = next_id++;
+        config.app_id = kApp;
+        config.vendor_key = vendor.public_key();
+        config.server_key = server.public_key();
+        config.seed = next_id;
+        if (spec.platform == &sim::cc2650()) config.bootloader_reserved = 16 * 1024;
+        auto device = std::make_unique<core::Device>(config);
+        auto factory = server.prepare_update(
+            kApp, {.device_id = config.device_id, .nonce = 0, .current_version = 0});
+        if (!factory || device->provision_factory(*factory) != Status::kOk) {
+            std::fprintf(stderr, "provisioning %s failed\n", spec.name);
+            return 1;
+        }
+        net::LinkParams link = spec.link;
+        link.loss_probability = spec.loss;
+        campaign.add(*device, link);
+        devices.push_back(std::move(device));
+    }
+    std::printf("fleet provisioned: %zu devices at v1\n", campaign.size());
+
+    server.publish(vendor.create_release(sim::mutate_os_version(v1, 2),
+                                         {.version = 2, .app_id = kApp}));
+    std::printf("rolling out v2...\n\n");
+    const core::CampaignReport report = campaign.run(kApp, {.max_attempts = 3});
+
+    std::printf("%-26s %8s %6s %9s %10s %9s %5s\n", "device", "result", "tries", "time",
+                "energy", "airtime", "diff");
+    for (std::size_t i = 0; i < report.devices.size(); ++i) {
+        const core::CampaignDeviceResult& r = report.devices[i];
+        std::printf("%-26s %8s %6u %8.1fs %8.0fmJ %8llub %5s\n", specs[i].name,
+                    r.status == Status::kOk ? "ok" : "FAILED", r.attempts, r.time_s,
+                    r.energy_mj, static_cast<unsigned long long>(r.bytes_over_air),
+                    r.differential ? "yes" : "no");
+    }
+    std::printf("\ncampaign: %u/%zu updated, %u differential, %.0f mJ total, "
+                "%.1f s wall-clock (parallel)\n",
+                report.succeeded, report.devices.size(), report.differential_updates,
+                report.total_energy_mj, report.max_time_s);
+    return report.failed == 0 ? 0 : 1;
+}

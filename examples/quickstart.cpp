@@ -1,0 +1,82 @@
+// Quickstart: one complete over-the-air update, end to end.
+//
+//   vendor server ──▶ update server ──▶ (smartphone/BLE) ──▶ update agent
+//        │                  │                                     │
+//   vendor signature   server signature (per device token)   verify early
+//                                                                 │
+//                                reboot ──▶ bootloader verify ──▶ run v2
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/device.hpp"
+#include "core/session.hpp"
+#include "net/link.hpp"
+#include "server/update_server.hpp"
+#include "server/vendor_server.hpp"
+#include "sim/firmware.hpp"
+
+using namespace upkit;
+
+int main() {
+    std::printf("== UpKit quickstart ==\n\n");
+
+    // 1. The vendor builds and signs firmware releases.
+    server::VendorServer vendor(to_bytes("acme-vendor-signing-key"));
+    // 2. The update server distributes them (and adds the per-request
+    //    signature that guarantees freshness).
+    server::UpdateServer update_server(to_bytes("acme-update-server-key"));
+
+    const Bytes firmware_v1 = sim::generate_firmware({.size = 96 * 1024, .seed = 1});
+    update_server.publish(vendor.create_release(firmware_v1, {.version = 1, .app_id = 0xACE}));
+
+    // 3. A constrained device (simulated nRF52840, two bootable A/B slots,
+    //    tinycrypt software crypto) is provisioned at the factory with v1.
+    core::DeviceConfig config;
+    config.platform = &sim::nrf52840();
+    config.layout = core::SlotLayout::kAB;
+    config.backend = core::BackendKind::kTinyCrypt;
+    config.device_id = 0xD1CE;
+    config.app_id = 0xACE;
+    config.vendor_key = vendor.public_key();
+    config.server_key = update_server.public_key();
+    core::Device device(config);
+
+    auto factory = update_server.prepare_update(
+        0xACE, {.device_id = 0xD1CE, .nonce = 0, .current_version = 0});
+    if (!factory || device.provision_factory(*factory) != Status::kOk) {
+        std::fprintf(stderr, "factory provisioning failed\n");
+        return 1;
+    }
+    std::printf("device provisioned, running firmware v%u from slot %u\n",
+                device.identity().installed_version, device.installed_slot());
+
+    // 4. The vendor ships version 2.
+    const Bytes firmware_v2 = sim::mutate_os_version(firmware_v1, 2);
+    update_server.publish(vendor.create_release(firmware_v2, {.version = 2, .app_id = 0xACE}));
+    std::printf("update server announces v%u\n", *update_server.latest_version(0xACE));
+
+    // 5. A smartphone pushes the update over BLE. The session handles the
+    //    whole Fig. 2 flow: device token, doubly-signed manifest, early
+    //    verification, streamed payload, digest check, reboot, boot-time
+    //    re-verification, A/B jump.
+    core::UpdateSession session(device, update_server, net::ble_gatt());
+    const core::SessionReport report = session.run(0xACE);
+
+    if (report.status != Status::kOk) {
+        std::fprintf(stderr, "update failed: %s\n",
+                     std::string(to_string(report.status)).c_str());
+        return 1;
+    }
+    std::printf("\nupdate complete: now running v%u from slot %u\n", report.final_version,
+                device.installed_slot());
+    std::printf("  differential:  %s\n", report.differential ? "yes" : "no");
+    std::printf("  bytes on air:  %llu\n",
+                static_cast<unsigned long long>(report.bytes_over_air));
+    std::printf("  propagation:   %.1f s\n", report.phases.propagation_s);
+    std::printf("  verification:  %.2f s\n", report.phases.verification_s);
+    std::printf("  loading:       %.2f s   (A/B: jump, no copy)\n", report.phases.loading_s);
+    std::printf("  energy:        %.0f mJ\n", report.energy_mj);
+    return 0;
+}

@@ -1,0 +1,33 @@
+// FSM state set for the update agent (paper Fig. 4).
+#pragma once
+
+#include <string_view>
+
+namespace upkit::agent {
+
+enum class FsmState {
+    kWaiting,          // idle, no update in progress
+    kStartUpdate,      // token issued, target slot being prepared
+    kReceiveManifest,  // accumulating the 200-byte manifest
+    kVerifyManifest,   // manifest complete, verification pending
+    kReceiveFirmware,  // streaming payload through the pipeline
+    kVerifyFirmware,   // payload complete, digest check pending
+    kReadyToReboot,    // update stored and verified; reboot will install it
+    kCleaning,         // verification failed; slot invalidated, state reset
+};
+
+constexpr std::string_view to_string(FsmState s) {
+    switch (s) {
+        case FsmState::kWaiting: return "waiting";
+        case FsmState::kStartUpdate: return "start-update";
+        case FsmState::kReceiveManifest: return "receive-manifest";
+        case FsmState::kVerifyManifest: return "verify-manifest";
+        case FsmState::kReceiveFirmware: return "receive-firmware";
+        case FsmState::kVerifyFirmware: return "verify-firmware";
+        case FsmState::kReadyToReboot: return "ready-to-reboot";
+        case FsmState::kCleaning: return "cleaning";
+    }
+    return "?";
+}
+
+}  // namespace upkit::agent

@@ -1,0 +1,286 @@
+#include "agent/update_agent.hpp"
+
+#include <algorithm>
+
+#include "suit/suit.hpp"
+
+namespace upkit::agent {
+
+namespace {
+
+/// CPU cost of running the differential pipeline (LZSS + bspatch) per
+/// kilobyte of payload, calibrated for a 64 MHz Cortex-M4 (Stolikj et al.
+/// report patching throughput close to flash write speed).
+constexpr double kPipelineCpuSecondsPerKb = 0.0012;
+
+/// ChaCha20 decryption cost per kilobyte on the same MCU class.
+constexpr double kDecryptCpuSecondsPerKb = 0.0005;
+
+}  // namespace
+
+UpdateAgent::UpdateAgent(const AgentConfig& config, slots::SlotManager& slots,
+                         const verify::Verifier& verifier, const sim::PlatformProfile& platform,
+                         sim::VirtualClock* clock, sim::EnergyMeter* meter, ByteSpan nonce_seed)
+    : config_(config),
+      slots_(&slots),
+      verifier_(&verifier),
+      platform_(&platform),
+      clock_(clock),
+      meter_(meter),
+      nonce_drbg_(nonce_seed, to_bytes("upkit-agent-nonce")) {}
+
+void UpdateAgent::charge_cpu(double seconds) {
+    const double scaled = seconds * platform_->cpu_scale();
+    if (clock_ != nullptr) clock_->advance(scaled);
+    if (meter_ != nullptr) {
+        const double hsm_ma = verifier_->backend().costs().active_current_ma;
+        if (hsm_ma > 0) {
+            meter_->charge(sim::Component::kHsm, scaled, hsm_ma);
+        } else {
+            meter_->charge(sim::Component::kCpu, scaled);
+        }
+    }
+}
+
+Status UpdateAgent::fail(Status status) {
+    // Cleaning state (paper): invalidate the used slot, reset all variables.
+    target_handle_.close();
+    pipeline_.reset();
+    old_firmware_.reset();
+    manifest_.reset();
+    manifest_buffer_.clear();
+    payload_received_ = 0;
+    token_.reset();
+    (void)slots_->invalidate(config_.target_slot);
+    state_ = FsmState::kCleaning;
+    return status;
+}
+
+Expected<manifest::DeviceToken> UpdateAgent::request_device_token() {
+    if (state_ != FsmState::kWaiting && state_ != FsmState::kCleaning) {
+        return Status::kFsmBadState;
+    }
+    std::array<std::uint8_t, 4> nonce_bytes{};
+    nonce_drbg_.generate(MutByteSpan(nonce_bytes));
+    manifest::DeviceToken token;
+    token.device_id = config_.identity.device_id;
+    token.nonce = static_cast<std::uint32_t>(nonce_bytes[0]) |
+                  (static_cast<std::uint32_t>(nonce_bytes[1]) << 8) |
+                  (static_cast<std::uint32_t>(nonce_bytes[2]) << 16) |
+                  (static_cast<std::uint32_t>(nonce_bytes[3]) << 24);
+    token.current_version =
+        config_.enable_differential ? config_.identity.installed_version : 0;
+    token_ = token;
+    ++stats_.tokens_issued;
+
+    // Start-update state: make room in the slot holding the oldest
+    // firmware (our configured target). The manifest sector is erased now —
+    // so a stale image can never boot half-overwritten — and the rest is
+    // erased lazily by SEQUENTIAL_REWRITE as the image streams in, keeping
+    // an early-rejected update nearly free of flash wear and erase time.
+    if (const Status s = slots_->invalidate(config_.target_slot); s != Status::kOk) {
+        return fail(s);
+    }
+    auto handle = slots_->open(config_.target_slot, slots::OpenMode::kSequentialRewrite);
+    if (!handle) return fail(handle.status());
+    target_handle_ = std::move(*handle);
+
+    manifest_buffer_.clear();
+    state_ = FsmState::kReceiveManifest;
+    return token;
+}
+
+Status UpdateAgent::offer_manifest(ByteSpan chunk) {
+    if (state_ != FsmState::kReceiveManifest) return Status::kFsmBadState;
+    const std::size_t want = manifest::kManifestSize - manifest_buffer_.size();
+    if (chunk.size() > want) return fail(Status::kSizeExceeded);
+    append(manifest_buffer_, chunk);
+    if (manifest_buffer_.size() < manifest::kManifestSize) return Status::kOk;
+
+    state_ = FsmState::kVerifyManifest;
+    return verify_manifest_now();
+}
+
+Status UpdateAgent::verify_manifest_now() {
+    auto parsed = manifest::parse_manifest(manifest_buffer_);
+    if (!parsed) {
+        ++stats_.manifests_rejected;
+        return fail(parsed.status());
+    }
+
+    const slots::SlotConfig* target = slots_->slot(config_.target_slot);
+    // Two ECDSA verifications (vendor + server) plus field checks.
+    const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
+    charge_cpu(2 * verifier_->backend().costs().verify_seconds);
+    const Status verdict =
+        verifier_->verify_manifest(*parsed, *token_, config_.identity, *target);
+    if (clock_ != nullptr) stats_.verification_seconds += clock_->now() - verify_start;
+    if (verdict != Status::kOk) {
+        ++stats_.manifests_rejected;
+        return fail(verdict);
+    }
+
+    return accept_verified_manifest(*parsed, manifest_buffer_);
+}
+
+Status UpdateAgent::offer_suit_manifest(ByteSpan envelope_bytes) {
+    if (state_ != FsmState::kReceiveManifest) return Status::kFsmBadState;
+    if (envelope_bytes.size() > suit::kSuitHeaderRegion) {
+        ++stats_.manifests_rejected;
+        return fail(Status::kBadManifest);
+    }
+    state_ = FsmState::kVerifyManifest;
+
+    auto envelope = suit::parse_envelope(envelope_bytes);
+    if (!envelope) {
+        ++stats_.manifests_rejected;
+        return fail(envelope.status());
+    }
+    auto parsed = suit::to_manifest(*envelope);
+    if (!parsed) {
+        ++stats_.manifests_rejected;
+        return fail(parsed.status());
+    }
+
+    const slots::SlotConfig* target = slots_->slot(config_.target_slot);
+    const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
+    charge_cpu(2 * verifier_->backend().costs().verify_seconds);
+    Status verdict = verifier_->verify_suit_envelope(*envelope);
+    if (verdict == Status::kOk) {
+        verdict =
+            verifier_->verify_manifest_fields(*parsed, *token_, config_.identity, *target);
+    }
+    if (clock_ != nullptr) stats_.verification_seconds += clock_->now() - verify_start;
+    if (verdict != Status::kOk) {
+        ++stats_.manifests_rejected;
+        return fail(verdict);
+    }
+
+    // Zero-pad the envelope into its fixed header region.
+    Bytes header(suit::kSuitHeaderRegion, 0x00);
+    std::copy(envelope_bytes.begin(), envelope_bytes.end(), header.begin());
+    return accept_verified_manifest(*parsed, header);
+}
+
+Status UpdateAgent::accept_verified_manifest(const manifest::Manifest& m,
+                                             ByteSpan header_bytes) {
+    // Confidentiality extension: an encrypted payload needs our key pair.
+    if (m.encrypted && config_.encryption_key == nullptr) {
+        ++stats_.manifests_rejected;
+        return fail(Status::kUnimplemented);
+    }
+
+    // Differential updates patch against the installed firmware in place.
+    // The installed image may itself be stored in either wire format.
+    const RandomReader* old_reader = nullptr;
+    if (m.differential) {
+        const slots::SlotConfig* installed = slots_->slot(config_.installed_slot);
+        if (installed == nullptr) return fail(Status::kNotFound);
+        Bytes installed_header(suit::kSuitHeaderRegion);
+        if (installed->device->read(installed->offset, MutByteSpan(installed_header)) !=
+            Status::kOk) {
+            return fail(Status::kFlashIoError);
+        }
+        std::optional<manifest::Manifest> installed_manifest;
+        std::uint64_t installed_fw_offset = manifest::kManifestSize;
+        if (auto native = manifest::parse_manifest(installed_header)) {
+            installed_manifest = *native;
+        } else if (auto env = suit::parse_envelope_prefix(installed_header)) {
+            if (auto converted = suit::to_manifest(*env)) {
+                installed_manifest = *converted;
+                installed_fw_offset = suit::kSuitHeaderRegion;
+            }
+        }
+        if (!installed_manifest) return fail(Status::kBadOldVersion);
+        if (installed_manifest->version != m.old_version) {
+            return fail(Status::kBadOldVersion);
+        }
+        old_firmware_.emplace(*slots_, config_.installed_slot, installed_fw_offset,
+                              installed_manifest->firmware_size);
+        old_reader = &*old_firmware_;
+    }
+
+    // Store the header (native manifest or padded SUIT envelope) ahead of
+    // the firmware, then arm the pipeline.
+    const Status ms = target_handle_.write(header_bytes);
+    if (ms != Status::kOk) return fail(ms);
+    pipeline_ = std::make_unique<pipeline::Pipeline>(
+        pipeline::PipelineConfig{.differential = m.differential,
+                                 .buffer_size = config_.pipeline_buffer,
+                                 .encrypted = m.encrypted,
+                                 .device_encryption_key = config_.encryption_key,
+                                 .device_id = config_.identity.device_id,
+                                 .request_nonce = token_->nonce},
+        target_handle_, old_reader);
+
+    manifest_ = m;
+    payload_received_ = 0;
+    state_ = FsmState::kReceiveFirmware;
+    return Status::kOk;
+}
+
+Status UpdateAgent::offer_payload(ByteSpan chunk) {
+    if (state_ != FsmState::kReceiveFirmware) return Status::kFsmBadState;
+    if (payload_received_ + chunk.size() > manifest_->payload_size) {
+        ++stats_.firmwares_rejected;
+        return fail(Status::kSizeExceeded);
+    }
+
+    const Status ws = pipeline_->write(chunk);
+    if (ws != Status::kOk) {
+        ++stats_.firmwares_rejected;
+        return fail(ws);
+    }
+    payload_received_ += chunk.size();
+    stats_.payload_bytes_received += chunk.size();
+    if (manifest_->differential) {
+        charge_cpu(kPipelineCpuSecondsPerKb * static_cast<double>(chunk.size()) / 1024.0);
+    }
+    if (manifest_->encrypted) {
+        charge_cpu(kDecryptCpuSecondsPerKb * static_cast<double>(chunk.size()) / 1024.0);
+    }
+
+    if (payload_received_ < manifest_->payload_size) return Status::kOk;
+
+    state_ = FsmState::kVerifyFirmware;
+    return verify_firmware_now();
+}
+
+Status UpdateAgent::verify_firmware_now() {
+    const Status fs = pipeline_->finish();
+    if (fs != Status::kOk) {
+        ++stats_.firmwares_rejected;
+        return fail(fs);
+    }
+    if (pipeline_->firmware_bytes() != manifest_->firmware_size) {
+        ++stats_.firmwares_rejected;
+        return fail(Status::kTruncatedImage);
+    }
+
+    // Digest over the reconstructed firmware (the tee computed it on the
+    // fly; the modelled device pays the SHA-256 time here).
+    const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
+    charge_cpu(verifier_->backend().costs().sha256_seconds_per_kb *
+               static_cast<double>(manifest_->firmware_size) / 1024.0);
+    const Status verdict =
+        verifier_->verify_firmware_digest(*manifest_, pipeline_->firmware_digest());
+    if (clock_ != nullptr) stats_.verification_seconds += clock_->now() - verify_start;
+    if (verdict != Status::kOk) {
+        ++stats_.firmwares_rejected;
+        return fail(verdict);
+    }
+
+    target_handle_.close();
+    pipeline_.reset();
+    old_firmware_.reset();
+    ++stats_.updates_staged;
+    state_ = FsmState::kReadyToReboot;
+    return Status::kOk;
+}
+
+void UpdateAgent::clean() {
+    (void)fail(Status::kOk);
+    state_ = FsmState::kWaiting;
+}
+
+}  // namespace upkit::agent

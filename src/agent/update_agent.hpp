@@ -1,0 +1,137 @@
+// The update agent (paper Sect. IV) — the firmware-resident half of UpKit
+// that talks to the outside world.
+//
+// An FSM coordinates the update independently of whether chunks arrive over
+// a push (BLE) or pull (CoAP) connection: callers simply feed bytes. The
+// agent issues device tokens (with a DRBG-fresh nonce), verifies the
+// manifest *before* accepting any firmware (UpKit's early rejection: an
+// invalid or stale update costs one manifest, not a full download and a
+// reboot), streams the payload through the pipeline into the target slot,
+// and verifies the reconstructed firmware's digest at the end.
+#pragma once
+
+#include <optional>
+
+#include "agent/fsm.hpp"
+#include "crypto/hmac_drbg.hpp"
+#include "manifest/manifest.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+#include "sim/platform.hpp"
+#include "verify/verifier.hpp"
+
+namespace upkit::agent {
+
+struct AgentConfig {
+    verify::DeviceIdentity identity;
+
+    /// Slot the new image is stored into.
+    std::uint32_t target_slot = 1;
+    /// Slot holding the currently-running image (differential base).
+    std::uint32_t installed_slot = 0;
+
+    /// Differential support costs agent flash/RAM; devices may disable it.
+    bool enable_differential = true;
+
+    /// Pipeline buffer size; match the flash sector size.
+    std::size_t pipeline_buffer = 4096;
+
+    /// Long-term encryption key for the confidentiality extension; null
+    /// means encrypted payloads are rejected at the manifest.
+    const crypto::PrivateKey* encryption_key = nullptr;
+};
+
+/// Counters the evaluation reads out.
+struct AgentStats {
+    std::uint64_t tokens_issued = 0;
+    std::uint64_t manifests_rejected = 0;   // early rejections, no download
+    std::uint64_t firmwares_rejected = 0;   // digest failures after download
+    std::uint64_t updates_staged = 0;       // stored + verified, pre-reboot
+    std::uint64_t payload_bytes_received = 0;
+    /// Virtual-clock seconds spent in the agent's verification steps
+    /// (manifest signatures + firmware digest) — the phase accounting of
+    /// the paper's Fig. 8a reads this.
+    double verification_seconds = 0.0;
+};
+
+class UpdateAgent {
+public:
+    /// `clock`/`meter` may be null for un-timed functional use.
+    UpdateAgent(const AgentConfig& config, slots::SlotManager& slots,
+                const verify::Verifier& verifier, const sim::PlatformProfile& platform,
+                sim::VirtualClock* clock, sim::EnergyMeter* meter, ByteSpan nonce_seed);
+
+    // ---- propagation-phase entry points (push and pull both use these) ----
+
+    /// Paper step 4/5: issues a device token with a fresh nonce and arms the
+    /// FSM. Valid in kWaiting or kCleaning (a new request supersedes).
+    Expected<manifest::DeviceToken> request_device_token();
+
+    /// Paper step 8: feeds manifest bytes. On the 200th byte the agent
+    /// verifies the manifest (step 9); on success it erases/opens the target
+    /// slot and stands up the pipeline. A non-kOk result means the update
+    /// was rejected early — nothing was downloaded, no reboot needed.
+    Status offer_manifest(ByteSpan chunk);
+
+    /// SUIT interop: accepts a complete SUIT/CBOR envelope instead of the
+    /// native manifest. Verification semantics are identical (double
+    /// signature over the envelope's TBS bytes + the same field checks);
+    /// the envelope is stored in a fixed header region ahead of the
+    /// firmware so the bootloader can re-verify it after reboot.
+    Status offer_suit_manifest(ByteSpan envelope_bytes);
+
+    /// Paper step 12: feeds payload bytes through the pipeline. After the
+    /// last expected byte the firmware digest is verified (step 13).
+    Status offer_payload(ByteSpan chunk);
+
+    /// True once an update is fully stored and verified (step 14): the
+    /// device may reboot to install it.
+    bool update_ready() const { return state_ == FsmState::kReadyToReboot; }
+
+    FsmState state() const { return state_; }
+    const AgentStats& stats() const { return stats_; }
+
+    /// Payload bytes accepted for the in-flight update — the resume offset
+    /// a proxy should continue from after a connection drop (mcumgr-style
+    /// `off` semantics; valid in kReceiveFirmware).
+    std::uint64_t payload_offset() const { return payload_received_; }
+    const std::optional<manifest::Manifest>& pending_manifest() const { return manifest_; }
+    const AgentConfig& config() const { return config_; }
+
+    /// Abandons any in-flight update and invalidates the target slot.
+    void clean();
+
+private:
+    Status fail(Status status);
+    Status verify_manifest_now();
+    Status verify_firmware_now();
+    /// Common tail of both manifest paths: capability checks, differential
+    /// base lookup, header write (native manifest or padded SUIT envelope),
+    /// pipeline arming. `header_bytes` is what lands at the slot's start;
+    /// the firmware follows immediately after.
+    Status accept_verified_manifest(const manifest::Manifest& m, ByteSpan header_bytes);
+    void charge_cpu(double seconds);
+
+    AgentConfig config_;
+    slots::SlotManager* slots_;
+    const verify::Verifier* verifier_;
+    const sim::PlatformProfile* platform_;
+    sim::VirtualClock* clock_;
+    sim::EnergyMeter* meter_;
+    crypto::HmacDrbg nonce_drbg_;
+
+    FsmState state_ = FsmState::kWaiting;
+    AgentStats stats_;
+
+    std::optional<manifest::DeviceToken> token_;
+    Bytes manifest_buffer_;
+    std::optional<manifest::Manifest> manifest_;
+
+    slots::SlotHandle target_handle_;
+    std::optional<slots::SlotReader> old_firmware_;
+    std::unique_ptr<pipeline::Pipeline> pipeline_;
+    std::uint64_t payload_received_ = 0;
+};
+
+}  // namespace upkit::agent

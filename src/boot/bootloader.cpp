@@ -1,0 +1,156 @@
+#include "boot/bootloader.hpp"
+
+#include <algorithm>
+
+namespace upkit::boot {
+
+void Bootloader::charge_cpu(double seconds) {
+    const double scaled = seconds * platform_->cpu_scale();
+    if (clock_ != nullptr) clock_->advance(scaled);
+    if (meter_ != nullptr) {
+        const double hsm_ma = verifier_->backend().costs().active_current_ma;
+        if (hsm_ma > 0) {
+            meter_->charge(sim::Component::kHsm, scaled, hsm_ma);
+        } else {
+            meter_->charge(sim::Component::kCpu, scaled);
+        }
+    }
+}
+
+std::optional<Bootloader::Candidate> Bootloader::read_candidate(std::uint32_t slot_id) const {
+    const slots::SlotConfig* config = slots_->slot(slot_id);
+    if (config == nullptr) return std::nullopt;
+    Bytes header(suit::kSuitHeaderRegion);
+    if (config->device->read(config->offset, MutByteSpan(header)) != Status::kOk) {
+        return std::nullopt;
+    }
+
+    Candidate candidate;
+    candidate.slot_id = slot_id;
+    if (auto native = manifest::parse_manifest(header)) {
+        candidate.manifest = *native;
+        candidate.firmware_offset = manifest::kManifestSize;
+        return candidate;
+    }
+    // SUIT-encoded header region (interop mode).
+    if (auto envelope = suit::parse_envelope_prefix(header)) {
+        if (auto converted = suit::to_manifest(*envelope)) {
+            candidate.manifest = *converted;
+            candidate.firmware_offset = suit::kSuitHeaderRegion;
+            candidate.envelope = std::move(*envelope);
+            return candidate;
+        }
+    }
+    return std::nullopt;
+}
+
+Status Bootloader::verify_slot_image(const Candidate& candidate) {
+    const slots::SlotConfig* slot = slots_->slot(candidate.slot_id);
+    const manifest::Manifest& m = candidate.manifest;
+
+    if (m.app_id != config_.identity.app_id) return Status::kBadAppId;
+    if (m.link_offset != slots::kAnyLinkOffset && m.link_offset != slot->link_offset) {
+        return Status::kBadLinkOffset;
+    }
+    if (candidate.firmware_offset + static_cast<std::uint64_t>(m.firmware_size) >
+        slot->size) {
+        return Status::kSlotTooSmall;
+    }
+
+    // Two ECDSA verifications, over whichever TBS encoding the image used.
+    charge_cpu(2 * verifier_->backend().costs().verify_seconds);
+    if (candidate.envelope) {
+        UPKIT_RETURN_IF_ERROR(verifier_->verify_suit_envelope(*candidate.envelope));
+    } else {
+        UPKIT_RETURN_IF_ERROR(verifier_->verify_signatures(m));
+    }
+
+    // Digest, streamed from flash in sector-sized reads.
+    crypto::Sha256 hasher;
+    const std::uint32_t chunk = slot->device->geometry().sector_bytes;
+    Bytes buffer(chunk);
+    std::uint64_t remaining = m.firmware_size;
+    std::uint64_t offset = slot->offset + candidate.firmware_offset;
+    while (remaining > 0) {
+        const std::size_t take =
+            static_cast<std::size_t>(std::min<std::uint64_t>(chunk, remaining));
+        UPKIT_RETURN_IF_ERROR(slot->device->read(offset, MutByteSpan(buffer.data(), take)));
+        hasher.update(ByteSpan(buffer.data(), take));
+        offset += take;
+        remaining -= take;
+    }
+    charge_cpu(verifier_->backend().costs().sha256_seconds_per_kb *
+               static_cast<double>(m.firmware_size) / 1024.0);
+    return verifier_->verify_firmware_digest(m, hasher.finalize());
+}
+
+Expected<BootReport> Bootloader::boot() {
+    verification_seconds_ = 0.0;
+    loading_seconds_ = 0.0;
+    charge_cpu(config_.reboot_seconds);  // MCU reset + init
+
+    // Gather parseable images from every slot we know about.
+    std::vector<Candidate> candidates;
+    for (const std::uint32_t id : config_.bootable_slots) {
+        if (auto c = read_candidate(id)) candidates.push_back(std::move(*c));
+    }
+    if (config_.staging_slot) {
+        if (auto c = read_candidate(*config_.staging_slot)) {
+            candidates.push_back(std::move(*c));
+        }
+    }
+    // Newest first; bootable slots win ties (no pointless install).
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                         return a.manifest.version > b.manifest.version;
+                     });
+
+    BootReport report;
+    for (const Candidate& candidate : candidates) {
+        const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
+        const Status verdict = verify_slot_image(candidate);
+        if (clock_ != nullptr) verification_seconds_ += clock_->now() - verify_start;
+
+        if (verdict != Status::kOk) {
+            // Rollback: drop the bad image and fall through to the next.
+            (void)slots_->invalidate(candidate.slot_id);
+            report.invalidated.push_back(candidate.slot_id);
+            continue;
+        }
+
+        const double load_start = clock_ != nullptr ? clock_->now() : 0.0;
+        const bool is_bootable =
+            std::find(config_.bootable_slots.begin(), config_.bootable_slots.end(),
+                      candidate.slot_id) != config_.bootable_slots.end();
+        std::uint32_t boot_slot = candidate.slot_id;
+
+        if (!is_bootable) {
+            // Static mode: swap the staged image into the bootable slot so
+            // the previous image survives as the rollback target.
+            boot_slot = config_.bootable_slots.front();
+            std::uint64_t used =
+                candidate.firmware_offset + candidate.manifest.firmware_size;
+            if (const auto old = read_candidate(boot_slot)) {
+                used = std::max<std::uint64_t>(
+                    used, old->firmware_offset + old->manifest.firmware_size);
+            }
+            const Status swapped = slots_->swap(candidate.slot_id, boot_slot, used);
+            if (swapped != Status::kOk) {
+                if (clock_ != nullptr) loading_seconds_ += clock_->now() - load_start;
+                return swapped;
+            }
+            report.installed_from_staging = true;
+        }
+
+        // "Jump": transfer of control to the application image.
+        charge_cpu(0.001);
+        if (clock_ != nullptr) loading_seconds_ += clock_->now() - load_start;
+
+        report.booted_slot = boot_slot;
+        report.booted = candidate.manifest;
+        return report;
+    }
+    return Status::kNotFound;  // nothing valid anywhere: device stays in ROM
+}
+
+}  // namespace upkit::boot

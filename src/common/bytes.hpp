@@ -1,0 +1,46 @@
+// Basic byte-buffer aliases and helpers shared by every UpKit module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upkit {
+
+/// Owning byte buffer. Value semantics at module boundaries.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view over bytes.
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Non-owning writable view over bytes.
+using MutByteSpan = std::span<std::uint8_t>;
+
+/// Builds a byte buffer from a string literal / std::string (no NUL added).
+inline Bytes to_bytes(std::string_view s) {
+    return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte span as text (for diagnostics only).
+inline std::string to_string(ByteSpan b) {
+    return std::string(b.begin(), b.end());
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteSpan src) {
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Constant-time equality; both operands fully scanned regardless of content.
+/// Used for digest and signature comparisons so verification cannot be timed.
+inline bool ct_equal(ByteSpan a, ByteSpan b) {
+    if (a.size() != b.size()) return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+}  // namespace upkit

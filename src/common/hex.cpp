@@ -1,0 +1,50 @@
+#include "common/hex.hpp"
+
+#include <array>
+
+namespace upkit {
+
+namespace {
+
+constexpr std::array<char, 16> kDigits = {'0', '1', '2', '3', '4', '5', '6', '7',
+                                          '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+
+int nibble(char c) {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+}  // namespace
+
+std::string hex_encode(ByteSpan data) {
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(kDigits[b >> 4]);
+        out.push_back(kDigits[b & 0x0F]);
+    }
+    return out;
+}
+
+Expected<Bytes> hex_decode(std::string_view hex) {
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    int hi = -1;
+    for (char c : hex) {
+        if (c == ' ' || c == '\n' || c == '\t') continue;
+        const int n = nibble(c);
+        if (n < 0) return Status::kInvalidArgument;
+        if (hi < 0) {
+            hi = n;
+        } else {
+            out.push_back(static_cast<std::uint8_t>((hi << 4) | n));
+            hi = -1;
+        }
+    }
+    if (hi >= 0) return Status::kInvalidArgument;  // odd number of digits
+    return out;
+}
+
+}  // namespace upkit

@@ -1,0 +1,18 @@
+// Hex encode/decode, used by tests (known-answer vectors) and diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace upkit {
+
+/// Lower-case hex string of `data`.
+std::string hex_encode(ByteSpan data);
+
+/// Parses a hex string (case-insensitive, even length, optional spaces).
+Expected<Bytes> hex_decode(std::string_view hex);
+
+}  // namespace upkit

@@ -1,0 +1,82 @@
+// Deterministic PRNG used across the simulation (firmware generation, link
+// loss, fuzz corpora). xoshiro256** — fast, well distributed, and seedable so
+// every experiment is reproducible. NOT used for any cryptographic purpose;
+// crypto uses HMAC-DRBG (src/crypto/hmac_drbg.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace upkit {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        std::uint64_t x = seed;
+        for (auto& limb : s_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            limb = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t next_u64() {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound) { return next_u64() % bound; }
+
+    /// Uniform integer in [lo, hi], inclusive.
+    std::uint64_t between(std::uint64_t lo, std::uint64_t hi) { return lo + below(hi - lo + 1); }
+
+    /// Uniform double in [0, 1).
+    double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+    /// True with probability p.
+    bool chance(double p) { return next_double() < p; }
+
+    Bytes bytes(std::size_t n) {
+        Bytes out(n);
+        fill(out);
+        return out;
+    }
+
+    void fill(MutByteSpan out) {
+        std::size_t i = 0;
+        while (i + 8 <= out.size()) {
+            const std::uint64_t v = next_u64();
+            for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+        }
+        if (i < out.size()) {
+            std::uint64_t v = next_u64();
+            while (i < out.size()) {
+                out[i++] = static_cast<std::uint8_t>(v);
+                v >>= 8;
+            }
+        }
+    }
+
+private:
+    static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+    std::uint64_t s_[4] = {};
+};
+
+}  // namespace upkit

@@ -1,0 +1,74 @@
+// Streaming byte interfaces.
+//
+// Update data flows through UpKit as a push stream: transport chunks enter
+// the FSM, traverse the pipeline stages (decompress → patch → buffer →
+// writer) and land in flash. Every hop implements ByteSink so stages
+// compose without intermediate buffers — the property that lets UpKit apply
+// differential updates without an extra memory slot (paper Sect. IV-C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace upkit {
+
+class ByteSink {
+public:
+    virtual ~ByteSink() = default;
+
+    /// Consumes a chunk. A non-ok Status aborts the stream.
+    virtual Status write(ByteSpan data) = 0;
+
+    /// Signals end-of-stream; flushes any buffered state downstream.
+    virtual Status finish() { return Status::kOk; }
+};
+
+/// Collects everything written into an owned buffer (tests, servers).
+class BytesSink final : public ByteSink {
+public:
+    Status write(ByteSpan data) override {
+        append(buffer_, data);
+        return Status::kOk;
+    }
+
+    const Bytes& bytes() const { return buffer_; }
+    Bytes take() { return std::move(buffer_); }
+
+private:
+    Bytes buffer_;
+};
+
+/// Random-access reader over stored data (e.g. the currently-installed
+/// firmware slot a differential patch is applied against).
+class RandomReader {
+public:
+    virtual ~RandomReader() = default;
+
+    /// Fills `out` with bytes starting at `offset`.
+    virtual Status read_at(std::uint64_t offset, MutByteSpan out) const = 0;
+
+    /// Total readable size in bytes.
+    virtual std::uint64_t size() const = 0;
+};
+
+/// RandomReader over an in-memory buffer.
+class SpanReader final : public RandomReader {
+public:
+    explicit SpanReader(ByteSpan data) : data_(data) {}
+
+    Status read_at(std::uint64_t offset, MutByteSpan out) const override {
+        if (offset + out.size() > data_.size()) return Status::kOutOfRange;
+        std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(offset), out.size(), out.begin());
+        return Status::kOk;
+    }
+
+    std::uint64_t size() const override { return data_.size(); }
+
+private:
+    ByteSpan data_;
+};
+
+}  // namespace upkit

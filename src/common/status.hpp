@@ -1,0 +1,160 @@
+// Status codes and a lightweight Expected<T> for recoverable failures.
+//
+// UpKit runs on devices where an invalid image, a stale nonce, or a flash
+// fault is *expected* operational input, not an exceptional condition, so
+// those paths are expressed as values. Exceptions remain reserved for
+// programmer errors (contract violations).
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace upkit {
+
+enum class Status {
+    kOk = 0,
+
+    // Generic.
+    kInvalidArgument,
+    kOutOfRange,
+    kNotFound,
+    kAlreadyExists,
+    kUnavailable,
+    kResourceExhausted,
+    kFailedPrecondition,
+    kUnimplemented,
+    kInternal,
+
+    // Verification failures (paper Sect. III-C / IV-D).
+    kBadVendorSignature,
+    kBadServerSignature,
+    kBadDigest,
+    kBadDeviceId,
+    kBadNonce,
+    kStaleVersion,
+    kBadOldVersion,
+    kBadLinkOffset,
+    kBadAppId,
+    kBadManifest,
+    kSizeExceeded,
+
+    // Propagation / agent failures.
+    kFsmBadState,
+    kTruncatedImage,
+    kTransportError,
+    kTimeout,
+
+    // Storage failures.
+    kFlashEraseRequired,
+    kFlashOutOfBounds,
+    kFlashIoError,
+    kFlashPowerLoss,
+    kSlotInvalid,
+    kSlotBusy,
+    kSlotTooSmall,
+    kBadOpenMode,
+
+    // Differential update / codec failures.
+    kCorruptPatch,
+    kCorruptStream,
+    kPatchBaseMismatch,
+
+    // Crypto failures.
+    kBadKey,
+    kBadSignatureEncoding,
+    kHsmError,
+    kBadAuthTag,
+};
+
+constexpr std::string_view to_string(Status s) {
+    switch (s) {
+        case Status::kOk: return "ok";
+        case Status::kInvalidArgument: return "invalid argument";
+        case Status::kOutOfRange: return "out of range";
+        case Status::kNotFound: return "not found";
+        case Status::kAlreadyExists: return "already exists";
+        case Status::kUnavailable: return "unavailable";
+        case Status::kResourceExhausted: return "resource exhausted";
+        case Status::kFailedPrecondition: return "failed precondition";
+        case Status::kUnimplemented: return "unimplemented";
+        case Status::kInternal: return "internal error";
+        case Status::kBadVendorSignature: return "invalid vendor signature";
+        case Status::kBadServerSignature: return "invalid update-server signature";
+        case Status::kBadDigest: return "firmware digest mismatch";
+        case Status::kBadDeviceId: return "device ID mismatch";
+        case Status::kBadNonce: return "nonce mismatch (stale or replayed token)";
+        case Status::kStaleVersion: return "version not newer than installed";
+        case Status::kBadOldVersion: return "differential base version mismatch";
+        case Status::kBadLinkOffset: return "link offset incompatible with slot";
+        case Status::kBadAppId: return "application/platform ID mismatch";
+        case Status::kBadManifest: return "malformed manifest";
+        case Status::kSizeExceeded: return "firmware size exceeds manifest size";
+        case Status::kFsmBadState: return "operation invalid in current FSM state";
+        case Status::kTruncatedImage: return "update image truncated";
+        case Status::kTransportError: return "transport error";
+        case Status::kTimeout: return "timeout";
+        case Status::kFlashEraseRequired: return "flash write without erase";
+        case Status::kFlashOutOfBounds: return "flash access out of bounds";
+        case Status::kFlashIoError: return "flash I/O error";
+        case Status::kFlashPowerLoss: return "power loss during flash operation";
+        case Status::kSlotInvalid: return "slot invalid or empty";
+        case Status::kSlotBusy: return "slot already open";
+        case Status::kSlotTooSmall: return "image does not fit in slot";
+        case Status::kBadOpenMode: return "operation not allowed by open mode";
+        case Status::kCorruptPatch: return "corrupt patch stream";
+        case Status::kCorruptStream: return "corrupt compressed stream";
+        case Status::kPatchBaseMismatch: return "patch base image mismatch";
+        case Status::kBadKey: return "invalid key";
+        case Status::kBadSignatureEncoding: return "invalid signature encoding";
+        case Status::kHsmError: return "hardware security module error";
+        case Status::kBadAuthTag: return "AEAD authentication tag mismatch";
+    }
+    return "unknown status";
+}
+
+constexpr bool ok(Status s) { return s == Status::kOk; }
+
+/// Minimal expected-like type: either a value or a failure Status.
+template <typename T>
+class Expected {
+public:
+    Expected(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+    Expected(Status s) : v_(s) { assert(s != Status::kOk); }  // NOLINT(google-explicit-constructor)
+
+    bool has_value() const { return std::holds_alternative<T>(v_); }
+    explicit operator bool() const { return has_value(); }
+
+    Status status() const { return has_value() ? Status::kOk : std::get<Status>(v_); }
+
+    T& value() & {
+        assert(has_value());
+        return std::get<T>(v_);
+    }
+    const T& value() const& {
+        assert(has_value());
+        return std::get<T>(v_);
+    }
+    T&& value() && {
+        assert(has_value());
+        return std::get<T>(std::move(v_));
+    }
+
+    T& operator*() & { return value(); }
+    const T& operator*() const& { return value(); }
+    T* operator->() { return &value(); }
+    const T* operator->() const { return &value(); }
+
+private:
+    std::variant<T, Status> v_;
+};
+
+/// Early-return helper: propagates a non-ok Status from the enclosing function.
+#define UPKIT_RETURN_IF_ERROR(expr)                      \
+    do {                                                 \
+        const ::upkit::Status _upkit_status = (expr);    \
+        if (_upkit_status != ::upkit::Status::kOk) return _upkit_status; \
+    } while (false)
+
+}  // namespace upkit

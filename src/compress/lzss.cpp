@@ -1,0 +1,242 @@
+#include "compress/lzss.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/endian.hpp"
+
+namespace upkit::compress {
+
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'L';
+constexpr std::uint8_t kMagic1 = 'Z';
+
+/// Rolling 3-byte hash for the encoder's chain table.
+std::uint32_t hash3(const std::uint8_t* p) {
+    return (static_cast<std::uint32_t>(p[0]) * 2654435761u ^
+            static_cast<std::uint32_t>(p[1]) * 40503u ^ static_cast<std::uint32_t>(p[2])) &
+           0xFFFF;
+}
+
+}  // namespace
+
+Expected<Bytes> lzss_compress(ByteSpan input, const LzssParams& params) {
+    if (!params.valid()) return Status::kInvalidArgument;
+    if (input.size() > 0xFFFFFFFFull) return Status::kOutOfRange;
+
+    const unsigned window = params.window_size();
+    const unsigned min_match = params.min_match;
+    const unsigned max_match = params.max_match();
+
+    Bytes out;
+    out.reserve(input.size() / 2 + kLzssHeaderSize);
+    out.push_back(kMagic0);
+    out.push_back(kMagic1);
+    out.push_back(static_cast<std::uint8_t>(params.window_bits));
+    out.push_back(static_cast<std::uint8_t>(min_match));
+    put_le32(out, static_cast<std::uint32_t>(input.size()));
+
+    // Hash-chain match finder: head[h] = most recent position with hash h,
+    // prev[pos & (window-1)] = previous position in the same chain.
+    std::vector<std::int64_t> head(0x10000, -1);
+    std::vector<std::int64_t> prev(window, -1);
+
+    const auto insert = [&](std::size_t pos) {
+        if (pos + 3 > input.size()) return;
+        const std::uint32_t h = hash3(input.data() + pos);
+        prev[pos & (window - 1)] = head[h];
+        head[h] = static_cast<std::int64_t>(pos);
+    };
+
+    std::size_t flag_pos = 0;  // index of the current flag byte in `out`
+    unsigned items_in_group = 8;  // forces a new flag byte on first item
+
+    const auto begin_item = [&](bool is_match) {
+        if (items_in_group == 8) {
+            flag_pos = out.size();
+            out.push_back(0);
+            items_in_group = 0;
+        }
+        if (is_match) out[flag_pos] |= static_cast<std::uint8_t>(1u << items_in_group);
+        ++items_in_group;
+    };
+
+    std::size_t pos = 0;
+    while (pos < input.size()) {
+        unsigned best_len = 0;
+        std::size_t best_dist = 0;
+
+        if (pos + min_match <= input.size() && pos + 3 <= input.size()) {
+            std::int64_t cand = head[hash3(input.data() + pos)];
+            int probes = 64;  // bounded search keeps the encoder near-linear
+            while (cand >= 0 && probes-- > 0) {
+                const std::size_t cpos = static_cast<std::size_t>(cand);
+                const std::size_t dist = pos - cpos;
+                if (dist > window) break;  // chain only gets older
+                const unsigned limit = static_cast<unsigned>(
+                    std::min<std::size_t>(max_match, input.size() - pos));
+                unsigned len = 0;
+                while (len < limit && input[cpos + len] == input[pos + len]) ++len;
+                if (len > best_len) {
+                    best_len = len;
+                    best_dist = dist;
+                    if (len == limit) break;
+                }
+                cand = prev[cpos & (window - 1)];
+            }
+        }
+
+        if (best_len >= min_match) {
+            begin_item(/*is_match=*/true);
+            const std::uint16_t token = static_cast<std::uint16_t>(
+                ((best_len - min_match) << params.window_bits) |
+                (static_cast<unsigned>(best_dist - 1) & (window - 1)));
+            put_le16(out, token);
+            for (unsigned i = 0; i < best_len; ++i) insert(pos + i);
+            pos += best_len;
+        } else {
+            begin_item(/*is_match=*/false);
+            out.push_back(input[pos]);
+            insert(pos);
+            ++pos;
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- decoder
+
+struct LzssDecoder::Impl {
+    ByteSink& downstream;
+
+    // Parsed header.
+    bool header_done = false;
+    LzssParams params;
+    std::uint64_t declared_size = 0;
+
+    std::array<std::uint8_t, kLzssHeaderSize> header{};
+    std::size_t header_fill = 0;
+
+    // Ring buffer window.
+    Bytes window;
+    std::size_t wpos = 0;
+    std::uint64_t produced = 0;
+
+    // Token decode state.
+    std::uint8_t flags = 0;
+    unsigned items_left = 0;   // items remaining under the current flag byte
+    bool have_pending = false;  // first byte of a 2-byte match token buffered
+    std::uint8_t pending = 0;
+
+    explicit Impl(ByteSink& d) : downstream(d) {}
+
+    Status emit(ByteSpan data) {
+        for (std::uint8_t b : data) {
+            window[wpos] = b;
+            wpos = (wpos + 1) & (window.size() - 1);
+        }
+        produced += data.size();
+        if (produced > declared_size) return Status::kCorruptStream;
+        return downstream.write(data);
+    }
+
+    Status consume(ByteSpan data) {
+        std::size_t i = 0;
+        // Header first.
+        while (!header_done && i < data.size()) {
+            header[header_fill++] = data[i++];
+            if (header_fill == kLzssHeaderSize) {
+                if (header[0] != kMagic0 || header[1] != kMagic1) return Status::kCorruptStream;
+                params.window_bits = header[2];
+                params.min_match = header[3];
+                if (!params.valid()) return Status::kCorruptStream;
+                declared_size = load_le32(ByteSpan(header.data() + 4, 4));
+                window.assign(params.window_size(), 0);
+                header_done = true;
+            }
+        }
+
+        while (i < data.size()) {
+            if (items_left == 0) {
+                flags = data[i++];
+                items_left = 8;
+                continue;
+            }
+            const bool is_match = (flags & 1) != 0;
+            if (!is_match) {
+                const std::uint8_t lit = data[i++];
+                UPKIT_RETURN_IF_ERROR(emit(ByteSpan(&lit, 1)));
+                flags >>= 1;
+                --items_left;
+                if (produced == declared_size) break;
+                continue;
+            }
+            // Match token: 2 bytes, possibly split across chunks.
+            if (!have_pending) {
+                pending = data[i++];
+                have_pending = true;
+                if (i == data.size()) break;
+            }
+            const std::uint16_t token =
+                static_cast<std::uint16_t>(pending | (data[i] << 8));
+            ++i;
+            have_pending = false;
+            flags >>= 1;
+            --items_left;
+
+            const std::size_t dist = (token & (params.window_size() - 1)) + 1u;
+            const unsigned len =
+                (token >> params.window_bits) + params.min_match;
+            if (dist > produced) return Status::kCorruptStream;
+
+            // Copy byte-by-byte: matches may overlap their own output.
+            std::uint8_t buf[64];
+            unsigned remaining = len;
+            while (remaining > 0) {
+                const unsigned take = std::min<unsigned>(remaining, sizeof(buf));
+                for (unsigned k = 0; k < take; ++k) {
+                    buf[k] = window[(wpos - dist) & (window.size() - 1)];
+                    window[wpos] = buf[k];
+                    wpos = (wpos + 1) & (window.size() - 1);
+                }
+                produced += take;
+                if (produced > declared_size) return Status::kCorruptStream;
+                UPKIT_RETURN_IF_ERROR(downstream.write(ByteSpan(buf, take)));
+                remaining -= take;
+            }
+            if (produced == declared_size) break;
+        }
+
+        if (produced == declared_size && header_done && i < data.size()) {
+            return Status::kCorruptStream;  // trailing garbage
+        }
+        return Status::kOk;
+    }
+};
+
+LzssDecoder::LzssDecoder(ByteSink& downstream) : impl_(std::make_unique<Impl>(downstream)) {}
+LzssDecoder::~LzssDecoder() = default;
+
+Status LzssDecoder::write(ByteSpan data) { return impl_->consume(data); }
+
+Status LzssDecoder::finish() {
+    if (!impl_->header_done) return Status::kTruncatedImage;
+    if (impl_->have_pending) return Status::kTruncatedImage;
+    if (impl_->produced != impl_->declared_size) return Status::kTruncatedImage;
+    return impl_->downstream.finish();
+}
+
+std::uint64_t LzssDecoder::produced() const { return impl_->produced; }
+
+std::size_t LzssDecoder::window_ram() const { return impl_->window.size(); }
+
+Expected<Bytes> lzss_decompress(ByteSpan compressed) {
+    BytesSink sink;
+    LzssDecoder decoder(sink);
+    UPKIT_RETURN_IF_ERROR(decoder.write(compressed));
+    UPKIT_RETURN_IF_ERROR(decoder.finish());
+    return sink.take();
+}
+
+}  // namespace upkit::compress

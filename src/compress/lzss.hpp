@@ -1,0 +1,69 @@
+// LZSS compression, the decompression stage of UpKit's pipeline.
+//
+// The paper (Sect. IV-C, following Stolikj et al.) picks lzss — an improved
+// lz77 — as the decompressor with the best patch-size / footprint
+// compromise for constrained devices. This implementation is streaming on
+// the decode side (the device never holds the whole patch) and
+// parameterized by window size so the ablation bench can sweep the
+// RAM-vs-ratio trade-off the paper cites.
+//
+// Wire format:
+//   header:  'L' 'Z' <window_bits u8> <min_match u8> <original_size u32 LE>
+//   body:    groups of 8 items preceded by a flag byte (LSB first);
+//            flag bit 0 = literal (1 byte), 1 = match (2 bytes LE:
+//            offset in low `window_bits` bits, length-min_match above).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/sink.hpp"
+#include "common/status.hpp"
+
+namespace upkit::compress {
+
+struct LzssParams {
+    /// Window size = 2^window_bits bytes of decoder RAM. 8..13 supported;
+    /// default 11 (2 KiB) matches the paper's constrained-device profile.
+    unsigned window_bits = 11;
+    /// Shortest match worth encoding; matches shorter than this are literals.
+    unsigned min_match = 3;
+
+    unsigned window_size() const { return 1u << window_bits; }
+    unsigned length_bits() const { return 16 - window_bits; }
+    unsigned max_match() const { return min_match + (1u << length_bits()) - 1; }
+    bool valid() const { return window_bits >= 8 && window_bits <= 13 && min_match >= 2; }
+};
+
+inline constexpr std::size_t kLzssHeaderSize = 8;
+
+/// One-shot compression (runs on the update server).
+Expected<Bytes> lzss_compress(ByteSpan input, const LzssParams& params = {});
+
+/// Streaming decompressor (runs on the device, inside the pipeline).
+/// Push compressed bytes in arbitrary chunk sizes; decompressed output is
+/// forwarded to `downstream`. finish() verifies the declared original size.
+class LzssDecoder final : public ByteSink {
+public:
+    explicit LzssDecoder(ByteSink& downstream);
+    ~LzssDecoder() override;
+
+    Status write(ByteSpan data) override;
+    Status finish() override;
+
+    /// Total decompressed bytes emitted so far.
+    std::uint64_t produced() const;
+
+    /// Decoder window RAM in use (for the footprint/ablation accounting).
+    std::size_t window_ram() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot decompression convenience built on LzssDecoder.
+Expected<Bytes> lzss_decompress(ByteSpan compressed);
+
+}  // namespace upkit::compress

@@ -1,0 +1,122 @@
+// Simulated IoT device running UpKit — the harness every experiment uses.
+//
+// Owns the platform's flash devices, the slot layout (Fig. 6 configurations
+// A and B), the crypto backend (software or HSM), the verifier shared by
+// agent and bootloader, a virtual clock, and an energy meter. reboot()
+// plays the role of the MCU reset: it revives flash after an injected power
+// loss, runs the bootloader, and brings up a fresh update agent configured
+// for the slot the device now runs from.
+#pragma once
+
+#include <memory>
+
+#include "agent/update_agent.hpp"
+#include "boot/bootloader.hpp"
+#include "crypto/hsm.hpp"
+#include "flash/sim_flash.hpp"
+#include "server/update_server.hpp"
+#include "sim/platform.hpp"
+#include "slots/slot.hpp"
+#include "verify/verifier.hpp"
+
+namespace upkit::core {
+
+enum class SlotLayout {
+    kAB,              // two bootable internal slots (Fig. 6, configuration A)
+    kStaticInternal,  // bootable + non-bootable staging, both internal
+    kStaticExternal,  // bootable internal + staging on external flash (CC2650)
+};
+
+enum class BackendKind { kTinyDtls, kTinyCrypt, kCryptoAuthLib };
+
+struct DeviceConfig {
+    const sim::PlatformProfile* platform = &sim::nrf52840();
+    SlotLayout layout = SlotLayout::kAB;
+    BackendKind backend = BackendKind::kTinyCrypt;
+
+    std::uint32_t device_id = 0x1001;
+    std::uint32_t app_id = 0xA0;
+    bool enable_differential = true;
+
+    /// Confidentiality extension: the device carries a long-term P-256
+    /// encryption key pair (register its public half with the update
+    /// server) and accepts ChaCha20-encrypted payloads.
+    bool enable_encryption = false;
+
+    /// Pipeline buffer bytes; 0 = the platform's flash sector size.
+    std::size_t pipeline_buffer = 0;
+    /// Slot capacity; 0 = auto-size from the platform's flash geometry.
+    std::uint64_t slot_size = 0;
+    /// Flash reserved for the (never-updated) bootloader itself.
+    std::uint64_t bootloader_reserved = 32 * 1024;
+
+    crypto::PublicKey vendor_key;
+    crypto::PublicKey server_key;
+
+    std::uint64_t seed = 1;  // nonce DRBG seeding (deterministic replay)
+};
+
+class Device {
+public:
+    explicit Device(const DeviceConfig& config);
+
+    /// Factory provisioning: writes a doubly-signed image straight into the
+    /// primary bootable slot (no timing) and boots it.
+    Status provision_factory(const server::UpdateResponse& image);
+
+    /// Reboots: revives flash (power-loss recovery), runs the bootloader,
+    /// restarts the agent against the newly-active slot.
+    Expected<boot::BootReport> reboot();
+
+    agent::UpdateAgent& agent() { return *agent_; }
+    boot::Bootloader& bootloader() { return *bootloader_; }
+    slots::SlotManager& slots() { return slot_manager_; }
+    flash::SimFlash& internal_flash() { return *internal_; }
+    flash::SimFlash* external_flash() { return external_.get(); }
+    sim::VirtualClock& clock() { return clock_; }
+    sim::EnergyMeter& meter() { return meter_; }
+    const verify::Verifier& verifier() const { return *verifier_; }
+    const verify::DeviceIdentity& identity() const { return identity_; }
+    const DeviceConfig& config() const { return config_; }
+
+    /// Slot currently executing / slot updates are staged into.
+    std::uint32_t installed_slot() const { return installed_slot_; }
+    std::uint32_t target_slot() const { return target_slot_; }
+
+    /// The HSM, when the CryptoAuthLib backend is configured.
+    crypto::Atecc508* hsm() { return hsm_.get(); }
+
+    /// Public half of the device's encryption key (enable_encryption only).
+    crypto::PublicKey encryption_public_key() const {
+        return encryption_key_ ? encryption_key_->public_key() : crypto::PublicKey{};
+    }
+
+    std::uint64_t boot_count() const { return boot_count_; }
+
+private:
+    void build_slots();
+    void restart_agent();
+
+    DeviceConfig config_;
+    sim::VirtualClock clock_;
+    sim::EnergyMeter meter_;
+
+    std::unique_ptr<flash::SimFlash> internal_;
+    std::unique_ptr<flash::SimFlash> external_;
+    slots::SlotManager slot_manager_;
+
+    std::shared_ptr<crypto::Atecc508> hsm_;
+    std::unique_ptr<crypto::CryptoBackend> backend_;
+    std::unique_ptr<verify::Verifier> verifier_;
+    std::unique_ptr<crypto::PrivateKey> encryption_key_;
+
+    verify::DeviceIdentity identity_;
+    std::uint32_t installed_slot_ = 0;
+    std::uint32_t target_slot_ = 1;
+    std::uint64_t boot_count_ = 0;
+
+    std::unique_ptr<agent::UpdateAgent> agent_;
+    std::unique_ptr<boot::Bootloader> bootloader_;
+};
+
+}  // namespace upkit::core

@@ -1,0 +1,50 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+
+namespace upkit::core {
+
+CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& policy) {
+    CampaignReport report;
+    report.devices.reserve(members_.size());
+
+    for (FleetMember& member : members_) {
+        Device& device = *member.device;
+        CampaignDeviceResult result;
+        result.device_id = device.identity().device_id;
+
+        const double t0 = device.clock().now();
+        const double e0 = device.meter().total_millijoules();
+
+        SessionReport last;
+        for (unsigned attempt = 0; attempt < policy.max_attempts; ++attempt) {
+            ++result.attempts;
+            UpdateSession session(device, *server_, member.link);
+            last = session.run(app_id);
+            result.bytes_over_air += last.bytes_over_air;  // all attempts count
+            if (last.status == Status::kOk) break;
+            // A stale offer will not get fresher by retrying.
+            if (last.status == Status::kStaleVersion) break;
+        }
+
+        result.status = last.status;
+        result.final_version = device.identity().installed_version;
+        result.differential = last.differential;
+        result.time_s = device.clock().now() - t0;
+        result.energy_mj = device.meter().total_millijoules() - e0;
+
+        if (result.status == Status::kOk) {
+            ++report.succeeded;
+            if (result.differential) ++report.differential_updates;
+        } else {
+            ++report.failed;
+        }
+        report.total_energy_mj += result.energy_mj;
+        report.total_bytes += result.bytes_over_air;
+        report.max_time_s = std::max(report.max_time_s, result.time_s);
+        report.devices.push_back(std::move(result));
+    }
+    return report;
+}
+
+}  // namespace upkit::core

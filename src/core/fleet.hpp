@@ -1,0 +1,66 @@
+// Fleet update campaigns.
+//
+// The paper's motivation is billions of deployed devices; this module runs
+// an update rollout across a heterogeneous fleet of simulated devices —
+// mixed platforms, slot layouts, link qualities — with per-device retry,
+// and aggregates the outcome (success rate, airtime, energy, differential
+// hit-rate). Used by the fleet example and as an integration surface for
+// campaign-level tests.
+#pragma once
+
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace upkit::core {
+
+struct FleetPolicy {
+    /// Update attempts per device before giving up.
+    unsigned max_attempts = 3;
+};
+
+struct FleetMember {
+    Device* device = nullptr;       // non-owning
+    net::LinkParams link;           // this device's radio conditions
+};
+
+struct CampaignDeviceResult {
+    std::uint32_t device_id = 0;
+    Status status = Status::kOk;
+    unsigned attempts = 0;
+    std::uint16_t final_version = 0;
+    bool differential = false;
+    double time_s = 0.0;
+    double energy_mj = 0.0;
+    std::uint64_t bytes_over_air = 0;
+};
+
+struct CampaignReport {
+    std::vector<CampaignDeviceResult> devices;
+    unsigned succeeded = 0;
+    unsigned failed = 0;
+    double total_energy_mj = 0.0;
+    std::uint64_t total_bytes = 0;
+    double max_time_s = 0.0;   // campaign wall-clock (devices update in parallel)
+    unsigned differential_updates = 0;
+};
+
+class FleetCampaign {
+public:
+    explicit FleetCampaign(server::UpdateServer& server) : server_(&server) {}
+
+    void add(Device& device, const net::LinkParams& link) {
+        members_.push_back(FleetMember{&device, link});
+    }
+
+    std::size_t size() const { return members_.size(); }
+
+    /// Rolls `app_id`'s latest version out to every member.
+    CampaignReport run(std::uint32_t app_id, const FleetPolicy& policy = {});
+
+private:
+    server::UpdateServer* server_;
+    std::vector<FleetMember> members_;
+};
+
+}  // namespace upkit::core

@@ -1,0 +1,124 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+
+namespace upkit::core {
+
+namespace {
+
+/// ByteSink delivering transport chunks into an agent entry point.
+class AgentPayloadSink final : public ByteSink {
+public:
+    explicit AgentPayloadSink(agent::UpdateAgent& agent) : agent_(agent) {}
+    Status write(ByteSpan data) override { return agent_.offer_payload(data); }
+
+private:
+    agent::UpdateAgent& agent_;
+};
+
+}  // namespace
+
+SessionReport UpdateSession::run(std::uint32_t app_id) {
+    SessionReport report;
+    // NOTE: reboot() replaces the agent object; never hold the reference
+    // across it. Agent verification time is snapshotted into agent_verify.
+    agent::UpdateAgent& agent = device_->agent();
+    sim::VirtualClock& clock = device_->clock();
+
+    const double t_start = clock.now();
+    const double e_start = device_->meter().total_millijoules();
+    const double verify_base = agent.stats().verification_seconds;
+    double agent_verify = 0.0;
+
+    const auto finish = [&](Status status) {
+        // Don't leave the FSM armed when the session dies between the token
+        // and a verdict (server error, transport failure): the next session
+        // must be able to request a fresh token. (Fetch the agent anew —
+        // a reboot replaces the object.)
+        if (status != Status::kOk && !report.rebooted) {
+            agent::UpdateAgent& current = device_->agent();
+            if (current.state() != agent::FsmState::kWaiting &&
+                current.state() != agent::FsmState::kCleaning) {
+                current.clean();
+            }
+        }
+        const double elapsed = clock.now() - t_start;
+        report.phases.verification_s += agent_verify;
+        report.phases.propagation_s =
+            elapsed - report.phases.verification_s - report.phases.loading_s;
+        report.status = status;
+        report.bytes_over_air = transport_.bytes_to_device() + transport_.bytes_from_device();
+        report.final_version = device_->identity().installed_version;
+        report.energy_mj = device_->meter().total_millijoules() - e_start;
+        return report;
+    };
+
+    // --- propagation: device token (steps 4-5) --------------------------
+    auto token = agent.request_device_token();
+    if (!token) return finish(token.status());
+    if (transport_.from_device(manifest::serialize(*token)) != Status::kOk) {
+        return finish(Status::kTransportError);
+    }
+
+    // --- server prepares the doubly-signed image (steps 6-7) ------------
+    auto response = server_->prepare_update(app_id, *token);
+    if (!response) return finish(response.status());
+    if (interceptor_) interceptor_(*response);
+    report.differential = response->manifest.differential;
+
+    // --- propagation: manifest (step 8), verified on arrival (step 9) ---
+    BytesSink manifest_buffer;
+    if (transport_.to_device(response->manifest_bytes, manifest_buffer) != Status::kOk) {
+        return finish(Status::kTransportError);
+    }
+    const Status manifest_verdict =
+        response->suit_encoding ? agent.offer_suit_manifest(manifest_buffer.bytes())
+                                : agent.offer_manifest(manifest_buffer.bytes());
+    agent_verify = agent.stats().verification_seconds - verify_base;
+    if (manifest_verdict != Status::kOk) {
+        // Early rejection: no firmware download, no reboot (the paper's
+        // headline security/efficiency win).
+        report.rejected_before_download = true;
+        return finish(manifest_verdict);
+    }
+
+    // --- propagation: payload through the pipeline (steps 11-13) --------
+    // On a transport timeout the proxy may reconnect and resume from the
+    // agent's committed offset (the FSM and pipeline survive link drops).
+    AgentPayloadSink payload_sink(agent);
+    Status payload_verdict = Status::kOk;
+    unsigned resumes_left = transport_resumes_;
+    for (;;) {
+        const std::uint64_t offset = agent.payload_offset();
+        payload_verdict =
+            transport_.to_device(ByteSpan(response->payload).subspan(
+                                     static_cast<std::size_t>(offset)),
+                                 payload_sink);
+        if (payload_verdict != Status::kTimeout || resumes_left == 0) break;
+        --resumes_left;
+        ++report.transport_resumes;
+    }
+    agent_verify = agent.stats().verification_seconds - verify_base;
+    if (payload_verdict != Status::kOk || !agent.update_ready()) {
+        report.rejected_after_download = true;
+        return finish(payload_verdict != Status::kOk ? payload_verdict
+                                                     : Status::kBadDigest);
+    }
+
+    // --- reboot + bootloader verification + loading (steps 15-18) -------
+    const double boot_start = clock.now();
+    auto boot_report = device_->reboot();
+    report.rebooted = true;
+    if (!boot_report) return finish(boot_report.status());
+    const double boot_elapsed = clock.now() - boot_start;
+    const double boot_verify = device_->bootloader().last_verification_seconds();
+    report.phases.verification_s += boot_verify;
+    report.phases.loading_s += boot_elapsed - boot_verify;
+
+    if (boot_report->booted.version != response->manifest.version) {
+        return finish(Status::kStaleVersion);  // rollback happened
+    }
+    return finish(Status::kOk);
+}
+
+}  // namespace upkit::core

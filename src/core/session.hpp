@@ -1,0 +1,78 @@
+// End-to-end update session: the full Fig. 2 message flow against a
+// simulated device, with per-phase time accounting (propagation /
+// verification / loading — the breakdown of the paper's Fig. 8a).
+//
+// The same session runs both distribution modes; only the link parameters
+// differ (push = BLE via smartphone, pull = CoAP via border router), which
+// is the paper's point about the architecture being distribution-agnostic.
+// An optional interceptor models a compromised proxy that tampers with the
+// response in transit.
+#pragma once
+
+#include <functional>
+
+#include "core/device.hpp"
+#include "net/transport.hpp"
+#include "server/update_server.hpp"
+
+namespace upkit::core {
+
+struct PhaseBreakdown {
+    double propagation_s = 0.0;
+    double verification_s = 0.0;
+    double loading_s = 0.0;
+
+    double total() const { return propagation_s + verification_s + loading_s; }
+};
+
+struct SessionReport {
+    /// Overall outcome: kOk means the device now runs the new version.
+    Status status = Status::kOk;
+    /// Where the update was rejected, if it was.
+    bool rejected_before_download = false;
+    bool rejected_after_download = false;
+
+    PhaseBreakdown phases;
+    bool differential = false;
+    std::uint64_t bytes_over_air = 0;
+    std::uint16_t final_version = 0;
+    bool rebooted = false;
+    double energy_mj = 0.0;
+    /// Times the payload transfer was resumed after a connection drop.
+    unsigned transport_resumes = 0;
+};
+
+class UpdateSession {
+public:
+    UpdateSession(Device& device, server::UpdateServer& server, const net::LinkParams& link)
+        : device_(&device),
+          server_(&server),
+          transport_(link, device.clock(), &device.meter()) {}
+
+    /// Models a compromised smartphone/gateway mutating the response.
+    void set_interceptor(std::function<void(server::UpdateResponse&)> interceptor) {
+        interceptor_ = std::move(interceptor);
+    }
+
+    /// Connection-drop resilience: after a transport timeout mid-payload,
+    /// the proxy may reconnect and continue from the agent's payload offset
+    /// (it still holds the response; the FSM state and pipeline survive a
+    /// link drop — only a reboot loses them). 0 disables resuming.
+    void set_transport_resumes(unsigned resumes) { transport_resumes_ = resumes; }
+
+    /// Runs one complete update attempt for `app_id`: token, manifest,
+    /// payload, reboot, boot-time verification, load. Never throws; the
+    /// report carries the outcome (including early rejections).
+    SessionReport run(std::uint32_t app_id);
+
+    net::Transport& transport() { return transport_; }
+
+private:
+    Device* device_;
+    server::UpdateServer* server_;
+    net::Transport transport_;
+    std::function<void(server::UpdateResponse&)> interceptor_;
+    unsigned transport_resumes_ = 0;
+};
+
+}  // namespace upkit::core

@@ -1,0 +1,53 @@
+#include "crypto/backend.hpp"
+
+namespace upkit::crypto {
+
+namespace {
+
+/// Both software libraries wrap the same from-scratch ECDSA core (that code
+/// sharing is the point of the security interface); they differ in the
+/// measured execution profile of the real libraries on Cortex-M4.
+class SoftwareBackend : public CryptoBackend {
+public:
+    SoftwareBackend(std::string_view name, const BackendCosts& costs)
+        : name_(name), costs_(costs) {}
+
+    std::string_view name() const override { return name_; }
+    BackendCosts costs() const override { return costs_; }
+
+    bool verify(const PublicKey& key, const Sha256Digest& digest,
+                ByteSpan signature) const override {
+        return ecdsa_verify(key, digest, signature);
+    }
+
+    Expected<Signature> sign(const PrivateKey& key,
+                             const Sha256Digest& digest) const override {
+        return ecdsa_sign(key, digest);
+    }
+
+private:
+    std::string_view name_;
+    BackendCosts costs_;
+};
+
+}  // namespace
+
+std::unique_ptr<CryptoBackend> make_tinydtls_backend() {
+    // TinyDTLS ships a compact, unoptimized ECC: smallest flash, slowest.
+    return std::make_unique<SoftwareBackend>(
+        "tinydtls", BackendCosts{.sign_seconds = 0.310,
+                                 .verify_seconds = 0.360,
+                                 .sha256_seconds_per_kb = 0.0016,
+                                 .active_current_ma = 0.0});
+}
+
+std::unique_ptr<CryptoBackend> make_tinycrypt_backend() {
+    // tinycrypt trades ~1.1 kB more flash for faster fixed-window ECC.
+    return std::make_unique<SoftwareBackend>(
+        "tinycrypt", BackendCosts{.sign_seconds = 0.230,
+                                  .verify_seconds = 0.270,
+                                  .sha256_seconds_per_kb = 0.0013,
+                                  .active_current_ma = 0.0});
+}
+
+}  // namespace upkit::crypto

@@ -1,0 +1,62 @@
+// The security interface (paper Fig. 3, "Security interface").
+//
+// UpKit abstracts the crypto primitives it needs — SHA-256 digests and
+// ECDSA/secp256r1 signature verification — behind a single interface so
+// that the same verifier module can run on TinyDTLS, tinycrypt, or a
+// CryptoAuthLib-driven ATECC508 HSM, and so the update agent can share one
+// crypto implementation with the main application. Each backend also
+// carries the execution-cost profile the device simulator charges when the
+// primitive runs on the modelled MCU (the math itself runs natively here).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace upkit::crypto {
+
+/// Modelled on-device execution cost of each primitive. Times are for the
+/// nRF52840-class Cortex-M4 @ 64 MHz the paper evaluates on; the device
+/// simulator scales them by the platform's relative CPU speed.
+struct BackendCosts {
+    double sign_seconds = 0.0;
+    double verify_seconds = 0.0;
+    double sha256_seconds_per_kb = 0.0;
+    /// Average extra current draw while the primitive runs, in mA at 3 V
+    /// (0 for pure-software backends where the CPU-active draw applies).
+    double active_current_ma = 0.0;
+};
+
+class CryptoBackend {
+public:
+    virtual ~CryptoBackend() = default;
+
+    virtual std::string_view name() const = 0;
+    virtual BackendCosts costs() const = 0;
+
+    /// SHA-256 of `data` (all backends use the shared software digest; the
+    /// ATECC508 also has a SHA engine, modelled via costs()).
+    virtual Sha256Digest digest(ByteSpan data) const { return Sha256::digest(data); }
+
+    /// ECDSA/secp256r1 verification of a 64-byte r||s signature.
+    virtual bool verify(const PublicKey& key, const Sha256Digest& digest,
+                        ByteSpan signature) const = 0;
+
+    /// ECDSA signing. Device-side backends may not support it (the
+    /// ATECC508 is used verify-only in UpKit's deployment).
+    virtual Expected<Signature> sign(const PrivateKey& key,
+                                     const Sha256Digest& digest) const = 0;
+};
+
+/// TinyDTLS's crypto core: software ECDSA, the smallest-flash option in the
+/// paper's Table I comparison.
+std::unique_ptr<CryptoBackend> make_tinydtls_backend();
+
+/// tinycrypt: software ECDSA tuned for speed, slightly larger flash.
+std::unique_ptr<CryptoBackend> make_tinycrypt_backend();
+
+}  // namespace upkit::crypto

@@ -1,0 +1,74 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+namespace upkit::crypto {
+
+namespace {
+
+constexpr std::uint32_t load32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c, std::uint32_t& d) {
+    a += b; d ^= a; d = std::rotl(d, 16);
+    c += d; b ^= c; b = std::rotl(b, 12);
+    a += b; d ^= a; d = std::rotl(d, 8);
+    c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter) {
+    // "expand 32-byte k"
+    state_[0] = 0x61707865;
+    state_[1] = 0x3320646e;
+    state_[2] = 0x79622d32;
+    state_[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i) state_[static_cast<std::size_t>(4 + i)] = load32(key.data() + 4 * i);
+    state_[12] = counter;
+    for (int i = 0; i < 3; ++i) state_[static_cast<std::size_t>(13 + i)] = load32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+    std::array<std::uint32_t, 16> x = state_;
+    for (int round = 0; round < 10; ++round) {
+        quarter_round(x[0], x[4], x[8], x[12]);
+        quarter_round(x[1], x[5], x[9], x[13]);
+        quarter_round(x[2], x[6], x[10], x[14]);
+        quarter_round(x[3], x[7], x[11], x[15]);
+        quarter_round(x[0], x[5], x[10], x[15]);
+        quarter_round(x[1], x[6], x[11], x[12]);
+        quarter_round(x[2], x[7], x[8], x[13]);
+        quarter_round(x[3], x[4], x[9], x[14]);
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+        const std::uint32_t word = x[i] + state_[i];
+        block_[4 * i] = static_cast<std::uint8_t>(word);
+        block_[4 * i + 1] = static_cast<std::uint8_t>(word >> 8);
+        block_[4 * i + 2] = static_cast<std::uint8_t>(word >> 16);
+        block_[4 * i + 3] = static_cast<std::uint8_t>(word >> 24);
+    }
+    ++state_[12];
+    block_used_ = 0;
+}
+
+void ChaCha20::apply(MutByteSpan data) {
+    for (std::uint8_t& byte : data) {
+        if (block_used_ == block_.size()) refill();
+        byte ^= block_[block_used_++];
+    }
+}
+
+Bytes ChaCha20::process(ByteSpan data) {
+    Bytes out(data.begin(), data.end());
+    apply(MutByteSpan(out));
+    return out;
+}
+
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan data) {
+    return ChaCha20(key, nonce).process(data);
+}
+
+}  // namespace upkit::crypto

@@ -1,0 +1,46 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch.
+//
+// Powers the decryption stage of UpKit's pipeline (the paper's second
+// future-work item: "add a decryption stage in UpKit's pipeline, in order
+// to make confidentiality independent from the employed transport security
+// layer"). A stream cipher decrypts chunk-by-chunk with no padding state,
+// which is exactly what a streaming pipeline stage needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace upkit::crypto {
+
+inline constexpr std::size_t kChaCha20KeySize = 32;
+inline constexpr std::size_t kChaCha20NonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaCha20KeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaCha20NonceSize>;
+
+/// Streaming ChaCha20: XORs the keystream over data in arbitrary chunk
+/// sizes. Encryption and decryption are the same operation.
+class ChaCha20 {
+public:
+    ChaCha20(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter = 1);
+
+    /// XORs the next keystream bytes over `data` in place.
+    void apply(MutByteSpan data);
+
+    /// Out-of-place convenience.
+    Bytes process(ByteSpan data);
+
+private:
+    void refill();
+
+    std::array<std::uint32_t, 16> state_{};
+    std::array<std::uint8_t, 64> block_{};
+    std::size_t block_used_ = 64;  // forces refill on first use
+};
+
+/// One-shot helper (counter starts at 1 per RFC 8439 §2.4).
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan data);
+
+}  // namespace upkit::crypto

@@ -1,0 +1,22 @@
+#include "crypto/content_key.hpp"
+
+#include <algorithm>
+
+#include "common/endian.hpp"
+
+namespace upkit::crypto {
+
+ContentKeys derive_content_keys(ByteSpan shared_secret, std::uint32_t device_id,
+                                std::uint32_t request_nonce) {
+    Bytes info = to_bytes("upkit-content-v1");
+    put_le32(info, device_id);
+    put_le32(info, request_nonce);
+    const Bytes okm = hkdf(to_bytes("upkit-salt"), shared_secret, info,
+                           kChaCha20KeySize + kChaCha20NonceSize);
+    ContentKeys keys;
+    std::copy_n(okm.begin(), kChaCha20KeySize, keys.key.begin());
+    std::copy_n(okm.begin() + kChaCha20KeySize, kChaCha20NonceSize, keys.nonce.begin());
+    return keys;
+}
+
+}  // namespace upkit::crypto

@@ -1,0 +1,24 @@
+// Content-key schedule for encrypted update payloads.
+//
+// The update server ECDHs an ephemeral key pair against the device's
+// registered public key and both sides HKDF-derive the same ChaCha20 key
+// and nonce, bound to the device ID and the request nonce so no two
+// updates ever share a keystream.
+#pragma once
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hkdf.hpp"
+
+namespace upkit::crypto {
+
+struct ContentKeys {
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+};
+
+/// Derives the payload cipher material from an ECDH shared secret and the
+/// request's identifying fields.
+ContentKeys derive_content_keys(ByteSpan shared_secret, std::uint32_t device_id,
+                                std::uint32_t request_nonce);
+
+}  // namespace upkit::crypto

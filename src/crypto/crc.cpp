@@ -1,0 +1,45 @@
+#include "crypto/crc.hpp"
+
+#include <array>
+
+namespace upkit::crypto {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32_table() {
+    static const std::array<std::uint32_t, 256> table = make_crc32_table();
+    return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed) {
+    const auto& table = crc32_table();
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+std::uint16_t crc16_ccitt(ByteSpan data, std::uint16_t seed) {
+    std::uint16_t crc = seed;
+    for (std::uint8_t b : data) {
+        crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(b) << 8));
+        for (int bit = 0; bit < 8; ++bit) {
+            crc = (crc & 0x8000) ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021)
+                                 : static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+}  // namespace upkit::crypto

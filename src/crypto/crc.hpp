@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3) and CRC-16 (CCITT-FALSE).
+//
+// Not used by UpKit's own verifier — the paper explicitly calls CRC-only
+// verification (TinyOS/Deluge, Sparrow) *insufficient* against tampering.
+// They are implemented here for the baseline comparators and for the
+// attack-scenario experiments that demonstrate exactly that insufficiency.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace upkit::crypto {
+
+/// CRC-32/ISO-HDLC: poly 0x04C11DB7 reflected, init 0xFFFFFFFF, final XOR.
+/// crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(ByteSpan data, std::uint32_t seed = 0);
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF.
+/// crc16_ccitt("123456789") == 0x29B1.
+std::uint16_t crc16_ccitt(ByteSpan data, std::uint16_t seed = 0xFFFF);
+
+}  // namespace upkit::crypto

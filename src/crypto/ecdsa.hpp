@@ -1,0 +1,77 @@
+// ECDSA over P-256 with SHA-256 digests and RFC 6979 deterministic nonces.
+//
+// Signatures are 64 raw bytes (big-endian r || s) — the compact fixed-size
+// encoding constrained-device manifests use (DER adds 6-8 variable bytes and
+// parsing code for nothing). Key generation is deterministic from a caller-
+// provided seed via HMAC-DRBG so experiments replay exactly.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/p256.hpp"
+#include "crypto/sha256.hpp"
+
+namespace upkit::crypto {
+
+inline constexpr std::size_t kSignatureSize = 64;   // r || s
+inline constexpr std::size_t kPublicKeySize = 64;   // X || Y
+inline constexpr std::size_t kPrivateKeySize = 32;
+
+using Signature = std::array<std::uint8_t, kSignatureSize>;
+
+class PublicKey {
+public:
+    PublicKey() = default;
+
+    /// From an on-curve affine point.
+    static Expected<PublicKey> from_point(const AffinePoint& p);
+
+    /// From the 64-byte X||Y encoding (validates curve membership).
+    static Expected<PublicKey> from_bytes(ByteSpan raw64);
+
+    std::array<std::uint8_t, kPublicKeySize> to_bytes() const;
+
+    const AffinePoint& point() const { return point_; }
+
+    friend bool operator==(const PublicKey& a, const PublicKey& b) {
+        return a.point_.x == b.point_.x && a.point_.y == b.point_.y;
+    }
+
+private:
+    AffinePoint point_{};
+};
+
+class PrivateKey {
+public:
+    PrivateKey() = default;
+
+    /// Deterministic key from seed material (HMAC-DRBG candidate loop).
+    static PrivateKey generate(ByteSpan seed);
+
+    /// From a 32-byte big-endian scalar in [1, n-1].
+    static Expected<PrivateKey> from_bytes(ByteSpan raw32);
+
+    Bytes to_bytes() const { return d_.to_be_bytes(); }
+
+    PublicKey public_key() const;
+
+    const U256& scalar() const { return d_; }
+
+private:
+    explicit PrivateKey(const U256& d) : d_(d) {}
+    U256 d_;
+};
+
+/// Signs a 32-byte message digest. RFC 6979: no RNG required at sign time.
+Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest);
+
+/// Verifies a 64-byte signature over a 32-byte digest. Never throws.
+bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, ByteSpan signature);
+
+/// RFC 6979 nonce derivation, exposed for known-answer tests.
+U256 rfc6979_nonce(const U256& d, const Sha256Digest& digest);
+
+}  // namespace upkit::crypto

@@ -1,0 +1,48 @@
+#include "crypto/hkdf.hpp"
+
+#include <algorithm>
+
+#include "crypto/hmac.hpp"
+#include "crypto/p256.hpp"
+
+namespace upkit::crypto {
+
+Bytes hkdf_extract(ByteSpan salt, ByteSpan ikm) {
+    // A missing salt is a string of zeros (RFC 5869 §2.2); HMAC handles the
+    // empty key by zero-padding, which is the same thing.
+    const Sha256Digest prk = HmacSha256::mac(salt, ikm);
+    return Bytes(prk.begin(), prk.end());
+}
+
+Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length) {
+    Bytes okm;
+    okm.reserve(length);
+    Sha256Digest t{};
+    std::size_t t_len = 0;
+    std::uint8_t counter = 1;
+    while (okm.size() < length) {
+        HmacSha256 mac(prk);
+        mac.update(ByteSpan(t.data(), t_len));
+        mac.update(info);
+        mac.update(ByteSpan(&counter, 1));
+        t = mac.finalize();
+        t_len = t.size();
+        const std::size_t take = std::min(t_len, length - okm.size());
+        okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+        ++counter;
+    }
+    return okm;
+}
+
+Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length) {
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length);
+}
+
+Expected<Bytes> ecdh_shared_secret(const PrivateKey& private_key,
+                                   const PublicKey& peer_public_key) {
+    const auto point = P256::instance().mul(private_key.scalar(), peer_public_key.point());
+    if (!point) return Status::kBadKey;
+    return point->x.to_be_bytes();
+}
+
+}  // namespace upkit::crypto

@@ -1,0 +1,28 @@
+// HKDF (RFC 5869) over HMAC-SHA256, plus ECDH over P-256.
+//
+// Key agreement for UpKit's confidentiality extension: the update server
+// performs ECDH between an ephemeral key pair and the device's registered
+// public key, then HKDF-derives the ChaCha20 content key and nonce.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace upkit::crypto {
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Bytes hkdf_extract(ByteSpan salt, ByteSpan ikm);
+
+/// HKDF-Expand: `length` bytes of OKM from PRK and info (length <= 8160).
+Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length);
+
+/// ECDH over P-256: the x-coordinate of d*Q, 32 big-endian bytes.
+/// Fails for invalid public keys (the point is validated on construction).
+Expected<Bytes> ecdh_shared_secret(const PrivateKey& private_key,
+                                   const PublicKey& peer_public_key);
+
+}  // namespace upkit::crypto

@@ -1,0 +1,42 @@
+#include "crypto/hmac.hpp"
+
+namespace upkit::crypto {
+
+HmacSha256::HmacSha256(ByteSpan key) {
+    std::array<std::uint8_t, kSha256BlockSize> k{};
+    if (key.size() > kSha256BlockSize) {
+        const Sha256Digest kd = Sha256::digest(key);
+        std::copy(kd.begin(), kd.end(), k.begin());
+    } else {
+        std::copy(key.begin(), key.end(), k.begin());
+    }
+    for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+        ipad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+        opad_[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+    }
+    reset();
+}
+
+void HmacSha256::reset() {
+    inner_.reset();
+    inner_.update(ipad_);
+}
+
+void HmacSha256::update(ByteSpan data) { inner_.update(data); }
+
+Sha256Digest HmacSha256::finalize() {
+    const Sha256Digest inner_digest = inner_.finalize();
+    Sha256 outer;
+    outer.update(opad_);
+    outer.update(inner_digest);
+    reset();
+    return outer.finalize();
+}
+
+Sha256Digest HmacSha256::mac(ByteSpan key, ByteSpan data) {
+    HmacSha256 h(key);
+    h.update(data);
+    return h.finalize();
+}
+
+}  // namespace upkit::crypto

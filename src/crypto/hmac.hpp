@@ -1,0 +1,28 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1). Used by HMAC-DRBG and by the
+// deterministic ECDSA nonce derivation (RFC 6979).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace upkit::crypto {
+
+class HmacSha256 {
+public:
+    explicit HmacSha256(ByteSpan key);
+
+    void update(ByteSpan data);
+    Sha256Digest finalize();
+
+    /// Restarts the MAC with the same key.
+    void reset();
+
+    static Sha256Digest mac(ByteSpan key, ByteSpan data);
+
+private:
+    std::array<std::uint8_t, kSha256BlockSize> ipad_{};
+    std::array<std::uint8_t, kSha256BlockSize> opad_{};
+    Sha256 inner_;
+};
+
+}  // namespace upkit::crypto

@@ -1,0 +1,58 @@
+#include "crypto/hmac_drbg.hpp"
+
+#include <algorithm>
+
+namespace upkit::crypto {
+
+HmacDrbg::HmacDrbg(ByteSpan entropy, ByteSpan personalization) {
+    key_.fill(0x00);
+    v_.fill(0x01);
+    Bytes seed(entropy.begin(), entropy.end());
+    append(seed, personalization);
+    drbg_update(seed);
+}
+
+void HmacDrbg::reseed(ByteSpan entropy) { drbg_update(entropy); }
+
+void HmacDrbg::drbg_update(ByteSpan provided) {
+    // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+    {
+        HmacSha256 h(key_);
+        h.update(v_);
+        const std::uint8_t zero = 0x00;
+        h.update(ByteSpan(&zero, 1));
+        h.update(provided);
+        key_ = h.finalize();
+    }
+    v_ = HmacSha256::mac(key_, v_);
+    if (provided.empty()) return;
+    // K = HMAC(K, V || 0x01 || provided); V = HMAC(K, V)
+    {
+        HmacSha256 h(key_);
+        h.update(v_);
+        const std::uint8_t one = 0x01;
+        h.update(ByteSpan(&one, 1));
+        h.update(provided);
+        key_ = h.finalize();
+    }
+    v_ = HmacSha256::mac(key_, v_);
+}
+
+void HmacDrbg::generate(MutByteSpan out) {
+    std::size_t produced = 0;
+    while (produced < out.size()) {
+        v_ = HmacSha256::mac(key_, v_);
+        const std::size_t take = std::min(v_.size(), out.size() - produced);
+        std::copy_n(v_.begin(), take, out.begin() + static_cast<std::ptrdiff_t>(produced));
+        produced += take;
+    }
+    drbg_update({});
+}
+
+Bytes HmacDrbg::generate(std::size_t n) {
+    Bytes out(n);
+    generate(MutByteSpan(out));
+    return out;
+}
+
+}  // namespace upkit::crypto

@@ -1,0 +1,36 @@
+// HMAC-DRBG (NIST SP 800-90A) over SHA-256.
+//
+// Deterministic random bit generator used for key generation on the vendor /
+// update servers and for per-request device nonces. Constrained devices
+// rarely have a hardware TRNG with good entropy; HMAC-DRBG seeded from the
+// best available entropy is the standard answer (tinycrypt ships the same
+// construction). In this reproduction the seed is explicit so that every
+// experiment is replayable bit-for-bit.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+
+namespace upkit::crypto {
+
+class HmacDrbg {
+public:
+    /// Instantiates with entropy (and optional personalization string).
+    explicit HmacDrbg(ByteSpan entropy, ByteSpan personalization = {});
+
+    /// Mixes additional entropy into the state.
+    void reseed(ByteSpan entropy);
+
+    /// Produces `n` pseudorandom bytes.
+    Bytes generate(std::size_t n);
+
+    void generate(MutByteSpan out);
+
+private:
+    void drbg_update(ByteSpan provided);
+
+    std::array<std::uint8_t, kSha256DigestSize> key_{};
+    std::array<std::uint8_t, kSha256DigestSize> v_{};
+};
+
+}  // namespace upkit::crypto

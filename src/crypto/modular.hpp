@@ -1,0 +1,51 @@
+// Montgomery-form modular arithmetic for a fixed odd 256-bit modulus.
+//
+// One instance serves the P-256 field prime, another the group order, so
+// the same code verifies signatures and runs the scalar arithmetic — the
+// kind of code sharing UpKit relies on to stay within constrained-device
+// flash budgets.
+#pragma once
+
+#include "crypto/u256.hpp"
+
+namespace upkit::crypto {
+
+class Montgomery {
+public:
+    /// `modulus` must be odd and > 2^255 (true for the P-256 prime and order).
+    explicit Montgomery(const U256& modulus);
+
+    const U256& modulus() const { return n_; }
+
+    /// Montgomery representation of 1 (= R mod n).
+    const U256& one() const { return r_mod_n_; }
+
+    U256 to_mont(const U256& a) const { return mul(a, r2_); }
+    U256 from_mont(const U256& a) const { return mul(a, U256::one()); }
+
+    /// Montgomery product: a * b * R^-1 mod n (CIOS).
+    U256 mul(const U256& a, const U256& b) const;
+    U256 sqr(const U256& a) const { return mul(a, a); }
+
+    /// Plain modular add/sub (valid in and out of Montgomery form).
+    U256 add(const U256& a, const U256& b) const;
+    U256 sub(const U256& a, const U256& b) const;
+
+    /// a^e mod n for Montgomery-form a; result in Montgomery form.
+    U256 pow(const U256& a, const U256& e) const;
+
+    /// Multiplicative inverse via Fermat (modulus must be prime);
+    /// Montgomery form in, Montgomery form out.
+    U256 inv(const U256& a) const;
+
+    /// Reduces an arbitrary 256-bit value into [0, n).
+    U256 reduce(const U256& a) const;
+
+private:
+    U256 n_;
+    U256 r_mod_n_;   // 2^256 mod n
+    U256 r2_;        // 2^512 mod n
+    std::uint64_t n0_ = 0;  // -n^-1 mod 2^64
+};
+
+}  // namespace upkit::crypto

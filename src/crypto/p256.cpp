@@ -1,0 +1,139 @@
+#include "crypto/p256.hpp"
+
+namespace upkit::crypto {
+
+namespace {
+
+const char* kPrimeHex = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+const char* kOrderHex = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+const char* kBHex = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+const char* kGxHex = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+const char* kGyHex = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+}  // namespace
+
+const P256& P256::instance() {
+    static const P256 curve;
+    return curve;
+}
+
+P256::P256()
+    : fp_(U256::from_hex(kPrimeHex)),
+      fn_(U256::from_hex(kOrderHex)),
+      g_{U256::from_hex(kGxHex), U256::from_hex(kGyHex)} {
+    b_mont_ = fp_.to_mont(U256::from_hex(kBHex));
+}
+
+bool P256::on_curve(const AffinePoint& p) const {
+    if (p.x >= fp_.modulus() || p.y >= fp_.modulus()) return false;
+    const U256 x = fp_.to_mont(p.x);
+    const U256 y = fp_.to_mont(p.y);
+    // y^2 == x^3 - 3x + b
+    const U256 y2 = fp_.sqr(y);
+    U256 rhs = fp_.mul(fp_.sqr(x), x);
+    const U256 three_x = fp_.add(fp_.add(x, x), x);
+    rhs = fp_.sub(rhs, three_x);
+    rhs = fp_.add(rhs, b_mont_);
+    return y2 == rhs;
+}
+
+P256::Jacobian P256::to_jacobian(const AffinePoint& p) const {
+    return Jacobian{fp_.to_mont(p.x), fp_.to_mont(p.y), fp_.one()};
+}
+
+std::optional<AffinePoint> P256::to_affine(const Jacobian& p) const {
+    if (p.infinity()) return std::nullopt;
+    const U256 zinv = fp_.inv(p.z);
+    const U256 zinv2 = fp_.sqr(zinv);
+    const U256 zinv3 = fp_.mul(zinv2, zinv);
+    return AffinePoint{fp_.from_mont(fp_.mul(p.x, zinv2)), fp_.from_mont(fp_.mul(p.y, zinv3))};
+}
+
+P256::Jacobian P256::dbl(const Jacobian& p) const {
+    if (p.infinity() || p.y.is_zero()) return Jacobian{};  // 2*inf = inf; y=0 is order-2 (absent on P-256)
+    // dbl-2001-b formulas specialized for a = -3.
+    const U256 delta = fp_.sqr(p.z);
+    const U256 gamma = fp_.sqr(p.y);
+    const U256 beta = fp_.mul(p.x, gamma);
+    const U256 alpha = fp_.mul(fp_.add(fp_.add(fp_.sub(p.x, delta), fp_.sub(p.x, delta)),
+                                       fp_.sub(p.x, delta)),
+                               fp_.add(p.x, delta));
+    U256 x3 = fp_.sub(fp_.sqr(alpha), fp_.add(fp_.add(beta, beta), fp_.add(beta, beta)));
+    x3 = fp_.sub(x3, fp_.add(fp_.add(beta, beta), fp_.add(beta, beta)));
+    const U256 z3 = fp_.sub(fp_.sub(fp_.sqr(fp_.add(p.y, p.z)), gamma), delta);
+    const U256 four_beta = fp_.add(fp_.add(beta, beta), fp_.add(beta, beta));
+    const U256 gamma2 = fp_.sqr(gamma);
+    const U256 eight_gamma2 =
+        fp_.add(fp_.add(fp_.add(gamma2, gamma2), fp_.add(gamma2, gamma2)),
+                fp_.add(fp_.add(gamma2, gamma2), fp_.add(gamma2, gamma2)));
+    const U256 y3 = fp_.sub(fp_.mul(alpha, fp_.sub(four_beta, x3)), eight_gamma2);
+    return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
+    if (p.infinity()) return q;
+    if (q.infinity()) return p;
+    // add-2007-bl.
+    const U256 z1z1 = fp_.sqr(p.z);
+    const U256 z2z2 = fp_.sqr(q.z);
+    const U256 u1 = fp_.mul(p.x, z2z2);
+    const U256 u2 = fp_.mul(q.x, z1z1);
+    const U256 s1 = fp_.mul(fp_.mul(p.y, q.z), z2z2);
+    const U256 s2 = fp_.mul(fp_.mul(q.y, p.z), z1z1);
+    const U256 h = fp_.sub(u2, u1);
+    const U256 r = fp_.add(fp_.sub(s2, s1), fp_.sub(s2, s1));
+    if (h.is_zero()) {
+        if (r.is_zero()) return dbl(p);  // same point
+        return Jacobian{};               // P + (-P) = infinity
+    }
+    const U256 i = fp_.sqr(fp_.add(h, h));
+    const U256 j = fp_.mul(h, i);
+    const U256 v = fp_.mul(u1, i);
+    U256 x3 = fp_.sub(fp_.sub(fp_.sqr(r), j), fp_.add(v, v));
+    const U256 s1j = fp_.mul(s1, j);
+    const U256 y3 = fp_.sub(fp_.mul(r, fp_.sub(v, x3)), fp_.add(s1j, s1j));
+    const U256 z3 =
+        fp_.mul(fp_.sub(fp_.sub(fp_.sqr(fp_.add(p.z, q.z)), z1z1), z2z2), h);
+    return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::scalar_mul(const U256& k, const Jacobian& p) const {
+    Jacobian acc{};  // infinity
+    const int bits = k.bit_length();
+    for (int i = bits - 1; i >= 0; --i) {
+        acc = dbl(acc);
+        if (k.bit(static_cast<unsigned>(i))) acc = add(acc, p);
+    }
+    return acc;
+}
+
+std::optional<AffinePoint> P256::mul_base(const U256& k) const {
+    return mul(k, g_);
+}
+
+std::optional<AffinePoint> P256::mul(const U256& k, const AffinePoint& p) const {
+    const U256 k_reduced = fn_.reduce(k);
+    if (k_reduced.is_zero()) return std::nullopt;
+    return to_affine(scalar_mul(k_reduced, to_jacobian(p)));
+}
+
+std::optional<AffinePoint> P256::mul_add(const U256& u1, const U256& u2,
+                                         const AffinePoint& p) const {
+    // Shamir's trick: interleave the two scalar multiplications.
+    const Jacobian jg = to_jacobian(g_);
+    const Jacobian jp = to_jacobian(p);
+    const Jacobian jgp = add(jg, jp);
+    const int bits = std::max(u1.bit_length(), u2.bit_length());
+    Jacobian acc{};
+    for (int i = bits - 1; i >= 0; --i) {
+        acc = dbl(acc);
+        const bool b1 = u1.bit(static_cast<unsigned>(i));
+        const bool b2 = u2.bit(static_cast<unsigned>(i));
+        if (b1 && b2) acc = add(acc, jgp);
+        else if (b1) acc = add(acc, jg);
+        else if (b2) acc = add(acc, jp);
+    }
+    return to_affine(acc);
+}
+
+}  // namespace upkit::crypto

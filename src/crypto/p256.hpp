@@ -1,0 +1,71 @@
+// NIST P-256 (secp256r1) elliptic-curve group operations.
+//
+// The paper fixes ECDSA over secp256r1 with SHA-256 as the signature suite
+// all three of its crypto libraries must support (Sect. V); this is the
+// from-scratch implementation every backend in this repo shares. Points are
+// held in Jacobian coordinates with Montgomery-form field elements.
+#pragma once
+
+#include <optional>
+
+#include "crypto/modular.hpp"
+#include "crypto/u256.hpp"
+
+namespace upkit::crypto {
+
+/// Affine point in plain (non-Montgomery) form. (0, 0) is not on the curve
+/// and is never produced; infinity is represented separately.
+struct AffinePoint {
+    U256 x;
+    U256 y;
+};
+
+class P256 {
+public:
+    /// Singleton: curve parameters are fixed and the Montgomery contexts are
+    /// moderately expensive to build.
+    static const P256& instance();
+
+    const Montgomery& field() const { return fp_; }
+    const Montgomery& order() const { return fn_; }
+
+    /// Group order n.
+    const U256& n() const { return fn_.modulus(); }
+
+    const AffinePoint& generator() const { return g_; }
+
+    /// True if (x, y) satisfies y^2 = x^3 - 3x + b and is in range.
+    bool on_curve(const AffinePoint& p) const;
+
+    /// k * G. Returns nullopt only for k == 0 mod n.
+    std::optional<AffinePoint> mul_base(const U256& k) const;
+
+    /// k * P for arbitrary point P (must be on curve).
+    std::optional<AffinePoint> mul(const U256& k, const AffinePoint& p) const;
+
+    /// u1*G + u2*P in one shot (ECDSA verification workhorse).
+    std::optional<AffinePoint> mul_add(const U256& u1, const U256& u2,
+                                       const AffinePoint& p) const;
+
+private:
+    P256();
+
+    /// Jacobian point, coordinates in Montgomery form. Infinity <=> z == 0.
+    struct Jacobian {
+        U256 x, y, z;
+        bool infinity() const { return z.is_zero(); }
+    };
+
+    Jacobian to_jacobian(const AffinePoint& p) const;
+    std::optional<AffinePoint> to_affine(const Jacobian& p) const;
+    Jacobian dbl(const Jacobian& p) const;
+    Jacobian add(const Jacobian& p, const Jacobian& q) const;
+    Jacobian scalar_mul(const U256& k, const Jacobian& p) const;
+
+    Montgomery fp_;
+    Montgomery fn_;
+    AffinePoint g_;
+    U256 b_mont_;  // curve coefficient b, Montgomery form
+};
+
+}  // namespace upkit::crypto

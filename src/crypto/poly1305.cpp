@@ -1,0 +1,268 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace upkit::crypto {
+
+namespace {
+
+std::uint32_t le32(const std::uint8_t* p) {
+    return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Poly1305::Poly1305(const std::array<std::uint8_t, 32>& key) {
+    // r with the RFC's clamping, split into 5x26-bit limbs (poly1305-donna).
+    r_[0] = le32(key.data() + 0) & 0x3ffffff;
+    r_[1] = (le32(key.data() + 3) >> 2) & 0x3ffff03;
+    r_[2] = (le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+    r_[3] = (le32(key.data() + 9) >> 6) & 0x3f03fff;
+    r_[4] = (le32(key.data() + 12) >> 8) & 0x00fffff;
+    std::memcpy(s_, key.data() + 16, 16);
+}
+
+void Poly1305::process_block(const std::uint8_t* block, std::uint32_t hibit) {
+    const std::uint32_t r0 = r_[0], r1 = r_[1], r2 = r_[2], r3 = r_[3], r4 = r_[4];
+    const std::uint32_t s1 = r1 * 5, s2 = r2 * 5, s3 = r3 * 5, s4 = r4 * 5;
+
+    std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+    // h += block
+    h0 += le32(block + 0) & 0x3ffffff;
+    h1 += (le32(block + 3) >> 2) & 0x3ffffff;
+    h2 += (le32(block + 6) >> 4) & 0x3ffffff;
+    h3 += (le32(block + 9) >> 6) & 0x3ffffff;
+    h4 += (le32(block + 12) >> 8) | hibit;
+
+    // h *= r mod 2^130 - 5
+    using u64 = std::uint64_t;
+    const u64 d0 = static_cast<u64>(h0) * r0 + static_cast<u64>(h1) * s4 +
+                   static_cast<u64>(h2) * s3 + static_cast<u64>(h3) * s2 +
+                   static_cast<u64>(h4) * s1;
+    u64 d1 = static_cast<u64>(h0) * r1 + static_cast<u64>(h1) * r0 +
+             static_cast<u64>(h2) * s4 + static_cast<u64>(h3) * s3 +
+             static_cast<u64>(h4) * s2;
+    u64 d2 = static_cast<u64>(h0) * r2 + static_cast<u64>(h1) * r1 +
+             static_cast<u64>(h2) * r0 + static_cast<u64>(h3) * s4 +
+             static_cast<u64>(h4) * s3;
+    u64 d3 = static_cast<u64>(h0) * r3 + static_cast<u64>(h1) * r2 +
+             static_cast<u64>(h2) * r1 + static_cast<u64>(h3) * r0 +
+             static_cast<u64>(h4) * s4;
+    u64 d4 = static_cast<u64>(h0) * r4 + static_cast<u64>(h1) * r3 +
+             static_cast<u64>(h2) * r2 + static_cast<u64>(h3) * r1 +
+             static_cast<u64>(h4) * r0;
+
+    // carry propagation
+    std::uint32_t c = static_cast<std::uint32_t>(d0 >> 26);
+    h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    d1 += c;
+    c = static_cast<std::uint32_t>(d1 >> 26);
+    h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+    d2 += c;
+    c = static_cast<std::uint32_t>(d2 >> 26);
+    h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+    d3 += c;
+    c = static_cast<std::uint32_t>(d3 >> 26);
+    h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+    d4 += c;
+    c = static_cast<std::uint32_t>(d4 >> 26);
+    h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += c;
+
+    h_[0] = h0;
+    h_[1] = h1;
+    h_[2] = h2;
+    h_[3] = h3;
+    h_[4] = h4;
+}
+
+void Poly1305::update(ByteSpan data) {
+    std::size_t offset = 0;
+    if (buffered_ > 0) {
+        const std::size_t take = std::min<std::size_t>(16 - buffered_, data.size());
+        std::memcpy(buffer_ + buffered_, data.data(), take);
+        buffered_ += take;
+        offset = take;
+        if (buffered_ == 16) {
+            process_block(buffer_, 1u << 24);
+            buffered_ = 0;
+        }
+    }
+    while (offset + 16 <= data.size()) {
+        process_block(data.data() + offset, 1u << 24);
+        offset += 16;
+    }
+    if (offset < data.size()) {
+        std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+        buffered_ = data.size() - offset;
+    }
+}
+
+PolyTag Poly1305::finalize() {
+    if (buffered_ > 0) {
+        // Final partial block: append 0x01, zero-pad, no hibit.
+        std::uint8_t block[16] = {};
+        std::memcpy(block, buffer_, buffered_);
+        block[buffered_] = 1;
+        process_block(block, 0);
+        buffered_ = 0;
+    }
+
+    std::uint32_t h0 = h_[0], h1 = h_[1], h2 = h_[2], h3 = h_[3], h4 = h_[4];
+
+    // Full carry.
+    std::uint32_t c = h1 >> 26;
+    h1 &= 0x3ffffff;
+    h2 += c;
+    c = h2 >> 26;
+    h2 &= 0x3ffffff;
+    h3 += c;
+    c = h3 >> 26;
+    h3 &= 0x3ffffff;
+    h4 += c;
+    c = h4 >> 26;
+    h4 &= 0x3ffffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += c;
+
+    // Compute h + -p and select.
+    std::uint32_t g0 = h0 + 5;
+    c = g0 >> 26;
+    g0 &= 0x3ffffff;
+    std::uint32_t g1 = h1 + c;
+    c = g1 >> 26;
+    g1 &= 0x3ffffff;
+    std::uint32_t g2 = h2 + c;
+    c = g2 >> 26;
+    g2 &= 0x3ffffff;
+    std::uint32_t g3 = h3 + c;
+    c = g3 >> 26;
+    g3 &= 0x3ffffff;
+    std::uint32_t g4 = h4 + c - (1u << 26);
+
+    const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if h >= p
+    g0 &= mask;
+    g1 &= mask;
+    g2 &= mask;
+    g3 &= mask;
+    g4 &= mask;
+    const std::uint32_t nmask = ~mask;
+    h0 = (h0 & nmask) | g0;
+    h1 = (h1 & nmask) | g1;
+    h2 = (h2 & nmask) | g2;
+    h3 = (h3 & nmask) | g3;
+    h4 = (h4 & nmask) | g4;
+
+    // h = h mod 2^128, serialized little-endian.
+    const std::uint32_t t0 = h0 | (h1 << 26);
+    const std::uint32_t t1 = (h1 >> 6) | (h2 << 20);
+    const std::uint32_t t2 = (h2 >> 12) | (h3 << 14);
+    const std::uint32_t t3 = (h3 >> 18) | (h4 << 8);
+
+    // tag = (h + s) mod 2^128
+    std::uint64_t f = static_cast<std::uint64_t>(t0) + le32(s_ + 0);
+    PolyTag tag{};
+    tag[0] = static_cast<std::uint8_t>(f);
+    tag[1] = static_cast<std::uint8_t>(f >> 8);
+    tag[2] = static_cast<std::uint8_t>(f >> 16);
+    tag[3] = static_cast<std::uint8_t>(f >> 24);
+    f = static_cast<std::uint64_t>(t1) + le32(s_ + 4) + (f >> 32);
+    tag[4] = static_cast<std::uint8_t>(f);
+    tag[5] = static_cast<std::uint8_t>(f >> 8);
+    tag[6] = static_cast<std::uint8_t>(f >> 16);
+    tag[7] = static_cast<std::uint8_t>(f >> 24);
+    f = static_cast<std::uint64_t>(t2) + le32(s_ + 8) + (f >> 32);
+    tag[8] = static_cast<std::uint8_t>(f);
+    tag[9] = static_cast<std::uint8_t>(f >> 8);
+    tag[10] = static_cast<std::uint8_t>(f >> 16);
+    tag[11] = static_cast<std::uint8_t>(f >> 24);
+    f = static_cast<std::uint64_t>(t3) + le32(s_ + 12) + (f >> 32);
+    tag[12] = static_cast<std::uint8_t>(f);
+    tag[13] = static_cast<std::uint8_t>(f >> 8);
+    tag[14] = static_cast<std::uint8_t>(f >> 16);
+    tag[15] = static_cast<std::uint8_t>(f >> 24);
+    return tag;
+}
+
+PolyTag Poly1305::mac(const std::array<std::uint8_t, 32>& key, ByteSpan data) {
+    Poly1305 mac(key);
+    mac.update(data);
+    return mac.finalize();
+}
+
+std::array<std::uint8_t, 32> poly1305_key_gen(const ChaChaKey& key, const ChaChaNonce& nonce) {
+    // ChaCha20 block counter 0: the first 32 keystream bytes are the OTK.
+    ChaCha20 cipher(key, nonce, /*counter=*/0);
+    std::array<std::uint8_t, 32> otk{};
+    cipher.apply(MutByteSpan(otk));  // XOR over zeros = keystream
+    return otk;
+}
+
+namespace {
+
+void mac_pad16(Poly1305& mac, std::uint64_t length) {
+    static constexpr std::uint8_t kZeros[16] = {};
+    const std::size_t rem = length % 16;
+    if (rem != 0) mac.update(ByteSpan(kZeros, 16 - rem));
+}
+
+void mac_lengths(Poly1305& mac, std::uint64_t aad_len, std::uint64_t ct_len) {
+    std::uint8_t trailer[16];
+    for (int i = 0; i < 8; ++i) trailer[i] = static_cast<std::uint8_t>(aad_len >> (8 * i));
+    for (int i = 0; i < 8; ++i) trailer[8 + i] = static_cast<std::uint8_t>(ct_len >> (8 * i));
+    mac.update(ByteSpan(trailer, 16));
+}
+
+}  // namespace
+
+AeadMac::AeadMac(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan aad)
+    : mac_(poly1305_key_gen(key, nonce)), aad_len_(aad.size()) {
+    mac_.update(aad);
+    mac_pad16(mac_, aad_len_);
+}
+
+void AeadMac::update_ciphertext(ByteSpan data) {
+    mac_.update(data);
+    ct_len_ += data.size();
+}
+
+PolyTag AeadMac::finalize() {
+    mac_pad16(mac_, ct_len_);
+    mac_lengths(mac_, aad_len_, ct_len_);
+    return mac_.finalize();
+}
+
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan aad,
+                ByteSpan plaintext) {
+    Bytes out = chacha20_xor(key, nonce, plaintext);  // counter starts at 1
+    AeadMac mac(key, nonce, aad);
+    mac.update_ciphertext(out);
+    const PolyTag tag = mac.finalize();
+    append(out, ByteSpan(tag.data(), tag.size()));
+    return out;
+}
+
+Expected<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan aad,
+                          ByteSpan ciphertext_and_tag) {
+    if (ciphertext_and_tag.size() < kPolyTagSize) return Status::kBadDigest;
+    const ByteSpan ciphertext =
+        ciphertext_and_tag.subspan(0, ciphertext_and_tag.size() - kPolyTagSize);
+    const ByteSpan tag = ciphertext_and_tag.subspan(ciphertext.size());
+
+    AeadMac mac(key, nonce, aad);
+    mac.update_ciphertext(ciphertext);
+    const PolyTag expected = mac.finalize();
+    if (!ct_equal(ByteSpan(expected.data(), expected.size()), tag)) {
+        return Status::kBadDigest;
+    }
+    return chacha20_xor(key, nonce, ciphertext);
+}
+
+}  // namespace upkit::crypto

@@ -1,0 +1,71 @@
+// Poly1305 one-time authenticator and the ChaCha20-Poly1305 AEAD
+// construction (RFC 8439), from scratch.
+//
+// Upgrades the pipeline's decryption stage from a bare stream cipher to
+// authenticated encryption: a tampered ciphertext is rejected by the tag
+// check at the end of the stream, before the (more expensive) firmware
+// digest comparison and without relying on it.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace upkit::crypto {
+
+inline constexpr std::size_t kPolyTagSize = 16;
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+/// Incremental Poly1305 (5x26-bit limb arithmetic).
+class Poly1305 {
+public:
+    explicit Poly1305(const std::array<std::uint8_t, 32>& key);
+
+    void update(ByteSpan data);
+    PolyTag finalize();
+
+    static PolyTag mac(const std::array<std::uint8_t, 32>& key, ByteSpan data);
+
+private:
+    void process_block(const std::uint8_t* block, std::uint32_t hibit);
+
+    std::uint32_t r_[5]{};
+    std::uint32_t h_[5]{};
+    std::uint8_t s_[16]{};
+    std::uint8_t buffer_[16]{};
+    std::size_t buffered_ = 0;
+};
+
+/// AEAD seal: returns ciphertext || 16-byte tag (RFC 8439 §2.8).
+Bytes aead_seal(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan aad,
+                ByteSpan plaintext);
+
+/// AEAD open: verifies the trailing tag; returns the plaintext or kBadDigest.
+Expected<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan aad,
+                          ByteSpan ciphertext_and_tag);
+
+/// The Poly1305 one-time key for this (key, nonce): ChaCha20 block 0.
+std::array<std::uint8_t, 32> poly1305_key_gen(const ChaChaKey& key, const ChaChaNonce& nonce);
+
+/// Streaming AEAD MAC over AAD-then-ciphertext with RFC 8439 padding and
+/// length trailer — used by the decrypt stage, which sees ciphertext in
+/// chunks and must not buffer it.
+class AeadMac {
+public:
+    AeadMac(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSpan aad);
+
+    /// Feed ciphertext as it streams by.
+    void update_ciphertext(ByteSpan data);
+
+    /// Completes padding + length block and returns the expected tag.
+    PolyTag finalize();
+
+private:
+    Poly1305 mac_;
+    std::uint64_t aad_len_;
+    std::uint64_t ct_len_ = 0;
+};
+
+}  // namespace upkit::crypto

@@ -1,0 +1,63 @@
+// Fixed-width 256-bit unsigned integer arithmetic.
+//
+// Backbone of the P-256 field and scalar arithmetic. Four 64-bit
+// little-endian limbs; products use the compiler's 128-bit type. Arithmetic
+// primitives are branch-light; full side-channel hardening is out of scope
+// for this host-side reproduction (the paper's targets delegate to
+// tinycrypt / the ATECC508 for that).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace upkit::crypto {
+
+struct U256 {
+    // w[0] is the least significant limb.
+    std::array<std::uint64_t, 4> w{};
+
+    static constexpr U256 zero() { return U256{}; }
+    static constexpr U256 one() { return U256{{1, 0, 0, 0}}; }
+
+    static U256 from_be_bytes(ByteSpan bytes32);
+    static U256 from_u64(std::uint64_t v) { return U256{{v, 0, 0, 0}}; }
+    /// Parses a big-endian hex string of up to 64 digits (no prefix).
+    static U256 from_hex(std::string_view hex);
+
+    void to_be_bytes(MutByteSpan out32) const;
+    Bytes to_be_bytes() const;
+
+    bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+    bool is_odd() const { return (w[0] & 1) != 0; }
+
+    /// Value of bit `i` (0 = LSB).
+    bool bit(unsigned i) const { return ((w[i / 64] >> (i % 64)) & 1) != 0; }
+
+    /// Index of the highest set bit, or -1 for zero.
+    int bit_length() const;
+
+    friend bool operator==(const U256& a, const U256& b) { return a.w == b.w; }
+};
+
+/// Three-way compare: -1, 0, +1.
+int cmp(const U256& a, const U256& b);
+inline bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
+inline bool operator>=(const U256& a, const U256& b) { return cmp(a, b) >= 0; }
+
+/// out = a + b; returns the carry-out (0 or 1).
+std::uint64_t add(U256& out, const U256& a, const U256& b);
+
+/// out = a - b; returns the borrow-out (0 or 1).
+std::uint64_t sub(U256& out, const U256& a, const U256& b);
+
+/// 512-bit product a * b, little-endian limbs.
+std::array<std::uint64_t, 8> mul_wide(const U256& a, const U256& b);
+
+/// Logical shifts.
+U256 shl1(const U256& a);
+U256 shr1(const U256& a);
+
+}  // namespace upkit::crypto

@@ -1,0 +1,153 @@
+#include "diff/bspatch_stream.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace upkit::diff {
+
+struct PatchApplier::Impl {
+    const RandomReader& old_image;
+    ByteSink& downstream;
+
+    enum class State { kHeader, kControl, kDiff, kExtra, kDone };
+    State state = State::kHeader;
+
+    std::array<std::uint8_t, kPatchHeaderSize> scratch{};
+    std::size_t scratch_fill = 0;
+
+    std::uint64_t new_size = 0;
+    std::uint64_t old_size = 0;
+    std::uint64_t produced = 0;
+    std::uint64_t old_pos = 0;
+
+    std::uint32_t diff_left = 0;
+    std::uint32_t extra_left = 0;
+    std::int32_t seek = 0;
+
+    Impl(const RandomReader& o, ByteSink& d) : old_image(o), downstream(d) {}
+
+    /// Accumulates up to `want` bytes into scratch; true when complete.
+    bool fill(ByteSpan& data, std::size_t want) {
+        const std::size_t take = std::min(want - scratch_fill, data.size());
+        std::copy_n(data.begin(), take, scratch.begin() + static_cast<std::ptrdiff_t>(scratch_fill));
+        scratch_fill += take;
+        data = data.subspan(take);
+        return scratch_fill == want;
+    }
+
+    Status next_control() {
+        if (produced == new_size) {
+            state = State::kDone;
+            return Status::kOk;
+        }
+        state = State::kControl;
+        scratch_fill = 0;
+        return Status::kOk;
+    }
+
+    Status start_record() {
+        diff_left = load_le32(ByteSpan(scratch.data(), 4));
+        extra_left = load_le32(ByteSpan(scratch.data() + 4, 4));
+        seek = static_cast<std::int32_t>(load_le32(ByteSpan(scratch.data() + 8, 4)));
+        if (produced + diff_left + extra_left > new_size) return Status::kCorruptPatch;
+        if (old_pos + diff_left > old_size) return Status::kCorruptPatch;
+        state = diff_left > 0 ? State::kDiff : (extra_left > 0 ? State::kExtra : State::kControl);
+        if (state == State::kControl) return finish_record();
+        scratch_fill = 0;
+        return Status::kOk;
+    }
+
+    Status finish_record() {
+        const std::int64_t next = static_cast<std::int64_t>(old_pos) + seek;
+        if (next < 0 || next > static_cast<std::int64_t>(old_size)) return Status::kCorruptPatch;
+        old_pos = static_cast<std::uint64_t>(next);
+        return next_control();
+    }
+
+    Status consume(ByteSpan data) {
+        while (!data.empty()) {
+            switch (state) {
+                case State::kHeader: {
+                    if (!fill(data, kPatchHeaderSize)) return Status::kOk;
+                    if (std::memcmp(scratch.data(), kPatchMagic, 8) != 0) {
+                        return Status::kCorruptPatch;
+                    }
+                    new_size = load_le64(ByteSpan(scratch.data() + 8, 8));
+                    old_size = load_le64(ByteSpan(scratch.data() + 16, 8));
+                    if (old_size != old_image.size()) return Status::kPatchBaseMismatch;
+                    UPKIT_RETURN_IF_ERROR(next_control());
+                    break;
+                }
+                case State::kControl: {
+                    if (!fill(data, kControlSize)) return Status::kOk;
+                    UPKIT_RETURN_IF_ERROR(start_record());
+                    break;
+                }
+                case State::kDiff: {
+                    // Add incoming delta bytes to old-image bytes in place.
+                    std::uint8_t buf[256];
+                    const std::uint32_t take = static_cast<std::uint32_t>(
+                        std::min<std::size_t>({data.size(), diff_left, sizeof(buf)}));
+                    UPKIT_RETURN_IF_ERROR(
+                        old_image.read_at(old_pos, MutByteSpan(buf, take)));
+                    for (std::uint32_t i = 0; i < take; ++i) {
+                        buf[i] = static_cast<std::uint8_t>(buf[i] + data[i]);
+                    }
+                    UPKIT_RETURN_IF_ERROR(downstream.write(ByteSpan(buf, take)));
+                    data = data.subspan(take);
+                    old_pos += take;
+                    produced += take;
+                    diff_left -= take;
+                    if (diff_left == 0) {
+                        state = extra_left > 0 ? State::kExtra : State::kControl;
+                        if (state == State::kControl) {
+                            UPKIT_RETURN_IF_ERROR(finish_record());
+                        } else {
+                            scratch_fill = 0;
+                        }
+                    }
+                    break;
+                }
+                case State::kExtra: {
+                    const std::uint32_t take = static_cast<std::uint32_t>(
+                        std::min<std::size_t>(data.size(), extra_left));
+                    UPKIT_RETURN_IF_ERROR(downstream.write(data.subspan(0, take)));
+                    data = data.subspan(take);
+                    produced += take;
+                    extra_left -= take;
+                    if (extra_left == 0) {
+                        UPKIT_RETURN_IF_ERROR(finish_record());
+                    }
+                    break;
+                }
+                case State::kDone:
+                    return Status::kCorruptPatch;  // trailing garbage
+            }
+        }
+        return Status::kOk;
+    }
+};
+
+PatchApplier::PatchApplier(const RandomReader& old_image, ByteSink& downstream)
+    : impl_(std::make_unique<Impl>(old_image, downstream)) {}
+
+PatchApplier::~PatchApplier() = default;
+
+Status PatchApplier::write(ByteSpan data) { return impl_->consume(data); }
+
+Status PatchApplier::finish() {
+    // An empty new image is legal: the header alone completes the stream.
+    if (impl_->state == Impl::State::kControl && impl_->produced == impl_->new_size &&
+        impl_->scratch_fill == 0) {
+        impl_->state = Impl::State::kDone;
+    }
+    if (impl_->state != Impl::State::kDone) return Status::kTruncatedImage;
+    return impl_->downstream.finish();
+}
+
+std::uint64_t PatchApplier::produced() const { return impl_->produced; }
+std::uint64_t PatchApplier::new_size() const { return impl_->new_size; }
+
+}  // namespace upkit::diff

@@ -1,0 +1,39 @@
+// Streaming bspatch — the patching stage of UpKit's pipeline.
+//
+// Consumes the (already decompressed) patch stream chunk by chunk, reads
+// the currently-installed firmware from a random-access slot, and pushes
+// the reconstructed new firmware downstream. Nothing is ever buffered
+// beyond one control record and a small copy window, which is what lets
+// UpKit apply differential updates without an extra flash slot.
+#pragma once
+
+#include <memory>
+
+#include "common/sink.hpp"
+#include "diff/bsdiff.hpp"
+
+namespace upkit::diff {
+
+class PatchApplier final : public ByteSink {
+public:
+    /// `old_image` must outlive the applier (it is the installed slot).
+    PatchApplier(const RandomReader& old_image, ByteSink& downstream);
+    ~PatchApplier() override;
+
+    Status write(ByteSpan data) override;
+
+    /// Validates that exactly new_size bytes were reconstructed.
+    Status finish() override;
+
+    /// Bytes of new firmware produced so far.
+    std::uint64_t produced() const;
+
+    /// Declared size of the new firmware (0 until the header is parsed).
+    std::uint64_t new_size() const;
+
+private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace upkit::diff

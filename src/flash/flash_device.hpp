@@ -1,0 +1,49 @@
+// Flash-device interface (paper Fig. 3, "Memory interface" lower half).
+//
+// Models the constraint that shapes the whole loading phase: flash bits can
+// only be cleared by writes and only set back by erasing a whole sector.
+// Implementations: SimFlash (in-memory, with timing/energy/wear/fault
+// models) and FileFlash (file-backed — the paper's own trick of assigning a
+// Linux file to each slot for testing without a simulator).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace upkit::flash {
+
+struct FlashGeometry {
+    std::uint64_t size_bytes = 0;
+    std::uint32_t sector_bytes = 4096;  // erase unit
+    std::uint32_t page_bytes = 256;     // write unit (timing granularity)
+
+    std::uint64_t sector_count() const { return size_bytes / sector_bytes; }
+    bool valid() const {
+        return size_bytes > 0 && sector_bytes > 0 && page_bytes > 0 &&
+               sector_bytes % page_bytes == 0 && size_bytes % sector_bytes == 0;
+    }
+};
+
+class FlashDevice {
+public:
+    virtual ~FlashDevice() = default;
+
+    virtual const FlashGeometry& geometry() const = 0;
+
+    /// Reads `out.size()` bytes starting at `offset`.
+    virtual Status read(std::uint64_t offset, MutByteSpan out) = 0;
+
+    /// Programs bytes at `offset`. Only 1->0 bit transitions are legal;
+    /// writing a 1 over a 0 yields kFlashEraseRequired.
+    virtual Status write(std::uint64_t offset, ByteSpan data) = 0;
+
+    /// Erases one sector back to 0xFF.
+    virtual Status erase_sector(std::uint64_t sector_index) = 0;
+
+    /// Erases the sector range covering [offset, offset + length).
+    Status erase_range(std::uint64_t offset, std::uint64_t length);
+};
+
+}  // namespace upkit::flash

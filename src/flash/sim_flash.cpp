@@ -1,0 +1,98 @@
+#include "flash/sim_flash.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace upkit::flash {
+
+Status FlashDevice::erase_range(std::uint64_t offset, std::uint64_t length) {
+    const auto& geo = geometry();
+    if (offset % geo.sector_bytes != 0) return Status::kInvalidArgument;
+    if (offset + length > geo.size_bytes) return Status::kFlashOutOfBounds;
+    const std::uint64_t first = offset / geo.sector_bytes;
+    const std::uint64_t last = (offset + length + geo.sector_bytes - 1) / geo.sector_bytes;
+    for (std::uint64_t s = first; s < last; ++s) {
+        UPKIT_RETURN_IF_ERROR(erase_sector(s));
+    }
+    return Status::kOk;
+}
+
+SimFlash::SimFlash(const FlashGeometry& geometry, const FlashTimings& timings)
+    : geometry_(geometry), timings_(timings) {
+    assert(geometry.valid());
+    storage_.assign(geometry.size_bytes, 0xFF);
+    wear_.assign(geometry.sector_count(), 0);
+}
+
+void SimFlash::charge(double seconds) {
+    if (clock_ != nullptr) clock_->advance(seconds);
+    if (meter_ != nullptr) meter_->charge(sim::Component::kFlash, seconds);
+}
+
+bool SimFlash::consume_op_budget() {
+    if (!power_loss_in_.has_value()) return true;
+    if (*power_loss_in_ == 0) {
+        dead_ = true;
+        return false;
+    }
+    --*power_loss_in_;
+    return true;
+}
+
+Status SimFlash::read(std::uint64_t offset, MutByteSpan out) {
+    if (dead_) return Status::kFlashPowerLoss;
+    if (offset + out.size() > geometry_.size_bytes) return Status::kFlashOutOfBounds;
+    std::copy_n(storage_.begin() + static_cast<std::ptrdiff_t>(offset), out.size(), out.begin());
+    charge(static_cast<double>(out.size()) * 8.0 / timings_.read_bandwidth_bps);
+    return Status::kOk;
+}
+
+Status SimFlash::write(std::uint64_t offset, ByteSpan data) {
+    if (dead_) return Status::kFlashPowerLoss;
+    if (offset + data.size() > geometry_.size_bytes) return Status::kFlashOutOfBounds;
+
+    const bool powered = consume_op_budget();
+    // On a power cut, half the bytes land before the supply collapses —
+    // the partially-programmed page real devices leave behind.
+    const std::size_t effective = powered ? data.size() : data.size() / 2;
+
+    for (std::size_t i = 0; i < effective; ++i) {
+        const std::uint8_t current = storage_[offset + i];
+        const std::uint8_t wanted = data[i];
+        if ((current & wanted) != wanted) {
+            return Status::kFlashEraseRequired;  // would need a 0 -> 1 flip
+        }
+        storage_[offset + i] = static_cast<std::uint8_t>(current & wanted);
+    }
+
+    const std::uint64_t pages =
+        (data.size() + geometry_.page_bytes - 1) / geometry_.page_bytes;
+    charge(static_cast<double>(pages) * timings_.write_page_s);
+    ++total_writes_;
+    bytes_written_ += effective;
+
+    return powered ? Status::kOk : Status::kFlashPowerLoss;
+}
+
+Status SimFlash::erase_sector(std::uint64_t sector_index) {
+    if (dead_) return Status::kFlashPowerLoss;
+    if (sector_index >= geometry_.sector_count()) return Status::kFlashOutOfBounds;
+
+    const bool powered = consume_op_budget();
+    const std::uint64_t base = sector_index * geometry_.sector_bytes;
+    // A cut mid-erase leaves the sector partially erased.
+    const std::uint64_t span = powered ? geometry_.sector_bytes : geometry_.sector_bytes / 2;
+    std::fill_n(storage_.begin() + static_cast<std::ptrdiff_t>(base), span, 0xFF);
+
+    charge(timings_.erase_sector_s);
+    ++wear_[sector_index];
+    ++total_erases_;
+
+    return powered ? Status::kOk : Status::kFlashPowerLoss;
+}
+
+std::uint64_t SimFlash::erase_count(std::uint64_t sector_index) const {
+    return sector_index < wear_.size() ? wear_[sector_index] : 0;
+}
+
+}  // namespace upkit::flash

@@ -1,0 +1,84 @@
+// In-memory flash simulation with datasheet-true semantics.
+//
+// Beyond the bit-level program/erase rules, SimFlash models what the
+// evaluation needs: per-operation latency and energy (charged to a virtual
+// clock / energy meter), per-sector wear counters, and power-loss fault
+// injection — a scheduled cut that leaves a partially-programmed page
+// behind, exercising the recovery paths of agent and bootloader.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flash/flash_device.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace upkit::flash {
+
+struct FlashTimings {
+    double erase_sector_s = 0.085;
+    double write_page_s = 0.0053;
+    double read_bandwidth_bps = 16e6;
+};
+
+class SimFlash final : public FlashDevice {
+public:
+    SimFlash(const FlashGeometry& geometry, const FlashTimings& timings);
+
+    /// Attaches the device to the simulation; subsequent operations advance
+    /// the clock and charge the meter. Both may be null (pure functional use).
+    void attach(sim::VirtualClock* clock, sim::EnergyMeter* meter) {
+        clock_ = clock;
+        meter_ = meter;
+    }
+
+    const FlashGeometry& geometry() const override { return geometry_; }
+    Status read(std::uint64_t offset, MutByteSpan out) override;
+    Status write(std::uint64_t offset, ByteSpan data) override;
+    Status erase_sector(std::uint64_t sector_index) override;
+
+    // --- fault injection -------------------------------------------------
+
+    /// Cuts power after `ops` further write/erase operations: that operation
+    /// completes only partially and every following access fails with
+    /// kFlashPowerLoss until revive() is called (the "reboot").
+    void schedule_power_loss(std::uint64_t ops) { power_loss_in_ = ops; }
+
+    void revive() {
+        dead_ = false;
+        power_loss_in_.reset();
+    }
+    bool dead() const { return dead_; }
+
+    // --- telemetry -------------------------------------------------------
+
+    std::uint64_t erase_count(std::uint64_t sector_index) const;
+    std::uint64_t total_erases() const { return total_erases_; }
+    std::uint64_t total_writes() const { return total_writes_; }
+    std::uint64_t bytes_written() const { return bytes_written_; }
+
+    /// Raw content access for test assertions.
+    ByteSpan raw() const { return storage_; }
+
+private:
+    bool consume_op_budget();  // false => power was cut by this operation
+    void charge(double seconds);
+
+    FlashGeometry geometry_;
+    FlashTimings timings_;
+    Bytes storage_;
+    std::vector<std::uint64_t> wear_;
+
+    sim::VirtualClock* clock_ = nullptr;
+    sim::EnergyMeter* meter_ = nullptr;
+
+    std::optional<std::uint64_t> power_loss_in_;
+    bool dead_ = false;
+
+    std::uint64_t total_erases_ = 0;
+    std::uint64_t total_writes_ = 0;
+    std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace upkit::flash

@@ -1,0 +1,102 @@
+#include "footprint/footprint.hpp"
+
+namespace upkit::footprint {
+
+// Calibration notes
+// -----------------
+// Component sizes are chosen so the composed builds land on the paper's
+// measured totals (Table I within ~0.3%, Table II exactly by construction):
+//  * the crypto-library deltas come from Table I's observation that a
+//    TinyDTLS bootloader is ~1.1 kB smaller in flash than a tinycrypt one,
+//    and a CryptoAuthLib build ~10% smaller than Contiki+TinyDTLS;
+//  * pipeline (1632 B flash, 2137 B RAM) and memory module (2024 B flash)
+//    are the per-module numbers Sect. VI-A reports verbatim;
+//  * OS runtime / network-stack terms absorb the remainder per OS — the
+//    paper itself attributes the large Table II spread to the different
+//    CoAP implementations (Zoap / libcoap / er-coap) and lower layers.
+
+Footprint crypto_lib(CryptoLib lib) {
+    switch (lib) {
+        case CryptoLib::kTinyDtls: return {6400, 1800};
+        case CryptoLib::kTinyCrypt: return {7500, 1800};
+        case CryptoLib::kCryptoAuthLib: return {5000, 1716};  // HW verify offload
+    }
+    return {};
+}
+
+Footprint verifier_module() { return {1240, 320}; }
+Footprint memory_module() { return {2024, 180}; }
+Footprint pipeline_module() { return {1632, 2137}; }
+Footprint fsm_module() { return {980, 150}; }
+
+Footprint os_boot_runtime(Os os) {
+    switch (os) {
+        case Os::kZephyr: return {3376, 5880};  // smallest flash, largest stack
+        case Os::kRiot: return {5756, 4212};
+        case Os::kContiki: return {5790, 4337};
+    }
+    return {};
+}
+
+Footprint os_agent_runtime(Os os) {
+    switch (os) {
+        case Os::kZephyr: return {32000, 12000};
+        case Os::kRiot: return {14000, 9000};
+        case Os::kContiki: return {8000, 6000};
+    }
+    return {};
+}
+
+Footprint net_stack(Os os, NetMode mode) {
+    if (mode == NetMode::kPushBle) {
+        // BLE host stack; the paper implements push on Zephyr only, but the
+        // model extends naturally.
+        switch (os) {
+            case Os::kZephyr: return {37642, 5269};
+            case Os::kRiot: return {30000, 5000};
+            case Os::kContiki: return {26000, 4200};
+        }
+    }
+    // Full IPv6/6LoWPAN + CoAP stacks; hugely different across OSes
+    // (Zoap+full Zephyr IP vs libcoap vs er-coap).
+    switch (os) {
+        case Os::kZephyr: return {174196, 58617};
+        case Os::kRiot: return {69504, 17657};
+        case Os::kContiki: return {59169, 9347};
+    }
+    return {};
+}
+
+Footprint upkit_bootloader(Os os, CryptoLib lib) {
+    // The bootloader needs only the memory and verifier modules (Sect. V).
+    return os_boot_runtime(os) + crypto_lib(lib) + verifier_module() + memory_module();
+}
+
+Footprint upkit_agent(Os os, NetMode mode, CryptoLib lib) {
+    return os_agent_runtime(os) + net_stack(os, mode) + crypto_lib(lib) +
+           verifier_module() + memory_module() + pipeline_module() + fsm_module();
+}
+
+Footprint mcuboot(CryptoLib lib) {
+    // Fig. 7a: UpKit's bootloader is 1600 B flash / 716 B RAM smaller than
+    // mcuboot in the same Zephyr + nRF52840 + ECDSA configuration.
+    const Footprint upkit = upkit_bootloader(Os::kZephyr, lib);
+    return {upkit.flash + 1600, upkit.ram + 716};
+}
+
+Footprint lwm2m_agent() {
+    // Fig. 7b: LwM2M (update-only configuration) is 4.8 kB flash / 2.4 kB
+    // RAM larger than UpKit's pull agent — its M2M object machinery stays.
+    const Footprint upkit = upkit_agent(Os::kZephyr, NetMode::kPull6lowpan);
+    return {upkit.flash + 4800, upkit.ram + 2400};
+}
+
+Footprint mcumgr_agent() {
+    // Fig. 7c: mcumgr is 426 B flash LARGER but 1200 B RAM SMALLER than
+    // UpKit's push agent — UpKit spends RAM on the pipeline (differential
+    // updates) that mcumgr simply does not have.
+    const Footprint upkit = upkit_agent(Os::kZephyr, NetMode::kPushBle);
+    return {upkit.flash + 426, upkit.ram - 1200};
+}
+
+}  // namespace upkit::footprint

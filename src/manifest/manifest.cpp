@@ -1,0 +1,100 @@
+#include "manifest/manifest.hpp"
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace upkit::manifest {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'P', 'M', 'F'};
+
+}  // namespace
+
+Bytes serialize(const DeviceToken& token) {
+    Bytes out;
+    out.reserve(kDeviceTokenSize);
+    put_le32(out, token.device_id);
+    put_le32(out, token.nonce);
+    put_le16(out, token.current_version);
+    return out;
+}
+
+Expected<DeviceToken> parse_device_token(ByteSpan data) {
+    if (data.size() != kDeviceTokenSize) return Status::kInvalidArgument;
+    DeviceToken token;
+    token.device_id = load_le32(data.subspan(0, 4));
+    token.nonce = load_le32(data.subspan(4, 4));
+    token.current_version = load_le16(data.subspan(8, 2));
+    return token;
+}
+
+Bytes serialize(const Manifest& m) {
+    Bytes out;
+    out.reserve(kManifestSize);
+    out.insert(out.end(), kMagic, kMagic + 4);
+    put_le16(out, kFormatVersion);
+    put_le16(out, static_cast<std::uint16_t>((m.differential ? kFlagDifferential : 0) |
+                                             (m.encrypted ? kFlagEncrypted : 0)));
+    put_le32(out, m.device_id);
+    put_le32(out, m.nonce);
+    put_le16(out, m.old_version);
+    put_le16(out, m.version);
+    put_le32(out, m.firmware_size);
+    append(out, ByteSpan(m.digest.data(), m.digest.size()));
+    put_le32(out, m.link_offset);
+    put_le32(out, m.app_id);
+    put_le32(out, m.payload_size);
+    put_le32(out, 0);  // reserved
+    append(out, ByteSpan(m.vendor_signature.data(), m.vendor_signature.size()));
+    append(out, ByteSpan(m.server_signature.data(), m.server_signature.size()));
+    return out;
+}
+
+Expected<Manifest> parse_manifest(ByteSpan data) {
+    if (data.size() < kManifestSize) return Status::kBadManifest;
+    if (std::memcmp(data.data(), kMagic, 4) != 0) return Status::kBadManifest;
+    if (load_le16(data.subspan(4, 2)) != kFormatVersion) return Status::kBadManifest;
+    const std::uint16_t flags = load_le16(data.subspan(6, 2));
+    if ((flags & ~(kFlagDifferential | kFlagEncrypted)) != 0) return Status::kBadManifest;
+    if (load_le32(data.subspan(68, 4)) != 0) return Status::kBadManifest;  // reserved
+
+    Manifest m;
+    m.differential = (flags & kFlagDifferential) != 0;
+    m.encrypted = (flags & kFlagEncrypted) != 0;
+    m.device_id = load_le32(data.subspan(8, 4));
+    m.nonce = load_le32(data.subspan(12, 4));
+    m.old_version = load_le16(data.subspan(16, 2));
+    m.version = load_le16(data.subspan(18, 2));
+    m.firmware_size = load_le32(data.subspan(20, 4));
+    std::memcpy(m.digest.data(), data.data() + 24, m.digest.size());
+    m.link_offset = load_le32(data.subspan(56, 4));
+    m.app_id = load_le32(data.subspan(60, 4));
+    m.payload_size = load_le32(data.subspan(64, 4));
+    std::memcpy(m.vendor_signature.data(), data.data() + 72, m.vendor_signature.size());
+    std::memcpy(m.server_signature.data(), data.data() + 136, m.server_signature.size());
+    return m;
+}
+
+Bytes Manifest::vendor_signed_bytes() const {
+    // Only fields the vendor controls; token and transport fields are added
+    // later by the update server and covered by its signature instead.
+    Bytes out;
+    out.reserve(2 + 2 + 4 + digest.size() + 4 + 4);
+    put_le16(out, kFormatVersion);
+    put_le16(out, version);
+    put_le32(out, firmware_size);
+    append(out, ByteSpan(digest.data(), digest.size()));
+    put_le32(out, link_offset);
+    put_le32(out, app_id);
+    return out;
+}
+
+Bytes Manifest::server_signed_bytes() const {
+    const Bytes wire = serialize(*this);
+    // Everything before the server signature field (offset 136).
+    return Bytes(wire.begin(), wire.begin() + 136);
+}
+
+}  // namespace upkit::manifest

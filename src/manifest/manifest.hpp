@@ -1,0 +1,108 @@
+// Update-image manifest and device token (paper Sect. III-B, IV-D).
+//
+// The manifest carries the metadata the verifier checks, and two ECDSA
+// signatures:
+//  - the *vendor* signature, created at generation time over the fields the
+//    vendor controls (version, size, digest, link offset, app ID) — grants
+//    integrity and authenticity;
+//  - the *update server* signature, created per device request over the
+//    whole manifest including the device token fields (ID, nonce, old
+//    version) — grants freshness, with no reliance on transport security,
+//    wall clocks, or NTP.
+// Compared to mcuboot/mcumgr manifests, the ID / nonce / old-version fields
+// and the second signature are exactly what UpKit adds.
+//
+// Wire layout (little-endian, 200 bytes total):
+//   0   magic "UPMF"                    4
+//   4   format version (=1)             2
+//   6   flags (bit0 = differential)     2
+//   8   device ID                       4    |
+//   12  nonce                           4    | token-bound, server-signed
+//   16  old version                     2    |
+//   18  version                         2
+//   20  firmware size                   4
+//   24  firmware SHA-256 digest         32
+//   56  link offset                     4
+//   60  app ID                          4
+//   64  payload size (on-air bytes)     4
+//   68  reserved (=0)                   4
+//   72  vendor signature (r||s)         64
+//   136 server signature (r||s)         64
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace upkit::manifest {
+
+inline constexpr std::size_t kManifestSize = 200;
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::uint16_t kFlagDifferential = 0x0001;
+/// Payload is ChaCha20-Poly1305 sealed: prefixed with a 64-byte ephemeral
+/// public key and suffixed with a 16-byte authentication tag
+/// (confidentiality extension; see crypto/content_key.hpp).
+inline constexpr std::uint16_t kFlagEncrypted = 0x0002;
+/// Extra payload bytes when kFlagEncrypted is set.
+inline constexpr std::size_t kEncryptionHeaderSize = 64;
+inline constexpr std::size_t kEncryptionTagSize = 16;
+inline constexpr std::size_t kEncryptionOverhead = kEncryptionHeaderSize + kEncryptionTagSize;
+
+/// Requested by the proxy/agent before each update (paper Sect. III-B).
+struct DeviceToken {
+    std::uint32_t device_id = 0;
+    /// Fresh per request; echoed back in the manifest.
+    std::uint32_t nonce = 0;
+    /// Installed firmware version if the device supports differential
+    /// updates, 0 otherwise (the paper's in-band capability signal).
+    std::uint16_t current_version = 0;
+
+    bool supports_differential() const { return current_version != 0; }
+};
+
+inline constexpr std::size_t kDeviceTokenSize = 10;
+
+Bytes serialize(const DeviceToken& token);
+Expected<DeviceToken> parse_device_token(ByteSpan data);
+
+struct Manifest {
+    // Token-bound fields (set by the update server per request).
+    std::uint32_t device_id = 0;
+    std::uint32_t nonce = 0;
+    std::uint16_t old_version = 0;
+
+    // Vendor-controlled fields.
+    std::uint16_t version = 0;
+    std::uint32_t firmware_size = 0;
+    crypto::Sha256Digest digest{};
+    std::uint32_t link_offset = 0;
+    std::uint32_t app_id = 0;
+
+    // Transport fields (set by the update server).
+    bool differential = false;
+    bool encrypted = false;
+    std::uint32_t payload_size = 0;  // bytes on the air: firmware or compressed patch
+
+    crypto::Signature vendor_signature{};
+    crypto::Signature server_signature{};
+
+    /// Canonical bytes covered by the vendor signature: the fields known at
+    /// generation time, before any device token exists.
+    Bytes vendor_signed_bytes() const;
+
+    /// Bytes covered by the update-server signature: the full serialized
+    /// manifest up to (and excluding) the server signature itself, i.e.
+    /// token fields, transport fields, and the vendor signature.
+    Bytes server_signed_bytes() const;
+};
+
+/// Serializes to the fixed 200-byte wire format.
+Bytes serialize(const Manifest& m);
+
+/// Parses and structurally validates (magic, format, reserved field).
+Expected<Manifest> parse_manifest(ByteSpan data);
+
+}  // namespace upkit::manifest

@@ -1,0 +1,254 @@
+#include "net/coap.hpp"
+
+#include <algorithm>
+
+namespace upkit::net::coap {
+
+namespace {
+
+constexpr std::uint8_t kPayloadMarker = 0xFF;
+
+/// Option delta/length nibble extension encoding (RFC 7252 §3.1).
+void put_ext(Bytes& out, unsigned value) {
+    if (value < 13) return;  // fits in the nibble
+    if (value < 269) {
+        out.push_back(static_cast<std::uint8_t>(value - 13));
+    } else {
+        const unsigned v = value - 269;
+        out.push_back(static_cast<std::uint8_t>(v >> 8));
+        out.push_back(static_cast<std::uint8_t>(v));
+    }
+}
+
+constexpr std::uint8_t nibble_of(unsigned value) {
+    if (value < 13) return static_cast<std::uint8_t>(value);
+    return value < 269 ? 13 : 14;
+}
+
+}  // namespace
+
+void Message::add_option(std::uint16_t number, Bytes value) {
+    const auto pos = std::upper_bound(
+        options.begin(), options.end(), number,
+        [](std::uint16_t n, const Option& option) { return n < option.number; });
+    options.insert(pos, Option{number, std::move(value)});
+}
+
+void Message::add_uri_path(std::string_view segment) {
+    add_option(kOptionUriPath, to_bytes(segment));
+}
+
+const Option* Message::find_option(std::uint16_t number) const {
+    for (const Option& option : options) {
+        if (option.number == number) return &option;
+    }
+    return nullptr;
+}
+
+std::string Message::uri_path() const {
+    std::string path;
+    for (const Option& option : options) {
+        if (option.number != kOptionUriPath) continue;
+        if (!path.empty()) path.push_back('/');
+        path += to_string(option.value);
+    }
+    return path;
+}
+
+Bytes encode(const Message& message) {
+    Bytes out;
+    out.push_back(static_cast<std::uint8_t>(
+        (1u << 6) | (static_cast<unsigned>(message.type) << 4) | message.token.size()));
+    out.push_back(message.code);
+    out.push_back(static_cast<std::uint8_t>(message.message_id >> 8));
+    out.push_back(static_cast<std::uint8_t>(message.message_id));
+    append(out, message.token);
+
+    std::uint16_t previous = 0;
+    for (const Option& option : message.options) {
+        const unsigned delta = option.number - previous;
+        out.push_back(static_cast<std::uint8_t>(
+            (nibble_of(delta) << 4) |
+            nibble_of(static_cast<unsigned>(option.value.size()))));
+        put_ext(out, delta);
+        put_ext(out, static_cast<unsigned>(option.value.size()));
+        append(out, option.value);
+        previous = option.number;
+    }
+    if (!message.payload.empty()) {
+        out.push_back(kPayloadMarker);
+        append(out, message.payload);
+    }
+    return out;
+}
+
+Expected<Message> parse(ByteSpan data) {
+    if (data.size() < 4) return Status::kTransportError;
+    const std::uint8_t first = data[0];
+    if ((first >> 6) != 1) return Status::kTransportError;  // version
+    const std::size_t tkl = first & 0x0F;
+    if (tkl > 8) return Status::kTransportError;
+
+    Message message;
+    message.type = static_cast<Type>((first >> 4) & 0x3);
+    message.code = data[1];
+    message.message_id = static_cast<std::uint16_t>((data[2] << 8) | data[3]);
+    data = data.subspan(4);
+    if (data.size() < tkl) return Status::kTransportError;
+    message.token.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(tkl));
+    data = data.subspan(tkl);
+
+    const auto take_ext = [&](unsigned nibble) -> Expected<unsigned> {
+        if (nibble < 13) return nibble;
+        if (nibble == 13) {
+            if (data.empty()) return Status::kTransportError;
+            const unsigned v = data[0] + 13u;
+            data = data.subspan(1);
+            return v;
+        }
+        if (nibble == 14) {
+            if (data.size() < 2) return Status::kTransportError;
+            const unsigned v = ((data[0] << 8) | data[1]) + 269u;
+            data = data.subspan(2);
+            return v;
+        }
+        return Status::kTransportError;  // 15 is reserved
+    };
+
+    std::uint16_t number = 0;
+    while (!data.empty() && data[0] != kPayloadMarker) {
+        const std::uint8_t head = data[0];
+        data = data.subspan(1);
+        auto delta = take_ext(head >> 4);
+        if (!delta) return delta.status();
+        auto length = take_ext(head & 0x0F);
+        if (!length) return length.status();
+        if (data.size() < *length) return Status::kTransportError;
+        number = static_cast<std::uint16_t>(number + *delta);
+        message.options.push_back(
+            Option{number, Bytes(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(*length))});
+        data = data.subspan(*length);
+    }
+    if (!data.empty()) {
+        data = data.subspan(1);  // payload marker
+        if (data.empty()) return Status::kTransportError;  // marker with no payload
+        message.payload.assign(data.begin(), data.end());
+    }
+    return message;
+}
+
+// ---------------------------------------------------------------- blockwise
+
+Bytes BlockOption::encode() const {
+    const std::uint32_t value = (num << 4) | (more ? 0x8u : 0x0u) | szx;
+    Bytes out;
+    if (value == 0) return out;  // zero-length encodes 0
+    if (value > 0xFFFF) out.push_back(static_cast<std::uint8_t>(value >> 16));
+    if (value > 0xFF) out.push_back(static_cast<std::uint8_t>(value >> 8));
+    out.push_back(static_cast<std::uint8_t>(value));
+    return out;
+}
+
+Expected<BlockOption> BlockOption::parse(ByteSpan value) {
+    if (value.size() > 3) return Status::kTransportError;
+    std::uint32_t v = 0;
+    for (const std::uint8_t b : value) v = (v << 8) | b;
+    BlockOption block;
+    block.szx = static_cast<std::uint8_t>(v & 0x7);
+    if (block.szx == 7) return Status::kTransportError;  // reserved
+    block.more = (v & 0x8) != 0;
+    block.num = v >> 4;
+    return block;
+}
+
+std::optional<std::uint8_t> BlockOption::szx_for(std::uint32_t block_size) {
+    for (std::uint8_t szx = 0; szx <= 6; ++szx) {
+        if ((1u << (szx + 4)) == block_size) return szx;
+    }
+    return std::nullopt;
+}
+
+BlockwiseServer::BlockwiseServer(std::string path, Bytes resource, std::uint32_t block_size)
+    : path_(std::move(path)), resource_(std::move(resource)) {
+    const auto szx = BlockOption::szx_for(block_size);
+    szx_ = szx.value_or(2);
+}
+
+Message BlockwiseServer::handle(const Message& request) const {
+    Message response;
+    response.type = Type::kAck;
+    response.message_id = request.message_id;
+    response.token = request.token;
+
+    if (request.code != kGet || request.uri_path() != path_) {
+        response.code = kNotFound;
+        return response;
+    }
+
+    BlockOption block;
+    block.szx = szx_;
+    if (const Option* option = request.find_option(kOptionBlock2)) {
+        if (auto requested = BlockOption::parse(option->value)) {
+            block.num = requested->num;
+            // Server honours a smaller size but never enlarges its own.
+            block.szx = std::min(block.szx, requested->szx);
+        }
+    }
+
+    const std::uint64_t offset = static_cast<std::uint64_t>(block.num) * block.size();
+    if (offset >= resource_.size() && !(offset == 0 && resource_.empty())) {
+        response.code = kNotFound;
+        return response;
+    }
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(block.size(), resource_.size() - offset));
+    block.more = offset + take < resource_.size();
+
+    response.code = kContent;
+    response.add_option(kOptionBlock2, block.encode());
+    response.payload.assign(
+        resource_.begin() + static_cast<std::ptrdiff_t>(offset),
+        resource_.begin() + static_cast<std::ptrdiff_t>(offset + take));
+    return response;
+}
+
+BlockwiseClient::BlockwiseClient(std::uint32_t block_size) {
+    szx_ = BlockOption::szx_for(block_size).value_or(2);
+}
+
+std::optional<Message> BlockwiseClient::next_request(std::string_view path) {
+    if (complete_ || awaiting_) return std::nullopt;
+    Message request;
+    request.code = kGet;
+    request.message_id = next_mid_++;
+    request.token = {static_cast<std::uint8_t>(next_block_ & 0xFF)};
+    for (std::size_t start = 0; start < path.size();) {
+        const std::size_t slash = path.find('/', start);
+        const std::size_t end = slash == std::string_view::npos ? path.size() : slash;
+        request.add_uri_path(path.substr(start, end - start));
+        start = end + 1;
+    }
+    BlockOption block{.num = next_block_, .more = false, .szx = szx_};
+    request.add_option(kOptionBlock2, block.encode());
+    awaiting_ = true;
+    return request;
+}
+
+Status BlockwiseClient::on_response(const Message& response) {
+    awaiting_ = false;
+    if (response.code != kContent) return Status::kNotFound;
+    const Option* option = response.find_option(kOptionBlock2);
+    if (option == nullptr) return Status::kTransportError;
+    auto block = BlockOption::parse(option->value);
+    if (!block) return block.status();
+    if (block->num != next_block_) return Status::kTransportError;  // out of order
+    append(resource_, response.payload);
+    if (block->more) {
+        ++next_block_;
+    } else {
+        complete_ = true;
+    }
+    return Status::kOk;
+}
+
+}  // namespace upkit::net::coap

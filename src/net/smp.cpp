@@ -1,0 +1,118 @@
+#include "net/smp.hpp"
+
+namespace upkit::net::smp {
+
+using suit::CborArray;
+using suit::CborMap;
+using suit::CborValue;
+
+namespace {
+
+// mcumgr body maps use *text* keys; our CBOR maps are integer-keyed for
+// SUIT. Rather than growing the codec, SMP uses small integer keys with the
+// same semantics (1=off, 2=data, 3=len, 4=sha, 0=rc) — a faithful framing
+// model with a deterministic encoding.
+constexpr std::int64_t kKeyRc = 0;
+constexpr std::int64_t kKeyOff = 1;
+constexpr std::int64_t kKeyData = 2;
+constexpr std::int64_t kKeyLen = 3;
+constexpr std::int64_t kKeySha = 4;
+
+}  // namespace
+
+Bytes Frame::encode() const {
+    Bytes out;
+    out.reserve(kHeaderSize + body.size());
+    out.push_back(static_cast<std::uint8_t>(op));
+    out.push_back(flags);
+    out.push_back(static_cast<std::uint8_t>(body.size() >> 8));
+    out.push_back(static_cast<std::uint8_t>(body.size()));
+    out.push_back(static_cast<std::uint8_t>(group >> 8));
+    out.push_back(static_cast<std::uint8_t>(group));
+    out.push_back(sequence);
+    out.push_back(command);
+    append(out, body);
+    return out;
+}
+
+Expected<Frame> parse(ByteSpan data) {
+    if (data.size() < kHeaderSize) return Status::kTransportError;
+    Frame frame;
+    if (data[0] > 3) return Status::kTransportError;
+    frame.op = static_cast<Op>(data[0]);
+    frame.flags = data[1];
+    const std::size_t body_len = (static_cast<std::size_t>(data[2]) << 8) | data[3];
+    frame.group = static_cast<std::uint16_t>((data[4] << 8) | data[5]);
+    frame.sequence = data[6];
+    frame.command = data[7];
+    if (data.size() != kHeaderSize + body_len) return Status::kTransportError;
+    frame.body.assign(data.begin() + kHeaderSize, data.end());
+    return frame;
+}
+
+Frame build_image_upload(std::uint32_t offset, ByteSpan chunk, std::uint32_t total_len,
+                         ByteSpan sha256, std::uint8_t sequence) {
+    CborMap body;
+    body.emplace(kKeyOff, static_cast<std::uint64_t>(offset));
+    body.emplace(kKeyData, Bytes(chunk.begin(), chunk.end()));
+    if (offset == 0) {
+        body.emplace(kKeyLen, static_cast<std::uint64_t>(total_len));
+        if (!sha256.empty()) body.emplace(kKeySha, Bytes(sha256.begin(), sha256.end()));
+    }
+    Frame frame;
+    frame.op = Op::kWrite;
+    frame.sequence = sequence;
+    frame.body = suit::cbor_encode(CborValue(std::move(body)));
+    return frame;
+}
+
+Expected<ImageUpload> parse_image_upload(const Frame& frame) {
+    if (frame.op != Op::kWrite || frame.group != kGroupImage ||
+        frame.command != kCmdImageUpload) {
+        return Status::kTransportError;
+    }
+    auto body = suit::cbor_decode(frame.body);
+    if (!body || !body->is_map()) return Status::kTransportError;
+
+    ImageUpload upload;
+    const CborValue* off = body->find(kKeyOff);
+    const CborValue* data = body->find(kKeyData);
+    if (off == nullptr || !off->is_unsigned() || data == nullptr || !data->is_bytes()) {
+        return Status::kTransportError;
+    }
+    upload.offset = static_cast<std::uint32_t>(off->as_unsigned());
+    upload.data = data->as_bytes();
+    if (const CborValue* len = body->find(kKeyLen); len != nullptr && len->is_unsigned()) {
+        upload.total_len = static_cast<std::uint32_t>(len->as_unsigned());
+    }
+    if (const CborValue* sha = body->find(kKeySha); sha != nullptr && sha->is_bytes()) {
+        upload.sha256 = sha->as_bytes();
+    }
+    return upload;
+}
+
+Frame build_upload_response(std::uint32_t next_offset, std::uint8_t sequence) {
+    CborMap body;
+    body.emplace(kKeyRc, std::uint64_t{0});
+    body.emplace(kKeyOff, static_cast<std::uint64_t>(next_offset));
+    Frame frame;
+    frame.op = Op::kWriteRsp;
+    frame.sequence = sequence;
+    frame.body = suit::cbor_encode(CborValue(std::move(body)));
+    return frame;
+}
+
+Expected<std::uint32_t> parse_upload_response(const Frame& frame) {
+    if (frame.op != Op::kWriteRsp) return Status::kTransportError;
+    auto body = suit::cbor_decode(frame.body);
+    if (!body || !body->is_map()) return Status::kTransportError;
+    const CborValue* rc = body->find(kKeyRc);
+    const CborValue* off = body->find(kKeyOff);
+    if (rc == nullptr || !rc->is_unsigned() || off == nullptr || !off->is_unsigned()) {
+        return Status::kTransportError;
+    }
+    if (rc->as_unsigned() != 0) return Status::kTransportError;
+    return static_cast<std::uint32_t>(off->as_unsigned());
+}
+
+}  // namespace upkit::net::smp

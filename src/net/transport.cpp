@@ -1,0 +1,53 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+
+namespace upkit::net {
+
+double Transport::transfer_chunk_seconds(std::size_t payload_bytes, bool* aborted) {
+    *aborted = false;
+    double seconds = link_.chunk_seconds(payload_bytes);
+    unsigned attempts = 0;
+    while (link_.loss_probability > 0.0 && rng_.chance(link_.loss_probability)) {
+        if (++attempts > max_retries_) {
+            *aborted = true;
+            return seconds;
+        }
+        ++retransmissions_;
+        seconds += link_.chunk_seconds(payload_bytes);
+    }
+    return seconds;
+}
+
+Status Transport::to_device(ByteSpan data, ByteSink& sink) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        const std::size_t len = std::min(link_.mtu, data.size() - offset);
+        bool aborted = false;
+        const double seconds = transfer_chunk_seconds(len, &aborted);
+        clock_->advance(seconds);
+        if (meter_ != nullptr) meter_->charge(sim::Component::kRadioRx, seconds);
+        if (aborted) return Status::kTimeout;
+        UPKIT_RETURN_IF_ERROR(sink.write(data.subspan(offset, len)));
+        offset += len;
+        bytes_down_ += len;
+    }
+    return Status::kOk;
+}
+
+Status Transport::from_device(ByteSpan data) {
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+        const std::size_t len = std::min(link_.mtu, data.size() - offset);
+        bool aborted = false;
+        const double seconds = transfer_chunk_seconds(len, &aborted);
+        clock_->advance(seconds);
+        if (meter_ != nullptr) meter_->charge(sim::Component::kRadioTx, seconds);
+        if (aborted) return Status::kTimeout;
+        offset += len;
+        bytes_up_ += len;
+    }
+    return Status::kOk;
+}
+
+}  // namespace upkit::net

@@ -1,0 +1,54 @@
+// Simulated transport between the update source and the device.
+//
+// Moves bytes in MTU-sized chunks, advancing the device's virtual clock and
+// charging its radio energy; lossy links retransmit (each attempt costs
+// airtime). The transport does not interpret the data — proxies in between
+// (smartphone, border router) forward without modifying, exactly the
+// passive role the paper assigns them.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/sink.hpp"
+#include "net/link.hpp"
+#include "sim/clock.hpp"
+#include "sim/energy.hpp"
+
+namespace upkit::net {
+
+class Transport {
+public:
+    Transport(const LinkParams& link, sim::VirtualClock& clock, sim::EnergyMeter* meter,
+              std::uint64_t loss_seed = 1)
+        : link_(link), clock_(&clock), meter_(meter), rng_(loss_seed) {}
+
+    const LinkParams& link() const { return link_; }
+
+    /// Transfers `data` to the device, delivering each received chunk to
+    /// `sink` (the agent). The device's radio listens for the duration.
+    Status to_device(ByteSpan data, ByteSink& sink);
+
+    /// Transfers `data` from the device (token, CoAP requests, ACKs).
+    Status from_device(ByteSpan data);
+
+    std::uint64_t bytes_to_device() const { return bytes_down_; }
+    std::uint64_t bytes_from_device() const { return bytes_up_; }
+    std::uint64_t chunks_retransmitted() const { return retransmissions_; }
+
+    /// Caps retransmissions per chunk before the transfer aborts.
+    void set_max_retries(unsigned retries) { max_retries_ = retries; }
+
+private:
+    double transfer_chunk_seconds(std::size_t payload_bytes, bool* aborted);
+
+    LinkParams link_;
+    sim::VirtualClock* clock_;
+    sim::EnergyMeter* meter_;
+    Rng rng_;
+    unsigned max_retries_ = 16;
+
+    std::uint64_t bytes_down_ = 0;
+    std::uint64_t bytes_up_ = 0;
+    std::uint64_t retransmissions_ = 0;
+};
+
+}  // namespace upkit::net

@@ -1,0 +1,77 @@
+#include "pipeline/decrypt_stage.hpp"
+
+#include <algorithm>
+
+#include "common/endian.hpp"
+#include "manifest/manifest.hpp"
+
+namespace upkit::pipeline {
+
+namespace {
+
+/// AAD binds the ciphertext to this device and request.
+Bytes aead_aad(std::uint32_t device_id, std::uint32_t request_nonce) {
+    Bytes aad;
+    put_le32(aad, device_id);
+    put_le32(aad, request_nonce);
+    return aad;
+}
+
+}  // namespace
+
+Status DecryptStage::start_cipher() {
+    auto ephemeral = crypto::PublicKey::from_bytes(header_);
+    if (!ephemeral) return Status::kBadKey;  // off-curve: reject immediately
+    auto shared = crypto::ecdh_shared_secret(*device_key_, *ephemeral);
+    if (!shared) return shared.status();
+    const crypto::ContentKeys keys =
+        crypto::derive_content_keys(*shared, device_id_, request_nonce_);
+    cipher_.emplace(keys.key, keys.nonce);
+    mac_.emplace(keys.key, keys.nonce, aead_aad(device_id_, request_nonce_));
+    lag_.reserve(crypto::kPolyTagSize);
+    return Status::kOk;
+}
+
+Status DecryptStage::write(ByteSpan data) {
+    if (!cipher_.has_value()) {
+        const std::size_t want = manifest::kEncryptionHeaderSize - header_.size();
+        const std::size_t take = std::min(want, data.size());
+        append(header_, data.subspan(0, take));
+        data = data.subspan(take);
+        if (header_.size() < manifest::kEncryptionHeaderSize) return Status::kOk;
+        UPKIT_RETURN_IF_ERROR(start_cipher());
+    }
+    if (data.empty()) return Status::kOk;
+
+    // Withhold the trailing 16 bytes (the candidate tag): everything older
+    // than that is ciphertext — MAC it, decrypt it, forward it.
+    append(lag_, data);
+    if (lag_.size() <= crypto::kPolyTagSize) return Status::kOk;
+    const std::size_t release = lag_.size() - crypto::kPolyTagSize;
+
+    std::size_t offset = 0;
+    std::uint8_t buf[512];
+    while (offset < release) {
+        const std::size_t take = std::min(sizeof(buf), release - offset);
+        std::copy_n(lag_.begin() + static_cast<std::ptrdiff_t>(offset), take, buf);
+        mac_->update_ciphertext(ByteSpan(buf, take));
+        cipher_->apply(MutByteSpan(buf, take));
+        UPKIT_RETURN_IF_ERROR(downstream_.write(ByteSpan(buf, take)));
+        plaintext_bytes_ += take;
+        offset += take;
+    }
+    lag_.erase(lag_.begin(), lag_.begin() + static_cast<std::ptrdiff_t>(release));
+    return Status::kOk;
+}
+
+Status DecryptStage::finish() {
+    if (!cipher_.has_value()) return Status::kTruncatedImage;  // header never completed
+    if (lag_.size() != crypto::kPolyTagSize) return Status::kTruncatedImage;
+    const crypto::PolyTag expected = mac_->finalize();
+    if (!ct_equal(ByteSpan(expected.data(), expected.size()), lag_)) {
+        return Status::kBadAuthTag;  // tampered ciphertext: stop right here
+    }
+    return downstream_.finish();
+}
+
+}  // namespace upkit::pipeline

@@ -1,0 +1,58 @@
+// Decryption stage — the pipeline extension the paper lists as future work,
+// making payload confidentiality independent of the transport security.
+//
+// Wire format of an encrypted payload (ChaCha20-Poly1305 AEAD, RFC 8439):
+//   [ ephemeral public key, 64 B (X||Y) ]
+//   [ ChaCha20 ciphertext ]
+//   [ Poly1305 tag, 16 B ]
+//
+// The stage consumes the ephemeral key, runs ECDH against the device's
+// long-term encryption key, HKDF-derives the content key/nonce (bound to
+// device ID and request nonce), then decrypts the stream while folding the
+// ciphertext into the AEAD MAC. The final 16 bytes are withheld as the tag
+// and verified at finish(): tampered ciphertext dies here, before any
+// downstream work. Placed at the very front of the pipeline.
+#pragma once
+
+#include <optional>
+
+#include "common/sink.hpp"
+#include "crypto/content_key.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace upkit::pipeline {
+
+class DecryptStage final : public ByteSink {
+public:
+    /// `device_key` is the device's long-term P-256 encryption key (its
+    /// public half is registered with the update server).
+    DecryptStage(const crypto::PrivateKey& device_key, std::uint32_t device_id,
+                 std::uint32_t request_nonce, ByteSink& downstream)
+        : device_key_(&device_key),
+          device_id_(device_id),
+          request_nonce_(request_nonce),
+          downstream_(downstream) {}
+
+    Status write(ByteSpan data) override;
+    Status finish() override;
+
+    /// Plaintext bytes forwarded downstream so far.
+    std::uint64_t plaintext_bytes() const { return plaintext_bytes_; }
+
+private:
+    Status start_cipher();
+
+    const crypto::PrivateKey* device_key_;
+    std::uint32_t device_id_;
+    std::uint32_t request_nonce_;
+    ByteSink& downstream_;
+
+    Bytes header_;  // accumulates the 64-byte ephemeral public key
+    std::optional<crypto::ChaCha20> cipher_;
+    std::optional<crypto::AeadMac> mac_;
+    Bytes lag_;  // trailing bytes withheld as the candidate tag
+    std::uint64_t plaintext_bytes_ = 0;
+};
+
+}  // namespace upkit::pipeline

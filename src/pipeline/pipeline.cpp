@@ -1,0 +1,41 @@
+#include "pipeline/pipeline.hpp"
+
+#include <cassert>
+
+namespace upkit::pipeline {
+
+Pipeline::Pipeline(const PipelineConfig& config, slots::SlotHandle& out,
+                   const RandomReader* old_firmware)
+    : config_(config) {
+    writer_ = std::make_unique<WriterStage>(out);
+    buffer_ = std::make_unique<BufferStage>(*writer_, config.buffer_size);
+    digest_ = std::make_unique<DigestTee>(*buffer_);
+    if (config.differential) {
+        assert(old_firmware != nullptr && "differential pipeline needs the installed image");
+        patcher_ = std::make_unique<diff::PatchApplier>(*old_firmware, *digest_);
+        decoder_ = std::make_unique<compress::LzssDecoder>(*patcher_);
+        front_ = decoder_.get();
+    } else {
+        front_ = digest_.get();
+    }
+    if (config.encrypted) {
+        assert(config.device_encryption_key != nullptr &&
+               "encrypted pipeline needs the device key");
+        decrypter_ = std::make_unique<DecryptStage>(*config.device_encryption_key,
+                                                    config.device_id, config.request_nonce,
+                                                    *front_);
+        front_ = decrypter_.get();
+    }
+}
+
+Status Pipeline::write(ByteSpan data) { return front_->write(data); }
+
+Status Pipeline::finish() { return front_->finish(); }
+
+std::size_t Pipeline::ram_usage() const {
+    std::size_t ram = config_.buffer_size;
+    if (decoder_ != nullptr) ram += decoder_->window_ram();
+    return ram;
+}
+
+}  // namespace upkit::pipeline

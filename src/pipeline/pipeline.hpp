@@ -1,0 +1,77 @@
+// The configurable pipeline (paper Sect. IV-B/IV-C, Fig. 5).
+//
+// Transforms update payload bytes on-the-fly as they arrive from the
+// network and lands the resulting firmware in a slot:
+//
+//   full image:    payload -> digest tee -> buffer -> writer
+//   differential:  payload -> LZSS decompression -> bspatch (reading the
+//                  installed firmware from its slot) -> digest tee ->
+//                  buffer -> writer
+//
+// Because the patch is applied in transit, no extra memory slot is ever
+// required to hold it — the feature that lets UpKit do differential updates
+// within two slots.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "compress/lzss.hpp"
+#include "diff/bspatch_stream.hpp"
+#include "pipeline/decrypt_stage.hpp"
+#include "pipeline/stages.hpp"
+
+namespace upkit::pipeline {
+
+struct PipelineConfig {
+    bool differential = false;
+    /// Buffer stage capacity; match the flash sector size for best results.
+    std::size_t buffer_size = 4096;
+
+    /// Confidentiality extension: when set, the payload is ChaCha20-
+    /// encrypted; a decryption stage is placed at the pipeline's front.
+    bool encrypted = false;
+    const crypto::PrivateKey* device_encryption_key = nullptr;
+    std::uint32_t device_id = 0;
+    std::uint32_t request_nonce = 0;
+};
+
+class Pipeline final : public ByteSink {
+public:
+    /// `out` is the destination slot handle (already open for writing, with
+    /// the manifest written ahead of the firmware). `old_firmware` must be
+    /// provided (and outlive the pipeline) when config.differential is set.
+    Pipeline(const PipelineConfig& config, slots::SlotHandle& out,
+             const RandomReader* old_firmware);
+
+    /// Feeds payload bytes exactly as received from the transport.
+    Status write(ByteSpan data) override;
+
+    /// Flushes and finalizes; afterwards firmware_digest() is valid.
+    Status finish() override;
+
+    /// SHA-256 over the firmware written to the slot (valid after finish()).
+    const crypto::Sha256Digest& firmware_digest() const { return digest_->digest(); }
+
+    /// Firmware bytes produced (≠ payload bytes for differential updates).
+    std::uint64_t firmware_bytes() const { return digest_->bytes_seen(); }
+
+    std::uint64_t flash_chunks_written() const { return writer_->chunks_written(); }
+
+    /// RAM the pipeline holds (buffer + decompression window), for the
+    /// footprint accounting and the ablation benches.
+    std::size_t ram_usage() const;
+
+private:
+    PipelineConfig config_;
+    // Stages, owned back-to-front; each holds a reference to the next.
+    std::unique_ptr<WriterStage> writer_;
+    std::unique_ptr<BufferStage> buffer_;
+    std::unique_ptr<DigestTee> digest_;
+    std::unique_ptr<diff::PatchApplier> patcher_;
+    std::unique_ptr<compress::LzssDecoder> decoder_;
+    std::unique_ptr<DecryptStage> decrypter_;
+    ByteSink* front_ = nullptr;
+};
+
+}  // namespace upkit::pipeline

@@ -1,0 +1,28 @@
+#include "pipeline/stages.hpp"
+
+#include <algorithm>
+
+namespace upkit::pipeline {
+
+Status BufferStage::write(ByteSpan data) {
+    while (!data.empty()) {
+        const std::size_t take = std::min(capacity_ - buffer_.size(), data.size());
+        append(buffer_, data.subspan(0, take));
+        data = data.subspan(take);
+        if (buffer_.size() == capacity_) {
+            UPKIT_RETURN_IF_ERROR(downstream_.write(buffer_));
+            buffer_.clear();
+        }
+    }
+    return Status::kOk;
+}
+
+Status BufferStage::finish() {
+    if (!buffer_.empty()) {
+        UPKIT_RETURN_IF_ERROR(downstream_.write(buffer_));
+        buffer_.clear();
+    }
+    return downstream_.finish();
+}
+
+}  // namespace upkit::pipeline

@@ -1,0 +1,120 @@
+#include "server/update_server.hpp"
+
+#include "common/endian.hpp"
+#include "crypto/content_key.hpp"
+#include "crypto/poly1305.hpp"
+#include "diff/bsdiff.hpp"
+#include "suit/suit.hpp"
+
+namespace upkit::server {
+
+Status UpdateServer::publish(Release release) {
+    auto& versions = releases_[release.manifest.app_id];
+    const std::uint16_t version = release.manifest.version;
+    if (versions.contains(version)) return Status::kAlreadyExists;
+    versions.emplace(version, std::move(release));
+    return Status::kOk;
+}
+
+std::optional<std::uint16_t> UpdateServer::latest_version(std::uint32_t app_id) const {
+    const auto it = releases_.find(app_id);
+    if (it == releases_.end() || it->second.empty()) return std::nullopt;
+    return it->second.rbegin()->first;
+}
+
+bool UpdateServer::maybe_encrypt(const manifest::DeviceToken& token, Bytes& payload) const {
+    if (!encrypt_) return false;
+    const auto key_it = device_keys_.find(token.device_id);
+    if (key_it == device_keys_.end()) return false;
+
+    // Fresh ephemeral key per response (deterministic for replayability).
+    Bytes seed = key_.to_bytes();
+    put_le64(seed, ++ephemeral_counter_);
+    put_le32(seed, token.nonce);
+    const crypto::PrivateKey ephemeral = crypto::PrivateKey::generate(seed);
+
+    auto shared = crypto::ecdh_shared_secret(ephemeral, key_it->second);
+    if (!shared) return false;  // registered key is invalid: ship plaintext
+    const crypto::ContentKeys keys =
+        crypto::derive_content_keys(*shared, token.device_id, token.nonce);
+
+    // AEAD-seal with the (device, request) pair as associated data.
+    Bytes aad;
+    put_le32(aad, token.device_id);
+    put_le32(aad, token.nonce);
+
+    Bytes wrapped;
+    const auto ephemeral_pub = ephemeral.public_key().to_bytes();
+    wrapped.reserve(ephemeral_pub.size() + payload.size() + crypto::kPolyTagSize);
+    append(wrapped, ByteSpan(ephemeral_pub.data(), ephemeral_pub.size()));
+    append(wrapped, crypto::aead_seal(keys.key, keys.nonce, aad, payload));
+    payload = std::move(wrapped);
+    return true;
+}
+
+UpdateResponse UpdateServer::finalize(manifest::Manifest m, Bytes payload,
+                                      const crypto::Signature& suit_vendor_sig) const {
+    m.payload_size = static_cast<std::uint32_t>(payload.size());
+    UpdateResponse response;
+    if (suit_mode_) {
+        suit::Envelope envelope;
+        m.vendor_signature = suit_vendor_sig;  // SUIT-form vendor signature
+        envelope.vendor_signature = suit_vendor_sig;
+        envelope.manifest_bstr = suit::cbor_encode(suit::manifest_map(m));
+        envelope.server_signature = crypto::ecdsa_sign(
+            key_, crypto::Sha256::digest(
+                      suit::server_tbs(envelope.manifest_bstr, envelope.vendor_signature)));
+        m.server_signature = envelope.server_signature;
+        response.manifest_bytes = envelope.encode();
+        response.suit_encoding = true;
+    } else {
+        m.server_signature =
+            crypto::ecdsa_sign(key_, crypto::Sha256::digest(m.server_signed_bytes()));
+        response.manifest_bytes = manifest::serialize(m);
+    }
+    response.manifest = m;
+    response.payload = std::move(payload);
+    return response;
+}
+
+Expected<UpdateResponse> UpdateServer::prepare_update(
+    std::uint32_t app_id, const manifest::DeviceToken& token) const {
+    const auto apps = releases_.find(app_id);
+    if (apps == releases_.end() || apps->second.empty()) return Status::kNotFound;
+    const Release& latest = apps->second.rbegin()->second;
+
+    manifest::Manifest m = latest.manifest;  // vendor fields + vendor signature
+    m.device_id = token.device_id;
+    m.nonce = token.nonce;
+
+    // Differential path: the token advertises the installed version and we
+    // still hold that release.
+    if (token.supports_differential()) {
+        const auto base = apps->second.find(token.current_version);
+        if (base != apps->second.end() &&
+            base->second.manifest.version < latest.manifest.version) {
+            auto patch = diff::bsdiff(base->second.firmware, latest.firmware);
+            if (patch) {
+                auto compressed = compress::lzss_compress(*patch, lzss_params_);
+                if (compressed &&
+                    static_cast<double>(compressed->size()) <
+                        delta_threshold_ * static_cast<double>(latest.firmware.size())) {
+                    m.differential = true;
+                    m.old_version = token.current_version;
+                    m.encrypted = maybe_encrypt(token, *compressed);
+                    return finalize(m, std::move(*compressed),
+                                    latest.suit_vendor_signature);
+                }
+            }
+        }
+    }
+
+    // Full-image path.
+    m.differential = false;
+    m.old_version = 0;
+    Bytes payload = latest.firmware;
+    m.encrypted = maybe_encrypt(token, payload);
+    return finalize(m, std::move(payload), latest.suit_vendor_signature);
+}
+
+}  // namespace upkit::server

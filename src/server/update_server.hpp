@@ -1,0 +1,89 @@
+// Update server (paper Fig. 2, steps 2-7).
+//
+// Holds published releases, announces new versions, and — per device
+// request — binds an update image to the requesting device's token by
+// adding ID / nonce / old-version to the manifest and signing the result
+// (the second half of the double signature). When the token advertises a
+// current version, the server derives a bsdiff delta against that release
+// and LZSS-compresses it; otherwise it ships the full image.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "compress/lzss.hpp"
+#include "crypto/ecdsa.hpp"
+#include "server/vendor_server.hpp"
+
+namespace upkit::server {
+
+/// What travels to the device (via smartphone/gateway or directly).
+struct UpdateResponse {
+    manifest::Manifest manifest;
+    Bytes manifest_bytes;  // wire manifest (native 200-byte or SUIT CBOR)
+    Bytes payload;         // full firmware, or LZSS-compressed patch
+    /// manifest_bytes is a SUIT envelope instead of the native format.
+    bool suit_encoding = false;
+};
+
+class UpdateServer {
+public:
+    explicit UpdateServer(ByteSpan key_seed)
+        : key_(crypto::PrivateKey::generate(key_seed)) {}
+
+    crypto::PublicKey public_key() const { return key_.public_key(); }
+
+    /// Publishes a vendor-signed release. Past versions are retained so
+    /// deltas can be derived against whatever a device currently runs.
+    Status publish(Release release);
+
+    /// The latest version available for `app_id` (the "announcement").
+    std::optional<std::uint16_t> latest_version(std::uint32_t app_id) const;
+
+    /// Builds the device-bound, doubly-signed update image for a token.
+    Expected<UpdateResponse> prepare_update(std::uint32_t app_id,
+                                            const manifest::DeviceToken& token) const;
+
+    /// Tuning knob: deltas larger than this fraction of the full image fall
+    /// back to a full-image update (a delta that barely saves air time is
+    /// not worth the on-device patching cost).
+    void set_delta_threshold(double fraction) { delta_threshold_ = fraction; }
+
+    compress::LzssParams lzss_params() const { return lzss_params_; }
+    void set_lzss_params(const compress::LzssParams& params) { lzss_params_ = params; }
+
+    // --- confidentiality extension --------------------------------------
+
+    /// Registers a device's long-term encryption public key; responses to
+    /// that device are ChaCha20-encrypted under an ECDH-derived content key
+    /// once encryption is enabled.
+    void register_device_key(std::uint32_t device_id, const crypto::PublicKey& key) {
+        device_keys_.insert_or_assign(device_id, key);
+    }
+
+    void set_encryption_enabled(bool enabled) { encrypt_ = enabled; }
+
+    /// Serve manifests as SUIT/CBOR envelopes (interop mode). The vendor
+    /// pre-signed the SUIT to-be-signed bytes at release time; the server
+    /// signs the envelope per request, exactly as in the native format.
+    void set_suit_mode(bool enabled) { suit_mode_ = enabled; }
+
+private:
+    UpdateResponse finalize(manifest::Manifest m, Bytes payload,
+                            const crypto::Signature& suit_vendor_sig) const;
+    /// Wraps `payload` as [ephemeral pub (64)] [ciphertext] when the device
+    /// has a registered key; returns whether it did.
+    bool maybe_encrypt(const manifest::DeviceToken& token, Bytes& payload) const;
+
+    crypto::PrivateKey key_;
+    std::map<std::uint32_t, std::map<std::uint16_t, Release>> releases_;  // app -> version
+    double delta_threshold_ = 0.9;
+    compress::LzssParams lzss_params_{};
+
+    bool encrypt_ = false;
+    bool suit_mode_ = false;
+    std::map<std::uint32_t, crypto::PublicKey> device_keys_;
+    mutable std::uint64_t ephemeral_counter_ = 0;
+};
+
+}  // namespace upkit::server

@@ -1,0 +1,24 @@
+#include "server/vendor_server.hpp"
+
+#include "suit/suit.hpp"
+
+namespace upkit::server {
+
+Release VendorServer::create_release(Bytes firmware, const ReleaseSpec& spec) const {
+    Release release;
+    release.manifest.version = spec.version;
+    release.manifest.app_id = spec.app_id;
+    release.manifest.link_offset = spec.link_offset;
+    release.manifest.firmware_size = static_cast<std::uint32_t>(firmware.size());
+    release.manifest.digest = crypto::Sha256::digest(firmware);
+    release.manifest.vendor_signature = crypto::ecdsa_sign(
+        key_, crypto::Sha256::digest(release.manifest.vendor_signed_bytes()));
+    // The SUIT to-be-signed bytes cover the same vendor fields in their
+    // CBOR encoding; signing both here lets the update server serve either.
+    release.suit_vendor_signature = crypto::ecdsa_sign(
+        key_, crypto::Sha256::digest(suit::vendor_tbs(release.manifest)));
+    release.firmware = std::move(firmware);
+    return release;
+}
+
+}  // namespace upkit::server

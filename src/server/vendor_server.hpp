@@ -1,0 +1,44 @@
+// Vendor server (paper Fig. 2, step 1): receives the raw firmware binary,
+// builds the manifest core, and signs it with the vendor's private key.
+// Runs off-device; no execution costs are modelled for it.
+#pragma once
+
+#include "crypto/ecdsa.hpp"
+#include "manifest/manifest.hpp"
+#include "slots/slot.hpp"
+
+namespace upkit::server {
+
+/// A vendor-signed firmware release, not yet bound to any device/request.
+struct Release {
+    manifest::Manifest manifest;  // token + transport fields still zero
+    Bytes firmware;
+    /// Vendor signature over the SUIT-encoded to-be-signed bytes, created
+    /// alongside the native one so the update server can serve either wire
+    /// format without holding the vendor key.
+    crypto::Signature suit_vendor_signature{};
+};
+
+class VendorServer {
+public:
+    /// The signing key is derived deterministically from `key_seed`.
+    explicit VendorServer(ByteSpan key_seed)
+        : key_(crypto::PrivateKey::generate(key_seed)) {}
+
+    const crypto::PrivateKey& private_key() const { return key_; }
+    crypto::PublicKey public_key() const { return key_.public_key(); }
+
+    struct ReleaseSpec {
+        std::uint16_t version = 1;
+        std::uint32_t app_id = 0;
+        std::uint32_t link_offset = slots::kAnyLinkOffset;
+    };
+
+    /// Creates a vendor-signed release for `firmware`.
+    Release create_release(Bytes firmware, const ReleaseSpec& spec) const;
+
+private:
+    crypto::PrivateKey key_;
+};
+
+}  // namespace upkit::server

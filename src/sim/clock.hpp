@@ -1,0 +1,41 @@
+// Virtual time for the device simulation.
+//
+// Every modelled cost — radio airtime, flash erase/write latency, crypto
+// runtime, reboot — advances this clock; experiments read phase durations
+// from it. No wall-clock time is involved, so runs are exact and replayable.
+#pragma once
+
+namespace upkit::sim {
+
+class VirtualClock {
+public:
+    double now() const { return now_s_; }
+
+    void advance(double seconds) {
+        if (seconds > 0) now_s_ += seconds;
+    }
+
+    void reset() { now_s_ = 0.0; }
+
+private:
+    double now_s_ = 0.0;
+};
+
+/// Measures the duration of a scoped phase against a VirtualClock.
+class PhaseTimer {
+public:
+    PhaseTimer(const VirtualClock& clock, double& accumulator)
+        : clock_(clock), accumulator_(accumulator), start_(clock.now()) {}
+
+    ~PhaseTimer() { accumulator_ += clock_.now() - start_; }
+
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+private:
+    const VirtualClock& clock_;
+    double& accumulator_;
+    double start_;
+};
+
+}  // namespace upkit::sim

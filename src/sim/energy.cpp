@@ -1,0 +1,44 @@
+#include "sim/energy.hpp"
+
+namespace upkit::sim {
+
+void EnergyMeter::charge(Component component, double seconds, double extra_ma) {
+    if (seconds <= 0) return;
+    const auto idx = static_cast<std::size_t>(component);
+    seconds_[idx] += seconds;
+    if (extra_ma > 0) {
+        extra_mj_[idx] += extra_ma * platform_->voltage * seconds;  // mA * V * s = mJ
+    }
+}
+
+double EnergyMeter::current_ma(Component component) const {
+    switch (component) {
+        case Component::kCpu: return platform_->cpu_active_ma;
+        case Component::kRadioTx: return platform_->radio_tx_ma;
+        case Component::kRadioRx: return platform_->radio_rx_ma;
+        case Component::kFlash: return platform_->flash_ma;
+        case Component::kHsm: return platform_->cpu_active_ma;  // MCU waits on I2C
+        case Component::kSleep: return platform_->sleep_ma;
+    }
+    return 0.0;
+}
+
+double EnergyMeter::millijoules(Component component) const {
+    const auto idx = static_cast<std::size_t>(component);
+    return current_ma(component) * platform_->voltage * seconds_[idx] + extra_mj_[idx];
+}
+
+double EnergyMeter::total_millijoules() const {
+    double total = 0.0;
+    for (std::size_t i = 0; i < kComponentCount; ++i) {
+        total += millijoules(static_cast<Component>(i));
+    }
+    return total;
+}
+
+void EnergyMeter::reset() {
+    seconds_.fill(0.0);
+    extra_mj_.fill(0.0);
+}
+
+}  // namespace upkit::sim

@@ -1,0 +1,70 @@
+// Energy accounting for the device simulation.
+//
+// The paper motivates UpKit's design choices (early rejection, differential
+// updates, A/B slots) by the energy they save; this meter attributes every
+// modelled second to a hardware component and integrates charge at the
+// platform's current draws.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/platform.hpp"
+
+namespace upkit::sim {
+
+enum class Component : std::uint8_t {
+    kCpu = 0,      // active CPU (crypto, pipeline, FSM)
+    kRadioTx,
+    kRadioRx,
+    kFlash,        // erase/write/read
+    kHsm,          // ATECC508 command execution
+    kSleep,
+};
+
+inline constexpr std::size_t kComponentCount = 6;
+
+constexpr std::string_view to_string(Component c) {
+    switch (c) {
+        case Component::kCpu: return "cpu";
+        case Component::kRadioTx: return "radio-tx";
+        case Component::kRadioRx: return "radio-rx";
+        case Component::kFlash: return "flash";
+        case Component::kHsm: return "hsm";
+        case Component::kSleep: return "sleep";
+    }
+    return "?";
+}
+
+class EnergyMeter {
+public:
+    explicit EnergyMeter(const PlatformProfile& platform) : platform_(&platform) {}
+
+    /// Attributes `seconds` of activity to `component`. `extra_ma` adds
+    /// component-specific draw on top of the platform profile (e.g. the
+    /// HSM's supply current).
+    void charge(Component component, double seconds, double extra_ma = 0.0);
+
+    /// Seconds accumulated per component.
+    double seconds(Component component) const {
+        return seconds_[static_cast<std::size_t>(component)];
+    }
+
+    /// Energy in millijoules for one component.
+    double millijoules(Component component) const;
+
+    /// Total energy in millijoules.
+    double total_millijoules() const;
+
+    void reset();
+
+private:
+    double current_ma(Component component) const;
+
+    const PlatformProfile* platform_;
+    std::array<double, kComponentCount> seconds_{};
+    std::array<double, kComponentCount> extra_mj_{};
+};
+
+}  // namespace upkit::sim

@@ -1,0 +1,137 @@
+#include "sim/firmware.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+#include "common/endian.hpp"
+#include "common/rng.hpp"
+
+namespace upkit::sim {
+
+namespace {
+
+constexpr std::size_t kBlock = 256;  // granularity of generation and churn
+
+// Skewed "opcode" alphabet: real instruction streams reuse a handful of
+// encodings heavily, which is what makes firmware compressible.
+constexpr std::array<std::uint8_t, 16> kOpcodes = {0x2D, 0xE9, 0x46, 0x68, 0x60, 0xB5, 0x4B, 0x00,
+                                                   0x91, 0xF0, 0x08, 0xBD, 0x1C, 0x70, 0x02, 0xD1};
+
+constexpr std::array<std::string_view, 12> kDictionary = {
+    "init", "sensor", "radio_tx", "coap", "handler", "update",
+    "slot", "verify", "manifest", "reboot", "flash_write", "timer"};
+
+enum class Region { kCode, kStrings, kTables };
+
+Region region_for_block(std::size_t block_index) {
+    // Fixed layout: text segment first, then rodata strings, then tables —
+    // mirrors the section layout of a linked image.
+    const std::size_t r = block_index % 10;
+    if (r < 7) return Region::kCode;
+    if (r < 9) return Region::kStrings;
+    return Region::kTables;
+}
+
+void fill_code(Rng& rng, MutByteSpan out) {
+    std::size_t i = 0;
+    while (i + 4 <= out.size()) {
+        // Thumb-like 32-bit "instruction": skewed opcode, small register
+        // field, mostly-small immediate.
+        out[i] = kOpcodes[rng.below(8) + rng.below(2) * 8];
+        out[i + 1] = static_cast<std::uint8_t>(rng.below(16));
+        const std::uint16_t imm = rng.chance(0.8) ? static_cast<std::uint16_t>(rng.below(64))
+                                                  : static_cast<std::uint16_t>(rng.below(65536));
+        out[i + 2] = static_cast<std::uint8_t>(imm);
+        out[i + 3] = static_cast<std::uint8_t>(imm >> 8);
+        i += 4;
+    }
+    while (i < out.size()) out[i++] = 0x00;
+}
+
+void fill_strings(Rng& rng, MutByteSpan out) {
+    std::size_t i = 0;
+    while (i < out.size()) {
+        const std::string_view word = kDictionary[rng.below(kDictionary.size())];
+        for (char c : word) {
+            if (i >= out.size()) return;
+            out[i++] = static_cast<std::uint8_t>(c);
+        }
+        if (i < out.size()) out[i++] = '\0';
+    }
+}
+
+void fill_tables(Rng& rng, MutByteSpan out, std::uint32_t base) {
+    // Pointer-table-like data: monotone addresses with a common base.
+    std::uint32_t addr = base + static_cast<std::uint32_t>(rng.below(0x1000)) * 4;
+    std::size_t i = 0;
+    while (i + 4 <= out.size()) {
+        store_le32(out.subspan(i, 4), addr);
+        addr += static_cast<std::uint32_t>(4 + rng.below(5) * 4);
+        i += 4;
+    }
+    while (i < out.size()) out[i++] = 0xFF;
+}
+
+void fill_block(Rng& rng, std::size_t block_index, MutByteSpan out, std::uint32_t table_base) {
+    switch (region_for_block(block_index)) {
+        case Region::kCode: fill_code(rng, out); break;
+        case Region::kStrings: fill_strings(rng, out); break;
+        case Region::kTables: fill_tables(rng, out, table_base); break;
+    }
+}
+
+}  // namespace
+
+Bytes generate_firmware(const FirmwareSpec& spec) {
+    Bytes image(spec.size);
+    Rng rng(spec.seed);
+    const std::uint32_t table_base = 0x20000000;
+    for (std::size_t block = 0; block * kBlock < spec.size; ++block) {
+        const std::size_t off = block * kBlock;
+        const std::size_t len = std::min(kBlock, spec.size - off);
+        fill_block(rng, block, MutByteSpan(image.data() + off, len), table_base);
+    }
+    // Version tag near the start (the manifest's link-offset region).
+    const std::string_view tag = "FW-v1.0.0";
+    std::copy(tag.begin(), tag.end(), image.begin() + 16);
+    return image;
+}
+
+Bytes mutate_os_version(ByteSpan firmware, std::uint64_t seed, double churn) {
+    Bytes out(firmware.begin(), firmware.end());
+    Rng rng(seed ^ 0x05050505);
+    const std::size_t blocks = (firmware.size() + kBlock - 1) / kBlock;
+    // Rebase the address tables (new link produces shifted addresses) and
+    // regenerate a scattered subset of code blocks (changed OS sources).
+    const std::uint32_t new_base = 0x20000000 + static_cast<std::uint32_t>(rng.below(16)) * 0x100;
+    for (std::size_t block = 0; block < blocks; ++block) {
+        const std::size_t off = block * kBlock;
+        const std::size_t len = std::min(kBlock, firmware.size() - off);
+        const Region region = region_for_block(block);
+        if (region == Region::kCode && rng.chance(churn)) {
+            fill_code(rng, MutByteSpan(out.data() + off, len));
+        } else if (region == Region::kTables && rng.chance(churn * 2)) {
+            fill_tables(rng, MutByteSpan(out.data() + off, len), new_base);
+        }
+    }
+    const std::string_view tag = "FW-v1.1.0";
+    std::copy(tag.begin(), tag.end(), out.begin() + 16);
+    return out;
+}
+
+Bytes mutate_app_change(ByteSpan firmware, std::uint64_t seed, std::size_t edit_bytes) {
+    Bytes out(firmware.begin(), firmware.end());
+    Rng rng(seed ^ 0x0A0A0A0A);
+    edit_bytes = std::min(edit_bytes, firmware.size() / 2);
+    // One contiguous edited region in the application's code area.
+    const std::size_t start =
+        firmware.size() / 4 + rng.below(std::max<std::size_t>(1, firmware.size() / 4));
+    const std::size_t len = std::min(edit_bytes, firmware.size() - start);
+    fill_code(rng, MutByteSpan(out.data() + start, len));
+    const std::string_view tag = "FW-v1.0.1";
+    std::copy(tag.begin(), tag.end(), out.begin() + 16);
+    return out;
+}
+
+}  // namespace upkit::sim

@@ -1,0 +1,35 @@
+// Synthetic firmware image generator.
+//
+// Stand-in for the real Zephyr/RIOT/Contiki builds the paper flashes
+// (substitution documented in DESIGN.md). Images have code-like structure —
+// skewed opcode distributions, a string pool, address tables — so that
+// bsdiff/LZSS behave as they do on real firmware, and mutation operators
+// reproduce the two differential-update scenarios of Fig. 8b: an OS version
+// change (churn scattered across the image) and an application change
+// (a localized ~1000-byte edit).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace upkit::sim {
+
+struct FirmwareSpec {
+    std::size_t size = 100 * 1024;
+    std::uint64_t seed = 1;
+};
+
+/// Deterministically generates a firmware image with code-like statistics.
+Bytes generate_firmware(const FirmwareSpec& spec);
+
+/// "OS version change" (e.g. Zephyr v1.2 -> v1.3): regenerates `churn` of
+/// the image's blocks in place and rebases address tables, leaving the rest
+/// untouched. Size is preserved (images are linked to fixed slots).
+Bytes mutate_os_version(ByteSpan firmware, std::uint64_t seed, double churn = 0.12);
+
+/// "Application functionality change": rewrites one contiguous region of
+/// `edit_bytes` (paper: 1000 bytes of difference) and bumps a version tag.
+Bytes mutate_app_change(ByteSpan firmware, std::uint64_t seed, std::size_t edit_bytes = 1000);
+
+}  // namespace upkit::sim

@@ -1,0 +1,210 @@
+#include "slots/slot.hpp"
+
+#include <algorithm>
+
+namespace upkit::slots {
+
+// ---------------------------------------------------------------- handle
+
+SlotHandle::SlotHandle(SlotHandle&& other) noexcept
+    : manager_(other.manager_),
+      slot_id_(other.slot_id_),
+      mode_(other.mode_),
+      position_(other.position_),
+      erased_through_(other.erased_through_) {
+    other.manager_ = nullptr;
+}
+
+SlotHandle& SlotHandle::operator=(SlotHandle&& other) noexcept {
+    if (this != &other) {
+        close();
+        manager_ = other.manager_;
+        slot_id_ = other.slot_id_;
+        mode_ = other.mode_;
+        position_ = other.position_;
+        erased_through_ = other.erased_through_;
+        other.manager_ = nullptr;
+    }
+    return *this;
+}
+
+void SlotHandle::close() {
+    if (manager_ != nullptr) {
+        manager_->open_.erase(slot_id_);
+        manager_ = nullptr;
+    }
+}
+
+std::uint64_t SlotHandle::capacity() const {
+    if (manager_ == nullptr) return 0;
+    const SlotConfig* config = manager_->slot(slot_id_);
+    return config != nullptr ? config->size : 0;
+}
+
+Expected<std::size_t> SlotHandle::read(MutByteSpan out) {
+    if (manager_ == nullptr) return Status::kSlotInvalid;
+    const SlotConfig* config = manager_->slot(slot_id_);
+    if (config == nullptr) return Status::kNotFound;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(out.size(), config->size - std::min(position_, config->size)));
+    if (take == 0) return std::size_t{0};
+    UPKIT_RETURN_IF_ERROR(config->device->read(config->offset + position_, out.subspan(0, take)));
+    position_ += take;
+    return take;
+}
+
+Status SlotHandle::write(ByteSpan data) {
+    if (manager_ == nullptr) return Status::kSlotInvalid;
+    if (mode_ == OpenMode::kReadOnly) return Status::kBadOpenMode;
+    const SlotConfig* config = manager_->slot(slot_id_);
+    if (config == nullptr) return Status::kNotFound;
+    if (position_ + data.size() > config->size) return Status::kSlotTooSmall;
+
+    if (mode_ == OpenMode::kSequentialRewrite) {
+        // Erase sectors lazily as the write head enters them.
+        const std::uint32_t sector = config->device->geometry().sector_bytes;
+        while (erased_through_ < position_ + data.size()) {
+            const std::uint64_t abs = config->offset + erased_through_;
+            UPKIT_RETURN_IF_ERROR(config->device->erase_sector(abs / sector));
+            erased_through_ += sector;
+        }
+    }
+
+    UPKIT_RETURN_IF_ERROR(config->device->write(config->offset + position_, data));
+    position_ += data.size();
+    return Status::kOk;
+}
+
+Status SlotHandle::seek(std::uint64_t position) {
+    if (manager_ == nullptr) return Status::kSlotInvalid;
+    const SlotConfig* config = manager_->slot(slot_id_);
+    if (config == nullptr) return Status::kNotFound;
+    if (position > config->size) return Status::kOutOfRange;
+    if (mode_ == OpenMode::kSequentialRewrite && position < position_) {
+        return Status::kBadOpenMode;  // strictly forward in rewrite mode
+    }
+    position_ = position;
+    return Status::kOk;
+}
+
+// ---------------------------------------------------------------- manager
+
+Status SlotManager::add_slot(const SlotConfig& config) {
+    if (config.device == nullptr || config.size == 0) return Status::kInvalidArgument;
+    const auto& geo = config.device->geometry();
+    if (config.offset % geo.sector_bytes != 0 || config.size % geo.sector_bytes != 0) {
+        return Status::kInvalidArgument;  // slots are sector-aligned
+    }
+    if (config.offset + config.size > geo.size_bytes) return Status::kFlashOutOfBounds;
+    if (slots_.contains(config.id)) return Status::kAlreadyExists;
+    slots_.emplace(config.id, config);
+    return Status::kOk;
+}
+
+const SlotConfig* SlotManager::slot(std::uint32_t id) const {
+    const auto it = slots_.find(id);
+    return it == slots_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint32_t> SlotManager::slot_ids() const {
+    std::vector<std::uint32_t> ids;
+    ids.reserve(slots_.size());
+    for (const auto& [id, config] : slots_) ids.push_back(id);
+    return ids;
+}
+
+Expected<SlotConfig*> SlotManager::checked(std::uint32_t id) {
+    const auto it = slots_.find(id);
+    if (it == slots_.end()) return Status::kNotFound;
+    if (open_.contains(id)) return Status::kSlotBusy;
+    return &it->second;
+}
+
+Expected<SlotHandle> SlotManager::open(std::uint32_t id, OpenMode mode) {
+    auto config = checked(id);
+    if (!config) return config.status();
+    if (mode == OpenMode::kWriteAll) {
+        UPKIT_RETURN_IF_ERROR(
+            (*config)->device->erase_range((*config)->offset, (*config)->size));
+    }
+    open_.insert(id);
+    return SlotHandle(this, id, mode);
+}
+
+Status SlotManager::erase(std::uint32_t id) {
+    auto config = checked(id);
+    if (!config) return config.status();
+    return (*config)->device->erase_range((*config)->offset, (*config)->size);
+}
+
+Status SlotManager::invalidate(std::uint32_t id) {
+    auto config = checked(id);
+    if (!config) return config.status();
+    const std::uint32_t sector = (*config)->device->geometry().sector_bytes;
+    return (*config)->device->erase_sector((*config)->offset / sector);
+}
+
+Status SlotManager::copy(std::uint32_t src, std::uint32_t dst, std::uint64_t used_bytes) {
+    auto s = checked(src);
+    if (!s) return s.status();
+    auto d = checked(dst);
+    if (!d) return d.status();
+    if ((*s)->size != (*d)->size) return Status::kInvalidArgument;
+    const std::uint64_t limit =
+        used_bytes == 0 ? (*s)->size : std::min(used_bytes, (*s)->size);
+
+    UPKIT_RETURN_IF_ERROR((*d)->device->erase_range((*d)->offset, limit));
+    const std::uint32_t chunk = (*d)->device->geometry().sector_bytes;
+    Bytes buffer(chunk);
+    for (std::uint64_t off = 0; off < limit; off += chunk) {
+        const std::size_t len =
+            static_cast<std::size_t>(std::min<std::uint64_t>(chunk, limit - off));
+        UPKIT_RETURN_IF_ERROR(
+            (*s)->device->read((*s)->offset + off, MutByteSpan(buffer.data(), len)));
+        UPKIT_RETURN_IF_ERROR(
+            (*d)->device->write((*d)->offset + off, ByteSpan(buffer.data(), len)));
+    }
+    return Status::kOk;
+}
+
+Status SlotManager::swap(std::uint32_t a, std::uint32_t b, std::uint64_t used_bytes) {
+    auto sa = checked(a);
+    if (!sa) return sa.status();
+    auto sb = checked(b);
+    if (!sb) return sb.status();
+    if ((*sa)->size != (*sb)->size) return Status::kInvalidArgument;
+
+    // Sector-pair swap with two RAM buffers — no scratch slot required.
+    const std::uint32_t chunk = std::max((*sa)->device->geometry().sector_bytes,
+                                         (*sb)->device->geometry().sector_bytes);
+    if ((*sa)->size % chunk != 0) return Status::kInvalidArgument;
+    std::uint64_t limit = used_bytes == 0 ? (*sa)->size : std::min(used_bytes, (*sa)->size);
+    limit = (limit + chunk - 1) / chunk * chunk;  // round to swap granularity
+    Bytes buf_a(chunk);
+    Bytes buf_b(chunk);
+    for (std::uint64_t off = 0; off < limit; off += chunk) {
+        UPKIT_RETURN_IF_ERROR((*sa)->device->read((*sa)->offset + off, MutByteSpan(buf_a)));
+        UPKIT_RETURN_IF_ERROR((*sb)->device->read((*sb)->offset + off, MutByteSpan(buf_b)));
+        UPKIT_RETURN_IF_ERROR(
+            (*sa)->device->erase_range((*sa)->offset + off, chunk));
+        UPKIT_RETURN_IF_ERROR((*sa)->device->write((*sa)->offset + off, buf_b));
+        UPKIT_RETURN_IF_ERROR(
+            (*sb)->device->erase_range((*sb)->offset + off, chunk));
+        UPKIT_RETURN_IF_ERROR((*sb)->device->write((*sb)->offset + off, buf_a));
+    }
+    return Status::kOk;
+}
+
+// ---------------------------------------------------------------- reader
+
+SlotReader::SlotReader(const SlotManager& manager, std::uint32_t slot_id, std::uint64_t skip,
+                       std::uint64_t length)
+    : config_(manager.slot(slot_id)), skip_(skip), length_(length) {}
+
+Status SlotReader::read_at(std::uint64_t offset, MutByteSpan out) const {
+    if (config_ == nullptr) return Status::kNotFound;
+    if (offset + out.size() > length_) return Status::kOutOfRange;
+    return config_->device->read(config_->offset + skip_ + offset, out);
+}
+
+}  // namespace upkit::slots

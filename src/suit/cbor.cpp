@@ -1,0 +1,232 @@
+#include "suit/cbor.hpp"
+
+namespace upkit::suit {
+
+namespace {
+
+// Major types (RFC 8949 §3.1).
+constexpr std::uint8_t kMajorUnsigned = 0;
+constexpr std::uint8_t kMajorNegative = 1;
+constexpr std::uint8_t kMajorBytes = 2;
+constexpr std::uint8_t kMajorText = 3;
+constexpr std::uint8_t kMajorArray = 4;
+constexpr std::uint8_t kMajorMap = 5;
+constexpr std::uint8_t kMajorTag = 6;
+constexpr std::uint8_t kMajorSimple = 7;
+
+constexpr std::uint8_t kSimpleFalse = 20;
+constexpr std::uint8_t kSimpleTrue = 21;
+constexpr std::uint8_t kSimpleNull = 22;
+
+void put_head(Bytes& out, std::uint8_t major, std::uint64_t value) {
+    const std::uint8_t m = static_cast<std::uint8_t>(major << 5);
+    if (value < 24) {
+        out.push_back(static_cast<std::uint8_t>(m | value));
+    } else if (value <= 0xFF) {
+        out.push_back(m | 24);
+        out.push_back(static_cast<std::uint8_t>(value));
+    } else if (value <= 0xFFFF) {
+        out.push_back(m | 25);
+        out.push_back(static_cast<std::uint8_t>(value >> 8));
+        out.push_back(static_cast<std::uint8_t>(value));
+    } else if (value <= 0xFFFFFFFF) {
+        out.push_back(m | 26);
+        for (int i = 3; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    } else {
+        out.push_back(m | 27);
+        for (int i = 7; i >= 0; --i) out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+}
+
+struct Reader {
+    ByteSpan data;
+
+    Expected<std::uint8_t> take_byte() {
+        if (data.empty()) return Status::kOutOfRange;
+        const std::uint8_t b = data[0];
+        data = data.subspan(1);
+        return b;
+    }
+
+    Expected<std::uint64_t> take_argument(std::uint8_t info) {
+        if (info < 24) return static_cast<std::uint64_t>(info);
+        int extra = 0;
+        switch (info) {
+            case 24: extra = 1; break;
+            case 25: extra = 2; break;
+            case 26: extra = 4; break;
+            case 27: extra = 8; break;
+            default: return Status::kInvalidArgument;  // indefinite/reserved unsupported
+        }
+        if (data.size() < static_cast<std::size_t>(extra)) return Status::kOutOfRange;
+        std::uint64_t v = 0;
+        for (int i = 0; i < extra; ++i) v = (v << 8) | data[static_cast<std::size_t>(i)];
+        data = data.subspan(static_cast<std::size_t>(extra));
+        return v;
+    }
+
+    Expected<CborValue> parse(int depth) {
+        if (depth > 32) return Status::kInvalidArgument;  // nesting bomb guard
+        auto initial = take_byte();
+        if (!initial) return initial.status();
+        const std::uint8_t major = *initial >> 5;
+        const std::uint8_t info = *initial & 0x1F;
+
+        switch (major) {
+            case kMajorUnsigned: {
+                auto v = take_argument(info);
+                if (!v) return v.status();
+                return CborValue(*v);
+            }
+            case kMajorNegative: {
+                auto v = take_argument(info);
+                if (!v) return v.status();
+                if (*v > static_cast<std::uint64_t>(INT64_MAX)) return Status::kOutOfRange;
+                return CborValue(static_cast<std::int64_t>(-1 - static_cast<std::int64_t>(*v)));
+            }
+            case kMajorBytes:
+            case kMajorText: {
+                auto len = take_argument(info);
+                if (!len) return len.status();
+                if (data.size() < *len) return Status::kOutOfRange;
+                const ByteSpan body = data.subspan(0, static_cast<std::size_t>(*len));
+                data = data.subspan(static_cast<std::size_t>(*len));
+                if (major == kMajorBytes) return CborValue(Bytes(body.begin(), body.end()));
+                return CborValue(std::string(body.begin(), body.end()));
+            }
+            case kMajorArray: {
+                auto count = take_argument(info);
+                if (!count) return count.status();
+                if (*count > data.size()) return Status::kOutOfRange;  // each item >= 1 byte
+                CborArray array;
+                array.reserve(static_cast<std::size_t>(*count));
+                for (std::uint64_t i = 0; i < *count; ++i) {
+                    auto item = parse(depth + 1);
+                    if (!item) return item.status();
+                    array.push_back(std::move(*item));
+                }
+                return CborValue(std::move(array));
+            }
+            case kMajorMap: {
+                auto count = take_argument(info);
+                if (!count) return count.status();
+                if (*count > data.size()) return Status::kOutOfRange;
+                CborMap map;
+                for (std::uint64_t i = 0; i < *count; ++i) {
+                    auto key = parse(depth + 1);
+                    if (!key) return key.status();
+                    if (!key->is_integer()) return Status::kUnimplemented;  // SUIT keys are ints
+                    auto value = parse(depth + 1);
+                    if (!value) return value.status();
+                    if (!map.emplace(key->as_int(), std::move(*value)).second) {
+                        return Status::kInvalidArgument;  // duplicate key
+                    }
+                }
+                return CborValue(std::move(map));
+            }
+            case kMajorTag: {
+                auto tag = take_argument(info);
+                if (!tag) return tag.status();
+                auto inner = parse(depth + 1);
+                if (!inner) return inner.status();
+                return CborValue::tagged(*tag, std::move(*inner));
+            }
+            case kMajorSimple: {
+                switch (info) {
+                    case kSimpleFalse: return CborValue(false);
+                    case kSimpleTrue: return CborValue(true);
+                    case kSimpleNull: return CborValue();
+                    default: return Status::kUnimplemented;  // floats/simple not needed
+                }
+            }
+        }
+        return Status::kInternal;
+    }
+};
+
+}  // namespace
+
+CborValue::CborValue(std::int64_t v) {
+    if (v >= 0) {
+        v_ = static_cast<std::uint64_t>(v);
+    } else {
+        v_ = v;
+    }
+}
+
+CborValue CborValue::tagged(std::uint64_t tag, CborValue value) {
+    CborValue out;
+    out.v_ = Tagged{tag, std::make_shared<CborValue>(std::move(value))};
+    return out;
+}
+
+std::int64_t CborValue::as_int() const {
+    if (is_unsigned()) return static_cast<std::int64_t>(std::get<std::uint64_t>(v_));
+    return std::get<std::int64_t>(v_);
+}
+
+const CborValue* CborValue::find(std::int64_t key) const {
+    if (!is_map()) return nullptr;
+    const CborMap& map = as_map();
+    const auto it = map.find(key);
+    return it == map.end() ? nullptr : &it->second;
+}
+
+bool operator==(const CborValue& a, const CborValue& b) {
+    // Tagged values hold shared_ptrs; compare structurally via encoding.
+    return cbor_encode(a) == cbor_encode(b);
+}
+
+void cbor_encode_to(const CborValue& value, Bytes& out) {
+    if (value.is_unsigned()) {
+        put_head(out, kMajorUnsigned, value.as_unsigned());
+    } else if (value.is_negative()) {
+        put_head(out, kMajorNegative, static_cast<std::uint64_t>(-1 - value.as_int()));
+    } else if (value.is_bool()) {
+        out.push_back(static_cast<std::uint8_t>((kMajorSimple << 5) |
+                                                (value.as_bool() ? kSimpleTrue : kSimpleFalse)));
+    } else if (value.is_null()) {
+        out.push_back(static_cast<std::uint8_t>((kMajorSimple << 5) | kSimpleNull));
+    } else if (value.is_bytes()) {
+        put_head(out, kMajorBytes, value.as_bytes().size());
+        append(out, value.as_bytes());
+    } else if (value.is_text()) {
+        put_head(out, kMajorText, value.as_text().size());
+        append(out, to_bytes(value.as_text()));
+    } else if (value.is_array()) {
+        put_head(out, kMajorArray, value.as_array().size());
+        for (const CborValue& item : value.as_array()) cbor_encode_to(item, out);
+    } else if (value.is_map()) {
+        put_head(out, kMajorMap, value.as_map().size());
+        for (const auto& [key, item] : value.as_map()) {
+            cbor_encode_to(CborValue(key), out);
+            cbor_encode_to(item, out);
+        }
+    } else if (value.is_tagged()) {
+        put_head(out, kMajorTag, value.as_tagged().tag);
+        cbor_encode_to(*value.as_tagged().value, out);
+    }
+}
+
+Bytes cbor_encode(const CborValue& value) {
+    Bytes out;
+    cbor_encode_to(value, out);
+    return out;
+}
+
+Expected<CborValue> cbor_decode_prefix(ByteSpan& data) {
+    Reader reader{data};
+    auto value = reader.parse(0);
+    if (!value) return value.status();
+    data = reader.data;
+    return value;
+}
+
+Expected<CborValue> cbor_decode(ByteSpan data) {
+    auto value = cbor_decode_prefix(data);
+    if (!value) return value.status();
+    if (!data.empty()) return Status::kInvalidArgument;  // trailing bytes
+    return value;
+}
+
+}  // namespace upkit::suit

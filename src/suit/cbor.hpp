@@ -1,0 +1,94 @@
+// CBOR (RFC 8949) encoder/decoder, from scratch.
+//
+// Substrate for the SUIT manifest support the paper lists as future work
+// ("the support of the upcoming IETF SUIT standard, in order to allow
+// inter-operation with a larger range of IoT solutions"). SUIT manifests
+// are CBOR; this codec covers the subset SUIT needs — unsigned/negative
+// integers, byte/text strings, definite-length arrays and maps, booleans,
+// null, and tags — with canonical (shortest-form) integer encoding so that
+// signed byte ranges are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace upkit::suit {
+
+class CborValue;
+
+using CborArray = std::vector<CborValue>;
+/// SUIT maps are keyed by small integers; a sorted map gives canonical order.
+using CborMap = std::map<std::int64_t, CborValue>;
+
+/// A (definite-length) CBOR data item.
+class CborValue {
+public:
+    struct Null {};
+    struct Tagged {
+        std::uint64_t tag;
+        std::shared_ptr<CborValue> value;
+    };
+
+    CborValue() : v_(Null{}) {}
+    CborValue(std::uint64_t v) : v_(v) {}                       // NOLINT
+    CborValue(std::int64_t v);                                  // NOLINT
+    CborValue(int v) : CborValue(static_cast<std::int64_t>(v)) {}  // NOLINT
+    CborValue(bool v) : v_(v) {}                                // NOLINT
+    CborValue(Bytes v) : v_(std::move(v)) {}                    // NOLINT
+    CborValue(std::string v) : v_(std::move(v)) {}              // NOLINT
+    CborValue(CborArray v) : v_(std::move(v)) {}                // NOLINT
+    CborValue(CborMap v) : v_(std::move(v)) {}                  // NOLINT
+
+    static CborValue tagged(std::uint64_t tag, CborValue value);
+
+    bool is_unsigned() const { return std::holds_alternative<std::uint64_t>(v_); }
+    bool is_negative() const { return std::holds_alternative<std::int64_t>(v_); }
+    bool is_integer() const { return is_unsigned() || is_negative(); }
+    bool is_bytes() const { return std::holds_alternative<Bytes>(v_); }
+    bool is_text() const { return std::holds_alternative<std::string>(v_); }
+    bool is_array() const { return std::holds_alternative<CborArray>(v_); }
+    bool is_map() const { return std::holds_alternative<CborMap>(v_); }
+    bool is_bool() const { return std::holds_alternative<bool>(v_); }
+    bool is_null() const { return std::holds_alternative<Null>(v_); }
+    bool is_tagged() const { return std::holds_alternative<Tagged>(v_); }
+
+    /// Integer value; negative items are returned as their (negative)
+    /// int64 value. Caller must check is_integer().
+    std::int64_t as_int() const;
+    std::uint64_t as_unsigned() const { return std::get<std::uint64_t>(v_); }
+    bool as_bool() const { return std::get<bool>(v_); }
+    const Bytes& as_bytes() const { return std::get<Bytes>(v_); }
+    const std::string& as_text() const { return std::get<std::string>(v_); }
+    const CborArray& as_array() const { return std::get<CborArray>(v_); }
+    const CborMap& as_map() const { return std::get<CborMap>(v_); }
+    const Tagged& as_tagged() const { return std::get<Tagged>(v_); }
+
+    /// Map lookup; nullptr when absent (or not a map).
+    const CborValue* find(std::int64_t key) const;
+
+    friend bool operator==(const CborValue& a, const CborValue& b);
+
+private:
+    std::variant<Null, std::uint64_t, std::int64_t, bool, Bytes, std::string, CborArray,
+                 CborMap, Tagged>
+        v_;
+};
+
+/// Serializes a value (canonical shortest-form heads, definite lengths).
+Bytes cbor_encode(const CborValue& value);
+void cbor_encode_to(const CborValue& value, Bytes& out);
+
+/// Parses exactly one data item covering the whole input.
+Expected<CborValue> cbor_decode(ByteSpan data);
+
+/// Parses one item from the front of `data`, advancing it (for streams).
+Expected<CborValue> cbor_decode_prefix(ByteSpan& data);
+
+}  // namespace upkit::suit

@@ -1,0 +1,82 @@
+// The verifier module (paper Sect. IV-D).
+//
+// One implementation shared — verbatim — by the update agent and the
+// bootloader; UpKit's double verification is this module invoked twice. It
+// checks the two digital signatures and every manifest field against the
+// device's identity, the issued device token, and the target slot. The
+// update agent runs the token-aware variant *before* the firmware is
+// downloaded (early rejection, no reboot); the bootloader re-runs the
+// token-free variant on the stored image after reboot.
+#pragma once
+
+#include "crypto/backend.hpp"
+#include "manifest/manifest.hpp"
+#include "slots/slot.hpp"
+#include "suit/suit.hpp"
+
+namespace upkit::verify {
+
+/// Immutable facts about the device an update must be compatible with.
+struct DeviceIdentity {
+    std::uint32_t device_id = 0;
+    std::uint32_t app_id = 0;
+    std::uint16_t installed_version = 0;
+    bool supports_differential = false;
+};
+
+class Verifier {
+public:
+    Verifier(const crypto::CryptoBackend& backend, const crypto::PublicKey& vendor_key,
+             const crypto::PublicKey& server_key)
+        : backend_(&backend), vendor_key_(vendor_key), server_key_(server_key) {}
+
+    /// Signature checks only: vendor signature (integrity/authenticity) and
+    /// update-server signature (freshness binding).
+    Status verify_signatures(const manifest::Manifest& m) const;
+
+    /// Same double-signature check for a SUIT envelope (the signatures
+    /// cover the envelope's CBOR to-be-signed bytes, not the native wire
+    /// format's).
+    Status verify_suit_envelope(const suit::Envelope& envelope) const;
+
+    /// Agent-side manifest verification against the token issued for this
+    /// request and the slot the image would be stored into. Returns the
+    /// first failed property (paper's early-rejection point, step 9).
+    Status verify_manifest(const manifest::Manifest& m, const manifest::DeviceToken& token,
+                           const DeviceIdentity& identity,
+                           const slots::SlotConfig& target_slot) const;
+
+    /// The field checks of verify_manifest without the signature step —
+    /// for manifests whose signatures were already verified under an
+    /// alternative encoding (e.g. a SUIT envelope, whose to-be-signed
+    /// bytes differ from the native wire format's).
+    Status verify_manifest_fields(const manifest::Manifest& m,
+                                  const manifest::DeviceToken& token,
+                                  const DeviceIdentity& identity,
+                                  const slots::SlotConfig& target_slot) const;
+
+    /// Compares the digest computed over the received firmware with the
+    /// manifest's (agent step 13; also used by the bootloader).
+    Status verify_firmware_digest(const manifest::Manifest& m,
+                                  const crypto::Sha256Digest& actual) const;
+
+    /// Bootloader-side verification of a stored image: signatures, device
+    /// compatibility, and the firmware digest read back from the slot. No
+    /// token is available after reboot, so freshness fields are not
+    /// re-checked (they were bound by the server signature, which is).
+    Status verify_stored_image(const manifest::Manifest& m, ByteSpan firmware,
+                               const DeviceIdentity& identity,
+                               const slots::SlotConfig& slot) const;
+
+    const crypto::CryptoBackend& backend() const { return *backend_; }
+
+private:
+    Status check_compatibility(const manifest::Manifest& m, const DeviceIdentity& identity,
+                               const slots::SlotConfig& slot) const;
+
+    const crypto::CryptoBackend* backend_;
+    crypto::PublicKey vendor_key_;
+    crypto::PublicKey server_key_;
+};
+
+}  // namespace upkit::verify

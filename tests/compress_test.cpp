@@ -1,0 +1,193 @@
+// LZSS codec tests: exact roundtrips across data shapes, streaming decode at
+// adversarial chunk boundaries, window-parameter sweeps, and corrupt-stream
+// rejection.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "compress/lzss.hpp"
+#include "sim/firmware.hpp"
+
+namespace upkit::compress {
+namespace {
+
+Bytes roundtrip(ByteSpan input, const LzssParams& params = {}) {
+    auto compressed = lzss_compress(input, params);
+    EXPECT_TRUE(compressed.has_value());
+    auto restored = lzss_decompress(*compressed);
+    EXPECT_TRUE(restored.has_value());
+    return restored.has_value() ? *restored : Bytes{};
+}
+
+TEST(LzssTest, EmptyInput) {
+    EXPECT_EQ(roundtrip({}), Bytes{});
+}
+
+TEST(LzssTest, SingleByte) {
+    const Bytes in = {0x42};
+    EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(LzssTest, AllZeros) {
+    const Bytes in(10000, 0x00);
+    auto compressed = lzss_compress(in);
+    ASSERT_TRUE(compressed.has_value());
+    EXPECT_LT(compressed->size(), in.size() / 10);  // highly compressible
+    EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(LzssTest, IncompressibleRandomData) {
+    Rng rng(42);
+    const Bytes in = rng.bytes(4096);
+    EXPECT_EQ(roundtrip(in), in);  // may expand, must still roundtrip
+}
+
+TEST(LzssTest, RepeatedPattern) {
+    Bytes in;
+    for (int i = 0; i < 500; ++i) append(in, to_bytes("the quick brown fox "));
+    auto compressed = lzss_compress(in);
+    ASSERT_TRUE(compressed.has_value());
+    EXPECT_LT(compressed->size(), in.size() / 4);
+    EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(LzssTest, OverlappingMatchRle) {
+    // "aaaa..." forces matches whose source overlaps their own output.
+    Bytes in(257, 'a');
+    in.push_back('b');
+    EXPECT_EQ(roundtrip(in), in);
+}
+
+TEST(LzssTest, SyntheticFirmwareCompresses) {
+    const Bytes fw = sim::generate_firmware({.size = 64 * 1024, .seed = 3});
+    auto compressed = lzss_compress(fw);
+    ASSERT_TRUE(compressed.has_value());
+    EXPECT_LT(compressed->size(), fw.size());  // code-like data compresses
+    EXPECT_EQ(roundtrip(fw), fw);
+}
+
+TEST(LzssTest, StreamingDecodeByteAtATime) {
+    Rng rng(7);
+    Bytes in;
+    for (int i = 0; i < 100; ++i) {
+        append(in, rng.chance(0.5) ? to_bytes("repeated block data ") : rng.bytes(17));
+    }
+    auto compressed = lzss_compress(in);
+    ASSERT_TRUE(compressed.has_value());
+
+    BytesSink sink;
+    LzssDecoder decoder(sink);
+    for (std::uint8_t b : *compressed) {
+        ASSERT_EQ(decoder.write(ByteSpan(&b, 1)), Status::kOk);
+    }
+    ASSERT_EQ(decoder.finish(), Status::kOk);
+    EXPECT_EQ(sink.bytes(), in);
+}
+
+class LzssChunkSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LzssChunkSweep, StreamingDecodeAtChunkSize) {
+    const Bytes fw = sim::generate_firmware({.size = 16 * 1024, .seed = 11});
+    auto compressed = lzss_compress(fw);
+    ASSERT_TRUE(compressed.has_value());
+
+    BytesSink sink;
+    LzssDecoder decoder(sink);
+    const std::size_t chunk = GetParam();
+    for (std::size_t off = 0; off < compressed->size(); off += chunk) {
+        const std::size_t len = std::min(chunk, compressed->size() - off);
+        ASSERT_EQ(decoder.write(ByteSpan(*compressed).subspan(off, len)), Status::kOk);
+    }
+    ASSERT_EQ(decoder.finish(), Status::kOk);
+    EXPECT_EQ(sink.bytes(), fw);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, LzssChunkSweep,
+                         ::testing::Values(1, 2, 3, 7, 64, 244, 1024));
+
+class LzssWindowSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LzssWindowSweep, RoundTripAcrossWindowSizes) {
+    const LzssParams params{.window_bits = GetParam(), .min_match = 3};
+    ASSERT_TRUE(params.valid());
+    const Bytes fw = sim::generate_firmware({.size = 32 * 1024, .seed = GetParam()});
+    auto compressed = lzss_compress(fw, params);
+    ASSERT_TRUE(compressed.has_value());
+    auto restored = lzss_decompress(*compressed);
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, fw);
+}
+
+TEST_P(LzssWindowSweep, DecoderReportsWindowRam) {
+    const LzssParams params{.window_bits = GetParam(), .min_match = 3};
+    auto compressed = lzss_compress(to_bytes("hello hello hello"), params);
+    ASSERT_TRUE(compressed.has_value());
+    BytesSink sink;
+    LzssDecoder decoder(sink);
+    ASSERT_EQ(decoder.write(*compressed), Status::kOk);
+    EXPECT_EQ(decoder.window_ram(), params.window_size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, LzssWindowSweep, ::testing::Range(8u, 14u));
+
+TEST(LzssTest, LargerWindowNeverHurtsMuch) {
+    const Bytes fw = sim::generate_firmware({.size = 64 * 1024, .seed = 5});
+    auto small = lzss_compress(fw, {.window_bits = 8, .min_match = 3});
+    auto large = lzss_compress(fw, {.window_bits = 13, .min_match = 3});
+    ASSERT_TRUE(small.has_value());
+    ASSERT_TRUE(large.has_value());
+    EXPECT_LE(large->size(), small->size() + small->size() / 20);
+}
+
+TEST(LzssTest, InvalidParamsRejected) {
+    EXPECT_FALSE(lzss_compress(to_bytes("x"), {.window_bits = 7, .min_match = 3}).has_value());
+    EXPECT_FALSE(lzss_compress(to_bytes("x"), {.window_bits = 14, .min_match = 3}).has_value());
+    EXPECT_FALSE(lzss_compress(to_bytes("x"), {.window_bits = 11, .min_match = 1}).has_value());
+}
+
+TEST(LzssTest, CorruptMagicRejected) {
+    auto compressed = lzss_compress(to_bytes("some data to compress"));
+    ASSERT_TRUE(compressed.has_value());
+    (*compressed)[0] = 'X';
+    EXPECT_FALSE(lzss_decompress(*compressed).has_value());
+}
+
+TEST(LzssTest, TruncatedStreamRejected) {
+    const Bytes in(3000, 'q');
+    auto compressed = lzss_compress(in);
+    ASSERT_TRUE(compressed.has_value());
+    for (std::size_t cut : {std::size_t{3}, compressed->size() / 2, compressed->size() - 1}) {
+        BytesSink sink;
+        LzssDecoder decoder(sink);
+        const Status ws = decoder.write(ByteSpan(*compressed).subspan(0, cut));
+        if (ws == Status::kOk) {
+            EXPECT_NE(decoder.finish(), Status::kOk) << "cut=" << cut;
+        }
+    }
+}
+
+TEST(LzssTest, TrailingGarbageRejected) {
+    auto compressed = lzss_compress(to_bytes("payload"));
+    ASSERT_TRUE(compressed.has_value());
+    compressed->push_back(0xAB);
+    EXPECT_FALSE(lzss_decompress(*compressed).has_value());
+}
+
+TEST(LzssTest, BogusMatchDistanceRejected) {
+    // Hand-craft a stream whose first item is a match (no history yet).
+    Bytes stream = {'L', 'Z', 11, 3, 10, 0, 0, 0};  // declares 10 bytes
+    stream.push_back(0x01);  // flags: first item is a match
+    stream.push_back(0xFF);  // token low byte
+    stream.push_back(0xFF);  // token high byte
+    EXPECT_FALSE(lzss_decompress(stream).has_value());
+}
+
+TEST(LzssTest, HeaderDeclaredSizeEnforced) {
+    // Declared size smaller than actual emitted bytes must be rejected.
+    auto compressed = lzss_compress(to_bytes("abcdefghijklmnop"));
+    ASSERT_TRUE(compressed.has_value());
+    (*compressed)[4] = 4;  // original_size = 4 instead of 16
+    EXPECT_FALSE(lzss_decompress(*compressed).has_value());
+}
+
+}  // namespace
+}  // namespace upkit::compress

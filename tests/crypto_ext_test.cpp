@@ -1,0 +1,353 @@
+// Tests for the confidentiality-extension primitives: ChaCha20 (RFC 8439
+// vectors), HKDF (RFC 5869 vectors), ECDH agreement, the content-key
+// schedule, and the streaming decrypt stage.
+#include <gtest/gtest.h>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "common/endian.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/content_key.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/poly1305.hpp"
+#include "pipeline/decrypt_stage.hpp"
+
+namespace upkit::crypto {
+namespace {
+
+Bytes hexb(std::string_view hex) {
+    auto out = hex_decode(hex);
+    EXPECT_TRUE(out.has_value());
+    return out.has_value() ? *out : Bytes{};
+}
+
+// ---------------------------------------------------------------- ChaCha20
+
+TEST(ChaCha20Test, Rfc8439SunscreenVector) {
+    // RFC 8439 §2.4.2.
+    ChaChaKey key{};
+    for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+    ChaChaNonce nonce{};
+    nonce[7] = 0x4a;
+    const Bytes plaintext = to_bytes(
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it.");
+    const Bytes ciphertext = chacha20_xor(key, nonce, plaintext);
+    EXPECT_EQ(hex_encode(ByteSpan(ciphertext.data(), 32)),
+              "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+    EXPECT_EQ(hex_encode(ByteSpan(ciphertext.data() + ciphertext.size() - 10, 10)),
+              "b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20Test, EncryptDecryptSymmetry) {
+    Rng rng(1);
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    rng.fill(MutByteSpan(key));
+    rng.fill(MutByteSpan(nonce));
+    const Bytes plaintext = rng.bytes(1000);
+    const Bytes ciphertext = chacha20_xor(key, nonce, plaintext);
+    EXPECT_NE(ciphertext, plaintext);
+    EXPECT_EQ(chacha20_xor(key, nonce, ciphertext), plaintext);
+}
+
+TEST(ChaCha20Test, StreamingMatchesOneShotAtAnyChunking) {
+    Rng rng(2);
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    rng.fill(MutByteSpan(key));
+    rng.fill(MutByteSpan(nonce));
+    const Bytes data = rng.bytes(517);
+    const Bytes expected = chacha20_xor(key, nonce, data);
+
+    for (const std::size_t chunk : {1ul, 3ul, 63ul, 64ul, 65ul, 244ul}) {
+        ChaCha20 cipher(key, nonce);
+        Bytes out;
+        for (std::size_t off = 0; off < data.size(); off += chunk) {
+            Bytes piece(data.begin() + static_cast<std::ptrdiff_t>(off),
+                        data.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(off + chunk, data.size())));
+            cipher.apply(MutByteSpan(piece));
+            append(out, piece);
+        }
+        EXPECT_EQ(out, expected) << "chunk=" << chunk;
+    }
+}
+
+TEST(ChaCha20Test, DifferentNonceDifferentKeystream) {
+    ChaChaKey key{};
+    ChaChaNonce n1{};
+    ChaChaNonce n2{};
+    n2[0] = 1;
+    const Bytes zeros(64, 0);
+    EXPECT_NE(chacha20_xor(key, n1, zeros), chacha20_xor(key, n2, zeros));
+}
+
+// ---------------------------------------------------------------- Poly1305
+
+TEST(Poly1305Test, Rfc8439KnownAnswer) {
+    // RFC 8439 §2.5.2.
+    std::array<std::uint8_t, 32> key{};
+    const Bytes key_bytes = hexb(
+        "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+    std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+    const auto tag =
+        Poly1305::mac(key, to_bytes("Cryptographic Forum Research Group"));
+    EXPECT_EQ(hex_encode(ByteSpan(tag.data(), tag.size())),
+              "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305Test, StreamingMatchesOneShot) {
+    Rng rng(41);
+    std::array<std::uint8_t, 32> key{};
+    rng.fill(MutByteSpan(key));
+    const Bytes data = rng.bytes(1000);
+    const auto expected = Poly1305::mac(key, data);
+    for (const std::size_t chunk : {1ul, 15ul, 16ul, 17ul, 100ul}) {
+        Poly1305 mac(key);
+        for (std::size_t off = 0; off < data.size(); off += chunk) {
+            mac.update(ByteSpan(data).subspan(off, std::min(chunk, data.size() - off)));
+        }
+        EXPECT_EQ(mac.finalize(), expected) << chunk;
+    }
+}
+
+TEST(Poly1305Test, TagDependsOnEveryBit) {
+    std::array<std::uint8_t, 32> key{};
+    key[0] = 1;
+    Bytes data(100, 0x5A);
+    const auto tag = Poly1305::mac(key, data);
+    data[50] ^= 0x01;
+    EXPECT_NE(Poly1305::mac(key, data), tag);
+}
+
+TEST(AeadTest, Rfc8439SealVector) {
+    // RFC 8439 §2.8.2.
+    ChaChaKey key{};
+    for (std::size_t i = 0; i < 32; ++i) key[i] = static_cast<std::uint8_t>(0x80 + i);
+    ChaChaNonce nonce{};
+    const Bytes nonce_bytes = hexb("070000004041424344454647");
+    std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+    const Bytes aad = hexb("50515253c0c1c2c3c4c5c6c7");
+    const Bytes plaintext = to_bytes(
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it.");
+
+    const Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+    ASSERT_EQ(sealed.size(), plaintext.size() + kPolyTagSize);
+    EXPECT_EQ(hex_encode(ByteSpan(sealed.data(), 16)),
+              "d31a8d34648e60db7b86afbc53ef7ec2");
+    EXPECT_EQ(hex_encode(ByteSpan(sealed.data() + plaintext.size(), kPolyTagSize)),
+              "1ae10b594f09e26a7e902ecbd0600691");
+
+    auto opened = aead_open(key, nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(AeadTest, TamperingDetected) {
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    Rng rng(42);
+    rng.fill(MutByteSpan(key));
+    const Bytes plaintext = rng.bytes(300);
+    const Bytes aad = rng.bytes(12);
+
+    Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+    for (const std::size_t flip : {0ul, sealed.size() / 2, sealed.size() - 1}) {
+        Bytes bad = sealed;
+        bad[flip] ^= 0x01;
+        EXPECT_FALSE(aead_open(key, nonce, aad, bad).has_value()) << flip;
+    }
+    // Wrong AAD also fails.
+    Bytes wrong_aad = aad;
+    wrong_aad[0] ^= 1;
+    EXPECT_FALSE(aead_open(key, nonce, wrong_aad, sealed).has_value());
+    // Too-short input fails cleanly.
+    EXPECT_FALSE(aead_open(key, nonce, aad, Bytes(8, 0)).has_value());
+}
+
+TEST(AeadTest, StreamingMacMatchesSeal) {
+    ChaChaKey key{};
+    ChaChaNonce nonce{};
+    Rng rng(43);
+    rng.fill(MutByteSpan(key));
+    rng.fill(MutByteSpan(nonce));
+    const Bytes aad = rng.bytes(8);
+    const Bytes plaintext = rng.bytes(777);
+    const Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+
+    AeadMac mac(key, nonce, aad);
+    const ByteSpan ciphertext = ByteSpan(sealed).subspan(0, plaintext.size());
+    for (std::size_t off = 0; off < ciphertext.size(); off += 100) {
+        mac.update_ciphertext(ciphertext.subspan(off, std::min<std::size_t>(
+                                                          100, ciphertext.size() - off)));
+    }
+    const PolyTag tag = mac.finalize();
+    EXPECT_TRUE(std::equal(tag.begin(), tag.end(), sealed.end() - kPolyTagSize));
+}
+
+// ---------------------------------------------------------------- HKDF
+
+TEST(HkdfTest, Rfc5869TestCase1) {
+    const Bytes ikm(22, 0x0b);
+    const Bytes salt = hexb("000102030405060708090a0b0c");
+    const Bytes info = hexb("f0f1f2f3f4f5f6f7f8f9");
+    const Bytes prk = hkdf_extract(salt, ikm);
+    EXPECT_EQ(hex_encode(prk),
+              "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+    const Bytes okm = hkdf_expand(prk, info, 42);
+    EXPECT_EQ(hex_encode(okm),
+              "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+              "34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869TestCase3EmptySaltAndInfo) {
+    const Bytes ikm(22, 0x0b);
+    const Bytes okm = hkdf({}, ikm, {}, 42);
+    EXPECT_EQ(hex_encode(okm),
+              "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+              "9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, LongOutput) {
+    const Bytes okm = hkdf(to_bytes("salt"), to_bytes("ikm"), to_bytes("info"), 100);
+    EXPECT_EQ(okm.size(), 100u);
+    // Prefix property: a shorter expansion is a prefix of a longer one.
+    const Bytes shorter = hkdf(to_bytes("salt"), to_bytes("ikm"), to_bytes("info"), 40);
+    EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), okm.begin()));
+}
+
+// ---------------------------------------------------------------- ECDH
+
+TEST(EcdhTest, BothSidesDeriveSameSecret) {
+    const PrivateKey alice = PrivateKey::generate(to_bytes("alice"));
+    const PrivateKey bob = PrivateKey::generate(to_bytes("bob"));
+    auto ab = ecdh_shared_secret(alice, bob.public_key());
+    auto ba = ecdh_shared_secret(bob, alice.public_key());
+    ASSERT_TRUE(ab.has_value());
+    ASSERT_TRUE(ba.has_value());
+    EXPECT_EQ(*ab, *ba);
+    EXPECT_EQ(ab->size(), 32u);
+}
+
+TEST(EcdhTest, DifferentPeersDifferentSecrets) {
+    const PrivateKey alice = PrivateKey::generate(to_bytes("alice"));
+    const PrivateKey bob = PrivateKey::generate(to_bytes("bob"));
+    const PrivateKey carol = PrivateKey::generate(to_bytes("carol"));
+    auto ab = ecdh_shared_secret(alice, bob.public_key());
+    auto ac = ecdh_shared_secret(alice, carol.public_key());
+    ASSERT_TRUE(ab.has_value());
+    ASSERT_TRUE(ac.has_value());
+    EXPECT_NE(*ab, *ac);
+}
+
+TEST(ContentKeysTest, BoundToDeviceAndNonce) {
+    const Bytes secret(32, 0x42);
+    const ContentKeys a = derive_content_keys(secret, 1, 100);
+    const ContentKeys b = derive_content_keys(secret, 1, 101);  // new request
+    const ContentKeys c = derive_content_keys(secret, 2, 100);  // other device
+    EXPECT_NE(a.key, b.key);
+    EXPECT_NE(a.key, c.key);
+    EXPECT_EQ(derive_content_keys(secret, 1, 100).key, a.key);  // deterministic
+}
+
+// ------------------------------------------------------------- DecryptStage
+
+/// Builds the wire payload the update server would send: ephemeral pub ||
+/// AEAD(ciphertext || tag) with the (device, nonce) AAD.
+Bytes sealed_payload(const PrivateKey& ephemeral, const PublicKey& device_pub,
+                     std::uint32_t device_id, std::uint32_t nonce, ByteSpan plaintext) {
+    auto shared = ecdh_shared_secret(ephemeral, device_pub);
+    EXPECT_TRUE(shared.has_value());
+    const ContentKeys keys = derive_content_keys(*shared, device_id, nonce);
+    Bytes aad;
+    put_le32(aad, device_id);
+    put_le32(aad, nonce);
+    Bytes payload;
+    const auto eph_pub = ephemeral.public_key().to_bytes();
+    append(payload, ByteSpan(eph_pub.data(), eph_pub.size()));
+    append(payload, aead_seal(keys.key, keys.nonce, aad, plaintext));
+    return payload;
+}
+
+TEST(DecryptStageTest, RoundTripAtVariousChunkings) {
+    const PrivateKey device = PrivateKey::generate(to_bytes("device"));
+    const PrivateKey ephemeral = PrivateKey::generate(to_bytes("ephemeral"));
+
+    Rng rng(3);
+    const Bytes plaintext = rng.bytes(5000);
+    const Bytes payload =
+        sealed_payload(ephemeral, device.public_key(), 0xD1, 0x77, plaintext);
+
+    for (const std::size_t chunk : {1ul, 63ul, 64ul, 65ul, 244ul, 4096ul}) {
+        BytesSink sink;
+        pipeline::DecryptStage stage(device, 0xD1, 0x77, sink);
+        for (std::size_t off = 0; off < payload.size(); off += chunk) {
+            const std::size_t len = std::min(chunk, payload.size() - off);
+            ASSERT_EQ(stage.write(ByteSpan(payload).subspan(off, len)), Status::kOk);
+        }
+        ASSERT_EQ(stage.finish(), Status::kOk);
+        EXPECT_EQ(sink.bytes(), plaintext) << "chunk=" << chunk;
+        EXPECT_EQ(stage.plaintext_bytes(), plaintext.size());
+    }
+}
+
+TEST(DecryptStageTest, WrongDeviceKeyFailsTheTag) {
+    const PrivateKey device = PrivateKey::generate(to_bytes("device"));
+    const PrivateKey wrong = PrivateKey::generate(to_bytes("intruder"));
+    const PrivateKey ephemeral = PrivateKey::generate(to_bytes("ephemeral"));
+    const Bytes plaintext = to_bytes("super secret firmware bytes here");
+    const Bytes payload = sealed_payload(ephemeral, device.public_key(), 1, 2, plaintext);
+
+    BytesSink sink;
+    pipeline::DecryptStage stage(wrong, 1, 2, sink);
+    ASSERT_EQ(stage.write(payload), Status::kOk);
+    // The AEAD tag computed under the wrong key cannot match.
+    EXPECT_EQ(stage.finish(), Status::kBadAuthTag);
+    EXPECT_NE(sink.bytes(), plaintext);
+}
+
+TEST(DecryptStageTest, TamperedCiphertextFailsTheTag) {
+    const PrivateKey device = PrivateKey::generate(to_bytes("device"));
+    const PrivateKey ephemeral = PrivateKey::generate(to_bytes("ephemeral"));
+    Bytes payload = sealed_payload(ephemeral, device.public_key(), 1, 2,
+                                   Bytes(500, 0x77));
+    payload[64 + 100] ^= 0x20;  // flip a ciphertext bit
+
+    BytesSink sink;
+    pipeline::DecryptStage stage(device, 1, 2, sink);
+    ASSERT_EQ(stage.write(payload), Status::kOk);
+    EXPECT_EQ(stage.finish(), Status::kBadAuthTag);
+}
+
+TEST(DecryptStageTest, WrongRequestBindingFailsTheTag) {
+    const PrivateKey device = PrivateKey::generate(to_bytes("device"));
+    const PrivateKey ephemeral = PrivateKey::generate(to_bytes("ephemeral"));
+    const Bytes payload = sealed_payload(ephemeral, device.public_key(), 1, 2,
+                                         Bytes(200, 0x11));
+    // Replaying the ciphertext against a different request nonce fails: the
+    // derived key AND the AAD both differ.
+    BytesSink sink;
+    pipeline::DecryptStage stage(device, 1, 3, sink);
+    ASSERT_EQ(stage.write(payload), Status::kOk);
+    EXPECT_EQ(stage.finish(), Status::kBadAuthTag);
+}
+
+TEST(DecryptStageTest, InvalidEphemeralKeyRejected) {
+    const PrivateKey device = PrivateKey::generate(to_bytes("device"));
+    BytesSink sink;
+    pipeline::DecryptStage stage(device, 1, 2, sink);
+    EXPECT_EQ(stage.write(Bytes(64, 0x01)), Status::kBadKey);  // off-curve point
+}
+
+TEST(DecryptStageTest, TruncatedHeaderDetected) {
+    const PrivateKey device = PrivateKey::generate(to_bytes("device"));
+    BytesSink sink;
+    pipeline::DecryptStage stage(device, 1, 2, sink);
+    ASSERT_EQ(stage.write(Bytes(10, 0x00)), Status::kOk);  // incomplete header
+    EXPECT_EQ(stage.finish(), Status::kTruncatedImage);
+}
+
+}  // namespace
+}  // namespace upkit::crypto

@@ -1,0 +1,155 @@
+// End-to-end tests of the confidentiality extension: encrypted full and
+// differential updates, capability negotiation, and eavesdropper checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+
+#include "test_env.hpp"
+
+namespace upkit::core {
+namespace {
+
+using testenv::kAppId;
+using testenv::TestEnv;
+
+std::unique_ptr<Device> make_encrypted_device(TestEnv& env) {
+    DeviceConfig config = env.device_config(SlotLayout::kAB);
+    config.enable_encryption = true;
+    auto device = std::make_unique<Device>(config);
+    env.server.register_device_key(testenv::kDeviceId, device->encryption_public_key());
+    env.server.set_encryption_enabled(true);
+    auto factory = env.server.prepare_update(
+        kAppId, {.device_id = testenv::kDeviceId, .nonce = 0, .current_version = 0});
+    EXPECT_TRUE(factory.has_value());
+    // Factory provisioning writes the image directly; it must be plaintext.
+    // (prepare_update encrypts once enabled, so provision before enabling in
+    // real flows; here we disable momentarily.)
+    env.server.set_encryption_enabled(false);
+    factory = env.server.prepare_update(
+        kAppId, {.device_id = testenv::kDeviceId, .nonce = 0, .current_version = 0});
+    EXPECT_EQ(device->provision_factory(*factory), Status::kOk);
+    env.server.set_encryption_enabled(true);
+    return device;
+}
+
+bool contains_subsequence(ByteSpan haystack, ByteSpan needle) {
+    return std::search(haystack.begin(), haystack.end(), needle.begin(), needle.end()) !=
+           haystack.end();
+}
+
+TEST(EncryptedUpdateTest, FullImageEncryptedEndToEnd) {
+    TestEnv env;
+    auto device = make_encrypted_device(env);
+    const Bytes v2 = env.publish_os_update(2, 50);
+
+    // Capture what crosses the air.
+    auto response = env.server.prepare_update(
+        kAppId,
+        {.device_id = testenv::kDeviceId, .nonce = 123, .current_version = 0});
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->manifest.encrypted);
+    EXPECT_EQ(response->payload.size(), v2.size() + manifest::kEncryptionOverhead);
+    // An eavesdropper (or the smartphone itself) sees no firmware content.
+    EXPECT_FALSE(contains_subsequence(response->payload,
+                                      ByteSpan(v2.data() + 1024, 64)));
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    const SessionReport report = session.run(kAppId);
+    EXPECT_EQ(report.status, Status::kOk);
+    EXPECT_EQ(report.final_version, 2);
+}
+
+TEST(EncryptedUpdateTest, DifferentialEncryptedEndToEnd) {
+    TestEnv env;
+    auto device = make_encrypted_device(env);
+    env.publish_app_update(2, 51, 800);
+
+    UpdateSession session(*device, env.server, net::coap_6lowpan());
+    const SessionReport report = session.run(kAppId);
+    EXPECT_EQ(report.status, Status::kOk);
+    EXPECT_TRUE(report.differential);
+    EXPECT_EQ(report.final_version, 2);
+}
+
+TEST(EncryptedUpdateTest, DeviceWithoutKeyRejectsEncryptedManifestEarly) {
+    TestEnv env;
+    auto plain_device = env.make_device(SlotLayout::kAB);  // no encryption key
+    env.publish_os_update(2, 52);
+    // Server encrypts for this device id (someone registered a key for it).
+    const crypto::PrivateKey other = crypto::PrivateKey::generate(to_bytes("other"));
+    env.server.register_device_key(testenv::kDeviceId, other.public_key());
+    env.server.set_encryption_enabled(true);
+
+    UpdateSession session(*plain_device, env.server, net::ble_gatt());
+    const SessionReport report = session.run(kAppId);
+    EXPECT_EQ(report.status, Status::kUnimplemented);
+    EXPECT_TRUE(report.rejected_before_download);
+    EXPECT_EQ(plain_device->identity().installed_version, 1);
+}
+
+TEST(EncryptedUpdateTest, UnregisteredDeviceGetsPlaintext) {
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);
+    env.publish_os_update(2, 53);
+    env.server.set_encryption_enabled(true);  // but no key registered
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    const SessionReport report = session.run(kAppId);
+    EXPECT_EQ(report.status, Status::kOk);  // graceful fallback
+}
+
+TEST(EncryptedUpdateTest, TamperedCiphertextCaughtByAeadTag) {
+    TestEnv env;
+    auto device = make_encrypted_device(env);
+    env.publish_os_update(2, 54);
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    session.set_interceptor([](server::UpdateResponse& response) {
+        response.payload[manifest::kEncryptionHeaderSize + 100] ^= 0x01;
+    });
+    const SessionReport report = session.run(kAppId);
+    EXPECT_EQ(report.status, Status::kBadAuthTag);
+    EXPECT_TRUE(report.rejected_after_download);
+    EXPECT_FALSE(report.rebooted);
+}
+
+TEST(EncryptedUpdateTest, SwappedEphemeralKeyCaughtByDigest) {
+    TestEnv env;
+    auto device = make_encrypted_device(env);
+    env.publish_os_update(2, 55);
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    session.set_interceptor([](server::UpdateResponse& response) {
+        // Replace the ephemeral key with the attacker's own valid key: the
+        // derived content key differs and decryption yields garbage. For a
+        // differential payload the LZSS decoder rejects the garbage stream;
+        // for a full image the digest check catches it — either way the
+        // update dies without a reboot.
+        const crypto::PrivateKey attacker = crypto::PrivateKey::generate(to_bytes("evil"));
+        const auto pub = attacker.public_key().to_bytes();
+        std::copy(pub.begin(), pub.end(), response.payload.begin());
+    });
+    const SessionReport report = session.run(kAppId);
+    EXPECT_NE(report.status, Status::kOk);
+    EXPECT_FALSE(report.rebooted);
+    EXPECT_EQ(device->identity().installed_version, 1);
+}
+
+TEST(EncryptedUpdateTest, ResponsesForDifferentRequestsUseDifferentKeystreams) {
+    TestEnv env;
+    auto device = make_encrypted_device(env);
+    env.publish_os_update(2, 56);
+
+    auto r1 = env.server.prepare_update(
+        kAppId, {.device_id = testenv::kDeviceId, .nonce = 1, .current_version = 0});
+    auto r2 = env.server.prepare_update(
+        kAppId, {.device_id = testenv::kDeviceId, .nonce = 2, .current_version = 0});
+    ASSERT_TRUE(r1.has_value());
+    ASSERT_TRUE(r2.has_value());
+    // Same plaintext, different ciphertext (fresh ephemeral + nonce-bound key).
+    EXPECT_NE(r1->payload, r2->payload);
+}
+
+}  // namespace
+}  // namespace upkit::core

@@ -1,0 +1,163 @@
+// Footprint-model tests: the composed builds must land on the paper's
+// measured totals (Tables I, II) and reproduce every comparative claim of
+// Sect. VI-A/VI-B and Fig. 7.
+#include <gtest/gtest.h>
+
+#include "footprint/footprint.hpp"
+
+namespace upkit::footprint {
+namespace {
+
+/// |actual - expected| within `tolerance` (absolute bytes).
+::testing::AssertionResult near_bytes(std::uint32_t actual, std::uint32_t expected,
+                                      std::uint32_t tolerance) {
+    const std::uint32_t delta = actual > expected ? actual - expected : expected - actual;
+    if (delta <= tolerance) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "expected " << expected << " +/- " << tolerance << ", got " << actual;
+}
+
+// --- Table I anchors -----------------------------------------------------
+
+struct TableIRow {
+    Os os;
+    CryptoLib lib;
+    std::uint32_t paper_flash;
+    std::uint32_t paper_ram;
+};
+
+class TableISweep : public ::testing::TestWithParam<TableIRow> {};
+
+TEST_P(TableISweep, BootloaderMatchesPaper) {
+    const TableIRow& row = GetParam();
+    const Footprint fp = upkit_bootloader(row.os, row.lib);
+    EXPECT_TRUE(near_bytes(fp.flash, row.paper_flash, 60)) << "flash";
+    EXPECT_TRUE(near_bytes(fp.ram, row.paper_ram, 60)) << "ram";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, TableISweep,
+    ::testing::Values(TableIRow{Os::kZephyr, CryptoLib::kTinyDtls, 13040, 8180},
+                      TableIRow{Os::kZephyr, CryptoLib::kTinyCrypt, 14151, 8180},
+                      TableIRow{Os::kRiot, CryptoLib::kTinyDtls, 15420, 6512},
+                      TableIRow{Os::kRiot, CryptoLib::kTinyCrypt, 16552, 6512},
+                      TableIRow{Os::kContiki, CryptoLib::kTinyDtls, 15454, 6637},
+                      TableIRow{Os::kContiki, CryptoLib::kTinyCrypt, 16546, 6637},
+                      TableIRow{Os::kContiki, CryptoLib::kCryptoAuthLib, 14078, 6553}));
+
+// --- Table II anchors ----------------------------------------------------
+
+TEST(TableII, AgentBuildsMatchPaper) {
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kZephyr, NetMode::kPull6lowpan).flash, 218472, 20));
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kZephyr, NetMode::kPull6lowpan).ram, 75204, 20));
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kRiot, NetMode::kPull6lowpan).flash, 95780, 20));
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kRiot, NetMode::kPull6lowpan).ram, 31244, 20));
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kContiki, NetMode::kPull6lowpan).flash, 79445, 20));
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kContiki, NetMode::kPull6lowpan).ram, 19934, 20));
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kZephyr, NetMode::kPushBle).flash, 81918, 20));
+    EXPECT_TRUE(near_bytes(upkit_agent(Os::kZephyr, NetMode::kPushBle).ram, 21856, 20));
+}
+
+// --- Sect. VI-A comparative claims ---------------------------------------
+
+TEST(ShapeClaims, ZephyrBootloaderSmallestFlashButMostRam) {
+    // "Zephyr build requiring about 15% less flash memory than the one of
+    //  other OS ... roughly 20% more RAM due to its larger run-time stack."
+    const Footprint zephyr = upkit_bootloader(Os::kZephyr, CryptoLib::kTinyDtls);
+    const Footprint riot = upkit_bootloader(Os::kRiot, CryptoLib::kTinyDtls);
+    const Footprint contiki = upkit_bootloader(Os::kContiki, CryptoLib::kTinyDtls);
+    const double other_flash = (riot.flash + contiki.flash) / 2.0;
+    const double flash_saving = 1.0 - zephyr.flash / other_flash;
+    EXPECT_GT(flash_saving, 0.10);
+    EXPECT_LT(flash_saving, 0.20);
+    const double other_ram = (riot.ram + contiki.ram) / 2.0;
+    const double ram_premium = zephyr.ram / other_ram - 1.0;
+    EXPECT_GT(ram_premium, 0.15);
+    EXPECT_LT(ram_premium, 0.30);
+}
+
+TEST(ShapeClaims, TinyDtlsSavesAboutOneKilobyteOverTinycrypt) {
+    for (const Os os : {Os::kZephyr, Os::kRiot, Os::kContiki}) {
+        const std::uint32_t delta = upkit_bootloader(os, CryptoLib::kTinyCrypt).flash -
+                                    upkit_bootloader(os, CryptoLib::kTinyDtls).flash;
+        EXPECT_TRUE(near_bytes(delta, 1100, 120)) << to_string(os);
+    }
+}
+
+TEST(ShapeClaims, HsmBuildSavesAboutTenPercent) {
+    // "the bootloader requires ... about 10% less flash memory than the
+    //  bootloader built based on Contiki and using TinyDTLS."
+    const double with_hsm = upkit_bootloader(Os::kContiki, CryptoLib::kCryptoAuthLib).flash;
+    const double with_sw = upkit_bootloader(Os::kContiki, CryptoLib::kTinyDtls).flash;
+    EXPECT_TRUE(near_bytes(static_cast<std::uint32_t>(1000 * (1.0 - with_hsm / with_sw)),
+                           100, 30));  // ~10% +/- 3pp (in tenths of a percent)
+}
+
+TEST(ShapeClaims, ContikiPullAgentIsSmallest) {
+    // "Contiki uses 64% and 17% less flash ... 73% and 36% less RAM than
+    //  Zephyr and RIOT, respectively."
+    const Footprint contiki = upkit_agent(Os::kContiki, NetMode::kPull6lowpan);
+    const Footprint zephyr = upkit_agent(Os::kZephyr, NetMode::kPull6lowpan);
+    const Footprint riot = upkit_agent(Os::kRiot, NetMode::kPull6lowpan);
+    EXPECT_NEAR(1.0 - static_cast<double>(contiki.flash) / zephyr.flash, 0.64, 0.03);
+    EXPECT_NEAR(1.0 - static_cast<double>(contiki.flash) / riot.flash, 0.17, 0.03);
+    EXPECT_NEAR(1.0 - static_cast<double>(contiki.ram) / zephyr.ram, 0.73, 0.03);
+    EXPECT_NEAR(1.0 - static_cast<double>(contiki.ram) / riot.ram, 0.36, 0.03);
+}
+
+TEST(ShapeClaims, PushBuildMuchSmallerThanZephyrPull) {
+    const Footprint push = upkit_agent(Os::kZephyr, NetMode::kPushBle);
+    const Footprint pull = upkit_agent(Os::kZephyr, NetMode::kPull6lowpan);
+    EXPECT_LT(push.flash * 2, pull.flash);
+    EXPECT_LT(push.ram * 3, pull.ram);
+}
+
+// --- Fig. 7 claims --------------------------------------------------------
+
+TEST(Fig7Claims, UpkitBootloaderBeatsMcuboot) {
+    const Footprint upkit = upkit_bootloader(Os::kZephyr, CryptoLib::kTinyCrypt);
+    const Footprint baseline = mcuboot(CryptoLib::kTinyCrypt);
+    EXPECT_EQ(baseline.flash - upkit.flash, 1600u);
+    EXPECT_EQ(baseline.ram - upkit.ram, 716u);
+}
+
+TEST(Fig7Claims, UpkitPullAgentBeatsLwm2m) {
+    const Footprint upkit = upkit_agent(Os::kZephyr, NetMode::kPull6lowpan);
+    const Footprint baseline = lwm2m_agent();
+    EXPECT_EQ(baseline.flash - upkit.flash, 4800u);
+    EXPECT_EQ(baseline.ram - upkit.ram, 2400u);
+}
+
+TEST(Fig7Claims, UpkitPushAgentSmallerFlashThanMcumgrDespiteMoreFeatures) {
+    const Footprint upkit = upkit_agent(Os::kZephyr, NetMode::kPushBle);
+    const Footprint baseline = mcumgr_agent();
+    EXPECT_EQ(baseline.flash - upkit.flash, 426u);
+    // The RAM premium buys differential updates + signature validation.
+    EXPECT_EQ(upkit.ram - baseline.ram, 1200u);
+}
+
+// --- model internals ------------------------------------------------------
+
+TEST(ModelInternals, PaperReportedModuleSizes) {
+    EXPECT_EQ(pipeline_module().flash, 1632u);  // Sect. VI-A verbatim
+    EXPECT_EQ(pipeline_module().ram, 2137u);
+    EXPECT_EQ(memory_module().flash, 2024u);
+}
+
+TEST(ModelInternals, CompositionIsExact) {
+    const Footprint total = upkit_bootloader(Os::kRiot, CryptoLib::kTinyDtls);
+    const Footprint parts = os_boot_runtime(Os::kRiot) + crypto_lib(CryptoLib::kTinyDtls) +
+                            verifier_module() + memory_module();
+    EXPECT_EQ(total.flash, parts.flash);
+    EXPECT_EQ(total.ram, parts.ram);
+}
+
+TEST(ModelInternals, HsmOffloadShrinksCryptoFootprint) {
+    EXPECT_LT(crypto_lib(CryptoLib::kCryptoAuthLib).flash,
+              crypto_lib(CryptoLib::kTinyDtls).flash);
+    EXPECT_LT(crypto_lib(CryptoLib::kCryptoAuthLib).ram,
+              crypto_lib(CryptoLib::kTinyDtls).ram);
+}
+
+}  // namespace
+}  // namespace upkit::footprint

@@ -1,0 +1,168 @@
+// Manifest / device-token wire-format tests: roundtrips, structural
+// validation, signature-coverage boundaries.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "manifest/manifest.hpp"
+
+namespace upkit::manifest {
+namespace {
+
+Manifest sample_manifest() {
+    Manifest m;
+    m.device_id = 0xDEADBEEF;
+    m.nonce = 0x12345678;
+    m.old_version = 3;
+    m.version = 4;
+    m.firmware_size = 100 * 1024;
+    for (std::size_t i = 0; i < m.digest.size(); ++i) m.digest[i] = static_cast<std::uint8_t>(i);
+    m.link_offset = 0x8000;
+    m.app_id = 0xA11CE;
+    m.differential = true;
+    m.payload_size = 31337;
+    for (std::size_t i = 0; i < m.vendor_signature.size(); ++i) {
+        m.vendor_signature[i] = static_cast<std::uint8_t>(0x40 + i);
+        m.server_signature[i] = static_cast<std::uint8_t>(0x80 + i);
+    }
+    return m;
+}
+
+TEST(DeviceTokenTest, RoundTrip) {
+    const DeviceToken token{.device_id = 0xCAFEBABE, .nonce = 7, .current_version = 12};
+    const Bytes wire = serialize(token);
+    EXPECT_EQ(wire.size(), kDeviceTokenSize);
+    auto parsed = parse_device_token(wire);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->device_id, token.device_id);
+    EXPECT_EQ(parsed->nonce, token.nonce);
+    EXPECT_EQ(parsed->current_version, token.current_version);
+}
+
+TEST(DeviceTokenTest, WrongSizeRejected) {
+    EXPECT_FALSE(parse_device_token(Bytes(9, 0)).has_value());
+    EXPECT_FALSE(parse_device_token(Bytes(11, 0)).has_value());
+}
+
+TEST(DeviceTokenTest, DifferentialCapabilitySignal) {
+    EXPECT_FALSE((DeviceToken{.device_id = 1, .nonce = 2, .current_version = 0})
+                     .supports_differential());
+    EXPECT_TRUE((DeviceToken{.device_id = 1, .nonce = 2, .current_version = 5})
+                    .supports_differential());
+}
+
+TEST(ManifestTest, SerializeIsFixedSize) {
+    EXPECT_EQ(serialize(sample_manifest()).size(), kManifestSize);
+    EXPECT_EQ(serialize(Manifest{}).size(), kManifestSize);
+}
+
+TEST(ManifestTest, RoundTripPreservesAllFields) {
+    const Manifest m = sample_manifest();
+    auto parsed = parse_manifest(serialize(m));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->device_id, m.device_id);
+    EXPECT_EQ(parsed->nonce, m.nonce);
+    EXPECT_EQ(parsed->old_version, m.old_version);
+    EXPECT_EQ(parsed->version, m.version);
+    EXPECT_EQ(parsed->firmware_size, m.firmware_size);
+    EXPECT_EQ(parsed->digest, m.digest);
+    EXPECT_EQ(parsed->link_offset, m.link_offset);
+    EXPECT_EQ(parsed->app_id, m.app_id);
+    EXPECT_EQ(parsed->differential, m.differential);
+    EXPECT_EQ(parsed->payload_size, m.payload_size);
+    EXPECT_EQ(parsed->vendor_signature, m.vendor_signature);
+    EXPECT_EQ(parsed->server_signature, m.server_signature);
+}
+
+TEST(ManifestTest, RejectsBadMagic) {
+    Bytes wire = serialize(sample_manifest());
+    wire[0] = 'X';
+    EXPECT_EQ(parse_manifest(wire).status(), Status::kBadManifest);
+}
+
+TEST(ManifestTest, RejectsUnknownFormatVersion) {
+    Bytes wire = serialize(sample_manifest());
+    wire[4] = 99;
+    EXPECT_EQ(parse_manifest(wire).status(), Status::kBadManifest);
+}
+
+TEST(ManifestTest, RejectsUnknownFlags) {
+    Bytes wire = serialize(sample_manifest());
+    wire[7] = 0x80;  // undefined high flag bit
+    EXPECT_EQ(parse_manifest(wire).status(), Status::kBadManifest);
+}
+
+TEST(ManifestTest, RejectsNonZeroReserved) {
+    Bytes wire = serialize(sample_manifest());
+    wire[70] = 1;
+    EXPECT_EQ(parse_manifest(wire).status(), Status::kBadManifest);
+}
+
+TEST(ManifestTest, RejectsShortInput) {
+    const Bytes wire = serialize(sample_manifest());
+    EXPECT_EQ(parse_manifest(ByteSpan(wire).subspan(0, kManifestSize - 1)).status(),
+              Status::kBadManifest);
+    EXPECT_EQ(parse_manifest({}).status(), Status::kBadManifest);
+}
+
+TEST(ManifestTest, VendorBytesExcludeTokenAndTransportFields) {
+    Manifest a = sample_manifest();
+    Manifest b = a;
+    // Fields the update server sets per request must NOT affect the vendor
+    // signature's coverage...
+    b.device_id ^= 1;
+    b.nonce ^= 1;
+    b.old_version ^= 1;
+    b.payload_size ^= 1;
+    b.differential = !b.differential;
+    b.server_signature[0] ^= 1;
+    EXPECT_EQ(a.vendor_signed_bytes(), b.vendor_signed_bytes());
+
+    // ...while every vendor-controlled field must.
+    for (int field = 0; field < 5; ++field) {
+        Manifest c = a;
+        switch (field) {
+            case 0: c.version ^= 1; break;
+            case 1: c.firmware_size ^= 1; break;
+            case 2: c.digest[0] ^= 1; break;
+            case 3: c.link_offset ^= 1; break;
+            case 4: c.app_id ^= 1; break;
+        }
+        EXPECT_NE(a.vendor_signed_bytes(), c.vendor_signed_bytes()) << "field " << field;
+    }
+}
+
+TEST(ManifestTest, ServerBytesCoverEverythingButServerSignature) {
+    Manifest a = sample_manifest();
+
+    {
+        // The server signature itself is excluded (it cannot sign itself).
+        Manifest b = a;
+        b.server_signature[5] ^= 0xFF;
+        EXPECT_EQ(a.server_signed_bytes(), b.server_signed_bytes());
+    }
+
+    // Token fields, transport fields, and the vendor signature are covered.
+    for (int field = 0; field < 6; ++field) {
+        Manifest c = a;
+        switch (field) {
+            case 0: c.device_id ^= 1; break;
+            case 1: c.nonce ^= 1; break;
+            case 2: c.old_version ^= 1; break;
+            case 3: c.payload_size ^= 1; break;
+            case 4: c.differential = !c.differential; break;
+            case 5: c.vendor_signature[0] ^= 1; break;
+        }
+        EXPECT_NE(a.server_signed_bytes(), c.server_signed_bytes()) << "field " << field;
+    }
+}
+
+TEST(ManifestTest, ServerBytesAreWirePrefix) {
+    const Manifest m = sample_manifest();
+    const Bytes wire = serialize(m);
+    const Bytes tbs = m.server_signed_bytes();
+    ASSERT_EQ(tbs.size(), 136u);
+    EXPECT_TRUE(std::equal(tbs.begin(), tbs.end(), wire.begin()));
+}
+
+}  // namespace
+}  // namespace upkit::manifest

@@ -1,0 +1,173 @@
+// Network-simulation and device-model tests: link math, transport chunking
+// and loss, energy meter attribution, platform profiles, firmware
+// generator statistics.
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/transport.hpp"
+#include "sim/energy.hpp"
+#include "sim/firmware.hpp"
+#include "sim/platform.hpp"
+
+namespace upkit {
+namespace {
+
+TEST(LinkParamsTest, GoodputMatchesCalibration) {
+    // Fig. 8a calibration: ~2.1 kB/s effective push, ~2.4 kB/s pull.
+    EXPECT_NEAR(net::ble_gatt().goodput_Bps(), 2150.0, 100.0);
+    EXPECT_NEAR(net::coap_6lowpan().goodput_Bps(), 2450.0, 120.0);
+}
+
+TEST(LinkParamsTest, ChunkTimeScalesWithSize) {
+    const net::LinkParams link = net::ble_gatt();
+    EXPECT_GT(link.chunk_seconds(244), link.chunk_seconds(10));
+    EXPECT_GT(link.chunk_seconds(10), link.per_chunk_overhead_s);
+}
+
+TEST(TransportTest, DeliversAllBytesInMtuChunks) {
+    sim::VirtualClock clock;
+    sim::EnergyMeter meter(sim::nrf52840());
+    net::Transport transport(net::ble_gatt(), clock, &meter);
+
+    Bytes data(1000, 0x5A);
+    struct CountingSink final : ByteSink {
+        std::size_t chunks = 0;
+        Bytes received;
+        Status write(ByteSpan d) override {
+            ++chunks;
+            append(received, d);
+            return Status::kOk;
+        }
+    } sink;
+
+    ASSERT_EQ(transport.to_device(data, sink), Status::kOk);
+    EXPECT_EQ(sink.received, data);
+    EXPECT_EQ(sink.chunks, (1000 + 243) / 244);
+    EXPECT_EQ(transport.bytes_to_device(), 1000u);
+    EXPECT_GT(clock.now(), 0.0);
+    EXPECT_GT(meter.millijoules(sim::Component::kRadioRx), 0.0);
+}
+
+TEST(TransportTest, UplinkChargesTx) {
+    sim::VirtualClock clock;
+    sim::EnergyMeter meter(sim::nrf52840());
+    net::Transport transport(net::coap_6lowpan(), clock, &meter);
+    ASSERT_EQ(transport.from_device(Bytes(10, 1)), Status::kOk);
+    EXPECT_GT(meter.millijoules(sim::Component::kRadioTx), 0.0);
+    EXPECT_EQ(meter.millijoules(sim::Component::kRadioRx), 0.0);
+}
+
+TEST(TransportTest, LossAddsTimeViaRetransmissions) {
+    Bytes data(10000, 0x11);
+    BytesSink sink1, sink2;
+
+    sim::VirtualClock clean_clock;
+    net::Transport clean(net::ble_gatt(), clean_clock, nullptr);
+    ASSERT_EQ(clean.to_device(data, sink1), Status::kOk);
+
+    net::LinkParams lossy_params = net::ble_gatt();
+    lossy_params.loss_probability = 0.2;
+    sim::VirtualClock lossy_clock;
+    net::Transport lossy(lossy_params, lossy_clock, nullptr, /*loss_seed=*/7);
+    ASSERT_EQ(lossy.to_device(data, sink2), Status::kOk);
+
+    EXPECT_EQ(sink1.bytes(), sink2.bytes());
+    EXPECT_GT(lossy.chunks_retransmitted(), 0u);
+    EXPECT_GT(lossy_clock.now(), clean_clock.now() * 1.1);
+}
+
+TEST(TransportTest, HopelessLinkTimesOut) {
+    net::LinkParams dead = net::ble_gatt();
+    dead.loss_probability = 1.0;
+    sim::VirtualClock clock;
+    net::Transport transport(dead, clock, nullptr);
+    transport.set_max_retries(3);
+    BytesSink sink;
+    EXPECT_EQ(transport.to_device(Bytes(100, 1), sink), Status::kTimeout);
+}
+
+TEST(EnergyMeterTest, AttributesPerComponent) {
+    sim::EnergyMeter meter(sim::nrf52840());
+    meter.charge(sim::Component::kRadioTx, 2.0);
+    meter.charge(sim::Component::kCpu, 1.0);
+    // nRF52840: TX 16.4 mA, CPU 6.3 mA at 3 V.
+    EXPECT_NEAR(meter.millijoules(sim::Component::kRadioTx), 16.4 * 3.0 * 2.0, 1e-9);
+    EXPECT_NEAR(meter.millijoules(sim::Component::kCpu), 6.3 * 3.0, 1e-9);
+    EXPECT_NEAR(meter.total_millijoules(), 16.4 * 6.0 + 18.9, 1e-9);
+    meter.reset();
+    EXPECT_EQ(meter.total_millijoules(), 0.0);
+}
+
+TEST(EnergyMeterTest, ExtraDrawForHsm) {
+    sim::EnergyMeter meter(sim::cc2650());
+    meter.charge(sim::Component::kHsm, 1.0, /*extra_ma=*/16.0);
+    // MCU waits (cpu_active draw) + the ATECC508's own 16 mA.
+    EXPECT_NEAR(meter.millijoules(sim::Component::kHsm), (2.9 + 16.0) * 3.0, 1e-9);
+}
+
+TEST(PlatformTest, ProfilesMatchDatasheets) {
+    EXPECT_EQ(sim::nrf52840().internal_flash_bytes, 1024u * 1024);
+    EXPECT_EQ(sim::nrf52840().ram_bytes, 256u * 1024);
+    EXPECT_EQ(sim::cc2650().internal_flash_bytes, 128u * 1024);
+    EXPECT_TRUE(sim::cc2650().has_external_flash);  // needed for its NB slot
+    EXPECT_EQ(sim::cc2538().internal_flash_bytes, 512u * 1024);
+    EXPECT_FALSE(sim::nrf52840().has_external_flash);
+}
+
+TEST(PlatformTest, CpuScaleRelativeTo64Mhz) {
+    EXPECT_DOUBLE_EQ(sim::nrf52840().cpu_scale(), 1.0);
+    EXPECT_GT(sim::cc2538().cpu_scale(), 1.0);  // 32 MHz: slower crypto
+}
+
+TEST(FirmwareGeneratorTest, DeterministicAndSized) {
+    const Bytes a = sim::generate_firmware({.size = 10000, .seed = 5});
+    const Bytes b = sim::generate_firmware({.size = 10000, .seed = 5});
+    const Bytes c = sim::generate_firmware({.size = 10000, .seed = 6});
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a.size(), 10000u);
+}
+
+TEST(FirmwareGeneratorTest, MutationsPreserveSize) {
+    const Bytes fw = sim::generate_firmware({.size = 50000, .seed = 1});
+    EXPECT_EQ(sim::mutate_os_version(fw, 2).size(), fw.size());
+    EXPECT_EQ(sim::mutate_app_change(fw, 3, 1000).size(), fw.size());
+}
+
+TEST(FirmwareGeneratorTest, OsChangeTouchesMoreThanAppChange) {
+    const Bytes fw = sim::generate_firmware({.size = 100 * 1024, .seed = 9});
+    const Bytes os_new = sim::mutate_os_version(fw, 10);
+    const Bytes app_new = sim::mutate_app_change(fw, 10, 1000);
+
+    const auto diff_bytes = [&](const Bytes& x) {
+        std::size_t n = 0;
+        for (std::size_t i = 0; i < fw.size(); ++i) n += (x[i] != fw[i]) ? 1 : 0;
+        return n;
+    };
+    const std::size_t os_delta = diff_bytes(os_new);
+    const std::size_t app_delta = diff_bytes(app_new);
+    EXPECT_GT(os_delta, app_delta * 3);
+    EXPECT_GT(app_delta, 100u);          // the localized edit is real
+    EXPECT_LT(app_delta, 2000u);         // ...and stays localized
+    EXPECT_LT(os_delta, fw.size() / 3);  // churn, not a rewrite
+}
+
+TEST(FirmwareGeneratorTest, AppChangeIsContiguous) {
+    const Bytes fw = sim::generate_firmware({.size = 64 * 1024, .seed = 12});
+    const Bytes edited = sim::mutate_app_change(fw, 13, 1000);
+    // Ignoring the version tag (offset 16..25), all differences must sit in
+    // one window no larger than the requested edit size (plus slack).
+    std::size_t first = fw.size();
+    std::size_t last = 0;
+    for (std::size_t i = 26; i < fw.size(); ++i) {
+        if (fw[i] != edited[i]) {
+            first = std::min(first, i);
+            last = std::max(last, i);
+        }
+    }
+    ASSERT_LT(first, last);
+    EXPECT_LE(last - first, 1100u);
+}
+
+}  // namespace
+}  // namespace upkit

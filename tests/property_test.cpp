@@ -1,0 +1,242 @@
+// System-level property tests:
+//   1. Power-loss sweep — cut power after N flash operations for every N
+//      across the whole update; the device must NEVER brick: after reboot
+//      it runs either the old or (late cuts) the new version, and a retry
+//      always converges to the new version.
+//   2. FSM transition matrix — every agent entry point from every state
+//      either performs its legal transition or returns kFsmBadState and
+//      leaves the machine usable.
+//   3. Fleet campaigns — heterogeneous fleets converge.
+#include <gtest/gtest.h>
+
+#include "core/fleet.hpp"
+#include "test_env.hpp"
+
+namespace upkit::core {
+namespace {
+
+using agent::FsmState;
+using testenv::kAppId;
+using testenv::TestEnv;
+
+// ----------------------------------------------------------- power loss
+
+class PowerLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerLossSweep, NeverBricksAndRetryConverges) {
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);
+    env.publish_os_update(2, 60);
+
+    // Arm the cut: the Nth flash write/erase from here on dies.
+    device->internal_flash().schedule_power_loss(static_cast<std::uint64_t>(GetParam()));
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    const SessionReport report = session.run(kAppId);
+
+    // Whatever happened, a reboot must find a bootable image.
+    auto boot = device->reboot();
+    ASSERT_TRUE(boot.has_value()) << "device bricked at op " << GetParam();
+    EXPECT_TRUE(boot->booted.version == 1 || boot->booted.version == 2);
+
+    if (device->identity().installed_version != 2) {
+        // Retry converges (flash was revived by the reboot).
+        UpdateSession retry(*device, env.server, net::ble_gatt());
+        const SessionReport retry_report = retry.run(kAppId);
+        ASSERT_EQ(retry_report.status, Status::kOk) << "retry failed at op " << GetParam();
+    }
+    EXPECT_EQ(device->identity().installed_version, 2);
+    (void)report;
+}
+
+// A 48 kB image writes ~12 sectors (erase+write pairs) plus the manifest;
+// sweeping 0..30 covers cuts in invalidation, manifest write, every payload
+// sector, and the post-update reboot path.
+INSTANTIATE_TEST_SUITE_P(EveryFlashOp, PowerLossSweep, ::testing::Range(0, 30));
+
+// ----------------------------------------------------------- FSM matrix
+
+struct FsmCase {
+    FsmState state;
+    int operation;  // 0 = request_token, 1 = offer_manifest, 2 = offer_payload
+};
+
+class FsmMatrix : public ::testing::Test {
+protected:
+    FsmMatrix() {
+        device_ = env_.make_device(SlotLayout::kAB);
+        env_.publish_os_update(2, 61);
+    }
+
+    /// Drives the agent into the requested state.
+    void drive_to(FsmState target) {
+        agent::UpdateAgent& agent = device_->agent();
+        if (target == FsmState::kWaiting) return;
+        auto token = agent.request_device_token();
+        ASSERT_TRUE(token.has_value());
+        if (target == FsmState::kReceiveManifest) return;
+        auto response = env_.server.prepare_update(kAppId, *token);
+        ASSERT_TRUE(response.has_value());
+        response_ = *response;
+        if (target == FsmState::kCleaning) {
+            ASSERT_NE(agent.offer_manifest(Bytes(manifest::kManifestSize, 0xAA)), Status::kOk);
+            return;
+        }
+        ASSERT_EQ(agent.offer_manifest(response_.manifest_bytes), Status::kOk);
+        if (target == FsmState::kReceiveFirmware) return;
+        for (std::size_t off = 0; off < response_.payload.size(); off += 4096) {
+            const std::size_t len = std::min<std::size_t>(4096, response_.payload.size() - off);
+            ASSERT_EQ(agent.offer_payload(ByteSpan(response_.payload).subspan(off, len)),
+                      Status::kOk);
+        }
+        ASSERT_EQ(agent.state(), FsmState::kReadyToReboot);
+    }
+
+    TestEnv env_;
+    std::unique_ptr<Device> device_;
+    server::UpdateResponse response_;
+};
+
+TEST_F(FsmMatrix, TokenOnlyFromWaitingOrCleaning) {
+    for (const FsmState state : {FsmState::kWaiting, FsmState::kCleaning}) {
+        TestEnv env;
+        auto device = env.make_device(SlotLayout::kAB);
+        env.publish_os_update(2, 61);
+        agent::UpdateAgent& agent = device->agent();
+        if (state == FsmState::kCleaning) {
+            ASSERT_TRUE(agent.request_device_token().has_value());
+            ASSERT_NE(agent.offer_manifest(Bytes(manifest::kManifestSize, 0xAA)), Status::kOk);
+            ASSERT_EQ(agent.state(), FsmState::kCleaning);
+        }
+        EXPECT_TRUE(agent.request_device_token().has_value()) << to_string(state);
+    }
+}
+
+TEST_F(FsmMatrix, TokenRejectedMidTransfer) {
+    for (const FsmState state :
+         {FsmState::kReceiveManifest, FsmState::kReceiveFirmware, FsmState::kReadyToReboot}) {
+        TestEnv env;
+        auto device = env.make_device(SlotLayout::kAB);
+        env.publish_os_update(2, 61);
+        agent::UpdateAgent& agent = device->agent();
+        auto token = agent.request_device_token();
+        ASSERT_TRUE(token.has_value());
+        if (state != FsmState::kReceiveManifest) {
+            auto response = env.server.prepare_update(kAppId, *token);
+            ASSERT_EQ(agent.offer_manifest(response->manifest_bytes), Status::kOk);
+            if (state == FsmState::kReadyToReboot) {
+                ASSERT_EQ(agent.offer_payload(response->payload), Status::kOk);
+            }
+        }
+        EXPECT_EQ(agent.request_device_token().status(), Status::kFsmBadState)
+            << to_string(state);
+    }
+}
+
+TEST_F(FsmMatrix, ManifestRejectedOutsideReceiveManifest) {
+    drive_to(FsmState::kReceiveFirmware);
+    EXPECT_EQ(device_->agent().offer_manifest(Bytes(10, 0)), Status::kFsmBadState);
+}
+
+TEST_F(FsmMatrix, PayloadRejectedBeforeManifest) {
+    drive_to(FsmState::kReceiveManifest);
+    EXPECT_EQ(device_->agent().offer_payload(Bytes(10, 0)), Status::kFsmBadState);
+}
+
+TEST_F(FsmMatrix, PayloadRejectedAfterCompletion) {
+    drive_to(FsmState::kReceiveFirmware);
+    agent::UpdateAgent& agent = device_->agent();
+    ASSERT_EQ(agent.offer_payload(response_.payload), Status::kOk);
+    ASSERT_EQ(agent.state(), FsmState::kReadyToReboot);
+    EXPECT_EQ(agent.offer_payload(Bytes(10, 0)), Status::kFsmBadState);
+}
+
+TEST_F(FsmMatrix, CleanFromAnyStateReturnsToWaiting) {
+    for (const FsmState state : {FsmState::kWaiting, FsmState::kReceiveManifest,
+                                 FsmState::kReceiveFirmware, FsmState::kReadyToReboot}) {
+        TestEnv env;
+        auto device = env.make_device(SlotLayout::kAB);
+        env.publish_os_update(2, 61);
+        agent::UpdateAgent& agent = device->agent();
+        if (state != FsmState::kWaiting) {
+            auto token = agent.request_device_token();
+            if (state != FsmState::kReceiveManifest) {
+                auto response = env.server.prepare_update(kAppId, *token);
+                ASSERT_EQ(agent.offer_manifest(response->manifest_bytes), Status::kOk);
+                if (state == FsmState::kReadyToReboot) {
+                    ASSERT_EQ(agent.offer_payload(response->payload), Status::kOk);
+                }
+            }
+        }
+        agent.clean();
+        EXPECT_EQ(agent.state(), FsmState::kWaiting) << to_string(state);
+        // And the agent is usable again.
+        EXPECT_TRUE(agent.request_device_token().has_value()) << to_string(state);
+    }
+}
+
+// ----------------------------------------------------------- fleet
+
+TEST(FleetTest, HeterogeneousFleetConverges) {
+    TestEnv env;
+    std::vector<std::unique_ptr<Device>> devices;
+    FleetCampaign campaign(env.server);
+
+    for (int i = 0; i < 6; ++i) {
+        DeviceConfig config = env.device_config(i % 2 == 0 ? SlotLayout::kAB
+                                                           : SlotLayout::kStaticInternal);
+        config.device_id = 0x3000 + static_cast<std::uint32_t>(i);
+        config.seed = static_cast<std::uint64_t>(i) + 1;
+        config.enable_differential = (i % 3 != 0);
+        auto device = std::make_unique<Device>(config);
+        auto factory = env.server.prepare_update(
+            kAppId, {.device_id = config.device_id, .nonce = 0, .current_version = 0});
+        ASSERT_TRUE(factory.has_value());
+        ASSERT_EQ(device->provision_factory(*factory), Status::kOk);
+
+        net::LinkParams link = (i % 2 == 0) ? net::ble_gatt() : net::coap_6lowpan();
+        link.loss_probability = (i == 5) ? 0.05 : 0.0;  // one flaky device
+        campaign.add(*device, link);
+        devices.push_back(std::move(device));
+    }
+
+    env.publish_os_update(2, 62);
+    const CampaignReport report = campaign.run(kAppId);
+    EXPECT_EQ(report.succeeded, 6u);
+    EXPECT_EQ(report.failed, 0u);
+    EXPECT_EQ(report.differential_updates, 4u);  // devices 1,2,4,5 support diff
+    EXPECT_GT(report.total_energy_mj, 0.0);
+    for (const auto& result : report.devices) {
+        EXPECT_EQ(result.final_version, 2) << result.device_id;
+    }
+}
+
+TEST(FleetTest, DeadLinkReportsFailureAfterRetries) {
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);
+    env.publish_os_update(2, 63);
+
+    net::LinkParams dead = net::ble_gatt();
+    dead.loss_probability = 1.0;
+    FleetCampaign campaign(env.server);
+    campaign.add(*device, dead);
+    const CampaignReport report = campaign.run(kAppId, {.max_attempts = 2});
+    EXPECT_EQ(report.failed, 1u);
+    ASSERT_EQ(report.devices.size(), 1u);
+    EXPECT_EQ(report.devices[0].attempts, 2u);
+    EXPECT_EQ(device->identity().installed_version, 1);
+}
+
+TEST(FleetTest, AlreadyCurrentFleetDoesNotRetryStaleOffers) {
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);  // already at latest (v1)
+    FleetCampaign campaign(env.server);
+    campaign.add(*device, net::ble_gatt());
+    const CampaignReport report = campaign.run(kAppId, {.max_attempts = 5});
+    ASSERT_EQ(report.devices.size(), 1u);
+    EXPECT_EQ(report.devices[0].status, Status::kStaleVersion);
+    EXPECT_EQ(report.devices[0].attempts, 1u);  // no pointless retries
+}
+
+}  // namespace
+}  // namespace upkit::core

@@ -1,0 +1,275 @@
+// Slot-manager tests: configuration validation, open modes, copy/swap
+// across devices (internal + external flash), invalidation, and the
+// SlotReader window used by the differential pipeline.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flash/sim_flash.hpp"
+#include "slots/slot.hpp"
+
+namespace upkit::slots {
+namespace {
+
+using flash::FlashGeometry;
+using flash::FlashTimings;
+using flash::SimFlash;
+
+class SlotFixture : public ::testing::Test {
+protected:
+    SlotFixture()
+        : internal_(FlashGeometry{.size_bytes = 128 * 1024, .sector_bytes = 4096, .page_bytes = 256},
+                    FlashTimings{}),
+          external_(FlashGeometry{.size_bytes = 256 * 1024, .sector_bytes = 4096, .page_bytes = 256},
+                    FlashTimings{}) {
+        EXPECT_EQ(manager_.add_slot({.id = 0,
+                                     .type = SlotType::kBootable,
+                                     .device = &internal_,
+                                     .offset = 0,
+                                     .size = 48 * 1024,
+                                     .link_offset = 0x0}),
+                  Status::kOk);
+        EXPECT_EQ(manager_.add_slot({.id = 1,
+                                     .type = SlotType::kBootable,
+                                     .device = &internal_,
+                                     .offset = 48 * 1024,
+                                     .size = 48 * 1024,
+                                     .link_offset = 48 * 1024}),
+                  Status::kOk);
+        EXPECT_EQ(manager_.add_slot({.id = 2,
+                                     .type = SlotType::kNonBootable,
+                                     .device = &external_,
+                                     .offset = 0,
+                                     .size = 48 * 1024,
+                                     .link_offset = kAnyLinkOffset}),
+                  Status::kOk);
+    }
+
+    SimFlash internal_;
+    SimFlash external_;
+    SlotManager manager_;
+};
+
+TEST_F(SlotFixture, AddSlotValidation) {
+    EXPECT_EQ(manager_.add_slot({.id = 0,
+                                 .type = SlotType::kBootable,
+                                 .device = &internal_,
+                                 .offset = 0,
+                                 .size = 4096,
+                                 .link_offset = 0}),
+              Status::kAlreadyExists);
+    EXPECT_EQ(manager_.add_slot({.id = 9,
+                                 .type = SlotType::kBootable,
+                                 .device = nullptr,
+                                 .offset = 0,
+                                 .size = 4096,
+                                 .link_offset = 0}),
+              Status::kInvalidArgument);
+    EXPECT_EQ(manager_.add_slot({.id = 9,
+                                 .type = SlotType::kBootable,
+                                 .device = &internal_,
+                                 .offset = 100,  // unaligned
+                                 .size = 4096,
+                                 .link_offset = 0}),
+              Status::kInvalidArgument);
+    EXPECT_EQ(manager_.add_slot({.id = 9,
+                                 .type = SlotType::kBootable,
+                                 .device = &internal_,
+                                 .offset = 96 * 1024,
+                                 .size = 64 * 1024,  // extends past the device
+                                 .link_offset = 0}),
+              Status::kFlashOutOfBounds);
+    EXPECT_EQ(manager_.slot_ids().size(), 3u);
+}
+
+TEST_F(SlotFixture, WriteAllErasesOnOpen) {
+    {
+        auto h = manager_.open(0, OpenMode::kWriteAll);
+        ASSERT_TRUE(h.has_value());
+        ASSERT_EQ(h->write(to_bytes("first image")), Status::kOk);
+    }
+    {
+        // Reopening in WRITE_ALL must wipe the previous content, allowing a
+        // clean rewrite of the same bytes.
+        auto h = manager_.open(0, OpenMode::kWriteAll);
+        ASSERT_TRUE(h.has_value());
+        ASSERT_EQ(h->write(to_bytes("first image")), Status::kOk);
+    }
+}
+
+TEST_F(SlotFixture, ReadOnlyRejectsWrites) {
+    auto h = manager_.open(0, OpenMode::kReadOnly);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->write(to_bytes("nope")), Status::kBadOpenMode);
+}
+
+TEST_F(SlotFixture, SequentialRewriteErasesLazily) {
+    // Pre-dirty the slot.
+    ASSERT_EQ(manager_.erase(0), Status::kOk);
+    {
+        auto h = manager_.open(0, OpenMode::kWriteAll);
+        ASSERT_TRUE(h.has_value());
+        ASSERT_EQ(h->write(Bytes(20 * 1024, 0x00)), Status::kOk);
+    }
+    const std::uint64_t erases_before = internal_.total_erases();
+    {
+        auto h = manager_.open(0, OpenMode::kSequentialRewrite);
+        ASSERT_TRUE(h.has_value());
+        // Writing 5 KiB should erase exactly the first two 4 KiB sectors.
+        ASSERT_EQ(h->write(Bytes(5 * 1024, 0x42)), Status::kOk);
+    }
+    EXPECT_EQ(internal_.total_erases() - erases_before, 2u);
+
+    Bytes out(4);
+    auto h = manager_.open(0, OpenMode::kReadOnly);
+    ASSERT_TRUE(h.has_value());
+    ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+    EXPECT_EQ(out, Bytes(4, 0x42));
+}
+
+TEST_F(SlotFixture, SequentialRewriteForbidsBackwardSeek) {
+    auto h = manager_.open(0, OpenMode::kSequentialRewrite);
+    ASSERT_TRUE(h.has_value());
+    ASSERT_EQ(h->write(Bytes(100, 0x01)), Status::kOk);
+    EXPECT_EQ(h->seek(0), Status::kBadOpenMode);
+    EXPECT_EQ(h->seek(200), Status::kOk);
+}
+
+TEST_F(SlotFixture, WriteBeyondCapacityRejected) {
+    auto h = manager_.open(0, OpenMode::kWriteAll);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->write(Bytes(48 * 1024 + 1, 0x00)), Status::kSlotTooSmall);
+    EXPECT_EQ(h->write(Bytes(48 * 1024, 0x00)), Status::kOk);  // exact fit ok
+}
+
+TEST_F(SlotFixture, DoubleOpenRejected) {
+    auto h1 = manager_.open(0, OpenMode::kReadOnly);
+    ASSERT_TRUE(h1.has_value());
+    EXPECT_EQ(manager_.open(0, OpenMode::kReadOnly).status(), Status::kSlotBusy);
+    EXPECT_EQ(manager_.erase(0), Status::kSlotBusy);  // ops blocked while open
+    h1->close();
+    EXPECT_TRUE(manager_.open(0, OpenMode::kReadOnly).has_value());
+}
+
+TEST_F(SlotFixture, HandleMoveTransfersOwnership) {
+    auto h1 = manager_.open(0, OpenMode::kReadOnly);
+    ASSERT_TRUE(h1.has_value());
+    SlotHandle h2 = std::move(*h1);
+    EXPECT_FALSE(h1->valid());
+    EXPECT_TRUE(h2.valid());
+    EXPECT_TRUE(manager_.is_open(0));
+    h2.close();
+    EXPECT_FALSE(manager_.is_open(0));
+}
+
+TEST_F(SlotFixture, CopyAcrossDevices) {
+    Rng rng(5);
+    const Bytes image = rng.bytes(10 * 1024);
+    {
+        auto h = manager_.open(2, OpenMode::kWriteAll);  // external NB slot
+        ASSERT_TRUE(h.has_value());
+        ASSERT_EQ(h->write(image), Status::kOk);
+    }
+    ASSERT_EQ(manager_.copy(2, 0), Status::kOk);  // NB -> bootable (the "load")
+    auto h = manager_.open(0, OpenMode::kReadOnly);
+    ASSERT_TRUE(h.has_value());
+    Bytes out(image.size());
+    ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+    EXPECT_EQ(out, image);
+}
+
+TEST_F(SlotFixture, SwapExchangesContents) {
+    Rng rng(6);
+    const Bytes image_a = rng.bytes(8 * 1024);
+    const Bytes image_b = rng.bytes(8 * 1024);
+    {
+        auto h = manager_.open(0, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(image_a), Status::kOk);
+    }
+    {
+        auto h = manager_.open(1, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(image_b), Status::kOk);
+    }
+    ASSERT_EQ(manager_.swap(0, 1), Status::kOk);
+
+    Bytes out(8 * 1024);
+    {
+        auto h = manager_.open(0, OpenMode::kReadOnly);
+        ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+        EXPECT_EQ(out, image_b);
+    }
+    {
+        auto h = manager_.open(1, OpenMode::kReadOnly);
+        ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+        EXPECT_EQ(out, image_a);
+    }
+}
+
+TEST_F(SlotFixture, InvalidateErasesOnlyFirstSector) {
+    {
+        auto h = manager_.open(0, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(Bytes(8 * 1024, 0x11)), Status::kOk);
+    }
+    ASSERT_EQ(manager_.invalidate(0), Status::kOk);
+    auto h = manager_.open(0, OpenMode::kReadOnly);
+    Bytes first(16);
+    ASSERT_TRUE(h->read(MutByteSpan(first)).has_value());
+    EXPECT_EQ(first, Bytes(16, 0xFF));  // manifest region wiped
+    ASSERT_EQ(h->seek(4096), Status::kOk);
+    Bytes later(16);
+    ASSERT_TRUE(h->read(MutByteSpan(later)).has_value());
+    EXPECT_EQ(later, Bytes(16, 0x11));  // payload beyond sector 0 untouched
+}
+
+TEST_F(SlotFixture, ReadStopsAtCapacity) {
+    auto h = manager_.open(0, OpenMode::kReadOnly);
+    ASSERT_TRUE(h.has_value());
+    ASSERT_EQ(h->seek(48 * 1024 - 8), Status::kOk);
+    Bytes out(16);
+    auto n = h->read(MutByteSpan(out));
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 8u);  // clamped at slot end
+    n = h->read(MutByteSpan(out));
+    ASSERT_TRUE(n.has_value());
+    EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(SlotFixture, SlotReaderWindowsIntoSlot) {
+    Rng rng(7);
+    const Bytes image = rng.bytes(1024);
+    {
+        auto h = manager_.open(1, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(image), Status::kOk);
+    }
+    // Window skipping a 200-byte "manifest" prefix.
+    SlotReader reader(manager_, 1, 200, 824);
+    EXPECT_EQ(reader.size(), 824u);
+    Bytes out(10);
+    ASSERT_EQ(reader.read_at(0, MutByteSpan(out)), Status::kOk);
+    EXPECT_EQ(out, Bytes(image.begin() + 200, image.begin() + 210));
+    EXPECT_EQ(reader.read_at(820, MutByteSpan(out)), Status::kOutOfRange);
+}
+
+TEST_F(SlotFixture, OperationsOnUnknownSlot) {
+    EXPECT_EQ(manager_.open(42, OpenMode::kReadOnly).status(), Status::kNotFound);
+    EXPECT_EQ(manager_.erase(42), Status::kNotFound);
+    EXPECT_EQ(manager_.copy(0, 42), Status::kNotFound);
+    EXPECT_EQ(manager_.swap(42, 0), Status::kNotFound);
+    EXPECT_EQ(manager_.slot(42), nullptr);
+}
+
+TEST_F(SlotFixture, CopySizeMismatchRejected) {
+    SimFlash tiny(FlashGeometry{.size_bytes = 8192, .sector_bytes = 4096, .page_bytes = 256},
+                  FlashTimings{});
+    ASSERT_EQ(manager_.add_slot({.id = 7,
+                                 .type = SlotType::kNonBootable,
+                                 .device = &tiny,
+                                 .offset = 0,
+                                 .size = 8192,
+                                 .link_offset = kAnyLinkOffset}),
+              Status::kOk);
+    EXPECT_EQ(manager_.copy(0, 7), Status::kInvalidArgument);
+    EXPECT_EQ(manager_.swap(0, 7), Status::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace upkit::slots

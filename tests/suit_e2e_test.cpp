@@ -1,0 +1,151 @@
+// End-to-end tests of SUIT interop mode: the update server serves SUIT/CBOR
+// envelopes, the agent verifies + stores them in the padded header region,
+// and the bootloader re-verifies the SUIT-encoded image after reboot —
+// including rollback and mixed-format version chains.
+#include <gtest/gtest.h>
+
+#include "suit/suit.hpp"
+#include "test_env.hpp"
+
+namespace upkit::core {
+namespace {
+
+using testenv::kAppId;
+using testenv::TestEnv;
+
+TEST(SuitE2eTest, FullSuitUpdateEndToEnd) {
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);  // native-provisioned v1
+    env.server.set_suit_mode(true);
+    env.publish_os_update(2, 70);
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    const SessionReport report = session.run(kAppId);
+    EXPECT_EQ(report.status, Status::kOk);
+    EXPECT_EQ(report.final_version, 2);
+    EXPECT_TRUE(report.rebooted);  // the bootloader verified the SUIT image
+}
+
+TEST(SuitE2eTest, SuitFactoryProvisioningBoots) {
+    TestEnv env;
+    env.server.set_suit_mode(true);
+    DeviceConfig config = env.device_config(SlotLayout::kAB);
+    Device device(config);
+    auto factory = env.server.prepare_update(
+        kAppId, {.device_id = testenv::kDeviceId, .nonce = 0, .current_version = 0});
+    ASSERT_TRUE(factory.has_value());
+    ASSERT_TRUE(factory->suit_encoding);
+    ASSERT_EQ(device.provision_factory(*factory), Status::kOk);
+    EXPECT_EQ(device.identity().installed_version, 1);
+}
+
+TEST(SuitE2eTest, DifferentialAcrossMixedFormats) {
+    // v1 installed natively, v2 delivered as a SUIT differential update,
+    // then v3 back in native format patching against the SUIT-stored v2.
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);
+    env.server.set_suit_mode(true);
+    env.publish_os_update(2, 71);
+    {
+        UpdateSession session(*device, env.server, net::ble_gatt());
+        const SessionReport report = session.run(kAppId);
+        ASSERT_EQ(report.status, Status::kOk);
+        EXPECT_TRUE(report.differential);  // patched against the native v1
+        ASSERT_EQ(device->identity().installed_version, 2);
+    }
+    env.server.set_suit_mode(false);
+    env.publish(3, sim::mutate_app_change(env.base_firmware, 72, 700));
+    {
+        UpdateSession session(*device, env.server, net::ble_gatt());
+        const SessionReport report = session.run(kAppId);
+        ASSERT_EQ(report.status, Status::kOk);
+        EXPECT_TRUE(report.differential);  // patched against the SUIT-stored v2
+        EXPECT_EQ(device->identity().installed_version, 3);
+    }
+}
+
+TEST(SuitE2eTest, TamperedSuitEnvelopeRejectedEarly) {
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);
+    env.server.set_suit_mode(true);
+    env.publish_os_update(2, 73);
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    session.set_interceptor([](server::UpdateResponse& response) {
+        // Rewrite the sequence number inside the envelope's manifest bstr.
+        auto envelope = suit::parse_envelope(response.manifest_bytes);
+        ASSERT_TRUE(envelope.has_value());
+        auto decoded = suit::cbor_decode(envelope->manifest_bstr);
+        suit::CborMap map = decoded->as_map();
+        map.insert_or_assign(suit::kKeySequenceNumber, suit::CborValue(std::uint64_t{99}));
+        envelope->manifest_bstr = suit::cbor_encode(suit::CborValue(std::move(map)));
+        response.manifest_bytes = envelope->encode();
+    });
+    const SessionReport report = session.run(kAppId);
+    // The sequence number is vendor-signed; that check fires first.
+    EXPECT_EQ(report.status, Status::kBadVendorSignature);
+    EXPECT_TRUE(report.rejected_before_download);
+    EXPECT_FALSE(report.rebooted);
+}
+
+TEST(SuitE2eTest, ReplayedSuitEnvelopeRejectedByNonce) {
+    TestEnv env;
+    env.server.set_suit_mode(true);
+    auto captured = env.server.prepare_update(
+        kAppId, {.device_id = testenv::kDeviceId, .nonce = 77, .current_version = 0});
+    ASSERT_TRUE(captured.has_value());
+
+    env.server.set_suit_mode(false);
+    auto device = env.make_device(SlotLayout::kAB);
+    env.server.set_suit_mode(true);
+    env.publish_os_update(2, 74);
+
+    UpdateSession session(*device, env.server, net::ble_gatt());
+    session.set_interceptor([&](server::UpdateResponse& r) { r = *captured; });
+    const SessionReport report = session.run(kAppId);
+    EXPECT_EQ(report.status, Status::kBadNonce);
+    EXPECT_TRUE(report.rejected_before_download);
+}
+
+TEST(SuitE2eTest, CorruptedStoredSuitImageRollsBack) {
+    TestEnv env;
+    auto device = env.make_device(SlotLayout::kAB);
+    env.server.set_suit_mode(true);
+    env.publish_os_update(2, 75);
+    {
+        UpdateSession session(*device, env.server, net::ble_gatt());
+        ASSERT_EQ(session.run(kAppId).status, Status::kOk);
+        ASSERT_EQ(device->identity().installed_version, 2);
+    }
+
+    // Bitrot in the SUIT-stored image's firmware region.
+    const slots::SlotConfig* slot = device->slots().slot(device->installed_slot());
+    std::uint64_t at = slot->offset + suit::kSuitHeaderRegion;
+    Bytes byte(1);
+    for (;; ++at) {
+        ASSERT_EQ(slot->device->read(at, MutByteSpan(byte)), Status::kOk);
+        if (byte[0] != 0x00) break;
+    }
+    byte[0] = static_cast<std::uint8_t>(byte[0] & (byte[0] - 1));
+    ASSERT_EQ(slot->device->write(at, byte), Status::kOk);
+
+    // The bootloader re-verifies the SUIT image, rejects it, rolls back to
+    // the native v1 still sitting in the other slot.
+    auto report = device->reboot();
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->booted.version, 1);
+    EXPECT_EQ(report->invalidated.size(), 1u);
+}
+
+TEST(SuitE2eTest, SuitEnvelopeSlightlyLargerThanNative) {
+    TestEnv env;
+    env.server.set_suit_mode(true);
+    auto response = env.server.prepare_update(
+        kAppId, {.device_id = testenv::kDeviceId, .nonce = 1, .current_version = 0});
+    ASSERT_TRUE(response.has_value());
+    EXPECT_GT(response->manifest_bytes.size(), manifest::kManifestSize);
+    EXPECT_LT(response->manifest_bytes.size(), suit::kSuitHeaderRegion);
+}
+
+}  // namespace
+}  // namespace upkit::core

@@ -1,0 +1,74 @@
+// Shared fixture pieces for agent / bootloader / integration tests: a
+// vendor + update server pair, published synthetic firmware versions, and
+// factory-provisioned simulated devices.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/device.hpp"
+#include "core/session.hpp"
+#include "net/link.hpp"
+#include "server/update_server.hpp"
+#include "server/vendor_server.hpp"
+#include "sim/firmware.hpp"
+
+namespace upkit::testenv {
+
+inline constexpr std::uint32_t kAppId = 0xBEE;
+inline constexpr std::uint32_t kDeviceId = 0x1001;
+
+struct TestEnv {
+    server::VendorServer vendor{to_bytes("test-vendor-key")};
+    server::UpdateServer server{to_bytes("test-server-key")};
+    Bytes base_firmware;
+
+    explicit TestEnv(std::size_t firmware_size = 48 * 1024) {
+        base_firmware = sim::generate_firmware({.size = firmware_size, .seed = 42});
+        publish(1, base_firmware);
+    }
+
+    void publish(std::uint16_t version, const Bytes& firmware) {
+        ASSERT_EQ(server.publish(vendor.create_release(
+                      firmware, {.version = version, .app_id = kAppId})),
+                  Status::kOk);
+    }
+
+    /// Publishes version `v` derived from the base image.
+    Bytes publish_os_update(std::uint16_t version, std::uint64_t seed) {
+        Bytes fw = sim::mutate_os_version(base_firmware, seed);
+        publish(version, fw);
+        return fw;
+    }
+
+    Bytes publish_app_update(std::uint16_t version, std::uint64_t seed,
+                             std::size_t edit_bytes = 1000) {
+        Bytes fw = sim::mutate_app_change(base_firmware, seed, edit_bytes);
+        publish(version, fw);
+        return fw;
+    }
+
+    core::DeviceConfig device_config(core::SlotLayout layout = core::SlotLayout::kAB) const {
+        core::DeviceConfig config;
+        config.layout = layout;
+        config.device_id = kDeviceId;
+        config.app_id = kAppId;
+        config.vendor_key = vendor.public_key();
+        config.server_key = server.public_key();
+        return config;
+    }
+
+    /// Builds a device factory-provisioned with version 1.
+    std::unique_ptr<core::Device> make_device(
+        core::SlotLayout layout = core::SlotLayout::kAB) {
+        auto device = std::make_unique<core::Device>(device_config(layout));
+        const manifest::DeviceToken factory_token{
+            .device_id = kDeviceId, .nonce = 0, .current_version = 0};
+        auto image = server.prepare_update(kAppId, factory_token);
+        EXPECT_TRUE(image.has_value());
+        EXPECT_EQ(device->provision_factory(*image), Status::kOk);
+        EXPECT_EQ(device->identity().installed_version, 1);
+        return device;
+    }
+};
+
+}  // namespace upkit::testenv

@@ -1,0 +1,149 @@
+// Integration tests of the command-line tools: drives the real binaries
+// (paths injected by CMake) through the full vendor workflow — keygen →
+// sign (full + differential) → info/verify → diff/apply → file-backed
+// device provision/stage/boot — and checks exit codes and artefacts.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/bytes.hpp"
+#include "sim/firmware.hpp"
+
+#ifndef UPKIT_TOOLS_DIR
+#error "UPKIT_TOOLS_DIR must be defined by the build"
+#endif
+
+namespace upkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ToolsCliTest : public ::testing::Test {
+protected:
+    ToolsCliTest() {
+        dir_ = fs::temp_directory_path() / "upkit_cli_test";
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+        write(dir_ / "v1.bin", sim::generate_firmware({.size = 24 * 1024, .seed = 1}));
+        write(dir_ / "v2.bin",
+              sim::mutate_app_change(sim::generate_firmware({.size = 24 * 1024, .seed = 1}),
+                                     2, 600));
+    }
+
+    ~ToolsCliTest() override { fs::remove_all(dir_); }
+
+    static void write(const fs::path& path, const Bytes& data) {
+        std::ofstream out(path, std::ios::binary);
+        out.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(data.size()));
+    }
+
+    static Bytes read(const fs::path& path) {
+        std::ifstream in(path, std::ios::binary);
+        return Bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    }
+
+    /// Runs a tool with arguments; returns its exit code.
+    int run(const std::string& tool, const std::string& args) const {
+        const std::string command = std::string(UPKIT_TOOLS_DIR) + "/" + tool + " " + args +
+                                    " > " + (dir_ / "out.log").string() + " 2>&1";
+        const int status = std::system(command.c_str());
+        return WEXITSTATUS(status);
+    }
+
+    std::string path(const char* name) const { return (dir_ / name).string(); }
+
+    fs::path dir_;
+};
+
+TEST_F(ToolsCliTest, KeygenProducesLoadableKeyPair) {
+    ASSERT_EQ(run("upkit-keygen", "--seed test-vendor --out " + path("vendor")), 0);
+    EXPECT_TRUE(fs::exists(path("vendor.priv")));
+    EXPECT_TRUE(fs::exists(path("vendor.pub")));
+    // Hex-encoded 32-byte and 64-byte keys.
+    EXPECT_EQ(read(path("vendor.priv")).size(), 64u);
+    EXPECT_EQ(read(path("vendor.pub")).size(), 128u);
+    // Deterministic for the same seed.
+    ASSERT_EQ(run("upkit-keygen", "--seed test-vendor --out " + path("vendor2")), 0);
+    EXPECT_EQ(read(path("vendor.priv")), read(path("vendor2.priv")));
+}
+
+TEST_F(ToolsCliTest, SignInfoRoundTrip) {
+    ASSERT_EQ(run("upkit-keygen", "--seed v --out " + path("v")), 0);
+    ASSERT_EQ(run("upkit-keygen", "--seed s --out " + path("s")), 0);
+    ASSERT_EQ(run("upkit-sign", "--firmware " + path("v2.bin") + " --vendor-key " +
+                                    path("v.priv") + " --server-key " + path("s.priv") +
+                                    " --version 2 --app-id 0xA0 --device-id 0x1 --nonce 7"
+                                    " --out " + path("image.bin")),
+              0);
+    // info verifies both signatures and the digest: exit 0.
+    EXPECT_EQ(run("upkit-info", path("image.bin") + " --vendor-pub " + path("v.pub") +
+                                    " --server-pub " + path("s.pub")),
+              0);
+    // Wrong key: info reports an invalid signature via exit code 2.
+    ASSERT_EQ(run("upkit-keygen", "--seed rogue --out " + path("rogue")), 0);
+    EXPECT_EQ(run("upkit-info", path("image.bin") + " --vendor-pub " + path("rogue.pub")),
+              2);
+}
+
+TEST_F(ToolsCliTest, DiffApplyRoundTrip) {
+    ASSERT_EQ(run("upkit-diff",
+                  path("v1.bin") + " " + path("v2.bin") + " " + path("patch.upk")),
+              0);
+    EXPECT_LT(fs::file_size(path("patch.upk")), fs::file_size(path("v2.bin")) / 2);
+    ASSERT_EQ(run("upkit-diff", "--apply " + path("v1.bin") + " " + path("patch.upk") +
+                                    " " + path("restored.bin")),
+              0);
+    EXPECT_EQ(read(path("restored.bin")), read(path("v2.bin")));
+    // A base of the wrong size fails cleanly. (A same-size wrong base is
+    // only caught one layer up: UpKit's manifest binds the patch to a base
+    // *version* and the firmware digest check rejects the garbage output —
+    // the raw patch format itself carries no base digest, as in classic
+    // bsdiff.)
+    write(dir_ / "short.bin", sim::generate_firmware({.size = 8 * 1024, .seed = 9}));
+    EXPECT_NE(run("upkit-diff", "--apply " + path("short.bin") + " " + path("patch.upk") +
+                                    " " + path("bad.bin")),
+              0);
+}
+
+TEST_F(ToolsCliTest, FileBackedDeviceLifecycle) {
+    ASSERT_EQ(run("upkit-keygen", "--seed v --out " + path("v")), 0);
+    ASSERT_EQ(run("upkit-keygen", "--seed s --out " + path("s")), 0);
+    const std::string keys = " --vendor-key " + path("v.priv") + " --server-key " +
+                             path("s.priv") + " --app-id 0xA0";
+    ASSERT_EQ(run("upkit-sign", "--firmware " + path("v1.bin") + keys +
+                                    " --version 1 --out " + path("img1.bin")),
+              0);
+    ASSERT_EQ(run("upkit-sign", "--firmware " + path("v2.bin") + keys +
+                                    " --version 2 --out " + path("img2.bin")),
+              0);
+
+    const std::string flash = "--flash " + path("dev.bin") + " ";
+    ASSERT_EQ(run("upkit-device", flash + "provision " + path("img1.bin")), 0);
+    ASSERT_EQ(run("upkit-device", flash + "stage " + path("img2.bin")), 0);
+    ASSERT_EQ(run("upkit-device", flash + "boot --vendor-pub " + path("v.pub") +
+                                      " --server-pub " + path("s.pub") + " --app-id 0xA0"),
+              0);
+    ASSERT_EQ(run("upkit-device", flash + "status"), 0);
+    EXPECT_EQ(run("upkit-device", flash + "bogus-command"), 1);
+}
+
+TEST_F(ToolsCliTest, DeviceBootRejectsForeignAppImage) {
+    ASSERT_EQ(run("upkit-keygen", "--seed v --out " + path("v")), 0);
+    ASSERT_EQ(run("upkit-keygen", "--seed s --out " + path("s")), 0);
+    ASSERT_EQ(run("upkit-sign", "--firmware " + path("v1.bin") + " --vendor-key " +
+                                    path("v.priv") + " --server-key " + path("s.priv") +
+                                    " --version 1 --app-id 0xBB --out " + path("img.bin")),
+              0);
+    const std::string flash = "--flash " + path("dev.bin") + " ";
+    ASSERT_EQ(run("upkit-device", flash + "provision " + path("img.bin")), 0);
+    // Boot expecting app 0xA0: the 0xBB image must be rejected -> exit 2.
+    EXPECT_EQ(run("upkit-device", flash + "boot --vendor-pub " + path("v.pub") +
+                                      " --server-pub " + path("s.pub") + " --app-id 0xA0"),
+              2);
+}
+
+}  // namespace
+}  // namespace upkit

@@ -1,0 +1,93 @@
+// Shared helpers for the command-line tools: file IO, hex key files, and a
+// tiny flag parser. The tools are the vendor-side of UpKit — what a release
+// engineer runs to generate keys, sign images, build deltas, and inspect
+// update images — all on top of the same library the device runs.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/hex.hpp"
+#include "crypto/ecdsa.hpp"
+
+namespace upkit::tools {
+
+inline Expected<Bytes> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::kNotFound;
+    Bytes data((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    return data;
+}
+
+inline Status write_file(const std::string& path, ByteSpan data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::kFlashIoError;
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    return out.good() ? Status::kOk : Status::kFlashIoError;
+}
+
+/// Key files are hex text (one line): 32 bytes for private, 64 for public.
+inline Expected<crypto::PrivateKey> load_private_key(const std::string& path) {
+    auto text = read_file(path);
+    if (!text) return text.status();
+    auto raw = hex_decode(to_string(*text));
+    if (!raw) return raw.status();
+    return crypto::PrivateKey::from_bytes(*raw);
+}
+
+inline Expected<crypto::PublicKey> load_public_key(const std::string& path) {
+    auto text = read_file(path);
+    if (!text) return text.status();
+    auto raw = hex_decode(to_string(*text));
+    if (!raw) return raw.status();
+    return crypto::PublicKey::from_bytes(*raw);
+}
+
+/// --flag value argument parser; positional args collected in order.
+class Args {
+public:
+    Args(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) == 0) {
+                const std::string name = arg.substr(2);
+                if (i + 1 < argc) {
+                    flags_[name] = argv[++i];
+                } else {
+                    flags_[name] = "";
+                }
+            } else {
+                positional_.push_back(std::move(arg));
+            }
+        }
+    }
+
+    const std::string* flag(const std::string& name) const {
+        const auto it = flags_.find(name);
+        return it == flags_.end() ? nullptr : &it->second;
+    }
+
+    std::uint64_t flag_u64(const std::string& name, std::uint64_t fallback) const {
+        const std::string* value = flag(name);
+        return value != nullptr ? std::stoull(*value, nullptr, 0) : fallback;
+    }
+
+    const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+    std::map<std::string, std::string> flags_;
+    std::vector<std::string> positional_;
+};
+
+[[noreturn]] inline void die(const char* message) {
+    std::fprintf(stderr, "error: %s\n", message);
+    std::exit(1);
+}
+
+}  // namespace upkit::tools

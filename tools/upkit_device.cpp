@@ -1,0 +1,139 @@
+// upkit-device — a file-backed virtual device (the paper's own trick:
+// "assigning a Linux file to each slot ... to test the modules without the
+// need of a simulator"). Two slots live inside one flash image file;
+// update images produced by upkit-sign can be staged, verified, booted,
+// and rolled back entirely from the command line.
+//
+//   upkit-device --flash dev.bin provision image.bin     install into slot 0
+//   upkit-device --flash dev.bin stage image.bin         stage into slot 1
+//   upkit-device --flash dev.bin boot --vendor-pub v.pub --server-pub s.pub
+//                [--app-id A]                            run the bootloader
+//   upkit-device --flash dev.bin status                  inspect both slots
+#include "boot/bootloader.hpp"
+#include "flash/file_flash.hpp"
+#include "sim/platform.hpp"
+#include "slots/slot.hpp"
+#include "tools/tool_util.hpp"
+
+using namespace upkit;
+using namespace upkit::tools;
+
+namespace {
+
+constexpr std::uint64_t kSlotSize = 128 * 1024;
+
+flash::FlashGeometry geometry() {
+    return flash::FlashGeometry{
+        .size_bytes = 2 * kSlotSize, .sector_bytes = 4096, .page_bytes = 256};
+}
+
+slots::SlotManager make_slots(flash::FileFlash& device) {
+    slots::SlotManager manager;
+    (void)manager.add_slot({.id = 0,
+                            .type = slots::SlotType::kBootable,
+                            .device = &device,
+                            .offset = 0,
+                            .size = kSlotSize,
+                            .link_offset = slots::kAnyLinkOffset});
+    (void)manager.add_slot({.id = 1,
+                            .type = slots::SlotType::kNonBootable,
+                            .device = &device,
+                            .offset = kSlotSize,
+                            .size = kSlotSize,
+                            .link_offset = slots::kAnyLinkOffset});
+    return manager;
+}
+
+int write_image(flash::FileFlash& device, std::uint32_t slot_id, const Bytes& image) {
+    auto m = manifest::parse_manifest(image);
+    if (!m) die("not a valid update image");
+    if (image.size() > kSlotSize) die("image larger than the slot");
+    slots::SlotManager manager = make_slots(device);
+    auto handle = manager.open(slot_id, slots::OpenMode::kWriteAll);
+    if (!handle || handle->write(image) != Status::kOk) die("slot write failed");
+    std::printf("slot %u <- version %u (%zu bytes)\n", slot_id, m->version, image.size());
+    return 0;
+}
+
+void print_slot(flash::FileFlash& device, std::uint32_t slot_id) {
+    Bytes header(manifest::kManifestSize);
+    if (device.read(slot_id * kSlotSize, MutByteSpan(header)) != Status::kOk) {
+        std::printf("slot %u: <read error>\n", slot_id);
+        return;
+    }
+    if (auto m = manifest::parse_manifest(header)) {
+        std::printf("slot %u: version %u, app 0x%X, %u-byte firmware%s%s\n", slot_id,
+                    m->version, m->app_id, m->firmware_size,
+                    m->differential ? ", differential" : "",
+                    m->encrypted ? ", encrypted" : "");
+    } else {
+        std::printf("slot %u: empty / invalid\n", slot_id);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    const std::string* flash_path = args.flag("flash");
+    if (flash_path == nullptr || args.positional().empty()) {
+        std::fprintf(stderr,
+                     "usage: upkit-device --flash dev.bin provision|stage IMAGE\n"
+                     "       upkit-device --flash dev.bin boot --vendor-pub V --server-pub S"
+                     " [--app-id A]\n"
+                     "       upkit-device --flash dev.bin status\n");
+        return 1;
+    }
+    auto device = flash::FileFlash::open(*flash_path, geometry());
+    if (!device) die("cannot open flash image file");
+    const std::string& command = args.positional()[0];
+
+    if (command == "status") {
+        print_slot(*device, 0);
+        print_slot(*device, 1);
+        return 0;
+    }
+    if (command == "provision" || command == "stage") {
+        if (args.positional().size() < 2) die("missing image path");
+        auto image = read_file(args.positional()[1]);
+        if (!image) die("cannot read image");
+        return write_image(*device, command == "provision" ? 0 : 1, *image);
+    }
+    if (command == "boot") {
+        const std::string* vendor_path = args.flag("vendor-pub");
+        const std::string* server_path = args.flag("server-pub");
+        if (vendor_path == nullptr || server_path == nullptr) {
+            die("boot needs --vendor-pub and --server-pub");
+        }
+        auto vendor_key = load_public_key(*vendor_path);
+        if (!vendor_key) die("cannot load vendor public key");
+        auto server_key = load_public_key(*server_path);
+        if (!server_key) die("cannot load server public key");
+
+        const auto backend = crypto::make_tinycrypt_backend();
+        const verify::Verifier verifier(*backend, *vendor_key, *server_key);
+        slots::SlotManager manager = make_slots(*device);
+
+        boot::BootConfig config;
+        config.bootable_slots = {0};
+        config.staging_slot = 1;
+        config.identity.app_id = static_cast<std::uint32_t>(args.flag_u64("app-id", 0));
+        // Device ID is irrelevant at boot (freshness was agent-side).
+
+        boot::Bootloader bootloader(config, manager, verifier, sim::nrf52840(),
+                                    /*clock=*/nullptr, /*meter=*/nullptr);
+        auto report = bootloader.boot();
+        if (!report) {
+            std::printf("boot FAILED: no valid image in any slot\n");
+            return 2;
+        }
+        std::printf("booted slot %u: version %u%s\n", report->booted_slot,
+                    report->booted.version,
+                    report->installed_from_staging ? " (installed from staging)" : "");
+        for (const std::uint32_t invalidated : report->invalidated) {
+            std::printf("  slot %u failed verification and was invalidated\n", invalidated);
+        }
+        return 0;
+    }
+    die("unknown command");
+}

@@ -1,0 +1,73 @@
+// upkit-diff / upkit-patch — standalone differential-update tooling.
+//
+//   upkit-diff  old.bin new.bin patch.upk      create LZSS-compressed patch
+//   upkit-diff  --apply old.bin patch.upk out.bin   reconstruct new image
+//
+// The patch format is exactly what the update server ships and the
+// pipeline's decompression+patching stages consume on-device.
+#include "compress/lzss.hpp"
+#include "diff/bsdiff.hpp"
+#include "diff/bspatch_stream.hpp"
+#include "tools/tool_util.hpp"
+
+using namespace upkit;
+using namespace upkit::tools;
+
+namespace {
+
+int create(const std::string& old_path, const std::string& new_path,
+           const std::string& out_path) {
+    auto old_image = read_file(old_path);
+    if (!old_image) die("cannot read old image");
+    auto new_image = read_file(new_path);
+    if (!new_image) die("cannot read new image");
+
+    auto patch = diff::bsdiff(*old_image, *new_image);
+    if (!patch) die("bsdiff failed");
+    auto compressed = compress::lzss_compress(*patch);
+    if (!compressed) die("compression failed");
+    if (write_file(out_path, *compressed) != Status::kOk) die("cannot write patch");
+
+    std::printf("%s: %zu bytes (new image %zu, %.1f%% of full size)\n", out_path.c_str(),
+                compressed->size(), new_image->size(),
+                100.0 * static_cast<double>(compressed->size()) /
+                    static_cast<double>(new_image->size()));
+    return 0;
+}
+
+int apply(const std::string& old_path, const std::string& patch_path,
+          const std::string& out_path) {
+    auto old_image = read_file(old_path);
+    if (!old_image) die("cannot read old image");
+    auto compressed = read_file(patch_path);
+    if (!compressed) die("cannot read patch");
+
+    // Decompress + patch through the same streaming stages the device uses.
+    SpanReader reader(*old_image);
+    BytesSink sink;
+    diff::PatchApplier applier(reader, sink);
+    compress::LzssDecoder decoder(applier);
+    if (decoder.write(*compressed) != Status::kOk || decoder.finish() != Status::kOk) {
+        die("patch application failed (corrupt patch or wrong base image)");
+    }
+    if (write_file(out_path, sink.bytes()) != Status::kOk) die("cannot write output");
+    std::printf("%s: %zu bytes reconstructed\n", out_path.c_str(), sink.bytes().size());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    const bool apply_mode = args.flag("apply") != nullptr;
+    const auto& pos = args.positional();
+    if (apply_mode && pos.size() == 2 && args.flag("apply") != nullptr) {
+        // --apply consumed old.bin as its "value"; re-assemble.
+        return apply(*args.flag("apply"), pos[0], pos[1]);
+    }
+    if (!apply_mode && pos.size() == 3) return create(pos[0], pos[1], pos[2]);
+    std::fprintf(stderr,
+                 "usage: upkit-diff old.bin new.bin patch.upk\n"
+                 "       upkit-diff --apply old.bin patch.upk out.bin\n");
+    return 1;
+}

@@ -1,0 +1,45 @@
+// upkit-keygen — generates a P-256 signing key pair as hex files.
+//
+//   upkit-keygen --seed <string> --out <prefix>
+//
+// Writes <prefix>.priv (32-byte scalar) and <prefix>.pub (64-byte X||Y).
+// The seed makes key generation reproducible for CI; omit it for a
+// random key (seeded from std::random_device).
+#include <random>
+
+#include "common/endian.hpp"
+#include "tools/tool_util.hpp"
+
+using namespace upkit;
+using namespace upkit::tools;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    const std::string* out_prefix = args.flag("out");
+    if (out_prefix == nullptr) {
+        std::fprintf(stderr, "usage: upkit-keygen [--seed <string>] --out <prefix>\n");
+        return 1;
+    }
+
+    Bytes seed;
+    if (const std::string* seed_text = args.flag("seed")) {
+        seed = to_bytes(*seed_text);
+    } else {
+        std::random_device rd;
+        for (int i = 0; i < 8; ++i) put_le32(seed, rd());
+    }
+
+    const crypto::PrivateKey key = crypto::PrivateKey::generate(seed);
+    const auto pub = key.public_key().to_bytes();
+
+    if (write_file(*out_prefix + ".priv", to_bytes(hex_encode(key.to_bytes()))) !=
+        Status::kOk) {
+        die("cannot write private key");
+    }
+    if (write_file(*out_prefix + ".pub",
+                   to_bytes(hex_encode(ByteSpan(pub.data(), pub.size())))) != Status::kOk) {
+        die("cannot write public key");
+    }
+    std::printf("wrote %s.priv and %s.pub\n", out_prefix->c_str(), out_prefix->c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+// upkit-sign — builds a complete, doubly-signed update image from a raw
+// firmware binary (the vendor-server + update-server pipeline in one tool).
+//
+//   upkit-sign --firmware fw.bin --vendor-key v.priv --server-key s.priv
+//              --version 2 --app-id 0xA0 --device-id 0x1001 --nonce 7
+//              [--old old_fw.bin --old-version 1]     (differential)
+//              --out image.bin
+//
+// Output layout: [200-byte manifest][payload]. With --old the payload is an
+// LZSS-compressed bsdiff patch against the old firmware.
+#include "compress/lzss.hpp"
+#include "diff/bsdiff.hpp"
+#include "manifest/manifest.hpp"
+#include "slots/slot.hpp"
+#include "tools/tool_util.hpp"
+
+using namespace upkit;
+using namespace upkit::tools;
+
+int main(int argc, char** argv) {
+    const Args args(argc, argv);
+    const std::string* firmware_path = args.flag("firmware");
+    const std::string* vendor_path = args.flag("vendor-key");
+    const std::string* server_path = args.flag("server-key");
+    const std::string* out_path = args.flag("out");
+    if (firmware_path == nullptr || vendor_path == nullptr || server_path == nullptr ||
+        out_path == nullptr) {
+        std::fprintf(stderr,
+                     "usage: upkit-sign --firmware fw.bin --vendor-key v.priv "
+                     "--server-key s.priv --version N --app-id A --device-id D "
+                     "--nonce N [--old old.bin --old-version M] --out image.bin\n");
+        return 1;
+    }
+
+    auto firmware = read_file(*firmware_path);
+    if (!firmware) die("cannot read firmware");
+    auto vendor_key = load_private_key(*vendor_path);
+    if (!vendor_key) die("cannot load vendor key");
+    auto server_key = load_private_key(*server_path);
+    if (!server_key) die("cannot load server key");
+
+    manifest::Manifest m;
+    m.version = static_cast<std::uint16_t>(args.flag_u64("version", 1));
+    m.app_id = static_cast<std::uint32_t>(args.flag_u64("app-id", 0));
+    m.device_id = static_cast<std::uint32_t>(args.flag_u64("device-id", 0));
+    m.nonce = static_cast<std::uint32_t>(args.flag_u64("nonce", 0));
+    m.link_offset = static_cast<std::uint32_t>(
+        args.flag_u64("link-offset", slots::kAnyLinkOffset));
+    m.firmware_size = static_cast<std::uint32_t>(firmware->size());
+    m.digest = crypto::Sha256::digest(*firmware);
+
+    Bytes payload;
+    if (const std::string* old_path = args.flag("old")) {
+        auto old_firmware = read_file(*old_path);
+        if (!old_firmware) die("cannot read --old firmware");
+        auto patch = diff::bsdiff(*old_firmware, *firmware);
+        if (!patch) die("bsdiff failed");
+        auto compressed = compress::lzss_compress(*patch);
+        if (!compressed) die("compression failed");
+        payload = std::move(*compressed);
+        m.differential = true;
+        m.old_version = static_cast<std::uint16_t>(args.flag_u64("old-version", 0));
+        std::printf("differential payload: %zu bytes (full image: %zu)\n", payload.size(),
+                    firmware->size());
+    } else {
+        payload = *firmware;
+    }
+    m.payload_size = static_cast<std::uint32_t>(payload.size());
+
+    m.vendor_signature =
+        crypto::ecdsa_sign(*vendor_key, crypto::Sha256::digest(m.vendor_signed_bytes()));
+    m.server_signature =
+        crypto::ecdsa_sign(*server_key, crypto::Sha256::digest(m.server_signed_bytes()));
+
+    Bytes image = manifest::serialize(m);
+    append(image, payload);
+    if (write_file(*out_path, image) != Status::kOk) die("cannot write image");
+    std::printf("wrote %s: %zu bytes (manifest %zu + payload %zu), version %u\n",
+                out_path->c_str(), image.size(), manifest::kManifestSize, payload.size(),
+                m.version);
+    return 0;
+}
