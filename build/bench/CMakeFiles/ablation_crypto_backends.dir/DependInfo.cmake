@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_crypto_backends.cpp" "bench/CMakeFiles/ablation_crypto_backends.dir/ablation_crypto_backends.cpp.o" "gcc" "bench/CMakeFiles/ablation_crypto_backends.dir/ablation_crypto_backends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/upkit_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/upkit_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/upkit_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_double_signature.dir/ablation_double_signature.cpp.o"
+  "CMakeFiles/ablation_double_signature.dir/ablation_double_signature.cpp.o.d"
+  "ablation_double_signature"
+  "ablation_double_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_double_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

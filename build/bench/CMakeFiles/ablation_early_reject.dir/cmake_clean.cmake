@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_early_reject.dir/ablation_early_reject.cpp.o"
+  "CMakeFiles/ablation_early_reject.dir/ablation_early_reject.cpp.o.d"
+  "ablation_early_reject"
+  "ablation_early_reject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_early_reject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_push_vs_pull.dir/fig8a_push_vs_pull.cpp.o"
+  "CMakeFiles/fig8a_push_vs_pull.dir/fig8a_push_vs_pull.cpp.o.d"
+  "fig8a_push_vs_pull"
+  "fig8a_push_vs_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_push_vs_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_differential_updates.dir/fig8b_differential_updates.cpp.o"
+  "CMakeFiles/fig8b_differential_updates.dir/fig8b_differential_updates.cpp.o.d"
+  "fig8b_differential_updates"
+  "fig8b_differential_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_differential_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_ab_updates.dir/fig8c_ab_updates.cpp.o"
+  "CMakeFiles/fig8c_ab_updates.dir/fig8c_ab_updates.cpp.o.d"
+  "fig8c_ab_updates"
+  "fig8c_ab_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_ab_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

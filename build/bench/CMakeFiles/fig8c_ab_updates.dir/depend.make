@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8c_ab_updates.
+# This may be replaced when dependencies are built.

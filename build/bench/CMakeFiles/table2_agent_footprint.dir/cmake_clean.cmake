@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_agent_footprint.dir/table2_agent_footprint.cpp.o"
+  "CMakeFiles/table2_agent_footprint.dir/table2_agent_footprint.cpp.o.d"
+  "table2_agent_footprint"
+  "table2_agent_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_agent_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

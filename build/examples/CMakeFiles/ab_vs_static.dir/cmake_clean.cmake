@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ab_vs_static.dir/ab_vs_static.cpp.o"
+  "CMakeFiles/ab_vs_static.dir/ab_vs_static.cpp.o.d"
+  "ab_vs_static"
+  "ab_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ab_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

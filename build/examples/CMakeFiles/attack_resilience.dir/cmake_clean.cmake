@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_resilience.dir/attack_resilience.cpp.o"
+  "CMakeFiles/attack_resilience.dir/attack_resilience.cpp.o.d"
+  "attack_resilience"
+  "attack_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_update.dir/differential_update.cpp.o"
+  "CMakeFiles/differential_update.dir/differential_update.cpp.o.d"
+  "differential_update"
+  "differential_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

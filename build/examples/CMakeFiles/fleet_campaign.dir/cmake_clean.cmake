@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_campaign.dir/fleet_campaign.cpp.o"
+  "CMakeFiles/fleet_campaign.dir/fleet_campaign.cpp.o.d"
+  "fleet_campaign"
+  "fleet_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pull_update.dir/pull_update.cpp.o"
+  "CMakeFiles/pull_update.dir/pull_update.cpp.o.d"
+  "pull_update"
+  "pull_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pull_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_interop.dir/secure_interop.cpp.o"
+  "CMakeFiles/secure_interop.dir/secure_interop.cpp.o.d"
+  "secure_interop"
+  "secure_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

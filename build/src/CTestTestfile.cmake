@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("compress")
+subdirs("diff")
+subdirs("flash")
+subdirs("slots")
+subdirs("manifest")
+subdirs("pipeline")
+subdirs("verify")
+subdirs("suit")
+subdirs("sim")
+subdirs("net")
+subdirs("server")
+subdirs("agent")
+subdirs("boot")
+subdirs("baselines")
+subdirs("footprint")
+subdirs("core")

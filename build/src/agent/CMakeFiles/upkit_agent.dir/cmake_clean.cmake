@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_agent.dir/update_agent.cpp.o"
+  "CMakeFiles/upkit_agent.dir/update_agent.cpp.o.d"
+  "libupkit_agent.a"
+  "libupkit_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

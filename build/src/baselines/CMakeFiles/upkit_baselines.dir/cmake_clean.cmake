@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/upkit_baselines.dir/baselines.cpp.o.d"
+  "libupkit_baselines.a"
+  "libupkit_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boot/bootloader.cpp" "src/boot/CMakeFiles/upkit_boot.dir/bootloader.cpp.o" "gcc" "src/boot/CMakeFiles/upkit_boot.dir/bootloader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/upkit_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/slots/CMakeFiles/upkit_slots.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/upkit_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/suit/CMakeFiles/upkit_suit.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifest/CMakeFiles/upkit_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/upkit_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

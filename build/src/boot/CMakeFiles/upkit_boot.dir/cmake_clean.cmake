@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_boot.dir/bootloader.cpp.o"
+  "CMakeFiles/upkit_boot.dir/bootloader.cpp.o.d"
+  "libupkit_boot.a"
+  "libupkit_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_common.dir/hex.cpp.o"
+  "CMakeFiles/upkit_common.dir/hex.cpp.o.d"
+  "libupkit_common.a"
+  "libupkit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_compress.dir/lzss.cpp.o"
+  "CMakeFiles/upkit_compress.dir/lzss.cpp.o.d"
+  "libupkit_compress.a"
+  "libupkit_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

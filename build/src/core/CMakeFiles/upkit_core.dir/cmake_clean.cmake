@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_core.dir/device.cpp.o"
+  "CMakeFiles/upkit_core.dir/device.cpp.o.d"
+  "CMakeFiles/upkit_core.dir/fleet.cpp.o"
+  "CMakeFiles/upkit_core.dir/fleet.cpp.o.d"
+  "CMakeFiles/upkit_core.dir/session.cpp.o"
+  "CMakeFiles/upkit_core.dir/session.cpp.o.d"
+  "libupkit_core.a"
+  "libupkit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

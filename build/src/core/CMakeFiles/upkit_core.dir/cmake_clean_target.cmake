@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libupkit_core.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/backend.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/backend.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/backend.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/content_key.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/content_key.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/content_key.cpp.o.d"
+  "/root/repo/src/crypto/crc.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/crc.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/crc.cpp.o.d"
+  "/root/repo/src/crypto/ecdsa.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/ecdsa.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/ecdsa.cpp.o.d"
+  "/root/repo/src/crypto/hkdf.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/hkdf.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/hkdf.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/hmac_drbg.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/hmac_drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/hmac_drbg.cpp.o.d"
+  "/root/repo/src/crypto/hsm.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/hsm.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/hsm.cpp.o.d"
+  "/root/repo/src/crypto/modular.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/modular.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/modular.cpp.o.d"
+  "/root/repo/src/crypto/p256.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/p256.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/p256.cpp.o.d"
+  "/root/repo/src/crypto/poly1305.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/poly1305.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/poly1305.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/crypto/CMakeFiles/upkit_crypto.dir/u256.cpp.o" "gcc" "src/crypto/CMakeFiles/upkit_crypto.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_crypto.dir/backend.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/backend.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/content_key.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/content_key.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/crc.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/crc.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/hkdf.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/hkdf.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/hmac_drbg.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/hmac_drbg.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/hsm.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/hsm.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/modular.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/modular.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/p256.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/p256.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/upkit_crypto.dir/u256.cpp.o"
+  "CMakeFiles/upkit_crypto.dir/u256.cpp.o.d"
+  "libupkit_crypto.a"
+  "libupkit_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

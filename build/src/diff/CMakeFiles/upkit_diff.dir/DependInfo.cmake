@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diff/bsdiff.cpp" "src/diff/CMakeFiles/upkit_diff.dir/bsdiff.cpp.o" "gcc" "src/diff/CMakeFiles/upkit_diff.dir/bsdiff.cpp.o.d"
+  "/root/repo/src/diff/bspatch_stream.cpp" "src/diff/CMakeFiles/upkit_diff.dir/bspatch_stream.cpp.o" "gcc" "src/diff/CMakeFiles/upkit_diff.dir/bspatch_stream.cpp.o.d"
+  "/root/repo/src/diff/suffix_array.cpp" "src/diff/CMakeFiles/upkit_diff.dir/suffix_array.cpp.o" "gcc" "src/diff/CMakeFiles/upkit_diff.dir/suffix_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/upkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

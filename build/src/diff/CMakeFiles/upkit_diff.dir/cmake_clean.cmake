@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_diff.dir/bsdiff.cpp.o"
+  "CMakeFiles/upkit_diff.dir/bsdiff.cpp.o.d"
+  "CMakeFiles/upkit_diff.dir/bspatch_stream.cpp.o"
+  "CMakeFiles/upkit_diff.dir/bspatch_stream.cpp.o.d"
+  "CMakeFiles/upkit_diff.dir/suffix_array.cpp.o"
+  "CMakeFiles/upkit_diff.dir/suffix_array.cpp.o.d"
+  "libupkit_diff.a"
+  "libupkit_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

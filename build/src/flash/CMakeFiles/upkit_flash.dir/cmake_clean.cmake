@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_flash.dir/file_flash.cpp.o"
+  "CMakeFiles/upkit_flash.dir/file_flash.cpp.o.d"
+  "CMakeFiles/upkit_flash.dir/sim_flash.cpp.o"
+  "CMakeFiles/upkit_flash.dir/sim_flash.cpp.o.d"
+  "libupkit_flash.a"
+  "libupkit_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_footprint.dir/footprint.cpp.o"
+  "CMakeFiles/upkit_footprint.dir/footprint.cpp.o.d"
+  "libupkit_footprint.a"
+  "libupkit_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

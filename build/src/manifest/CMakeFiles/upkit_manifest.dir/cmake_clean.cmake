@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_manifest.dir/manifest.cpp.o"
+  "CMakeFiles/upkit_manifest.dir/manifest.cpp.o.d"
+  "libupkit_manifest.a"
+  "libupkit_manifest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_manifest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_net.dir/coap.cpp.o"
+  "CMakeFiles/upkit_net.dir/coap.cpp.o.d"
+  "CMakeFiles/upkit_net.dir/smp.cpp.o"
+  "CMakeFiles/upkit_net.dir/smp.cpp.o.d"
+  "CMakeFiles/upkit_net.dir/transport.cpp.o"
+  "CMakeFiles/upkit_net.dir/transport.cpp.o.d"
+  "libupkit_net.a"
+  "libupkit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/decrypt_stage.cpp" "src/pipeline/CMakeFiles/upkit_pipeline.dir/decrypt_stage.cpp.o" "gcc" "src/pipeline/CMakeFiles/upkit_pipeline.dir/decrypt_stage.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "src/pipeline/CMakeFiles/upkit_pipeline.dir/pipeline.cpp.o" "gcc" "src/pipeline/CMakeFiles/upkit_pipeline.dir/pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/stages.cpp" "src/pipeline/CMakeFiles/upkit_pipeline.dir/stages.cpp.o" "gcc" "src/pipeline/CMakeFiles/upkit_pipeline.dir/stages.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slots/CMakeFiles/upkit_slots.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/upkit_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/diff/CMakeFiles/upkit_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/upkit_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/upkit_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/upkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_pipeline.dir/decrypt_stage.cpp.o"
+  "CMakeFiles/upkit_pipeline.dir/decrypt_stage.cpp.o.d"
+  "CMakeFiles/upkit_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/upkit_pipeline.dir/pipeline.cpp.o.d"
+  "CMakeFiles/upkit_pipeline.dir/stages.cpp.o"
+  "CMakeFiles/upkit_pipeline.dir/stages.cpp.o.d"
+  "libupkit_pipeline.a"
+  "libupkit_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

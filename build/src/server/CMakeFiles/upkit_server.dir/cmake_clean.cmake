@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_server.dir/update_server.cpp.o"
+  "CMakeFiles/upkit_server.dir/update_server.cpp.o.d"
+  "CMakeFiles/upkit_server.dir/vendor_server.cpp.o"
+  "CMakeFiles/upkit_server.dir/vendor_server.cpp.o.d"
+  "libupkit_server.a"
+  "libupkit_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_sim.dir/energy.cpp.o"
+  "CMakeFiles/upkit_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/upkit_sim.dir/firmware.cpp.o"
+  "CMakeFiles/upkit_sim.dir/firmware.cpp.o.d"
+  "CMakeFiles/upkit_sim.dir/platform.cpp.o"
+  "CMakeFiles/upkit_sim.dir/platform.cpp.o.d"
+  "libupkit_sim.a"
+  "libupkit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_slots.dir/slot.cpp.o"
+  "CMakeFiles/upkit_slots.dir/slot.cpp.o.d"
+  "libupkit_slots.a"
+  "libupkit_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

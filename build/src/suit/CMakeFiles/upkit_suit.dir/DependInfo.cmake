@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suit/cbor.cpp" "src/suit/CMakeFiles/upkit_suit.dir/cbor.cpp.o" "gcc" "src/suit/CMakeFiles/upkit_suit.dir/cbor.cpp.o.d"
+  "/root/repo/src/suit/suit.cpp" "src/suit/CMakeFiles/upkit_suit.dir/suit.cpp.o" "gcc" "src/suit/CMakeFiles/upkit_suit.dir/suit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/manifest/CMakeFiles/upkit_manifest.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/upkit_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/upkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

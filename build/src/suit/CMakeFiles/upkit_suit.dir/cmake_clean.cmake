@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_suit.dir/cbor.cpp.o"
+  "CMakeFiles/upkit_suit.dir/cbor.cpp.o.d"
+  "CMakeFiles/upkit_suit.dir/suit.cpp.o"
+  "CMakeFiles/upkit_suit.dir/suit.cpp.o.d"
+  "libupkit_suit.a"
+  "libupkit_suit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_suit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

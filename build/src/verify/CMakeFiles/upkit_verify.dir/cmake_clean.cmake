@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit_verify.dir/verifier.cpp.o"
+  "CMakeFiles/upkit_verify.dir/verifier.cpp.o.d"
+  "libupkit_verify.a"
+  "libupkit_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

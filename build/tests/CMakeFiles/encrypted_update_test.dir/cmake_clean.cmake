@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_update_test.dir/encrypted_update_test.cpp.o"
+  "CMakeFiles/encrypted_update_test.dir/encrypted_update_test.cpp.o.d"
+  "encrypted_update_test"
+  "encrypted_update_test.pdb"
+  "encrypted_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

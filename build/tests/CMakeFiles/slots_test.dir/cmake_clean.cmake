@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slots_test.dir/slots_test.cpp.o"
+  "CMakeFiles/slots_test.dir/slots_test.cpp.o.d"
+  "slots_test"
+  "slots_test.pdb"
+  "slots_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slots_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

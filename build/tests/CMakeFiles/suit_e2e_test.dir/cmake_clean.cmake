@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suit_e2e_test.dir/suit_e2e_test.cpp.o"
+  "CMakeFiles/suit_e2e_test.dir/suit_e2e_test.cpp.o.d"
+  "suit_e2e_test"
+  "suit_e2e_test.pdb"
+  "suit_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suit_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suit_test.dir/suit_test.cpp.o"
+  "CMakeFiles/suit_test.dir/suit_test.cpp.o.d"
+  "suit_test"
+  "suit_test.pdb"
+  "suit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

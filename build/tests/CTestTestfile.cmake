@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/diff_test[1]_include.cmake")
+include("/root/repo/build/tests/flash_test[1]_include.cmake")
+include("/root/repo/build/tests/slots_test[1]_include.cmake")
+include("/root/repo/build/tests/manifest_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/agent_test[1]_include.cmake")
+include("/root/repo/build/tests/boot_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/footprint_test[1]_include.cmake")
+include("/root/repo/build/tests/net_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/suit_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/encrypted_update_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/suit_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_cli_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit-device.dir/upkit_device.cpp.o"
+  "CMakeFiles/upkit-device.dir/upkit_device.cpp.o.d"
+  "upkit-device"
+  "upkit-device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit-device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

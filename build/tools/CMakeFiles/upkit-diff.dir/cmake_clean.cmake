@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit-diff.dir/upkit_diff.cpp.o"
+  "CMakeFiles/upkit-diff.dir/upkit_diff.cpp.o.d"
+  "upkit-diff"
+  "upkit-diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit-diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

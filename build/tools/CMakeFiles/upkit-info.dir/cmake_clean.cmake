@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit-info.dir/upkit_info.cpp.o"
+  "CMakeFiles/upkit-info.dir/upkit_info.cpp.o.d"
+  "upkit-info"
+  "upkit-info.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit-info.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit-keygen.dir/upkit_keygen.cpp.o"
+  "CMakeFiles/upkit-keygen.dir/upkit_keygen.cpp.o.d"
+  "upkit-keygen"
+  "upkit-keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit-keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upkit-sign.dir/upkit_sign.cpp.o"
+  "CMakeFiles/upkit-sign.dir/upkit_sign.cpp.o.d"
+  "upkit-sign"
+  "upkit-sign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upkit-sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for upkit-sign.
+# This may be replaced when dependencies are built.
