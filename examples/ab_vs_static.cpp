@@ -104,5 +104,45 @@ int main() {
     std::printf("retry after power loss: %s -> v%u\n",
                 std::string(to_string(retry_report.status)).c_str(),
                 retry_report.final_version);
-    return retry_report.status == Status::kOk ? 0 : 1;
+    if (retry_report.status != Status::kOk) return 1;
+
+    // ------------------------------------------------ power loss mid-swap
+    // The static configuration's weak spot: the swap rewrites the slot the
+    // device boots from, so a power cut in the middle used to mean a brick.
+    // The flash-backed swap journal lets the bootloader resume instead.
+    std::printf("\n-- power loss in the middle of the static swap --\n");
+    core::Device& sdev = *static_device;
+    agent::UpdateAgent& sagent = sdev.agent();
+    auto stoken = sagent.request_device_token();
+    auto sresponse = server.prepare_update(kApp, *stoken);
+    if (!sresponse || sagent.offer_manifest(sresponse->manifest_bytes) != Status::kOk) {
+        std::fprintf(stderr, "manifest exchange failed\n");
+        return 1;
+    }
+    for (std::size_t off = 0; off < sresponse->payload.size(); off += 4096) {
+        const std::size_t len =
+            std::min<std::size_t>(4096, sresponse->payload.size() - off);
+        if (sagent.offer_payload(ByteSpan(sresponse->payload).subspan(off, len)) !=
+            Status::kOk) {
+            std::fprintf(stderr, "staging failed\n");
+            return 1;
+        }
+    }
+    // The v3 image is fully staged; the battery dies while the bootloader
+    // swaps it into the executable slot.
+    sdev.internal_flash().schedule_power_loss_range({40});
+    auto swap_cut = sdev.reboot();
+    std::printf("power cut mid-swap: %s\n",
+                swap_cut ? "swap finished before the cut?!"
+                         : std::string(to_string(swap_cut.status())).c_str());
+    auto recovered = sdev.reboot();
+    if (!recovered) {
+        std::fprintf(stderr, "device bricked?! (this must not happen)\n");
+        return 1;
+    }
+    std::printf("rebooted: journal %s, running v%u\n",
+                recovered->resumed_interrupted_swap ? "resumed the interrupted swap"
+                                                    : "had nothing pending",
+                recovered->booted.version);
+    return recovered->resumed_interrupted_swap && recovered->booted.version == 3 ? 0 : 1;
 }

@@ -89,6 +89,20 @@ Expected<BootReport> Bootloader::boot() {
     loading_seconds_ = 0.0;
     charge_cpu(config_.reboot_seconds);  // MCU reset + init
 
+    BootReport report;
+
+    // Crash recovery first: a power cut mid-swap leaves both slots partial;
+    // the journal knows the last durable step and the swap is completed
+    // before any image is examined. A second cut in here simply repeats
+    // this on the next boot.
+    {
+        const double load_start = clock_ != nullptr ? clock_->now() : 0.0;
+        auto resumed = slots_->resume_swap();
+        if (clock_ != nullptr) loading_seconds_ += clock_->now() - load_start;
+        if (!resumed) return resumed.status();
+        report.resumed_interrupted_swap = *resumed;
+    }
+
     // Gather parseable images from every slot we know about.
     std::vector<Candidate> candidates;
     for (const std::uint32_t id : config_.bootable_slots) {
@@ -105,15 +119,22 @@ Expected<BootReport> Bootloader::boot() {
                          return a.manifest.version > b.manifest.version;
                      });
 
-    BootReport report;
     for (const Candidate& candidate : candidates) {
         const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
         const Status verdict = verify_slot_image(candidate);
         if (clock_ != nullptr) verification_seconds_ += clock_->now() - verify_start;
 
+        if (verdict == Status::kFlashPowerLoss) {
+            // The flash died mid-verification: this is not a bad image, the
+            // MCU is browning out. Report it so the next reset retries —
+            // and do NOT invalidate a slot we could not even read.
+            return verdict;
+        }
         if (verdict != Status::kOk) {
             // Rollback: drop the bad image and fall through to the next.
-            (void)slots_->invalidate(candidate.slot_id);
+            if (slots_->invalidate(candidate.slot_id) == Status::kFlashPowerLoss) {
+                return Status::kFlashPowerLoss;
+            }
             report.invalidated.push_back(candidate.slot_id);
             continue;
         }
@@ -149,6 +170,17 @@ Expected<BootReport> Bootloader::boot() {
         report.booted_slot = boot_slot;
         report.booted = candidate.manifest;
         return report;
+    }
+    // Distinguish "no valid image anywhere" (a true brick: device stays in
+    // ROM) from "the flash lost power while we were scanning": unreadable
+    // slots come back after the next reset.
+    for (const std::uint32_t id : config_.bootable_slots) {
+        const slots::SlotConfig* slot = slots_->slot(id);
+        std::uint8_t probe = 0;
+        if (slot != nullptr && slot->device->read(slot->offset, MutByteSpan(&probe, 1)) ==
+                                   Status::kFlashPowerLoss) {
+            return Status::kFlashPowerLoss;
+        }
     }
     return Status::kNotFound;  // nothing valid anywhere: device stays in ROM
 }

@@ -41,6 +41,9 @@ struct BootReport {
     manifest::Manifest booted;
     /// True when a staged image was installed (swap) during this boot.
     bool installed_from_staging = false;
+    /// True when an install interrupted by power loss was completed from the
+    /// swap journal before slot selection.
+    bool resumed_interrupted_swap = false;
     /// Slots whose images failed verification and were invalidated.
     std::vector<std::uint32_t> invalidated;
 };

@@ -91,6 +91,15 @@ void Device::build_slots() {
     const sim::PlatformProfile& p = *config_.platform;
     const std::uint64_t sector = p.flash_sector_bytes;
 
+    // The swap journal lives in the top sectors of the bootloader-reserved
+    // region (the bootloader owns it: only boot-time code swaps slots).
+    const std::uint64_t journal_bytes = slots::SwapJournal::kSectorCount * sector;
+    assert(config_.bootloader_reserved >= journal_bytes + sector &&
+           "reserved flash too small for bootloader + swap journal");
+    swap_journal_ = std::make_unique<slots::SwapJournal>(
+        *internal_, config_.bootloader_reserved - journal_bytes);
+    slot_manager_.set_journal(swap_journal_.get());
+
     std::uint64_t slot_size = config_.slot_size;
     if (slot_size == 0) {
         const std::uint64_t avail = p.internal_flash_bytes - config_.bootloader_reserved;

@@ -103,6 +103,7 @@ private:
 
     std::unique_ptr<flash::SimFlash> internal_;
     std::unique_ptr<flash::SimFlash> external_;
+    std::unique_ptr<slots::SwapJournal> swap_journal_;
     slots::SlotManager slot_manager_;
 
     std::shared_ptr<crypto::Atecc508> hsm_;

@@ -1,6 +1,9 @@
 #include "core/fleet.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
 
 namespace upkit::core {
 
@@ -16,15 +19,36 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         const double t0 = device.clock().now();
         const double e0 = device.meter().total_millijoules();
 
+        // Deterministic jitter stream: a function of the device id only, so
+        // a rerun of the same campaign replays the same delays.
+        Rng jitter_rng(0x9E3779B97F4A7C15ull ^ result.device_id);
+
         SessionReport last;
         for (unsigned attempt = 0; attempt < policy.max_attempts; ++attempt) {
             ++result.attempts;
-            UpdateSession session(device, *server_, member.link);
+            // Fresh loss seed per attempt: a retry sees new channel
+            // conditions, not a replay of the exact packet losses that sank
+            // the previous attempt.
+            UpdateSession session(device, *server_, member.link,
+                                  result.device_id * 1000003ull + attempt);
             last = session.run(app_id);
             result.bytes_over_air += last.bytes_over_air;  // all attempts count
             if (last.status == Status::kOk) break;
             // A stale offer will not get fresher by retrying.
             if (last.status == Status::kStaleVersion) break;
+
+            if (attempt + 1 < policy.max_attempts && policy.initial_backoff_s > 0) {
+                double delay = policy.initial_backoff_s *
+                               std::pow(policy.backoff_factor,
+                                        static_cast<double>(attempt));
+                delay = std::min(delay, policy.max_backoff_s);
+                // u uniform in [-1, 1): delay stays positive for jitter < 1.
+                const double u =
+                    static_cast<double>(jitter_rng.next_u32()) / 2147483648.0 - 1.0;
+                delay *= 1.0 + policy.jitter * u;
+                device.clock().advance(delay);
+                result.backoff_s += delay;
+            }
         }
 
         result.status = last.status;

@@ -17,6 +17,18 @@ namespace upkit::core {
 struct FleetPolicy {
     /// Update attempts per device before giving up.
     unsigned max_attempts = 3;
+
+    /// Exponential backoff between attempts: the first retry waits
+    /// initial_backoff_s, each further retry multiplies the wait by
+    /// backoff_factor, capped at max_backoff_s. Deterministic per-device
+    /// jitter (a ±jitter fraction of the delay) decorrelates devices whose
+    /// first attempts failed at the same moment, so a paper-scale fleet
+    /// does not hammer the server in lockstep. initial_backoff_s = 0
+    /// disables backoff entirely.
+    double initial_backoff_s = 2.0;
+    double backoff_factor = 2.0;
+    double max_backoff_s = 300.0;
+    double jitter = 0.25;
 };
 
 struct FleetMember {
@@ -31,6 +43,9 @@ struct CampaignDeviceResult {
     std::uint16_t final_version = 0;
     bool differential = false;
     double time_s = 0.0;
+    /// Virtual seconds this device spent sleeping between retry attempts
+    /// (included in time_s; radio and CPU idle, so no energy is charged).
+    double backoff_s = 0.0;
     double energy_mj = 0.0;
     std::uint64_t bytes_over_air = 0;
 };

@@ -44,10 +44,11 @@ struct SessionReport {
 
 class UpdateSession {
 public:
-    UpdateSession(Device& device, server::UpdateServer& server, const net::LinkParams& link)
+    UpdateSession(Device& device, server::UpdateServer& server, const net::LinkParams& link,
+                  std::uint64_t loss_seed = 1)
         : device_(&device),
           server_(&server),
-          transport_(link, device.clock(), &device.meter()) {}
+          transport_(link, device.clock(), &device.meter(), loss_seed) {}
 
     /// Models a compromised smartphone/gateway mutating the response.
     void set_interceptor(std::function<void(server::UpdateResponse&)> interceptor) {

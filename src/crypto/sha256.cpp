@@ -73,6 +73,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(ByteSpan data) {
+    if (data.empty()) return;  // empty spans may carry a null data pointer
     total_bytes_ += data.size();
     std::size_t offset = 0;
     if (buffered_ > 0) {

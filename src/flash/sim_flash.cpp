@@ -29,13 +29,53 @@ void SimFlash::charge(double seconds) {
     if (meter_ != nullptr) meter_->charge(sim::Component::kFlash, seconds);
 }
 
+void SimFlash::schedule_power_loss_range(std::vector<std::uint64_t> plan) {
+    plan_ = std::move(plan);
+    plan_next_ = 0;
+    plan_countdown_.reset();
+    if (!plan_.empty()) plan_countdown_ = plan_[plan_next_++];
+}
+
+void SimFlash::disarm_power_loss() {
+    power_loss_in_.reset();
+    plan_.clear();
+    plan_next_ = 0;
+    plan_countdown_.reset();
+}
+
+void SimFlash::revive() {
+    const bool was_dead = dead_;
+    dead_ = false;
+    power_loss_in_.reset();
+    // The plan persists across reboots; the revive that follows a cut arms
+    // the next entry (counted from this revive).
+    if (was_dead && !plan_countdown_.has_value() && plan_next_ < plan_.size()) {
+        plan_countdown_ = plan_[plan_next_++];
+    }
+}
+
 bool SimFlash::consume_op_budget() {
-    if (!power_loss_in_.has_value()) return true;
-    if (*power_loss_in_ == 0) {
+    bool cut = false;
+    if (power_loss_in_.has_value()) {
+        if (*power_loss_in_ == 0) {
+            cut = true;
+        } else {
+            --*power_loss_in_;
+        }
+    }
+    if (plan_countdown_.has_value()) {
+        if (*plan_countdown_ == 0) {
+            cut = true;
+            plan_countdown_.reset();
+        } else {
+            --*plan_countdown_;
+        }
+    }
+    if (cut) {
         dead_ = true;
+        ++power_cuts_;
         return false;
     }
-    --*power_loss_in_;
     return true;
 }
 
@@ -64,6 +104,14 @@ Status SimFlash::write(std::uint64_t offset, ByteSpan data) {
         }
         storage_[offset + i] = static_cast<std::uint8_t>(current & wanted);
     }
+    if (!powered) {
+        // The unreached tail is not a clean half-write: cells the program
+        // pulse touched but did not finish read back as garbage. Programming
+        // can only drive bits 1 -> 0, so the garbage is ANDed in.
+        for (std::size_t i = effective; i < data.size(); ++i) {
+            storage_[offset + i] &= static_cast<std::uint8_t>(fault_rng_.next_u32());
+        }
+    }
 
     const std::uint64_t pages =
         (data.size() + geometry_.page_bytes - 1) / geometry_.page_bytes;
@@ -80,9 +128,17 @@ Status SimFlash::erase_sector(std::uint64_t sector_index) {
 
     const bool powered = consume_op_budget();
     const std::uint64_t base = sector_index * geometry_.sector_bytes;
-    // A cut mid-erase leaves the sector partially erased.
+    // A cut mid-erase leaves a mixed sector: an erased prefix, then a window
+    // of cells caught mid-transition that read back as garbage (erase floats
+    // bits up, so any value is possible there), then the old content.
     const std::uint64_t span = powered ? geometry_.sector_bytes : geometry_.sector_bytes / 2;
     std::fill_n(storage_.begin() + static_cast<std::ptrdiff_t>(base), span, 0xFF);
+    if (!powered) {
+        const std::uint64_t window =
+            std::min<std::uint64_t>(geometry_.page_bytes, geometry_.sector_bytes - span);
+        fault_rng_.fill(MutByteSpan(storage_.data() + base + span,
+                                    static_cast<std::size_t>(window)));
+    }
 
     charge(timings_.erase_sector_s);
     ++wear_[sector_index];

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "flash/flash_device.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
@@ -42,14 +43,26 @@ public:
 
     /// Cuts power after `ops` further write/erase operations: that operation
     /// completes only partially and every following access fails with
-    /// kFlashPowerLoss until revive() is called (the "reboot").
+    /// kFlashPowerLoss until revive() is called (the "reboot"). One-shot:
+    /// revive() cancels it even if it never fired.
     void schedule_power_loss(std::uint64_t ops) { power_loss_in_ = ops; }
 
-    void revive() {
-        dead_ = false;
-        power_loss_in_.reset();
-    }
+    /// Arms a multi-cut plan that, unlike schedule_power_loss(), survives
+    /// revive(): plan[0] cuts power after that many further destructive ops
+    /// counted from now — across any intervening reboots, so a sweep can
+    /// reach the boot-time install — and each later entry is re-armed by the
+    /// revive() following its predecessor's cut, placing a second cut inside
+    /// the crash *recovery* itself. disarm_power_loss() cancels what's left.
+    void schedule_power_loss_range(std::vector<std::uint64_t> plan);
+
+    /// Cancels every scheduled cut (one-shot and plan alike).
+    void disarm_power_loss();
+
+    void revive();
     bool dead() const { return dead_; }
+
+    /// Cuts that actually fired over the device's lifetime.
+    std::uint64_t power_cuts() const { return power_cuts_; }
 
     // --- telemetry -------------------------------------------------------
 
@@ -74,7 +87,12 @@ private:
     sim::EnergyMeter* meter_ = nullptr;
 
     std::optional<std::uint64_t> power_loss_in_;
+    std::vector<std::uint64_t> plan_;
+    std::size_t plan_next_ = 0;
+    std::optional<std::uint64_t> plan_countdown_;
     bool dead_ = false;
+    std::uint64_t power_cuts_ = 0;
+    Rng fault_rng_{0xFA017};  // garbage left behind by torn writes/erases
 
     std::uint64_t total_erases_ = 0;
     std::uint64_t total_writes_ = 0;

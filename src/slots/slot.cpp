@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/crc.hpp"
+
 namespace upkit::slots {
 
 // ---------------------------------------------------------------- handle
@@ -174,12 +176,26 @@ Status SlotManager::swap(std::uint32_t a, std::uint32_t b, std::uint64_t used_by
     if (!sb) return sb.status();
     if ((*sa)->size != (*sb)->size) return Status::kInvalidArgument;
 
-    // Sector-pair swap with two RAM buffers — no scratch slot required.
     const std::uint32_t chunk = std::max((*sa)->device->geometry().sector_bytes,
                                          (*sb)->device->geometry().sector_bytes);
     if ((*sa)->size % chunk != 0) return Status::kInvalidArgument;
+    // Validate and clamp explicitly: a used_bytes beyond the slot, or one
+    // whose round-up to swap granularity lands past it, must not push the
+    // sector loop out of bounds.
     std::uint64_t limit = used_bytes == 0 ? (*sa)->size : std::min(used_bytes, (*sa)->size);
     limit = (limit + chunk - 1) / chunk * chunk;  // round to swap granularity
+    limit = std::min<std::uint64_t>(limit, (*sa)->size);
+
+    if (journal_ != nullptr && chunk <= journal_->scratch_capacity()) {
+        UPKIT_RETURN_IF_ERROR(journal_->begin(a, b, limit, chunk));
+        return journaled_swap(
+            **sa, **sb,
+            SwapJournal::State{.slot_a = a, .slot_b = b, .limit = limit, .chunk = chunk});
+    }
+
+    // Legacy sector-pair swap with two RAM buffers — no scratch sector, but
+    // NOT crash-consistent: between the erase of a sector and its rewrite
+    // the only copy of that data is in RAM.
     Bytes buf_a(chunk);
     Bytes buf_b(chunk);
     for (std::uint64_t off = 0; off < limit; off += chunk) {
@@ -193,6 +209,78 @@ Status SlotManager::swap(std::uint32_t a, std::uint32_t b, std::uint64_t used_by
         UPKIT_RETURN_IF_ERROR((*sb)->device->write((*sb)->offset + off, buf_a));
     }
     return Status::kOk;
+}
+
+Status SlotManager::journaled_swap(const SlotConfig& a, const SlotConfig& b,
+                                   const SwapJournal::State& from) {
+    const std::uint32_t chunk = from.chunk;
+    const std::uint32_t pairs = static_cast<std::uint32_t>(from.limit / chunk);
+    flash::FlashDevice& jdev = journal_->device();
+    const std::uint64_t scratch = journal_->scratch_offset();
+    Bytes buf(chunk);
+
+    // Re-enter at the step after the last journalled one; every step is
+    // safe to (re)start because the data it erases has a durable copy.
+    std::uint32_t pair = from.pair;
+    int step = 1;  // 1 = stash A in scratch, 2 = B over A, 3 = scratch over B
+    std::uint32_t crc_a = from.crc_a;
+    std::uint32_t crc_b = from.crc_b;
+    switch (from.phase) {
+        case SwapPhase::kNone: break;
+        case SwapPhase::kScratchStored: step = 2; break;
+        case SwapPhase::kDstWritten: step = 3; break;
+        case SwapPhase::kPairDone: ++pair; break;
+        case SwapPhase::kComplete: return Status::kOk;
+    }
+
+    for (; pair < pairs; ++pair, step = 1) {
+        const std::uint64_t off = static_cast<std::uint64_t>(pair) * chunk;
+        if (step == 1) {
+            // Both slot sectors are intact; stash A before anything burns.
+            UPKIT_RETURN_IF_ERROR(a.device->read(a.offset + off, MutByteSpan(buf)));
+            crc_a = crypto::crc32(buf);
+            UPKIT_RETURN_IF_ERROR(jdev.erase_range(scratch, chunk));
+            UPKIT_RETURN_IF_ERROR(jdev.write(scratch, buf));
+            UPKIT_RETURN_IF_ERROR(b.device->read(b.offset + off, MutByteSpan(buf)));
+            crc_b = crypto::crc32(buf);
+            UPKIT_RETURN_IF_ERROR(
+                journal_->record(SwapPhase::kScratchStored, pair, crc_a, crc_b));
+            step = 2;
+        }
+        if (step == 2) {
+            // B is still intact and scratch holds old A: overwrite A.
+            UPKIT_RETURN_IF_ERROR(b.device->read(b.offset + off, MutByteSpan(buf)));
+            UPKIT_RETURN_IF_ERROR(a.device->erase_range(a.offset + off, chunk));
+            UPKIT_RETURN_IF_ERROR(a.device->write(a.offset + off, buf));
+            UPKIT_RETURN_IF_ERROR(
+                journal_->record(SwapPhase::kDstWritten, pair, crc_a, crc_b));
+            step = 3;
+        }
+        // Step 3: A holds old B, scratch holds old A: overwrite B.
+        UPKIT_RETURN_IF_ERROR(jdev.read(scratch, MutByteSpan(buf)));
+        if (crypto::crc32(buf) != crc_a) return Status::kInternal;
+        UPKIT_RETURN_IF_ERROR(b.device->erase_range(b.offset + off, chunk));
+        UPKIT_RETURN_IF_ERROR(b.device->write(b.offset + off, buf));
+        UPKIT_RETURN_IF_ERROR(journal_->record(SwapPhase::kPairDone, pair, crc_a, crc_b));
+    }
+    return journal_->finish();
+}
+
+Expected<bool> SlotManager::resume_swap() {
+    if (journal_ == nullptr) return false;
+    auto pending = journal_->pending();
+    if (!pending) {
+        if (pending.status() == Status::kNotFound) return false;
+        return pending.status();
+    }
+    const SlotConfig* a = slot(pending->slot_a);
+    const SlotConfig* b = slot(pending->slot_b);
+    if (a == nullptr || b == nullptr || a->size != b->size || pending->limit > a->size ||
+        pending->chunk > journal_->scratch_capacity()) {
+        return Status::kInternal;  // journal does not match the slot table
+    }
+    UPKIT_RETURN_IF_ERROR(journaled_swap(*a, *b, *pending));
+    return true;
 }
 
 // ---------------------------------------------------------------- reader

@@ -20,6 +20,7 @@
 #include "common/sink.hpp"
 #include "common/status.hpp"
 #include "flash/flash_device.hpp"
+#include "slots/swap_journal.hpp"
 
 namespace upkit::slots {
 
@@ -100,15 +101,35 @@ public:
     /// sector-sized RAM buffer per side (no scratch slot). `used_bytes`
     /// limits the swap to occupied sectors (0 = whole slot) — bootloaders
     /// know both image sizes from the manifests and skip the tail.
+    ///
+    /// With a journal attached (set_journal) the swap is crash-consistent:
+    /// every destructive step is preceded by a durable copy (journal scratch
+    /// sector or the peer slot) and followed by a journal record, so a power
+    /// cut at ANY flash operation is recoverable via resume_swap(). Without
+    /// a journal the legacy in-RAM swap runs — fast, but a cut mid-swap can
+    /// destroy both images.
     Status swap(std::uint32_t a, std::uint32_t b, std::uint64_t used_bytes = 0);
+
+    /// Attaches the swap journal (non-owning; outlives the manager).
+    void set_journal(SwapJournal* journal) { journal_ = journal; }
+    SwapJournal* journal() { return journal_; }
+
+    /// Detects an interrupted journaled swap and drives it to completion.
+    /// Returns true when a swap was resumed, false when nothing was pending.
+    /// Re-entrant: a second power cut during recovery leaves a journal that
+    /// the next resume_swap() picks up again.
+    Expected<bool> resume_swap();
 
 private:
     friend class SlotHandle;
 
     Expected<SlotConfig*> checked(std::uint32_t id);
+    Status journaled_swap(const SlotConfig& a, const SlotConfig& b,
+                          const SwapJournal::State& from);
 
     std::map<std::uint32_t, SlotConfig> slots_;
     std::set<std::uint32_t> open_;
+    SwapJournal* journal_ = nullptr;
 };
 
 /// RandomReader over a byte window of a slot — how the patching stage reads

@@ -1,0 +1,177 @@
+#include "slots/swap_journal.hpp"
+
+#include <algorithm>
+
+#include "common/endian.hpp"
+#include "crypto/crc.hpp"
+
+namespace upkit::slots {
+
+namespace {
+
+// Header: one per generation, at the metadata sector's start.
+constexpr std::uint32_t kHeaderMagic = 0x4A535055;  // "UPSJ"
+constexpr std::size_t kHeaderSize = 48;
+// Records: appended after the header in fixed-size slots.
+constexpr std::uint16_t kRecordMagic = 0x534A;  // "JS"
+constexpr std::size_t kRecordSize = 24;
+
+bool blank(ByteSpan bytes) {
+    return std::all_of(bytes.begin(), bytes.end(),
+                       [](std::uint8_t b) { return b == 0xFF; });
+}
+
+bool valid_phase(std::uint8_t p) {
+    return p <= static_cast<std::uint8_t>(SwapPhase::kComplete);
+}
+
+Bytes encode_header(std::uint32_t seq, const SwapJournal::State& st) {
+    Bytes out(kHeaderSize, 0x00);
+    store_le32(MutByteSpan(out).subspan(0, 4), kHeaderMagic);
+    store_le32(MutByteSpan(out).subspan(4, 4), seq);
+    store_le32(MutByteSpan(out).subspan(8, 4), st.slot_a);
+    store_le32(MutByteSpan(out).subspan(12, 4), st.slot_b);
+    store_le64(MutByteSpan(out).subspan(16, 8), st.limit);
+    store_le32(MutByteSpan(out).subspan(24, 4), st.chunk);
+    store_le32(MutByteSpan(out).subspan(28, 4), st.pair);
+    out[32] = static_cast<std::uint8_t>(st.phase);
+    store_le32(MutByteSpan(out).subspan(36, 4), st.crc_a);
+    store_le32(MutByteSpan(out).subspan(40, 4), st.crc_b);
+    store_le32(MutByteSpan(out).subspan(44, 4),
+               crypto::crc32(ByteSpan(out.data(), 44)));
+    return out;
+}
+
+Bytes encode_record(SwapPhase phase, std::uint32_t pair, std::uint32_t crc_a,
+                    std::uint32_t crc_b) {
+    Bytes out(kRecordSize, 0x00);
+    store_le16(MutByteSpan(out).subspan(0, 2), kRecordMagic);
+    out[2] = static_cast<std::uint8_t>(phase);
+    store_le32(MutByteSpan(out).subspan(4, 4), pair);
+    store_le32(MutByteSpan(out).subspan(8, 4), crc_a);
+    store_le32(MutByteSpan(out).subspan(12, 4), crc_b);
+    store_le32(MutByteSpan(out).subspan(20, 4),
+               crypto::crc32(ByteSpan(out.data(), 20)));
+    return out;
+}
+
+}  // namespace
+
+SwapJournal::SwapJournal(flash::FlashDevice& device, std::uint64_t offset)
+    : device_(&device), offset_(offset) {}
+
+std::optional<SwapJournal::Generation> SwapJournal::scan(int sector) {
+    Bytes buf(sector_bytes());
+    if (device_->read(meta_offset(sector), MutByteSpan(buf)) != Status::kOk) {
+        return std::nullopt;
+    }
+    const ByteSpan header(buf.data(), kHeaderSize);
+    if (load_le32(header.subspan(0, 4)) != kHeaderMagic) return std::nullopt;
+    if (load_le32(header.subspan(44, 4)) != crypto::crc32(header.subspan(0, 44))) {
+        return std::nullopt;  // torn header write: this generation never took
+    }
+    if (!valid_phase(buf[32])) return std::nullopt;
+
+    Generation gen;
+    gen.seq = load_le32(header.subspan(4, 4));
+    gen.sector = sector;
+    gen.base.slot_a = load_le32(header.subspan(8, 4));
+    gen.base.slot_b = load_le32(header.subspan(12, 4));
+    gen.base.limit = load_le64(header.subspan(16, 8));
+    gen.base.chunk = load_le32(header.subspan(24, 4));
+    gen.base.pair = load_le32(header.subspan(28, 4));
+    gen.base.phase = static_cast<SwapPhase>(buf[32]);
+    gen.base.crc_a = load_le32(header.subspan(36, 4));
+    gen.base.crc_b = load_le32(header.subspan(40, 4));
+    gen.state = gen.base;
+
+    // Replay the appended records; the last valid one wins. Invalid non-blank
+    // slots (torn appends) are skipped but stay occupied.
+    std::uint64_t off = kHeaderSize;
+    for (; off + kRecordSize <= sector_bytes(); off += kRecordSize) {
+        const ByteSpan slot(buf.data() + off, kRecordSize);
+        if (blank(slot)) break;
+        if (load_le16(slot.subspan(0, 2)) != kRecordMagic) continue;
+        if (load_le32(slot.subspan(20, 4)) != crypto::crc32(slot.subspan(0, 20))) {
+            continue;
+        }
+        if (!valid_phase(slot[2])) continue;
+        gen.state.phase = static_cast<SwapPhase>(slot[2]);
+        gen.state.pair = load_le32(slot.subspan(4, 4));
+        gen.state.crc_a = load_le32(slot.subspan(8, 4));
+        gen.state.crc_b = load_le32(slot.subspan(12, 4));
+    }
+    gen.append = off;
+    return gen;
+}
+
+Status SwapJournal::start_generation(int sector, std::uint32_t seq, const State& state) {
+    // Until the new header lands, the other (full) sector stays
+    // authoritative — a cut anywhere in here loses no state.
+    UPKIT_RETURN_IF_ERROR(device_->erase_range(meta_offset(sector), sector_bytes()));
+    UPKIT_RETURN_IF_ERROR(device_->write(meta_offset(sector), encode_header(seq, state)));
+    active_ = Generation{.state = state,
+                         .seq = seq,
+                         .sector = sector,
+                         .append = kHeaderSize,
+                         .base = state};
+    return Status::kOk;
+}
+
+Status SwapJournal::begin(std::uint32_t slot_a, std::uint32_t slot_b, std::uint64_t limit,
+                          std::uint32_t chunk) {
+    const auto g0 = scan(0);
+    const auto g1 = scan(1);
+    std::uint32_t seq = 1;
+    int target = 0;
+    if (g0 && (!g1 || g0->seq >= g1->seq)) {
+        seq = g0->seq + 1;
+        target = 1;
+    } else if (g1) {
+        seq = g1->seq + 1;
+        target = 0;
+    }
+    const State st{.slot_a = slot_a, .slot_b = slot_b, .limit = limit, .chunk = chunk};
+    return start_generation(target, seq, st);
+}
+
+Status SwapJournal::record(SwapPhase phase, std::uint32_t pair, std::uint32_t crc_a,
+                           std::uint32_t crc_b) {
+    if (!active_) return Status::kFailedPrecondition;
+    State next = active_->state;
+    next.phase = phase;
+    next.pair = pair;
+    next.crc_a = crc_a;
+    next.crc_b = crc_b;
+    if (active_->append + kRecordSize > sector_bytes()) {
+        // Rotate: the new header's snapshot doubles as this record.
+        return start_generation(1 - active_->sector, active_->seq + 1, next);
+    }
+    UPKIT_RETURN_IF_ERROR(device_->write(meta_offset(active_->sector) + active_->append,
+                                         encode_record(phase, pair, crc_a, crc_b)));
+    active_->append += kRecordSize;
+    active_->state = next;
+    return Status::kOk;
+}
+
+Status SwapJournal::finish() {
+    if (!active_) return Status::kFailedPrecondition;
+    return record(SwapPhase::kComplete, active_->state.pair, 0, 0);
+}
+
+Expected<SwapJournal::State> SwapJournal::pending() {
+    const auto g0 = scan(0);
+    const auto g1 = scan(1);
+    const Generation* best = nullptr;
+    if (g0) best = &*g0;
+    if (g1 && (best == nullptr || g1->seq > best->seq)) best = &*g1;
+    if (best == nullptr) return Status::kNotFound;
+    active_ = *best;
+    if (best->state.phase == SwapPhase::kComplete) return Status::kNotFound;
+    if (best->state.chunk == 0 || best->state.limit % best->state.chunk != 0) {
+        return Status::kNotFound;  // nonsense header: treat as no pending swap
+    }
+    return best->state;
+}
+
+}  // namespace upkit::slots

@@ -1,0 +1,109 @@
+// Swap journal — the crash-consistency record behind static-mode loading
+// (paper Sect. III-D: a device must never be bricked by an interrupted
+// update).
+//
+// A sector-pair swap is only power-cut-safe if every erase destroys data
+// that already has a durable second copy. The journal provides both pieces:
+// a scratch sector that stashes the in-flight source sector, and a metadata
+// log recording {phase, sector pair, CRC of the stashed data} *after* each
+// destructive step completes, so boot-time recovery always knows the last
+// step whose effects are fully on flash.
+//
+// Flash footprint: three sectors on one device —
+//   [0] metadata sector A \  ping-pong generations; the valid header with
+//   [1] metadata sector B /  the highest sequence number is authoritative
+//   [2] scratch sector       holds the source sector of the current pair
+//
+// Metadata is append-only within a generation (records program erased 0xFF
+// slots; no erase needed), so a torn record write can only corrupt the last
+// slot — its self-CRC fails and recovery falls back to the previous record,
+// whose step is safe to redo because every step begins with an erase. When a
+// sector fills up, the generation rotates: the *other* sector is erased and
+// a new header carrying a snapshot of the latest state is written there;
+// until that header lands, the full sector stays authoritative.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.hpp"
+#include "flash/flash_device.hpp"
+
+namespace upkit::slots {
+
+/// Progress marker of a sector-pair swap step. Ordering matters: recovery
+/// resumes at the step after the recorded one.
+enum class SwapPhase : std::uint8_t {
+    kNone = 0,           // header written, no pair started (redo from pair 0)
+    kScratchStored = 1,  // pair's A sector copied to scratch
+    kDstWritten = 2,     // B's content written over A
+    kPairDone = 3,       // scratch written over B; pair fully swapped
+    kComplete = 4,       // whole swap finished; nothing to recover
+};
+
+class SwapJournal {
+public:
+    /// Sectors of flash the journal occupies at its offset.
+    static constexpr std::uint64_t kSectorCount = 3;
+
+    /// Latest durable swap state, reconstructed from the metadata log.
+    struct State {
+        std::uint32_t slot_a = 0;
+        std::uint32_t slot_b = 0;
+        std::uint64_t limit = 0;  // bytes swapped, a multiple of chunk
+        std::uint32_t chunk = 0;  // swap granularity (max sector of the pair)
+        SwapPhase phase = SwapPhase::kNone;
+        std::uint32_t pair = 0;
+        std::uint32_t crc_a = 0;  // CRC-32 of the scratch (old A) content
+        std::uint32_t crc_b = 0;  // CRC-32 of the old B content
+    };
+
+    /// `offset` must be sector-aligned with kSectorCount sectors of room.
+    SwapJournal(flash::FlashDevice& device, std::uint64_t offset);
+
+    /// Opens a fresh generation for a swap about to begin. Destroys any
+    /// previous journal state.
+    Status begin(std::uint32_t slot_a, std::uint32_t slot_b, std::uint64_t limit,
+                 std::uint32_t chunk);
+
+    /// Appends a progress record; call only after the step's flash effects
+    /// are complete. Rotates generations transparently when the sector fills.
+    Status record(SwapPhase phase, std::uint32_t pair, std::uint32_t crc_a,
+                  std::uint32_t crc_b);
+
+    /// Marks the in-flight swap complete (recovery becomes a no-op).
+    Status finish();
+
+    /// Scans flash for an interrupted swap. kNotFound when none is pending.
+    Expected<State> pending();
+
+    flash::FlashDevice& device() { return *device_; }
+    std::uint64_t scratch_offset() const { return offset_ + 2 * sector_bytes(); }
+    /// Largest chunk the scratch sector can stash.
+    std::uint32_t scratch_capacity() const { return sector_bytes(); }
+
+private:
+    struct Generation {
+        State state;
+        std::uint32_t seq = 0;
+        int sector = 0;            // 0 or 1
+        std::uint64_t append = 0;  // next free record offset within sector
+        State base;                // header snapshot (floor for replay)
+    };
+
+    std::uint32_t sector_bytes() const { return device_->geometry().sector_bytes; }
+    std::uint64_t meta_offset(int sector) const {
+        return offset_ + static_cast<std::uint64_t>(sector) * sector_bytes();
+    }
+
+    /// Parses one metadata sector; nullopt when its header is absent/corrupt.
+    std::optional<Generation> scan(int sector);
+    /// Erases `sector` and writes a generation header snapshotting `state`.
+    Status start_generation(int sector, std::uint32_t seq, const State& state);
+
+    flash::FlashDevice* device_;
+    std::uint64_t offset_;
+    std::optional<Generation> active_;  // cached; rebuilt by pending()/begin()
+};
+
+}  // namespace upkit::slots

@@ -204,6 +204,220 @@ TEST_F(SlotFixture, SwapExchangesContents) {
     }
 }
 
+TEST_F(SlotFixture, SwapClampsUsedBytesBeyondSlotSize) {
+    Rng rng(16);
+    const Bytes image_a = rng.bytes(48 * 1024);
+    const Bytes image_b = rng.bytes(48 * 1024);
+    {
+        auto h = manager_.open(0, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(image_a), Status::kOk);
+    }
+    {
+        auto h = manager_.open(1, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(image_b), Status::kOk);
+    }
+    // used_bytes far past the slot: must clamp, not run the pair loop off
+    // the end of the slots.
+    ASSERT_EQ(manager_.swap(0, 1, 1 << 30), Status::kOk);
+    Bytes out(48 * 1024);
+    {
+        auto h = manager_.open(0, OpenMode::kReadOnly);
+        ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+        EXPECT_EQ(out, image_b);
+    }
+    {
+        auto h = manager_.open(1, OpenMode::kReadOnly);
+        ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+        EXPECT_EQ(out, image_a);
+    }
+}
+
+TEST_F(SlotFixture, SwapRoundsUnalignedUsedBytesUpToSectors) {
+    Rng rng(17);
+    const Bytes image_a = rng.bytes(48 * 1024);
+    const Bytes image_b = rng.bytes(48 * 1024);
+    {
+        auto h = manager_.open(0, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(image_a), Status::kOk);
+    }
+    {
+        auto h = manager_.open(1, OpenMode::kWriteAll);
+        ASSERT_EQ(h->write(image_b), Status::kOk);
+    }
+    // 5000 used bytes rounds up to two 4 KiB sectors; the tail must not be
+    // touched (fewer erases AND the old bytes still in place).
+    ASSERT_EQ(manager_.swap(0, 1, 5000), Status::kOk);
+    Bytes out(48 * 1024);
+    {
+        auto h = manager_.open(0, OpenMode::kReadOnly);
+        ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+        EXPECT_EQ(Bytes(out.begin(), out.begin() + 8192),
+                  Bytes(image_b.begin(), image_b.begin() + 8192));
+        EXPECT_EQ(Bytes(out.begin() + 8192, out.end()),
+                  Bytes(image_a.begin() + 8192, image_a.end()));
+    }
+    {
+        auto h = manager_.open(1, OpenMode::kReadOnly);
+        ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+        EXPECT_EQ(Bytes(out.begin(), out.begin() + 8192),
+                  Bytes(image_a.begin(), image_a.begin() + 8192));
+        EXPECT_EQ(Bytes(out.begin() + 8192, out.end()),
+                  Bytes(image_b.begin() + 8192, image_b.end()));
+    }
+}
+
+// ------------------------------------------------------------ swap journal
+
+// A 64 KiB flash: slots at [0, 16K) and [16K, 32K), journal + scratch in
+// the top three sectors.
+struct JournalRig {
+    SimFlash flash{FlashGeometry{.size_bytes = 64 * 1024, .sector_bytes = 4096,
+                                 .page_bytes = 256},
+                   FlashTimings{}};
+    SlotManager manager;
+    SwapJournal journal{flash, 64 * 1024 - 3 * 4096};
+
+    JournalRig() {
+        EXPECT_EQ(manager.add_slot({.id = 0,
+                                    .type = SlotType::kBootable,
+                                    .device = &flash,
+                                    .offset = 0,
+                                    .size = 16 * 1024,
+                                    .link_offset = kAnyLinkOffset}),
+                  Status::kOk);
+        EXPECT_EQ(manager.add_slot({.id = 1,
+                                    .type = SlotType::kNonBootable,
+                                    .device = &flash,
+                                    .offset = 16 * 1024,
+                                    .size = 16 * 1024,
+                                    .link_offset = kAnyLinkOffset}),
+                  Status::kOk);
+        manager.set_journal(&journal);
+    }
+
+    void fill(const Bytes& image_a, const Bytes& image_b) {
+        {
+            auto h = manager.open(0, OpenMode::kWriteAll);
+            ASSERT_EQ(h->write(image_a), Status::kOk);
+        }
+        {
+            auto h = manager.open(1, OpenMode::kWriteAll);
+            ASSERT_EQ(h->write(image_b), Status::kOk);
+        }
+    }
+
+    void expect_swapped(const Bytes& image_a, const Bytes& image_b) {
+        Bytes out(16 * 1024);
+        {
+            auto h = manager.open(0, OpenMode::kReadOnly);
+            ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+            EXPECT_EQ(out, image_b);
+        }
+        {
+            auto h = manager.open(1, OpenMode::kReadOnly);
+            ASSERT_TRUE(h->read(MutByteSpan(out)).has_value());
+            EXPECT_EQ(out, image_a);
+        }
+    }
+};
+
+TEST(SwapJournalTest, JournaledSwapExchangesContents) {
+    JournalRig rig;
+    Rng rng(20);
+    const Bytes image_a = rng.bytes(16 * 1024);
+    const Bytes image_b = rng.bytes(16 * 1024);
+    rig.fill(image_a, image_b);
+    ASSERT_EQ(rig.manager.swap(0, 1), Status::kOk);
+    rig.expect_swapped(image_a, image_b);
+    // Nothing left pending afterwards.
+    auto resumed = rig.manager.resume_swap();
+    ASSERT_TRUE(resumed.has_value());
+    EXPECT_FALSE(*resumed);
+}
+
+TEST(SwapJournalTest, ResumeCompletesSwapCutAtEveryFlashOp) {
+    // Exhaustive: cut the power at every flash op inside the journaled swap.
+    // After revival, recovery must leave the pair in a CONSISTENT state:
+    // either nothing was durably begun (slots fully intact — cuts inside
+    // journal begin(), before any slot sector burns) or resume_swap()
+    // finishes the exchange completely. Never a half-swapped pair.
+    bool saw_resume = false;
+    for (std::uint64_t cut = 0;; ++cut) {
+        JournalRig rig;
+        Rng rng(21);
+        const Bytes image_a = rng.bytes(16 * 1024);
+        const Bytes image_b = rng.bytes(16 * 1024);
+        rig.fill(image_a, image_b);
+
+        rig.flash.schedule_power_loss_range({cut});
+        const Status swapped = rig.manager.swap(0, 1);
+        if (swapped == Status::kOk && rig.flash.power_cuts() == 0) {
+            rig.expect_swapped(image_a, image_b);
+            ASSERT_GT(cut, 0u);  // the sweep must have exercised real cuts
+            break;
+        }
+        rig.flash.revive();
+        rig.flash.disarm_power_loss();
+
+        auto resumed = rig.manager.resume_swap();
+        ASSERT_TRUE(resumed.has_value()) << "resume failed after cut at op " << cut;
+        if (*resumed) {
+            saw_resume = true;
+            rig.expect_swapped(image_a, image_b);
+        } else {
+            // The cut landed before the swap durably began: all-or-nothing
+            // demands the slots are exactly as they were.
+            rig.expect_swapped(image_b, image_a);
+        }
+    }
+    EXPECT_TRUE(saw_resume);  // most cut points must land inside the swap
+}
+
+TEST(SwapJournalTest, ResumeSurvivesSecondCutDuringRecovery) {
+    // Double fault: the recovery is itself interrupted at every op index;
+    // a second resume must still converge.
+    for (std::uint64_t recovery_cut = 0; recovery_cut < 24; ++recovery_cut) {
+        JournalRig rig;
+        Rng rng(22);
+        const Bytes image_a = rng.bytes(16 * 1024);
+        const Bytes image_b = rng.bytes(16 * 1024);
+        rig.fill(image_a, image_b);
+
+        rig.flash.schedule_power_loss_range({10, recovery_cut});
+        ASSERT_NE(rig.manager.swap(0, 1), Status::kOk);
+        rig.flash.revive();  // arms the recovery cut
+
+        auto resumed = rig.manager.resume_swap();
+        if (!resumed.has_value()) {
+            // The recovery died too; one more revival must finish the job.
+            rig.flash.revive();
+            rig.flash.disarm_power_loss();
+            resumed = rig.manager.resume_swap();
+            ASSERT_TRUE(resumed.has_value())
+                << "second resume failed, recovery cut " << recovery_cut;
+            EXPECT_TRUE(*resumed);
+        }
+        rig.expect_swapped(image_a, image_b);
+    }
+}
+
+TEST(SwapJournalTest, ResumeWithoutJournalIsNoOp) {
+    SimFlash flash(FlashGeometry{.size_bytes = 64 * 1024, .sector_bytes = 4096,
+                                 .page_bytes = 256},
+                   FlashTimings{});
+    SlotManager manager;
+    ASSERT_EQ(manager.add_slot({.id = 0,
+                                .type = SlotType::kBootable,
+                                .device = &flash,
+                                .offset = 0,
+                                .size = 16 * 1024,
+                                .link_offset = kAnyLinkOffset}),
+              Status::kOk);
+    auto resumed = manager.resume_swap();
+    ASSERT_TRUE(resumed.has_value());
+    EXPECT_FALSE(*resumed);
+}
+
 TEST_F(SlotFixture, InvalidateErasesOnlyFirstSector) {
     {
         auto h = manager_.open(0, OpenMode::kWriteAll);
