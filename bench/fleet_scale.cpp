@@ -1,0 +1,98 @@
+// Fleet-scale campaign bench: rolls one release out to N simulated devices
+// on the discrete-event engine and emits one machine-readable JSON object
+// (devices, makespan, completion-time percentiles, bytes, energy, server
+// queue stats). CI runs it as a smoke step; pass a device count to scale:
+//
+//   fleet_scale [devices] [server_concurrency]     (defaults: 256, 8)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/fleet.hpp"
+
+using namespace upkit;
+using namespace upkit::bench;
+
+namespace {
+
+/// Completion percentile over per-device end instants (nearest-rank).
+double percentile(std::vector<double> sorted, double p) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t rank = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1) + 0.5));
+    return sorted[rank];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t fleet = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+    const unsigned concurrency =
+        argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 8;
+
+    Rig rig;
+    rig.publish(1, sim::generate_firmware({.size = 2 * 1024, .seed = 30}));
+
+    std::vector<std::unique_ptr<core::Device>> devices;
+    devices.reserve(fleet);
+    core::FleetCampaign campaign(rig.server);
+    for (std::size_t i = 0; i < fleet; ++i) {
+        core::DeviceConfig config = rig.device_config(core::SlotLayout::kAB);
+        config.device_id = 0x20000 + static_cast<std::uint32_t>(i);
+        config.seed = static_cast<std::uint64_t>(i) + 1;
+        config.enable_differential = false;  // scale bench, not a bsdiff bench
+        auto device = std::make_unique<core::Device>(config);
+        auto factory = rig.server.prepare_update(
+            kAppId, {.device_id = config.device_id, .nonce = 0, .current_version = 0});
+        if (!factory || device->provision_factory(*factory) != Status::kOk) {
+            std::fprintf(stderr, "provisioning device %zu failed\n", i);
+            return 1;
+        }
+        net::LinkParams link = net::ble_gatt();
+        link.loss_probability = (i % 10 == 9) ? 0.3 : 0.0;  // 10% on flaky links
+        campaign.add(*device, link);
+        devices.push_back(std::move(device));
+    }
+
+    rig.publish(2, sim::generate_firmware({.size = 2 * 1024, .seed = 31}));
+    rig.server.set_model({.concurrency = concurrency, .service_time_s = 0.05});
+
+    core::FleetPolicy policy;
+    policy.wave_size = static_cast<unsigned>(std::max<std::size_t>(fleet / 4, 1));
+    policy.wave_stagger_s = 5.0;
+    campaign.set_event_budget(1000 * fleet);  // a stuck engine fails, not hangs
+    const core::CampaignReport report = campaign.run(kAppId, policy);
+
+    std::vector<double> completions;
+    completions.reserve(report.devices.size());
+    for (const core::CampaignDeviceResult& r : report.devices) {
+        if (r.status == Status::kOk) completions.push_back(r.end_s);
+    }
+    std::sort(completions.begin(), completions.end());
+
+    std::printf(
+        "{\"bench\":\"fleet_scale\",\"devices\":%zu,\"succeeded\":%u,\"failed\":%u,"
+        "\"makespan_s\":%.3f,\"completion_p50_s\":%.3f,\"completion_p99_s\":%.3f,"
+        "\"total_bytes\":%llu,\"total_energy_mj\":%.1f,"
+        "\"server_concurrency\":%u,\"server_requests\":%llu,"
+        "\"server_peak_queue\":%u,\"server_max_wait_s\":%.3f,"
+        "\"events\":%llu}\n",
+        fleet, report.succeeded, report.failed, report.makespan_s,
+        percentile(completions, 0.50), percentile(completions, 0.99),
+        static_cast<unsigned long long>(report.total_bytes), report.total_energy_mj,
+        concurrency, static_cast<unsigned long long>(report.server.requests),
+        report.server.peak_depth, report.server.max_wait_s,
+        static_cast<unsigned long long>(report.events_processed));
+
+    // Smoke criteria: the whole fleet converges and nothing is stuck.
+    if (report.succeeded != fleet) {
+        std::fprintf(stderr, "fleet_scale: %u/%zu devices updated\n", report.succeeded,
+                     fleet);
+        return 1;
+    }
+    return 0;
+}

@@ -75,21 +75,39 @@ int main() {
 
     server.publish(vendor.create_release(sim::mutate_os_version(v1, 2),
                                          {.version = 2, .app_id = kApp}));
-    std::printf("rolling out v2...\n\n");
-    const core::CampaignReport report = campaign.run(kApp, {.max_attempts = 3});
 
-    std::printf("%-26s %8s %6s %9s %10s %9s %5s\n", "device", "result", "tries", "time",
-                "energy", "airtime", "diff");
+    // The deployment serves at most two requests at a time, each costing a
+    // little service time — with five devices released in waves of two, the
+    // admission queue and the phased rollout both show up in the report.
+    server.set_model({.concurrency = 2, .service_time_s = 0.5, .service_per_kb_s = 0.01});
+    sim::RingBufferSink recent(64);
+    sim::Tracer tracer;
+    tracer.add_sink(recent);
+    campaign.set_tracer(&tracer);
+
+    std::printf("rolling out v2 in waves of 2, server concurrency 2...\n\n");
+    const core::CampaignReport report =
+        campaign.run(kApp, {.max_attempts = 3, .wave_size = 2, .wave_stagger_s = 10.0});
+
+    std::printf("%-26s %8s %6s %9s %9s %10s %9s %5s\n", "device", "result", "tries",
+                "time", "queued", "energy", "airtime", "diff");
     for (std::size_t i = 0; i < report.devices.size(); ++i) {
         const core::CampaignDeviceResult& r = report.devices[i];
-        std::printf("%-26s %8s %6u %8.1fs %8.0fmJ %8llub %5s\n", specs[i].name,
+        std::printf("%-26s %8s %6u %8.1fs %8.2fs %8.0fmJ %8llub %5s\n", specs[i].name,
                     r.status == Status::kOk ? "ok" : "FAILED", r.attempts, r.time_s,
-                    r.energy_mj, static_cast<unsigned long long>(r.bytes_over_air),
+                    r.queue_wait_s, r.energy_mj,
+                    static_cast<unsigned long long>(r.bytes_over_air),
                     r.differential ? "yes" : "no");
     }
     std::printf("\ncampaign: %u/%zu updated, %u differential, %.0f mJ total, "
-                "%.1f s wall-clock (parallel)\n",
+                "makespan %.1f s (%llu events)\n",
                 report.succeeded, report.devices.size(), report.differential_updates,
-                report.total_energy_mj, report.max_time_s);
+                report.total_energy_mj, report.makespan_s,
+                static_cast<unsigned long long>(report.events_processed));
+    std::printf("server: %llu requests, peak queue %u, peak in service %u, "
+                "busy %.1f s, worst wait %.2f s\n",
+                static_cast<unsigned long long>(report.server.requests),
+                report.server.peak_depth, report.server.peak_in_service,
+                report.server.busy_s, report.server.max_wait_s);
     return report.failed == 0 ? 0 : 1;
 }

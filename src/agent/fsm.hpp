@@ -30,4 +30,30 @@ constexpr std::string_view to_string(FsmState s) {
     return "?";
 }
 
+/// The legal transitions of the paper's Fig. 4, as a checkable table.
+///
+/// The forward path is a strict pipeline: waiting → start-update (token
+/// issued, target slot being prepared) → receive-manifest → verify-manifest
+/// → receive-firmware → verify-firmware → ready-to-reboot. Any state may
+/// drop to cleaning (verification failure, abort, superseded update), and
+/// cleaning resolves to waiting once the slot is invalidated — or directly
+/// to start-update when a fresh token request supersedes the aborted one.
+/// The agent asserts this table on every transition, so an illegal edge is
+/// a bug caught at the moment it happens, not a silent corruption.
+constexpr bool transition_allowed(FsmState from, FsmState to) {
+    if (to == FsmState::kCleaning) return true;  // abort is legal anywhere
+    switch (from) {
+        case FsmState::kWaiting: return to == FsmState::kStartUpdate;
+        case FsmState::kStartUpdate: return to == FsmState::kReceiveManifest;
+        case FsmState::kReceiveManifest: return to == FsmState::kVerifyManifest;
+        case FsmState::kVerifyManifest: return to == FsmState::kReceiveFirmware;
+        case FsmState::kReceiveFirmware: return to == FsmState::kVerifyFirmware;
+        case FsmState::kVerifyFirmware: return to == FsmState::kReadyToReboot;
+        case FsmState::kReadyToReboot: return false;  // only a reboot (new agent) or cleaning leaves
+        case FsmState::kCleaning:
+            return to == FsmState::kWaiting || to == FsmState::kStartUpdate;
+    }
+    return false;
+}
+
 }  // namespace upkit::agent

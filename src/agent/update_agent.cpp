@@ -42,6 +42,22 @@ void UpdateAgent::charge_cpu(double seconds) {
     }
 }
 
+void UpdateAgent::set_state(FsmState next) {
+    if (next == state_) return;
+    assert(transition_allowed(state_, next) && "illegal FSM transition");
+    if (tracer_ != nullptr) {
+        tracer_->emit(sim::TraceEvent{
+            .t = clock_ != nullptr ? clock_->now() - trace_offset_ : 0.0,
+            .device_id = config_.identity.device_id,
+            .type = sim::TraceType::kFsmTransition,
+            .from = to_string(state_),
+            .to = to_string(next),
+            .code = 0,
+            .value = 0.0});
+    }
+    state_ = next;
+}
+
 Status UpdateAgent::fail(Status status) {
     // Cleaning state (paper): invalidate the used slot, reset all variables.
     target_handle_.close();
@@ -52,7 +68,7 @@ Status UpdateAgent::fail(Status status) {
     payload_received_ = 0;
     token_.reset();
     (void)slots_->invalidate(config_.target_slot);
-    state_ = FsmState::kCleaning;
+    set_state(FsmState::kCleaning);
     return status;
 }
 
@@ -73,11 +89,13 @@ Expected<manifest::DeviceToken> UpdateAgent::request_device_token() {
     token_ = token;
     ++stats_.tokens_issued;
 
-    // Start-update state: make room in the slot holding the oldest
-    // firmware (our configured target). The manifest sector is erased now —
-    // so a stale image can never boot half-overwritten — and the rest is
-    // erased lazily by SEQUENTIAL_REWRITE as the image streams in, keeping
-    // an early-rejected update nearly free of flash wear and erase time.
+    // Start-update state (Fig. 4): the token is issued and the target slot
+    // is being prepared — make room in the slot holding the oldest firmware
+    // (our configured target). The manifest sector is erased now — so a
+    // stale image can never boot half-overwritten — and the rest is erased
+    // lazily by SEQUENTIAL_REWRITE as the image streams in, keeping an
+    // early-rejected update nearly free of flash wear and erase time.
+    set_state(FsmState::kStartUpdate);
     if (const Status s = slots_->invalidate(config_.target_slot); s != Status::kOk) {
         return fail(s);
     }
@@ -86,7 +104,7 @@ Expected<manifest::DeviceToken> UpdateAgent::request_device_token() {
     target_handle_ = std::move(*handle);
 
     manifest_buffer_.clear();
-    state_ = FsmState::kReceiveManifest;
+    set_state(FsmState::kReceiveManifest);
     return token;
 }
 
@@ -97,7 +115,7 @@ Status UpdateAgent::offer_manifest(ByteSpan chunk) {
     append(manifest_buffer_, chunk);
     if (manifest_buffer_.size() < manifest::kManifestSize) return Status::kOk;
 
-    state_ = FsmState::kVerifyManifest;
+    set_state(FsmState::kVerifyManifest);
     return verify_manifest_now();
 }
 
@@ -129,7 +147,7 @@ Status UpdateAgent::offer_suit_manifest(ByteSpan envelope_bytes) {
         ++stats_.manifests_rejected;
         return fail(Status::kBadManifest);
     }
-    state_ = FsmState::kVerifyManifest;
+    set_state(FsmState::kVerifyManifest);
 
     auto envelope = suit::parse_envelope(envelope_bytes);
     if (!envelope) {
@@ -215,7 +233,7 @@ Status UpdateAgent::accept_verified_manifest(const manifest::Manifest& m,
 
     manifest_ = m;
     payload_received_ = 0;
-    state_ = FsmState::kReceiveFirmware;
+    set_state(FsmState::kReceiveFirmware);
     return Status::kOk;
 }
 
@@ -242,7 +260,7 @@ Status UpdateAgent::offer_payload(ByteSpan chunk) {
 
     if (payload_received_ < manifest_->payload_size) return Status::kOk;
 
-    state_ = FsmState::kVerifyFirmware;
+    set_state(FsmState::kVerifyFirmware);
     return verify_firmware_now();
 }
 
@@ -274,13 +292,13 @@ Status UpdateAgent::verify_firmware_now() {
     pipeline_.reset();
     old_firmware_.reset();
     ++stats_.updates_staged;
-    state_ = FsmState::kReadyToReboot;
+    set_state(FsmState::kReadyToReboot);
     return Status::kOk;
 }
 
 void UpdateAgent::clean() {
     (void)fail(Status::kOk);
-    state_ = FsmState::kWaiting;
+    set_state(FsmState::kWaiting);
 }
 
 }  // namespace upkit::agent

@@ -19,6 +19,7 @@
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
 #include "sim/platform.hpp"
+#include "sim/trace.hpp"
 #include "verify/verifier.hpp"
 
 namespace upkit::agent {
@@ -102,8 +103,19 @@ public:
     /// Abandons any in-flight update and invalidates the target slot.
     void clean();
 
+    /// Attaches a trace sink; every FSM transition is emitted with a
+    /// timestamp of (device clock − campaign_offset), i.e. on the campaign
+    /// timeline when the fleet engine supplies the device's clock offset.
+    void set_tracer(sim::Tracer* tracer, double campaign_offset = 0.0) {
+        tracer_ = tracer;
+        trace_offset_ = campaign_offset;
+    }
+
 private:
     Status fail(Status status);
+    /// Every state change goes through here: the transition is checked
+    /// against the Fig. 4 table (fsm.hpp) and emitted to the tracer.
+    void set_state(FsmState next);
     Status verify_manifest_now();
     Status verify_firmware_now();
     /// Common tail of both manifest paths: capability checks, differential
@@ -120,6 +132,8 @@ private:
     sim::VirtualClock* clock_;
     sim::EnergyMeter* meter_;
     crypto::HmacDrbg nonce_drbg_;
+    sim::Tracer* tracer_ = nullptr;
+    double trace_offset_ = 0.0;
 
     FsmState state_ = FsmState::kWaiting;
     AgentStats stats_;

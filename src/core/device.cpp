@@ -154,6 +154,7 @@ void Device::restart_agent() {
     put_le64(seed, boot_count_);
     agent_ = std::make_unique<agent::UpdateAgent>(agent_config, slot_manager_, *verifier_,
                                                   *config_.platform, &clock_, &meter_, seed);
+    agent_->set_tracer(tracer_, trace_offset_);
 }
 
 Status Device::provision_factory(const server::UpdateResponse& image) {

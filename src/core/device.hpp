@@ -93,6 +93,18 @@ public:
 
     std::uint64_t boot_count() const { return boot_count_; }
 
+    /// Attaches a trace sink (FSM transitions and session events for this
+    /// device). `campaign_offset` maps the device clock onto the campaign
+    /// timeline (device time − offset = campaign time); the binding
+    /// survives reboots (reboot() re-applies it to the fresh agent).
+    void set_tracer(sim::Tracer* tracer, double campaign_offset = 0.0) {
+        tracer_ = tracer;
+        trace_offset_ = campaign_offset;
+        if (agent_ != nullptr) agent_->set_tracer(tracer, campaign_offset);
+    }
+    sim::Tracer* tracer() const { return tracer_; }
+    double trace_offset() const { return trace_offset_; }
+
 private:
     void build_slots();
     void restart_agent();
@@ -118,6 +130,9 @@ private:
 
     std::unique_ptr<agent::UpdateAgent> agent_;
     std::unique_ptr<boot::Bootloader> bootloader_;
+
+    sim::Tracer* tracer_ = nullptr;
+    double trace_offset_ = 0.0;
 };
 
 }  // namespace upkit::core

@@ -2,72 +2,246 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
 
 #include "common/rng.hpp"
 
 namespace upkit::core {
 
+namespace {
+
+/// Everything the engine tracks for one fleet member: its clock view onto
+/// the campaign timeline, the in-flight attempt's transport + driver, and
+/// the accumulating result.
+struct DeviceCtx {
+    FleetMember* member = nullptr;
+    CampaignDeviceResult result;
+    sim::DeviceClockView view;
+    Rng jitter_rng{0};
+    unsigned attempt = 0;  // attempts launched so far (1-based once running)
+    double e0 = 0.0;
+    std::unique_ptr<net::Transport> transport;
+    std::unique_ptr<SessionDriver> driver;
+    SessionReport last;
+    bool done = false;
+    double enqueue_t = 0.0;
+};
+
+}  // namespace
+
 CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& policy) {
     CampaignReport report;
-    report.devices.reserve(members_.size());
+    sim::EventScheduler sched;
+    const server::ServerModel& model = server_->model();
+    const unsigned service_cap = model.concurrency == 0
+                                     ? std::numeric_limits<unsigned>::max()
+                                     : model.concurrency;
 
-    for (FleetMember& member : members_) {
-        Device& device = *member.device;
-        CampaignDeviceResult result;
-        result.device_id = device.identity().device_id;
+    std::vector<DeviceCtx> ctxs(members_.size());  // sized once: lambdas keep refs
+    std::deque<std::size_t> queue;  // FIFO admission queue of ctx indices
+    unsigned in_service = 0;
 
-        const double t0 = device.clock().now();
-        const double e0 = device.meter().total_millijoules();
+    const auto trace = [&](sim::TraceType type, std::uint32_t device_id,
+                           std::uint32_t code, double value) {
+        if (tracer_ != nullptr) {
+            tracer_->emit(sim::TraceEvent{.t = sched.now(),
+                                          .device_id = device_id,
+                                          .type = type,
+                                          .from = {},
+                                          .to = {},
+                                          .code = code,
+                                          .value = value});
+        }
+    };
 
-        // Deterministic jitter stream: a function of the device id only, so
-        // a rerun of the same campaign replays the same delays.
-        Rng jitter_rng(0x9E3779B97F4A7C15ull ^ result.device_id);
+    // The event handlers form a cycle (pump → enqueue → admit → pump), so
+    // they live in std::functions declared up front. Handlers never recurse
+    // through the scheduler — continuations are scheduled, not called — so
+    // stack depth stays flat no matter how long a session runs.
+    std::function<void(std::size_t)> pump;
+    std::function<void()> admit;
+    std::function<void(std::size_t)> start_attempt;
+    std::function<void(std::size_t)> session_done;
 
-        SessionReport last;
-        for (unsigned attempt = 0; attempt < policy.max_attempts; ++attempt) {
-            ++result.attempts;
-            // Fresh loss seed per attempt: a retry sees new channel
-            // conditions, not a replay of the exact packet losses that sank
-            // the previous attempt.
-            UpdateSession session(device, *server_, member.link,
-                                  result.device_id * 1000003ull + attempt);
-            last = session.run(app_id);
-            result.bytes_over_air += last.bytes_over_air;  // all attempts count
-            if (last.status == Status::kOk) break;
-            // A stale offer will not get fresher by retrying.
-            if (last.status == Status::kStaleVersion) break;
+    pump = [&](std::size_t i) {
+        DeviceCtx& c = ctxs[i];
+        // Idle the device forward to the campaign instant first: queue
+        // waits, backoff sleeps, and wave stagger all pass for it too.
+        c.view.sync_to(sched.now());
+        const SessionDriver::StepResult r = c.driver->step();
+        // The step advanced the device clock by its cost; its consequence
+        // (next step, server request, completion) lands at that instant.
+        const double t = c.view.campaign_now();
+        switch (r.want) {
+            case SessionDriver::Want::kDelay:
+                sched.schedule_at(t, [&pump, i] { pump(i); });
+                break;
+            case SessionDriver::Want::kServer:
+                sched.schedule_at(t, [&, i] {
+                    DeviceCtx& d = ctxs[i];
+                    d.enqueue_t = sched.now();
+                    queue.push_back(i);
+                    report.server.peak_depth = std::max(
+                        report.server.peak_depth, static_cast<unsigned>(queue.size()));
+                    trace(sim::TraceType::kQueueEnter, d.result.device_id,
+                          static_cast<std::uint32_t>(queue.size()), 0.0);
+                    admit();
+                });
+                break;
+            case SessionDriver::Want::kFinished:
+                sched.schedule_at(t, [&session_done, i] { session_done(i); });
+                break;
+        }
+    };
 
-            if (attempt + 1 < policy.max_attempts && policy.initial_backoff_s > 0) {
-                double delay = policy.initial_backoff_s *
-                               std::pow(policy.backoff_factor,
-                                        static_cast<double>(attempt));
+    admit = [&] {
+        while (in_service < service_cap && !queue.empty()) {
+            const std::size_t i = queue.front();
+            queue.pop_front();
+            DeviceCtx& c = ctxs[i];
+            const double wait = sched.now() - c.enqueue_t;
+            c.result.queue_wait_s += wait;
+            ++report.server.requests;
+            report.server.total_wait_s += wait;
+            report.server.max_wait_s = std::max(report.server.max_wait_s, wait);
+            trace(sim::TraceType::kQueueExit, c.result.device_id,
+                  static_cast<std::uint32_t>(queue.size()), wait);
+
+            // The request occupies a service slot while the server builds
+            // the device-bound image (prepare_update is the work product;
+            // the model says what the deployment charges for it).
+            auto response = std::make_shared<Expected<server::UpdateResponse>>(
+                server_->prepare_update(app_id, c.driver->token()));
+            const double service =
+                model.service_seconds(*response ? (*response)->payload.size() : 0);
+            ++in_service;
+            report.server.peak_in_service =
+                std::max(report.server.peak_in_service, in_service);
+            report.server.busy_s += service;
+            sched.schedule_in(service, [&, i, response, service] {
+                --in_service;
+                trace(sim::TraceType::kServiceDone, ctxs[i].result.device_id, 0, service);
+                ctxs[i].driver->provide_response(std::move(*response));
+                admit();  // the freed slot may admit the next request
+                pump(i);
+            });
+        }
+    };
+
+    start_attempt = [&](std::size_t i) {
+        DeviceCtx& c = ctxs[i];
+        ++c.attempt;
+        c.result.attempts = c.attempt;
+        c.view.sync_to(sched.now());
+        Device& device = *c.member->device;
+        // Fresh loss seed per attempt: a retry sees new channel conditions,
+        // not a replay of the exact packet losses that sank the previous
+        // attempt.
+        c.transport = std::make_unique<net::Transport>(
+            c.member->link, device.clock(), &device.meter(),
+            c.result.device_id * 1000003ull + (c.attempt - 1));
+        c.transport->set_max_retries(policy.transport_max_retries);
+        c.driver = std::make_unique<SessionDriver>(device, *c.transport, tracer_,
+                                                   c.view.offset());
+        c.driver->set_transport_resumes(policy.transport_resumes);
+        trace(sim::TraceType::kSessionStart, c.result.device_id, c.attempt, 0.0);
+        pump(i);
+    };
+
+    session_done = [&](std::size_t i) {
+        DeviceCtx& c = ctxs[i];
+        c.last = c.driver->report();
+        c.result.bytes_over_air += c.last.bytes_over_air;  // all attempts count
+        c.driver.reset();
+        c.transport.reset();
+
+        const bool give_up = c.last.status == Status::kOk ||
+                             // A stale offer will not get fresher by retrying.
+                             c.last.status == Status::kStaleVersion ||
+                             c.attempt >= policy.max_attempts;
+        if (!give_up) {
+            double delay = 0.0;
+            if (policy.initial_backoff_s > 0) {
+                delay = policy.initial_backoff_s *
+                        std::pow(policy.backoff_factor,
+                                 static_cast<double>(c.attempt - 1));
                 delay = std::min(delay, policy.max_backoff_s);
                 // u uniform in [-1, 1): delay stays positive for jitter < 1.
                 const double u =
-                    static_cast<double>(jitter_rng.next_u32()) / 2147483648.0 - 1.0;
+                    static_cast<double>(c.jitter_rng.next_u32()) / 2147483648.0 - 1.0;
                 delay *= 1.0 + policy.jitter * u;
-                device.clock().advance(delay);
-                result.backoff_s += delay;
+                c.result.backoff_s += delay;
             }
+            trace(sim::TraceType::kRetryScheduled, c.result.device_id, c.attempt + 1,
+                  delay);
+            sched.schedule_in(delay, [&start_attempt, i] { start_attempt(i); });
+            return;
         }
 
-        result.status = last.status;
-        result.final_version = device.identity().installed_version;
-        result.differential = last.differential;
-        result.time_s = device.clock().now() - t0;
-        result.energy_mj = device.meter().total_millijoules() - e0;
+        Device& device = *c.member->device;
+        c.done = true;
+        c.result.status = c.last.status;
+        c.result.final_version = device.identity().installed_version;
+        c.result.differential = c.last.differential;
+        c.result.end_s = sched.now();
+        c.result.time_s = c.result.end_s - c.result.start_s;
+        c.result.energy_mj = device.meter().total_millijoules() - c.e0;
+        device.set_tracer(nullptr);
+    };
 
-        if (result.status == Status::kOk) {
+    // Release the fleet in waves on the shared timeline.
+    const std::size_t wave_size =
+        policy.wave_size == 0 ? std::max<std::size_t>(members_.size(), 1)
+                              : policy.wave_size;
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+        const std::size_t wave = i / wave_size;
+        const double release_t = static_cast<double>(wave) * policy.wave_stagger_s;
+        sched.schedule_at(release_t, [&, i, wave] {
+            DeviceCtx& c = ctxs[i];
+            c.member = &members_[i];
+            Device& device = *c.member->device;
+            c.result.device_id = device.identity().device_id;
+            c.result.start_s = sched.now();
+            // Deterministic jitter stream: a function of the device id only,
+            // so a rerun of the same campaign replays the same delays.
+            c.jitter_rng.reseed(0x9E3779B97F4A7C15ull ^ c.result.device_id);
+            c.view = sim::DeviceClockView(device.clock(), sched.now());
+            c.e0 = device.meter().total_millijoules();
+            device.set_tracer(tracer_, c.view.offset());
+            if (i % wave_size == 0) {
+                trace(sim::TraceType::kWaveStart, 0,
+                      static_cast<std::uint32_t>(wave), 0.0);
+            }
+            start_attempt(i);
+        });
+    }
+
+    sched.run(event_budget_);
+
+    // Aggregate in member order (stable regardless of interleaving).
+    report.devices.reserve(ctxs.size());
+    for (DeviceCtx& c : ctxs) {
+        if (!c.done) {
+            // Event budget exhausted mid-session: surface the stuck device
+            // rather than pretending it failed over the air.
+            c.result.status = Status::kResourceExhausted;
+            if (c.member != nullptr) c.member->device->set_tracer(nullptr);
+        }
+        if (c.result.status == Status::kOk) {
             ++report.succeeded;
-            if (result.differential) ++report.differential_updates;
+            if (c.result.differential) ++report.differential_updates;
         } else {
             ++report.failed;
         }
-        report.total_energy_mj += result.energy_mj;
-        report.total_bytes += result.bytes_over_air;
-        report.max_time_s = std::max(report.max_time_s, result.time_s);
-        report.devices.push_back(std::move(result));
+        report.total_energy_mj += c.result.energy_mj;
+        report.total_bytes += c.result.bytes_over_air;
+        report.makespan_s = std::max(report.makespan_s, c.result.end_s);
+        report.devices.push_back(std::move(c.result));
     }
+    report.events_processed = sched.events_processed();
     return report;
 }
 

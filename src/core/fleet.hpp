@@ -1,16 +1,22 @@
-// Fleet update campaigns.
+// Fleet update campaigns on a discrete-event timeline.
 //
-// The paper's motivation is billions of deployed devices; this module runs
-// an update rollout across a heterogeneous fleet of simulated devices —
-// mixed platforms, slot layouts, link qualities — with per-device retry,
-// and aggregates the outcome (success rate, airtime, energy, differential
-// hit-rate). Used by the fleet example and as an integration surface for
-// campaign-level tests.
+// The paper's motivation is billions of deployed devices; this module rolls
+// an update out to a heterogeneous fleet of simulated devices — mixed
+// platforms, slot layouts, link qualities — on a single shared virtual
+// timeline (sim/scheduler.hpp). Device sessions interleave: each modelled
+// delay (chunk airtime, server service, backoff sleep, reboot) is one event,
+// so thousands of devices progress concurrently in virtual time and contend
+// for the update server, whose bounded-concurrency admission queue and
+// service times (server::ServerModel) are first-class, measurable effects.
+// Rollouts can be phased into waves. The aggregated report carries the true
+// campaign makespan, per-device queueing delay, and server-queue statistics.
 #pragma once
 
 #include <vector>
 
 #include "core/session.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
 
 namespace upkit::core {
 
@@ -29,6 +35,18 @@ struct FleetPolicy {
     double backoff_factor = 2.0;
     double max_backoff_s = 300.0;
     double jitter = 0.25;
+
+    /// Phased rollout: devices are released in waves of `wave_size` (in the
+    /// order they were added), each wave starting `wave_stagger_s` after the
+    /// previous one. wave_size = 0 releases the whole fleet at t = 0.
+    unsigned wave_size = 0;
+    double wave_stagger_s = 0.0;
+
+    /// Per-chunk retransmission budget before a transfer aborts (see
+    /// net::Transport::set_max_retries).
+    unsigned transport_max_retries = 16;
+    /// Mid-payload reconnects allowed per attempt (SessionDriver).
+    unsigned transport_resumes = 0;
 };
 
 struct FleetMember {
@@ -42,12 +60,31 @@ struct CampaignDeviceResult {
     unsigned attempts = 0;
     std::uint16_t final_version = 0;
     bool differential = false;
+    /// Campaign-timeline instants: when the device's wave released it and
+    /// when its last attempt finished. end_s − start_s == time_s.
+    double start_s = 0.0;
+    double end_s = 0.0;
+    /// Wave release to final outcome, on the shared timeline — includes
+    /// backoff sleeps and server-queue waits (the device idles through
+    /// both; no energy is charged).
     double time_s = 0.0;
-    /// Virtual seconds this device spent sleeping between retry attempts
-    /// (included in time_s; radio and CPU idle, so no energy is charged).
+    /// Virtual seconds this device spent sleeping between retry attempts.
     double backoff_s = 0.0;
+    /// Virtual seconds this device's requests waited in the server's
+    /// admission queue (summed over attempts).
+    double queue_wait_s = 0.0;
     double energy_mj = 0.0;
     std::uint64_t bytes_over_air = 0;
+};
+
+/// What the contended server did during the campaign.
+struct ServerQueueStats {
+    std::uint64_t requests = 0;      // admission requests (one per attempt)
+    unsigned peak_depth = 0;         // worst admission-queue length
+    unsigned peak_in_service = 0;    // worst simultaneous service slots
+    double total_wait_s = 0.0;       // summed queueing delay
+    double max_wait_s = 0.0;         // worst single request
+    double busy_s = 0.0;             // summed service time
 };
 
 struct CampaignReport {
@@ -56,8 +93,16 @@ struct CampaignReport {
     unsigned failed = 0;
     double total_energy_mj = 0.0;
     std::uint64_t total_bytes = 0;
-    double max_time_s = 0.0;   // campaign wall-clock (devices update in parallel)
+    /// True campaign makespan: the completion instant of the last device on
+    /// the shared discrete-event timeline (waves, queueing, and backoff
+    /// included). Under server contention this exceeds the slowest single
+    /// device's busy time — the queue serializes what an uncontended fleet
+    /// would do in parallel.
+    double makespan_s = 0.0;
     unsigned differential_updates = 0;
+    ServerQueueStats server;
+    /// Discrete events the scheduler processed for this campaign.
+    std::uint64_t events_processed = 0;
 };
 
 class FleetCampaign {
@@ -70,12 +115,22 @@ public:
 
     std::size_t size() const { return members_.size(); }
 
+    /// Campaign events (queue enter/exit, retries, waves, plus each
+    /// device's FSM and session-phase transitions) go to `tracer`.
+    void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
+    /// Aborts the campaign (with devices stuck mid-session) if the event
+    /// scheduler processes more than this many events; 0 = unbounded.
+    void set_event_budget(std::uint64_t budget) { event_budget_ = budget; }
+
     /// Rolls `app_id`'s latest version out to every member.
     CampaignReport run(std::uint32_t app_id, const FleetPolicy& policy = {});
 
 private:
     server::UpdateServer* server_;
     std::vector<FleetMember> members_;
+    sim::Tracer* tracer_ = nullptr;
+    std::uint64_t event_budget_ = 0;
 };
 
 }  // namespace upkit::core

@@ -18,107 +18,227 @@ private:
 
 }  // namespace
 
-SessionReport UpdateSession::run(std::uint32_t app_id) {
-    SessionReport report;
-    // NOTE: reboot() replaces the agent object; never hold the reference
-    // across it. Agent verification time is snapshotted into agent_verify.
-    agent::UpdateAgent& agent = device_->agent();
-    sim::VirtualClock& clock = device_->clock();
+std::string_view SessionDriver::phase_name(Phase p) {
+    switch (p) {
+        case Phase::kStart: return "start";
+        case Phase::kSendToken: return "send-token";
+        case Phase::kAwaitServer: return "await-server";
+        case Phase::kRecvManifest: return "recv-manifest";
+        case Phase::kRecvPayload: return "recv-payload";
+        case Phase::kReboot: return "reboot";
+        case Phase::kDone: return "done";
+    }
+    return "?";
+}
 
-    const double t_start = clock.now();
-    const double e_start = device_->meter().total_millijoules();
-    const double verify_base = agent.stats().verification_seconds;
-    double agent_verify = 0.0;
+SessionDriver::SessionDriver(Device& device, net::Transport& transport,
+                             sim::Tracer* tracer, double trace_offset)
+    : device_(&device),
+      transport_(&transport),
+      tracer_(tracer),
+      trace_offset_(trace_offset),
+      t_start_(device.clock().now()),
+      e_start_(device.meter().total_millijoules()),
+      verify_base_(device.agent().stats().verification_seconds) {}
 
-    const auto finish = [&](Status status) {
-        // Don't leave the FSM armed when the session dies between the token
-        // and a verdict (server error, transport failure): the next session
-        // must be able to request a fresh token. (Fetch the agent anew —
-        // a reboot replaces the object.)
-        if (status != Status::kOk && !report.rebooted) {
-            agent::UpdateAgent& current = device_->agent();
-            if (current.state() != agent::FsmState::kWaiting &&
-                current.state() != agent::FsmState::kCleaning) {
-                current.clean();
-            }
+void SessionDriver::enter_phase(Phase next) {
+    if (tracer_ != nullptr) {
+        tracer_->emit(sim::TraceEvent{.t = device_->clock().now() - trace_offset_,
+                                      .device_id = device_->identity().device_id,
+                                      .type = sim::TraceType::kSessionPhase,
+                                      .from = phase_name(phase_),
+                                      .to = phase_name(next),
+                                      .code = 0,
+                                      .value = 0.0});
+    }
+    phase_ = next;
+}
+
+SessionDriver::StepResult SessionDriver::yield(double t0) const {
+    return StepResult{Want::kDelay, device_->clock().now() - t0};
+}
+
+SessionDriver::StepResult SessionDriver::finish(Status status) {
+    const double t0 = device_->clock().now();
+    // Don't leave the FSM armed when the session dies between the token
+    // and a verdict (server error, transport failure): the next session
+    // must be able to request a fresh token. (Fetch the agent anew —
+    // a reboot replaces the object.)
+    if (status != Status::kOk && !report_.rebooted) {
+        agent::UpdateAgent& current = device_->agent();
+        if (current.state() != agent::FsmState::kWaiting &&
+            current.state() != agent::FsmState::kCleaning) {
+            current.clean();
         }
-        const double elapsed = clock.now() - t_start;
-        report.phases.verification_s += agent_verify;
-        report.phases.propagation_s =
-            elapsed - report.phases.verification_s - report.phases.loading_s;
-        report.status = status;
-        report.bytes_over_air = transport_.bytes_to_device() + transport_.bytes_from_device();
-        report.final_version = device_->identity().installed_version;
-        report.energy_mj = device_->meter().total_millijoules() - e_start;
-        return report;
-    };
-
-    // --- propagation: device token (steps 4-5) --------------------------
-    auto token = agent.request_device_token();
-    if (!token) return finish(token.status());
-    if (transport_.from_device(manifest::serialize(*token)) != Status::kOk) {
-        return finish(Status::kTransportError);
     }
-
-    // --- server prepares the doubly-signed image (steps 6-7) ------------
-    auto response = server_->prepare_update(app_id, *token);
-    if (!response) return finish(response.status());
-    if (interceptor_) interceptor_(*response);
-    report.differential = response->manifest.differential;
-
-    // --- propagation: manifest (step 8), verified on arrival (step 9) ---
-    BytesSink manifest_buffer;
-    if (transport_.to_device(response->manifest_bytes, manifest_buffer) != Status::kOk) {
-        return finish(Status::kTransportError);
+    const double elapsed = device_->clock().now() - t_start_;
+    report_.phases.verification_s += agent_verify_;
+    report_.phases.propagation_s =
+        elapsed - report_.phases.verification_s - report_.phases.loading_s;
+    report_.status = status;
+    report_.bytes_over_air = transport_->bytes_to_device() + transport_->bytes_from_device();
+    report_.final_version = device_->identity().installed_version;
+    report_.energy_mj = device_->meter().total_millijoules() - e_start_;
+    enter_phase(Phase::kDone);
+    if (tracer_ != nullptr) {
+        tracer_->emit(sim::TraceEvent{.t = device_->clock().now() - trace_offset_,
+                                      .device_id = device_->identity().device_id,
+                                      .type = sim::TraceType::kSessionEnd,
+                                      .from = {},
+                                      .to = {},
+                                      .code = static_cast<std::uint32_t>(status),
+                                      .value = elapsed});
     }
-    const Status manifest_verdict =
-        response->suit_encoding ? agent.offer_suit_manifest(manifest_buffer.bytes())
-                                : agent.offer_manifest(manifest_buffer.bytes());
-    agent_verify = agent.stats().verification_seconds - verify_base;
-    if (manifest_verdict != Status::kOk) {
-        // Early rejection: no firmware download, no reboot (the paper's
-        // headline security/efficiency win).
-        report.rejected_before_download = true;
-        return finish(manifest_verdict);
-    }
+    return StepResult{Want::kFinished, device_->clock().now() - t0};
+}
 
-    // --- propagation: payload through the pipeline (steps 11-13) --------
-    // On a transport timeout the proxy may reconnect and resume from the
-    // agent's committed offset (the FSM and pipeline survive link drops).
-    AgentPayloadSink payload_sink(agent);
-    Status payload_verdict = Status::kOk;
-    unsigned resumes_left = transport_resumes_;
+void SessionDriver::provide_response(Expected<server::UpdateResponse> response) {
+    assert(phase_ == Phase::kAwaitServer && "no server request outstanding");
+    if (response) {
+        response_ = std::move(*response);
+        if (interceptor_) interceptor_(*response_);
+        response_status_ = Status::kOk;
+    } else {
+        response_status_ = response.status();
+    }
+}
+
+SessionDriver::StepResult SessionDriver::step() {
+    const double t0 = device_->clock().now();
+    switch (phase_) {
+        case Phase::kStart: {
+            // --- propagation: device token (steps 4-5) ----------------------
+            auto token = device_->agent().request_device_token();
+            if (!token) return finish(token.status());
+            token_ = *token;
+            token_bytes_ = manifest::serialize(*token_);
+            uplink_offset_ = 0;
+            resumes_left_ = transport_resumes_;
+            enter_phase(Phase::kSendToken);
+            return yield(t0);
+        }
+
+        case Phase::kSendToken: {
+            if (transport_->chunk_from_device(token_bytes_, uplink_offset_) != Status::kOk) {
+                return finish(Status::kTransportError);
+            }
+            if (uplink_offset_ < token_bytes_.size()) return yield(t0);
+            // Token uploaded: the server request is now in flight; the owner
+            // resolves it (queueing + service) and provides the response.
+            enter_phase(Phase::kAwaitServer);
+            return StepResult{Want::kServer, device_->clock().now() - t0};
+        }
+
+        case Phase::kAwaitServer: {
+            // --- server prepared the doubly-signed image (steps 6-7) --------
+            if (response_status_ != Status::kOk) return finish(response_status_);
+            assert(response_.has_value() && "provide_response() not called");
+            report_.differential = response_->manifest.differential;
+            manifest_offset_ = 0;
+            manifest_sink_ = BytesSink{};
+            enter_phase(Phase::kRecvManifest);
+            return yield(t0);
+        }
+
+        case Phase::kRecvManifest: {
+            // --- propagation: manifest (step 8), verified on arrival (9) ----
+            if (transport_->chunk_to_device(response_->manifest_bytes, manifest_offset_,
+                                            manifest_sink_) != Status::kOk) {
+                return finish(Status::kTransportError);
+            }
+            if (manifest_offset_ < response_->manifest_bytes.size()) return yield(t0);
+            agent::UpdateAgent& agent = device_->agent();
+            const Status manifest_verdict =
+                response_->suit_encoding
+                    ? agent.offer_suit_manifest(manifest_sink_.bytes())
+                    : agent.offer_manifest(manifest_sink_.bytes());
+            agent_verify_ = agent.stats().verification_seconds - verify_base_;
+            if (manifest_verdict != Status::kOk) {
+                // Early rejection: no firmware download, no reboot (the
+                // paper's headline security/efficiency win).
+                report_.rejected_before_download = true;
+                return finish(manifest_verdict);
+            }
+            payload_offset_ = 0;
+            enter_phase(Phase::kRecvPayload);
+            return yield(t0);
+        }
+
+        case Phase::kRecvPayload: {
+            // --- propagation: payload through the pipeline (steps 11-13) ----
+            // On a transport timeout the proxy may reconnect and resume from
+            // the agent's committed offset (the FSM and pipeline survive
+            // link drops).
+            agent::UpdateAgent& agent = device_->agent();
+            AgentPayloadSink sink(agent);
+            const Status verdict =
+                transport_->chunk_to_device(response_->payload, payload_offset_, sink);
+            agent_verify_ = agent.stats().verification_seconds - verify_base_;
+            if (verdict == Status::kTimeout && resumes_left_ > 0) {
+                --resumes_left_;
+                ++report_.transport_resumes;
+                payload_offset_ = static_cast<std::size_t>(agent.payload_offset());
+                return yield(t0);
+            }
+            if (verdict != Status::kOk) {
+                report_.rejected_after_download = true;
+                return finish(verdict);
+            }
+            if (payload_offset_ < response_->payload.size()) return yield(t0);
+            if (!agent.update_ready()) {
+                report_.rejected_after_download = true;
+                return finish(Status::kBadDigest);
+            }
+            enter_phase(Phase::kReboot);
+            return yield(t0);
+        }
+
+        case Phase::kReboot: {
+            // --- reboot + bootloader verification + loading (steps 15-18) ---
+            const double boot_start = device_->clock().now();
+            auto boot_report = device_->reboot();
+            report_.rebooted = true;
+            if (!boot_report) return finish(boot_report.status());
+            const double boot_elapsed = device_->clock().now() - boot_start;
+            const double boot_verify = device_->bootloader().last_verification_seconds();
+            report_.phases.verification_s += boot_verify;
+            report_.phases.loading_s += boot_elapsed - boot_verify;
+
+            if (boot_report->booted.version != response_->manifest.version) {
+                return finish(Status::kStaleVersion);  // rollback happened
+            }
+            return finish(Status::kOk);
+        }
+
+        case Phase::kDone:
+            break;
+    }
+    return StepResult{Want::kFinished, 0.0};
+}
+
+SessionReport UpdateSession::run(std::uint32_t app_id) {
+    // The session timeline starts at 0 when the session does.
+    const double trace_offset = device_->clock().now();
+    if (tracer_ != nullptr) device_->set_tracer(tracer_, trace_offset);
+    SessionDriver driver(*device_, transport_, tracer_, trace_offset);
+    driver.set_interceptor(interceptor_);
+    driver.set_transport_resumes(transport_resumes_);
+
+    // Pump the driver to completion: an uncontended server answers after its
+    // configured service time (zero by default), never queueing.
     for (;;) {
-        const std::uint64_t offset = agent.payload_offset();
-        payload_verdict =
-            transport_.to_device(ByteSpan(response->payload).subspan(
-                                     static_cast<std::size_t>(offset)),
-                                 payload_sink);
-        if (payload_verdict != Status::kTimeout || resumes_left == 0) break;
-        --resumes_left;
-        ++report.transport_resumes;
+        const SessionDriver::StepResult result = driver.step();
+        if (result.want == SessionDriver::Want::kFinished) break;
+        if (result.want == SessionDriver::Want::kServer) {
+            auto response = server_->prepare_update(app_id, driver.token());
+            const double service = server_->model().service_seconds(
+                response ? response->payload.size() : 0);
+            device_->clock().advance(service);
+            driver.provide_response(std::move(response));
+        }
     }
-    agent_verify = agent.stats().verification_seconds - verify_base;
-    if (payload_verdict != Status::kOk || !agent.update_ready()) {
-        report.rejected_after_download = true;
-        return finish(payload_verdict != Status::kOk ? payload_verdict
-                                                     : Status::kBadDigest);
-    }
-
-    // --- reboot + bootloader verification + loading (steps 15-18) -------
-    const double boot_start = clock.now();
-    auto boot_report = device_->reboot();
-    report.rebooted = true;
-    if (!boot_report) return finish(boot_report.status());
-    const double boot_elapsed = clock.now() - boot_start;
-    const double boot_verify = device_->bootloader().last_verification_seconds();
-    report.phases.verification_s += boot_verify;
-    report.phases.loading_s += boot_elapsed - boot_verify;
-
-    if (boot_report->booted.version != response->manifest.version) {
-        return finish(Status::kStaleVersion);  // rollback happened
-    }
-    return finish(Status::kOk);
+    if (tracer_ != nullptr) device_->set_tracer(nullptr);
+    return driver.report();
 }
 
 }  // namespace upkit::core

@@ -2,6 +2,13 @@
 // simulated device, with per-phase time accounting (propagation /
 // verification / loading — the breakdown of the paper's Fig. 8a).
 //
+// The flow is implemented as a resumable, step-driven state machine
+// (SessionDriver): every modelled delay — one chunk of airtime, the server's
+// service time, the reboot — is one step, after which the driver yields.
+// That is what lets a fleet campaign interleave thousands of device sessions
+// on one discrete-event timeline (core/fleet.cpp) while a single-device
+// experiment simply pumps the driver to completion (UpdateSession::run).
+//
 // The same session runs both distribution modes; only the link parameters
 // differ (push = BLE via smartphone, pull = CoAP via border router), which
 // is the paper's point about the architecture being distribution-agnostic.
@@ -14,6 +21,7 @@
 #include "core/device.hpp"
 #include "net/transport.hpp"
 #include "server/update_server.hpp"
+#include "sim/trace.hpp"
 
 namespace upkit::core {
 
@@ -42,6 +50,110 @@ struct SessionReport {
     unsigned transport_resumes = 0;
 };
 
+/// One update attempt as a resumable state machine.
+///
+/// Call step() repeatedly. Each call performs the next unit of work on the
+/// device — advancing the device's clock and meter exactly as the work
+/// costs — and reports how to continue:
+///
+///   kDelay    the step consumed delay_s of virtual time; schedule the next
+///             step() after it (or call immediately, the time has already
+///             been applied to the device clock).
+///   kServer   the device token is uploaded and the driver needs the server
+///             response. The owner decides what the server round costs —
+///             the fleet engine runs an admission queue and service model,
+///             a standalone run charges the model's service time directly —
+///             then calls provide_response() and resumes stepping.
+///   kFinished report() is final.
+///
+/// The driver never touches the server itself: server contention is the
+/// owner's concern, which is what makes the same driver serve both the
+/// uncontended single-device experiments and the contended fleet engine.
+class SessionDriver {
+public:
+    enum class Want { kDelay, kServer, kFinished };
+
+    struct StepResult {
+        Want want = Want::kDelay;
+        /// Virtual seconds consumed by this step (already applied to the
+        /// device clock; the fleet engine uses it to schedule the resume).
+        double delay_s = 0.0;
+    };
+
+    /// `transport` must outlive the driver (UpdateSession owns one; the
+    /// fleet engine creates one per attempt).
+    SessionDriver(Device& device, net::Transport& transport,
+                  sim::Tracer* tracer = nullptr, double trace_offset = 0.0);
+
+    /// Models a compromised smartphone/gateway mutating the response
+    /// (applied when the owner provides it).
+    void set_interceptor(std::function<void(server::UpdateResponse&)> interceptor) {
+        interceptor_ = std::move(interceptor);
+    }
+
+    /// Connection-drop resilience: after a transport timeout mid-payload,
+    /// the proxy may reconnect and continue from the agent's payload offset
+    /// (it still holds the response; the FSM state and pipeline survive a
+    /// link drop — only a reboot loses them). 0 disables resuming.
+    void set_transport_resumes(unsigned resumes) { transport_resumes_ = resumes; }
+
+    StepResult step();
+
+    /// The uploaded device token; valid once step() returned kServer.
+    const manifest::DeviceToken& token() const { return *token_; }
+
+    /// Hands the driver the server's response (or its failure status).
+    /// Only legal after step() returned kServer; resumes with step().
+    void provide_response(Expected<server::UpdateResponse> response);
+
+    bool finished() const { return phase_ == Phase::kDone; }
+    const SessionReport& report() const { return report_; }
+
+private:
+    enum class Phase {
+        kStart,         // issue the device token
+        kSendToken,     // uplink token chunks
+        kAwaitServer,   // waiting for provide_response()
+        kRecvManifest,  // downlink manifest chunks, verify on last
+        kRecvPayload,   // downlink payload chunks through the pipeline
+        kReboot,        // reboot + boot-time verification + load
+        kDone,
+    };
+    static std::string_view phase_name(Phase p);
+
+    void enter_phase(Phase next);
+    StepResult finish(Status status);
+    StepResult yield(double t0) const;
+
+    Device* device_;
+    net::Transport* transport_;
+    sim::Tracer* tracer_;
+    double trace_offset_;
+    std::function<void(server::UpdateResponse&)> interceptor_;
+    unsigned transport_resumes_ = 0;
+
+    Phase phase_ = Phase::kStart;
+    SessionReport report_;
+    double t_start_ = 0.0;
+    double e_start_ = 0.0;
+    double verify_base_ = 0.0;
+    double agent_verify_ = 0.0;
+
+    std::optional<manifest::DeviceToken> token_;
+    Bytes token_bytes_;
+    std::size_t uplink_offset_ = 0;
+    std::optional<server::UpdateResponse> response_;
+    Status response_status_ = Status::kOk;
+    BytesSink manifest_sink_;
+    std::size_t manifest_offset_ = 0;
+    std::size_t payload_offset_ = 0;
+    unsigned resumes_left_ = 0;
+};
+
+/// Synchronous facade over SessionDriver for single-device experiments:
+/// pumps the driver to completion against an uncontended server (the
+/// server's service model time, if configured, is charged to the device
+/// clock as waiting).
 class UpdateSession {
 public:
     UpdateSession(Device& device, server::UpdateServer& server, const net::LinkParams& link,
@@ -55,11 +167,12 @@ public:
         interceptor_ = std::move(interceptor);
     }
 
-    /// Connection-drop resilience: after a transport timeout mid-payload,
-    /// the proxy may reconnect and continue from the agent's payload offset
-    /// (it still holds the response; the FSM state and pipeline survive a
-    /// link drop — only a reboot loses them). 0 disables resuming.
+    /// See SessionDriver::set_transport_resumes.
     void set_transport_resumes(unsigned resumes) { transport_resumes_ = resumes; }
+
+    /// Trace session phases and FSM transitions (timeline starts at 0 when
+    /// the session does).
+    void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
     /// Runs one complete update attempt for `app_id`: token, manifest,
     /// payload, reboot, boot-time verification, load. Never throws; the
@@ -74,6 +187,7 @@ private:
     net::Transport transport_;
     std::function<void(server::UpdateResponse&)> interceptor_;
     unsigned transport_resumes_ = 0;
+    sim::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace upkit::core

@@ -19,18 +19,38 @@ double Transport::transfer_chunk_seconds(std::size_t payload_bytes, bool* aborte
     return seconds;
 }
 
+Status Transport::chunk_to_device(ByteSpan data, std::size_t& offset, ByteSink& sink,
+                                  double* seconds) {
+    const std::size_t len = std::min(link_.mtu, data.size() - offset);
+    bool aborted = false;
+    const double s = transfer_chunk_seconds(len, &aborted);
+    clock_->advance(s);
+    if (meter_ != nullptr) meter_->charge(sim::Component::kRadioRx, s);
+    if (seconds != nullptr) *seconds = s;
+    if (aborted) return Status::kTimeout;
+    UPKIT_RETURN_IF_ERROR(sink.write(data.subspan(offset, len)));
+    offset += len;
+    bytes_down_ += len;
+    return Status::kOk;
+}
+
+Status Transport::chunk_from_device(ByteSpan data, std::size_t& offset, double* seconds) {
+    const std::size_t len = std::min(link_.mtu, data.size() - offset);
+    bool aborted = false;
+    const double s = transfer_chunk_seconds(len, &aborted);
+    clock_->advance(s);
+    if (meter_ != nullptr) meter_->charge(sim::Component::kRadioTx, s);
+    if (seconds != nullptr) *seconds = s;
+    if (aborted) return Status::kTimeout;
+    offset += len;
+    bytes_up_ += len;
+    return Status::kOk;
+}
+
 Status Transport::to_device(ByteSpan data, ByteSink& sink) {
     std::size_t offset = 0;
     while (offset < data.size()) {
-        const std::size_t len = std::min(link_.mtu, data.size() - offset);
-        bool aborted = false;
-        const double seconds = transfer_chunk_seconds(len, &aborted);
-        clock_->advance(seconds);
-        if (meter_ != nullptr) meter_->charge(sim::Component::kRadioRx, seconds);
-        if (aborted) return Status::kTimeout;
-        UPKIT_RETURN_IF_ERROR(sink.write(data.subspan(offset, len)));
-        offset += len;
-        bytes_down_ += len;
+        UPKIT_RETURN_IF_ERROR(chunk_to_device(data, offset, sink));
     }
     return Status::kOk;
 }
@@ -38,14 +58,7 @@ Status Transport::to_device(ByteSpan data, ByteSink& sink) {
 Status Transport::from_device(ByteSpan data) {
     std::size_t offset = 0;
     while (offset < data.size()) {
-        const std::size_t len = std::min(link_.mtu, data.size() - offset);
-        bool aborted = false;
-        const double seconds = transfer_chunk_seconds(len, &aborted);
-        clock_->advance(seconds);
-        if (meter_ != nullptr) meter_->charge(sim::Component::kRadioTx, seconds);
-        if (aborted) return Status::kTimeout;
-        offset += len;
-        bytes_up_ += len;
+        UPKIT_RETURN_IF_ERROR(chunk_from_device(data, offset));
     }
     return Status::kOk;
 }

@@ -30,6 +30,23 @@ public:
     /// Transfers `data` from the device (token, CoAP requests, ACKs).
     Status from_device(ByteSpan data);
 
+    // --- chunk-level stepping (the discrete-event engine's entry points) ---
+    //
+    // One call moves exactly one MTU-sized chunk and advances the clock by
+    // that chunk's airtime (including retransmissions), so a session driver
+    // can yield to the event scheduler between chunks. `offset` is the
+    // caller's cursor into `data`; it advances only when the chunk gets
+    // through. On kTimeout (retransmission budget exhausted) the airtime
+    // was still spent and charged. `seconds` (optional) receives the time
+    // consumed by this step.
+
+    /// Downlink step: on success the chunk is delivered to `sink`.
+    Status chunk_to_device(ByteSpan data, std::size_t& offset, ByteSink& sink,
+                           double* seconds = nullptr);
+
+    /// Uplink step (token, CoAP requests, ACKs).
+    Status chunk_from_device(ByteSpan data, std::size_t& offset, double* seconds = nullptr);
+
     std::uint64_t bytes_to_device() const { return bytes_down_; }
     std::uint64_t bytes_from_device() const { return bytes_up_; }
     std::uint64_t chunks_retransmitted() const { return retransmissions_; }

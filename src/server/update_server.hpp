@@ -26,6 +26,27 @@ struct UpdateResponse {
     bool suit_encoding = false;
 };
 
+/// Operational model of the server deployment, for campaign simulation.
+///
+/// prepare_update() itself is a pure function; what a rollout at scale
+/// contends for is the deployment serving it. A request occupies one of
+/// `concurrency` service slots for service_seconds(); requests beyond that
+/// wait in a FIFO admission queue (managed by the fleet engine, which is
+/// where queueing delay and queue-depth statistics are measured).
+struct ServerModel {
+    /// Requests serviced simultaneously; 0 = unbounded (no contention).
+    unsigned concurrency = 0;
+    /// Fixed per-request service time (token check, signing, dispatch).
+    double service_time_s = 0.0;
+    /// Added per KB of response payload (delta derivation, compression, I/O).
+    double service_per_kb_s = 0.0;
+
+    double service_seconds(std::size_t payload_bytes) const {
+        return service_time_s +
+               service_per_kb_s * static_cast<double>(payload_bytes) / 1024.0;
+    }
+};
+
 class UpdateServer {
 public:
     explicit UpdateServer(ByteSpan key_seed)
@@ -51,6 +72,11 @@ public:
 
     compress::LzssParams lzss_params() const { return lzss_params_; }
     void set_lzss_params(const compress::LzssParams& params) { lzss_params_ = params; }
+
+    /// Service model used by campaign simulations (defaults to an ideal,
+    /// uncontended server so single-session experiments are unaffected).
+    const ServerModel& model() const { return model_; }
+    void set_model(const ServerModel& model) { model_ = model; }
 
     // --- confidentiality extension --------------------------------------
 
@@ -79,6 +105,7 @@ private:
     std::map<std::uint32_t, std::map<std::uint16_t, Release>> releases_;  // app -> version
     double delta_threshold_ = 0.9;
     compress::LzssParams lzss_params_{};
+    ServerModel model_{};
 
     bool encrypt_ = false;
     bool suit_mode_ = false;

@@ -1,0 +1,35 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace upkit::sim {
+
+void JsonlSink::on_event(const TraceEvent& event) {
+    char buf[192];
+    int n = std::snprintf(buf, sizeof(buf), "{\"t\":%.9g,\"dev\":%u,\"ev\":\"%.*s\"",
+                          event.t, event.device_id,
+                          static_cast<int>(to_string(event.type).size()),
+                          to_string(event.type).data());
+    out_->append(buf, static_cast<std::size_t>(n));
+    if (!event.from.empty()) {
+        n = std::snprintf(buf, sizeof(buf), ",\"from\":\"%.*s\"",
+                          static_cast<int>(event.from.size()), event.from.data());
+        out_->append(buf, static_cast<std::size_t>(n));
+    }
+    if (!event.to.empty()) {
+        n = std::snprintf(buf, sizeof(buf), ",\"to\":\"%.*s\"",
+                          static_cast<int>(event.to.size()), event.to.data());
+        out_->append(buf, static_cast<std::size_t>(n));
+    }
+    if (event.code != 0) {
+        n = std::snprintf(buf, sizeof(buf), ",\"code\":%u", event.code);
+        out_->append(buf, static_cast<std::size_t>(n));
+    }
+    if (event.value != 0.0) {
+        n = std::snprintf(buf, sizeof(buf), ",\"value\":%.9g", event.value);
+        out_->append(buf, static_cast<std::size_t>(n));
+    }
+    out_->append("}\n");
+}
+
+}  // namespace upkit::sim

@@ -1,0 +1,114 @@
+// Structured trace layer for campaign observability.
+//
+// Agents, session drivers, and the fleet engine emit typed events — FSM
+// transitions, session phase changes, server-queue enter/exit, retries —
+// onto a Tracer, which fans them out to attached sinks. Two sinks are
+// provided: a fixed-capacity ring buffer (cheap enough to leave on for a
+// million-event campaign, keeps the tail for post-mortem) and a JSONL sink
+// (one self-describing object per line; byte-identical across reruns of the
+// same seed, which is what the determinism tests diff). A null Tracer* means
+// tracing is off; emitters guard with `if (tracer_)`.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace upkit::sim {
+
+enum class TraceType : std::uint8_t {
+    kSessionStart,   // attempt begins            (code = attempt #)
+    kSessionPhase,   // driver phase transition   (from/to = phase names)
+    kSessionEnd,     // attempt finished          (code = Status, value = duration s)
+    kFsmTransition,  // agent FSM edge            (from/to = state names)
+    kQueueEnter,     // server request enqueued   (code = queue depth after)
+    kQueueExit,      // request admitted          (value = wait s, code = depth after)
+    kServiceDone,    // server finished serving   (value = service s)
+    kRetryScheduled, // backoff sleep programmed  (code = next attempt #, value = delay s)
+    kWaveStart,      // rollout wave released     (code = wave index)
+};
+
+constexpr std::string_view to_string(TraceType t) {
+    switch (t) {
+        case TraceType::kSessionStart: return "session-start";
+        case TraceType::kSessionPhase: return "phase";
+        case TraceType::kSessionEnd: return "session-end";
+        case TraceType::kFsmTransition: return "fsm";
+        case TraceType::kQueueEnter: return "queue-enter";
+        case TraceType::kQueueExit: return "queue-exit";
+        case TraceType::kServiceDone: return "service-done";
+        case TraceType::kRetryScheduled: return "retry";
+        case TraceType::kWaveStart: return "wave";
+    }
+    return "?";
+}
+
+/// One trace record. `from`/`to` must point at storage that outlives the
+/// sink (in practice: the static names returned by to_string overloads).
+struct TraceEvent {
+    double t = 0.0;               // campaign-timeline seconds
+    std::uint32_t device_id = 0;  // 0 = campaign-level event (e.g. waves)
+    TraceType type{};
+    std::string_view from;        // optional state/phase names
+    std::string_view to;
+    std::uint32_t code = 0;       // type-specific small integer (see enum)
+    double value = 0.0;           // type-specific seconds (see enum)
+};
+
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void on_event(const TraceEvent& event) = 0;
+};
+
+/// Keeps the most recent `capacity` events; total_seen() tells how many were
+/// emitted overall, so tests can assert on volume without storing millions.
+class RingBufferSink final : public TraceSink {
+public:
+    explicit RingBufferSink(std::size_t capacity) : capacity_(capacity) {}
+
+    void on_event(const TraceEvent& event) override {
+        ++total_seen_;
+        if (events_.size() == capacity_) events_.pop_front();
+        events_.push_back(event);
+    }
+
+    const std::deque<TraceEvent>& events() const { return events_; }
+    std::uint64_t total_seen() const { return total_seen_; }
+    void clear() { events_.clear(); total_seen_ = 0; }
+
+private:
+    std::size_t capacity_;
+    std::deque<TraceEvent> events_;
+    std::uint64_t total_seen_ = 0;
+};
+
+/// Appends one JSON object per event to a caller-owned string. Formatting is
+/// fixed (printf "%.9g" for times) so identical event streams serialize to
+/// identical bytes — the determinism tests rely on that.
+class JsonlSink final : public TraceSink {
+public:
+    explicit JsonlSink(std::string& out) : out_(&out) {}
+
+    void on_event(const TraceEvent& event) override;
+
+private:
+    std::string* out_;
+};
+
+/// Fan-out point. Emitters hold a Tracer* (null = tracing disabled).
+class Tracer {
+public:
+    void add_sink(TraceSink& sink) { sinks_.push_back(&sink); }
+
+    void emit(const TraceEvent& event) {
+        for (TraceSink* sink : sinks_) sink->on_event(event);
+    }
+
+private:
+    std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace upkit::sim
