@@ -1,0 +1,184 @@
+// Server hot-path bench: the two accelerations PR'd together — fixed-base
+// comb scalar multiplication (ECDSA signing) and the content-addressed
+// delta/response caches — measured in isolation and end-to-end.
+//
+// Micro section: mul_base via the comb table vs the generic double-and-add
+// ladder (ops/s and speedup, cross-checked for agreement), plus ECDSA sign
+// throughput. Macro section: the same differential fleet campaign run twice,
+// once under the historical constant service-time model and once under a
+// ServerModel::calibrate()d measured model, where per-request cost reflects
+// what the server actually did (1 delta generation, N-1 cache hits). Emits
+// one machine-readable JSON line; CI runs it as a smoke step:
+//
+//   server_hotpath [devices] [server_concurrency]     (defaults: 1000, 8)
+//
+// Exits nonzero when the comb speedup falls under 5x, a fleet fails to
+// converge, or the measured-model makespan fails to beat the constant one.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/fleet.hpp"
+#include "crypto/ecdsa.hpp"
+#include "crypto/p256.hpp"
+
+using namespace upkit;
+using namespace upkit::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct FleetOutcome {
+    core::CampaignReport report;
+    bool ok = false;
+};
+
+/// One differential fleet rollout (v1 -> v2) under the given server model.
+FleetOutcome run_fleet(std::size_t fleet, const server::ServerModel& model) {
+    Rig rig;
+    rig.publish(1, sim::generate_firmware({.size = 4 * 1024, .seed = 40}));
+
+    std::vector<std::unique_ptr<core::Device>> devices;
+    devices.reserve(fleet);
+    core::FleetCampaign campaign(rig.server);
+    for (std::size_t i = 0; i < fleet; ++i) {
+        core::DeviceConfig config = rig.device_config(core::SlotLayout::kAB);
+        config.device_id = 0x30000 + static_cast<std::uint32_t>(i);
+        config.seed = static_cast<std::uint64_t>(i) + 1;
+        config.enable_differential = true;  // the delta cache is the point
+        auto device = std::make_unique<core::Device>(config);
+        auto factory = rig.server.prepare_update(
+            kAppId, {.device_id = config.device_id, .nonce = 0, .current_version = 0});
+        if (!factory || device->provision_factory(*factory) != Status::kOk) {
+            std::fprintf(stderr, "provisioning device %zu failed\n", i);
+            return {};
+        }
+        campaign.add(*device, net::ble_gatt());
+        devices.push_back(std::move(device));
+    }
+
+    rig.publish(2, sim::mutate_app_change(
+                       sim::generate_firmware({.size = 4 * 1024, .seed = 40}), 41, 256));
+    rig.server.set_model(model);
+
+    core::FleetPolicy policy;
+    policy.wave_size = static_cast<unsigned>(std::max<std::size_t>(fleet / 4, 1));
+    policy.wave_stagger_s = 5.0;
+    campaign.set_event_budget(1000 * fleet);
+    FleetOutcome out;
+    out.report = campaign.run(kAppId, policy);
+    out.ok = out.report.succeeded == fleet;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t fleet = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1000;
+    const unsigned concurrency =
+        argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 8;
+
+    // ---- micro: comb vs ladder ------------------------------------------
+    const crypto::P256& curve = crypto::P256::instance();
+    Rng rng(0x40717A7);
+    std::vector<crypto::U256> scalars(64);
+    for (auto& k : scalars) {
+        for (auto& limb : k.w) limb = rng.next_u64();
+    }
+    (void)curve.mul_base(scalars[0]);  // warm the singleton + table
+
+    volatile std::uint64_t sink = 0;
+    constexpr int kCombIters = 512;
+    auto t0 = Clock::now();
+    for (int i = 0; i < kCombIters; ++i) {
+        sink += curve.mul_base(scalars[i % scalars.size()])->x.w[0];
+    }
+    const double comb_s = seconds_since(t0) / kCombIters;
+
+    constexpr int kLadderIters = 64;
+    t0 = Clock::now();
+    for (int i = 0; i < kLadderIters; ++i) {
+        sink += curve.mul_base_generic(scalars[i % scalars.size()])->x.w[0];
+    }
+    const double ladder_s = seconds_since(t0) / kLadderIters;
+    const double speedup = ladder_s / comb_s;
+
+    // Agreement spot-check: a bench that outruns a wrong answer is worthless.
+    for (const auto& k : scalars) {
+        const auto a = curve.mul_base(k);
+        const auto b = curve.mul_base_generic(k);
+        if (!a || !b || !(a->x == b->x) || !(a->y == b->y)) {
+            std::fprintf(stderr, "comb/ladder disagreement\n");
+            return 1;
+        }
+    }
+
+    const crypto::PrivateKey key = crypto::PrivateKey::generate(to_bytes("hotpath-key"));
+    crypto::Sha256Digest digest = crypto::Sha256::digest(to_bytes("hotpath"));
+    constexpr int kSignIters = 256;
+    t0 = Clock::now();
+    for (int i = 0; i < kSignIters; ++i) {
+        digest[0] = static_cast<std::uint8_t>(i);
+        sink += crypto::ecdsa_sign(key, digest)[0];
+    }
+    const double sign_s = seconds_since(t0) / kSignIters;
+
+    // ---- macro: constant vs measured service model ----------------------
+    const FleetOutcome constant = run_fleet(
+        fleet, {.concurrency = concurrency, .service_time_s = 0.05});
+    const server::ServerModel measured = server::ServerModel::calibrate(concurrency);
+    const FleetOutcome hot = run_fleet(fleet, measured);
+    if (!constant.ok || !hot.ok) {
+        std::fprintf(stderr, "server_hotpath: fleet did not converge (%u / %u of %zu)\n",
+                     constant.report.succeeded, hot.report.succeeded, fleet);
+        return 1;
+    }
+
+    const server::ServerStats& s = hot.report.server_stats;
+    const double requests = static_cast<double>(s.requests);
+    const double hit_ratio =
+        requests > 0 ? static_cast<double>(s.delta_hits + s.response_hits) / requests
+                     : 0.0;
+
+    std::printf(
+        "{\"bench\":\"server_hotpath\",\"devices\":%zu,\"server_concurrency\":%u,"
+        "\"mul_base_comb_ops_s\":%.1f,\"mul_base_ladder_ops_s\":%.1f,"
+        "\"comb_speedup\":%.2f,\"ecdsa_sign_ops_s\":%.1f,"
+        "\"sign_us\":%.1f,\"calibrated_sign_us\":%.1f,"
+        "\"makespan_const_s\":%.3f,\"makespan_measured_s\":%.3f,"
+        "\"makespan_improvement\":%.2f,"
+        "\"requests\":%llu,\"delta_hits\":%llu,\"delta_misses\":%llu,"
+        "\"response_hits\":%llu,\"cache_hit_ratio\":%.3f,"
+        "\"server_busy_const_s\":%.3f,\"server_busy_measured_s\":%.3f}\n",
+        fleet, concurrency, 1.0 / comb_s, 1.0 / ladder_s, speedup, 1.0 / sign_s,
+        sign_s * 1e6, measured.sign_s * 1e6, constant.report.makespan_s,
+        hot.report.makespan_s, constant.report.makespan_s / hot.report.makespan_s,
+        static_cast<unsigned long long>(s.requests),
+        static_cast<unsigned long long>(s.delta_hits),
+        static_cast<unsigned long long>(s.delta_misses),
+        static_cast<unsigned long long>(s.response_hits), hit_ratio,
+        constant.report.server.busy_s, hot.report.server.busy_s);
+
+    if (speedup < 5.0) {
+        std::fprintf(stderr, "server_hotpath: comb speedup %.2fx under the 5x bar\n",
+                     speedup);
+        return 1;
+    }
+    if (hot.report.makespan_s >= constant.report.makespan_s) {
+        std::fprintf(stderr,
+                     "server_hotpath: measured makespan %.3f s did not beat the "
+                     "constant model's %.3f s\n",
+                     hot.report.makespan_s, constant.report.makespan_s);
+        return 1;
+    }
+    return 0;
+}

@@ -30,11 +30,27 @@ struct DeviceCtx {
     double enqueue_t = 0.0;
 };
 
+server::ServerStats stats_delta(const server::ServerStats& now,
+                                const server::ServerStats& then) {
+    server::ServerStats d;
+    d.requests = now.requests - then.requests;
+    d.sign_ops = now.sign_ops - then.sign_ops;
+    d.delta_hits = now.delta_hits - then.delta_hits;
+    d.delta_misses = now.delta_misses - then.delta_misses;
+    d.delta_evictions = now.delta_evictions - then.delta_evictions;
+    d.response_hits = now.response_hits - then.response_hits;
+    d.response_misses = now.response_misses - then.response_misses;
+    d.response_evictions = now.response_evictions - then.response_evictions;
+    d.key_rotations = now.key_rotations - then.key_rotations;
+    return d;
+}
+
 }  // namespace
 
 CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& policy) {
     CampaignReport report;
     sim::EventScheduler sched;
+    const server::ServerStats stats_before = server_->stats();
     const server::ServerModel& model = server_->model();
     const unsigned service_cap = model.concurrency == 0
                                      ? std::numeric_limits<unsigned>::max()
@@ -112,11 +128,23 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
 
             // The request occupies a service slot while the server builds
             // the device-bound image (prepare_update is the work product;
-            // the model says what the deployment charges for it).
+            // the model says what the deployment charges for it — in
+            // measured mode, from the request's ServiceReceipt: signatures
+            // issued, cache hit or miss, payload dispatched).
             auto response = std::make_shared<Expected<server::UpdateResponse>>(
                 server_->prepare_update(app_id, c.driver->token()));
+            if (*response) {
+                const server::ServiceReceipt& r = (*response)->receipt;
+                std::uint32_t bits = 0;
+                if (r.delta_cache_hit) bits |= sim::kCacheBitDeltaHit;
+                if (r.response_cache_hit) bits |= sim::kCacheBitResponseHit;
+                if (r.delta_attempted) bits |= sim::kCacheBitDeltaAttempt;
+                trace(sim::TraceType::kServerCache, c.result.device_id, bits,
+                      static_cast<double>(r.sign_ops));
+            }
             const double service =
-                model.service_seconds(*response ? (*response)->payload.size() : 0);
+                *response ? model.service_seconds((*response)->receipt)
+                          : model.service_seconds(std::size_t{0});
             ++in_service;
             report.server.peak_in_service =
                 std::max(report.server.peak_in_service, in_service);
@@ -242,6 +270,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         report.devices.push_back(std::move(c.result));
     }
     report.events_processed = sched.events_processed();
+    report.server_stats = stats_delta(server_->stats(), stats_before);
     return report;
 }
 

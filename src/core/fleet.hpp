@@ -101,6 +101,10 @@ struct CampaignReport {
     double makespan_s = 0.0;
     unsigned differential_updates = 0;
     ServerQueueStats server;
+    /// What the server's hot-path caches and signer did during this
+    /// campaign (counters are snapshotted at run start and diffed, so
+    /// provisioning traffic before the campaign is excluded).
+    server::ServerStats server_stats;
     /// Discrete events the scheduler processed for this campaign.
     std::uint64_t events_processed = 0;
 };

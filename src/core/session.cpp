@@ -231,8 +231,9 @@ SessionReport UpdateSession::run(std::uint32_t app_id) {
         if (result.want == SessionDriver::Want::kFinished) break;
         if (result.want == SessionDriver::Want::kServer) {
             auto response = server_->prepare_update(app_id, driver.token());
-            const double service = server_->model().service_seconds(
-                response ? response->payload.size() : 0);
+            const double service =
+                response ? server_->model().service_seconds(response->receipt)
+                         : server_->model().service_seconds(std::size_t{0});
             device_->clock().advance(service);
             driver.provide_response(std::move(response));
         }

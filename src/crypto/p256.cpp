@@ -22,6 +22,7 @@ P256::P256()
       fn_(U256::from_hex(kOrderHex)),
       g_{U256::from_hex(kGxHex), U256::from_hex(kGyHex)} {
     b_mont_ = fp_.to_mont(U256::from_hex(kBHex));
+    build_comb_table();
 }
 
 bool P256::on_curve(const AffinePoint& p) const {
@@ -97,6 +98,83 @@ P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
     return Jacobian{x3, y3, z3};
 }
 
+P256::Jacobian P256::add_mixed(const Jacobian& p, const MontAffine& q) const {
+    if (p.infinity()) return Jacobian{q.x, q.y, fp_.one()};
+    // madd-2007-bl (q affine, z2 = 1).
+    const U256 z1z1 = fp_.sqr(p.z);
+    const U256 u2 = fp_.mul(q.x, z1z1);
+    const U256 s2 = fp_.mul(fp_.mul(q.y, p.z), z1z1);
+    const U256 h = fp_.sub(u2, p.x);
+    const U256 r = fp_.add(fp_.sub(s2, p.y), fp_.sub(s2, p.y));
+    if (h.is_zero()) {
+        if (r.is_zero()) return dbl(p);  // same point
+        return Jacobian{};               // P + (-P) = infinity
+    }
+    const U256 hh = fp_.sqr(h);
+    const U256 i = fp_.add(fp_.add(hh, hh), fp_.add(hh, hh));
+    const U256 j = fp_.mul(h, i);
+    const U256 v = fp_.mul(p.x, i);
+    const U256 x3 = fp_.sub(fp_.sub(fp_.sqr(r), j), fp_.add(v, v));
+    const U256 yj = fp_.mul(p.y, j);
+    const U256 y3 = fp_.sub(fp_.mul(r, fp_.sub(v, x3)), fp_.add(yj, yj));
+    const U256 z3 = fp_.sub(fp_.sub(fp_.sqr(fp_.add(p.z, h)), z1z1), hh);
+    return Jacobian{x3, y3, z3};
+}
+
+void P256::build_comb_table() {
+    // Row w holds {1..255} * B_w where B_w = 2^(8w) * G, built by repeated
+    // addition in Jacobian coordinates. Every table scalar d * 2^(8w) is in
+    // [1, n-1] (255 * 2^248 < n), so no entry is ever infinity.
+    std::vector<Jacobian> jac(kCombWindows * kCombRowEntries);
+    Jacobian base = to_jacobian(g_);
+    for (unsigned w = 0; w < kCombWindows; ++w) {
+        Jacobian acc = base;
+        jac[w * kCombRowEntries] = acc;
+        for (unsigned d = 2; d <= kCombRowEntries; ++d) {
+            acc = add(acc, base);
+            jac[w * kCombRowEntries + d - 1] = acc;
+        }
+        if (w + 1 < kCombWindows) {
+            for (unsigned b = 0; b < kCombWindowBits; ++b) base = dbl(base);
+        }
+    }
+
+    // Normalize all 8160 points to affine with one field inversion
+    // (Montgomery's simultaneous-inversion trick): prefix products of the
+    // z coordinates, one inv of the total, then peel z_i^-1 back out.
+    const std::size_t count = jac.size();
+    std::vector<U256> prefix(count);
+    U256 run = fp_.one();
+    for (std::size_t i = 0; i < count; ++i) {
+        run = fp_.mul(run, jac[i].z);
+        prefix[i] = run;
+    }
+    U256 inv_tail = fp_.inv(prefix[count - 1]);  // (z_0 ... z_{count-1})^-1
+    comb_.resize(count);
+    for (std::size_t i = count; i-- > 0;) {
+        const U256 zinv = i == 0 ? inv_tail : fp_.mul(inv_tail, prefix[i - 1]);
+        inv_tail = fp_.mul(inv_tail, jac[i].z);
+        const U256 zinv2 = fp_.sqr(zinv);
+        comb_[i].x = fp_.mul(jac[i].x, zinv2);
+        comb_[i].y = fp_.mul(jac[i].y, fp_.mul(zinv2, zinv));
+    }
+}
+
+P256::Jacobian P256::comb_mul_base(const U256& k) const {
+    // k = sum of byte digits b_w * 256^w: add the precomputed multiple for
+    // each nonzero digit. Partial sums equal k mod 2^(8(w+1)), which for
+    // reduced nonzero k is never 0 mod n — no intermediate infinity.
+    Jacobian acc{};
+    for (unsigned w = 0; w < kCombWindows; ++w) {
+        const unsigned digit =
+            static_cast<unsigned>(k.w[w / 8] >> (8 * (w % 8))) & 0xff;
+        if (digit != 0) {
+            acc = add_mixed(acc, comb_[w * kCombRowEntries + digit - 1]);
+        }
+    }
+    return acc;
+}
+
 P256::Jacobian P256::scalar_mul(const U256& k, const Jacobian& p) const {
     Jacobian acc{};  // infinity
     const int bits = k.bit_length();
@@ -108,6 +186,12 @@ P256::Jacobian P256::scalar_mul(const U256& k, const Jacobian& p) const {
 }
 
 std::optional<AffinePoint> P256::mul_base(const U256& k) const {
+    const U256 k_reduced = fn_.reduce(k);
+    if (k_reduced.is_zero()) return std::nullopt;
+    return to_affine(comb_mul_base(k_reduced));
+}
+
+std::optional<AffinePoint> P256::mul_base_generic(const U256& k) const {
     return mul(k, g_);
 }
 
@@ -119,20 +203,12 @@ std::optional<AffinePoint> P256::mul(const U256& k, const AffinePoint& p) const 
 
 std::optional<AffinePoint> P256::mul_add(const U256& u1, const U256& u2,
                                          const AffinePoint& p) const {
-    // Shamir's trick: interleave the two scalar multiplications.
-    const Jacobian jg = to_jacobian(g_);
-    const Jacobian jp = to_jacobian(p);
-    const Jacobian jgp = add(jg, jp);
-    const int bits = std::max(u1.bit_length(), u2.bit_length());
-    Jacobian acc{};
-    for (int i = bits - 1; i >= 0; --i) {
-        acc = dbl(acc);
-        const bool b1 = u1.bit(static_cast<unsigned>(i));
-        const bool b2 = u2.bit(static_cast<unsigned>(i));
-        if (b1 && b2) acc = add(acc, jgp);
-        else if (b1) acc = add(acc, jg);
-        else if (b2) acc = add(acc, jp);
-    }
+    // The fixed-base half costs ~32 mixed additions from the comb table;
+    // only the variable-base half walks the double-and-add ladder.
+    const U256 u1r = fn_.reduce(u1);
+    const U256 u2r = fn_.reduce(u2);
+    Jacobian acc = u1r.is_zero() ? Jacobian{} : comb_mul_base(u1r);
+    if (!u2r.is_zero()) acc = add(acc, scalar_mul(u2r, to_jacobian(p)));
     return to_affine(acc);
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "crypto/modular.hpp"
 #include "crypto/u256.hpp"
@@ -37,13 +38,21 @@ public:
     /// True if (x, y) satisfies y^2 = x^3 - 3x + b and is in range.
     bool on_curve(const AffinePoint& p) const;
 
-    /// k * G. Returns nullopt only for k == 0 mod n.
+    /// k * G. Returns nullopt only for k == 0 mod n. Served from the
+    /// fixed-base comb table: no doublings, one mixed addition per nonzero
+    /// byte of the reduced scalar (the ECDSA-sign hot path).
     std::optional<AffinePoint> mul_base(const U256& k) const;
+
+    /// k * G via the generic double-and-add ladder. Retained as the
+    /// reference implementation the differential suite and the hot-path
+    /// bench compare the comb table against.
+    std::optional<AffinePoint> mul_base_generic(const U256& k) const;
 
     /// k * P for arbitrary point P (must be on curve).
     std::optional<AffinePoint> mul(const U256& k, const AffinePoint& p) const;
 
-    /// u1*G + u2*P in one shot (ECDSA verification workhorse).
+    /// u1*G + u2*P in one shot (ECDSA verification workhorse). The u1*G
+    /// half comes from the comb table; only u2*P walks the ladder.
     std::optional<AffinePoint> mul_add(const U256& u1, const U256& u2,
                                        const AffinePoint& p) const;
 
@@ -56,16 +65,37 @@ private:
         bool infinity() const { return z.is_zero(); }
     };
 
+    /// Comb-table entry: affine point with coordinates in Montgomery form
+    /// (z == 1 implicit), so table additions use the cheaper mixed formula.
+    struct MontAffine {
+        U256 x, y;
+    };
+
     Jacobian to_jacobian(const AffinePoint& p) const;
     std::optional<AffinePoint> to_affine(const Jacobian& p) const;
     Jacobian dbl(const Jacobian& p) const;
     Jacobian add(const Jacobian& p, const Jacobian& q) const;
+    /// p + q for affine q (madd-2007-bl); handles infinity/double/negate.
+    Jacobian add_mixed(const Jacobian& p, const MontAffine& q) const;
     Jacobian scalar_mul(const U256& k, const Jacobian& p) const;
+
+    /// Sum of comb-table entries for the byte digits of k (k in [1, n)).
+    Jacobian comb_mul_base(const U256& k) const;
+    void build_comb_table();
+
+    // One 255-entry row per byte of the scalar: row w holds
+    // {1..255} * 2^(8w) * G, so k*G is a sum of at most 32 mixed additions
+    // with no doublings. All rows are batch-normalized to affine with a
+    // single field inversion at construction.
+    static constexpr unsigned kCombWindowBits = 8;
+    static constexpr unsigned kCombWindows = 256 / kCombWindowBits;
+    static constexpr unsigned kCombRowEntries = (1u << kCombWindowBits) - 1;
 
     Montgomery fp_;
     Montgomery fn_;
     AffinePoint g_;
     U256 b_mont_;  // curve coefficient b, Montgomery form
+    std::vector<MontAffine> comb_;  // [window * kCombRowEntries + digit - 1]
 };
 
 }  // namespace upkit::crypto

@@ -1,12 +1,25 @@
 #include "server/update_server.hpp"
 
+#include <chrono>
+#include <cstring>
+
 #include "common/endian.hpp"
+#include "common/rng.hpp"
 #include "crypto/content_key.hpp"
 #include "crypto/poly1305.hpp"
 #include "diff/bsdiff.hpp"
 #include "suit/suit.hpp"
 
 namespace upkit::server {
+
+namespace {
+
+// Wire offsets of the token-dependent manifest fields (manifest/manifest.hpp).
+constexpr std::size_t kDeviceIdOffset = 8;
+constexpr std::size_t kNonceOffset = 12;
+constexpr std::size_t kServerSigOffset = 136;
+
+}  // namespace
 
 Status UpdateServer::publish(Release release) {
     auto& versions = releases_[release.manifest.app_id];
@@ -20,6 +33,49 @@ std::optional<std::uint16_t> UpdateServer::latest_version(std::uint32_t app_id) 
     const auto it = releases_.find(app_id);
     if (it == releases_.end() || it->second.empty()) return std::nullopt;
     return it->second.rbegin()->first;
+}
+
+bool UpdateServer::register_device_key(std::uint32_t device_id,
+                                       const crypto::PublicKey& key) {
+    const auto it = device_keys_.find(device_id);
+    if (it == device_keys_.end()) {
+        device_keys_.emplace(device_id, key);
+        return false;
+    }
+    if (it->second == key) return false;  // same key again: not a rotation
+    it->second = key;
+    const std::uint32_t generation = ++device_key_generation_[device_id];
+    key_rotations_.push_back(KeyRotation{device_id, generation});
+    ++stats_.key_rotations;
+    if (tracer_ != nullptr) {
+        tracer_->emit(sim::TraceEvent{.t = 0.0,
+                                      .device_id = device_id,
+                                      .type = sim::TraceType::kKeyRotation,
+                                      .from = {},
+                                      .to = {},
+                                      .code = generation,
+                                      .value = 0.0});
+    }
+    return true;
+}
+
+void UpdateServer::set_delta_cache_capacity(std::size_t entries) {
+    delta_capacity_ = entries;
+    delta_lru_.clear();
+    delta_index_.clear();
+}
+
+void UpdateServer::set_response_cache_capacity(std::size_t entries) {
+    response_capacity_ = entries;
+    response_lru_.clear();
+    response_index_.clear();
+}
+
+void UpdateServer::invalidate_caches() {
+    delta_lru_.clear();
+    delta_index_.clear();
+    response_lru_.clear();
+    response_index_.clear();
 }
 
 bool UpdateServer::maybe_encrypt(const manifest::DeviceToken& token, Bytes& payload) const {
@@ -52,8 +108,95 @@ bool UpdateServer::maybe_encrypt(const manifest::DeviceToken& token, Bytes& payl
     return true;
 }
 
+std::optional<Bytes> UpdateServer::compressed_delta(const Release& base,
+                                                    const Release& latest,
+                                                    ServiceReceipt& receipt) const {
+    const DeltaKey key{base.manifest.digest, latest.manifest.digest};
+    if (delta_capacity_ != 0) {
+        const auto it = delta_index_.find(key);
+        if (it != delta_index_.end()) {
+            ++stats_.delta_hits;
+            receipt.delta_cache_hit = true;
+            delta_lru_.splice(delta_lru_.begin(), delta_lru_, it->second);
+            return it->second->compressed;
+        }
+        ++stats_.delta_misses;
+    }
+
+    receipt.delta_input_bytes = base.firmware.size() + latest.firmware.size();
+    auto patch = diff::bsdiff(base.firmware, latest.firmware);
+    if (!patch) return std::nullopt;
+    auto compressed = compress::lzss_compress(*patch, lzss_params_);
+    if (!compressed) return std::nullopt;
+
+    if (delta_capacity_ != 0) {
+        delta_lru_.push_front(DeltaEntry{key, *compressed});
+        delta_index_[key] = delta_lru_.begin();
+        if (delta_lru_.size() > delta_capacity_) {
+            ++stats_.delta_evictions;
+            delta_index_.erase(delta_lru_.back().key);
+            delta_lru_.pop_back();
+        }
+    }
+    return std::move(*compressed);
+}
+
+std::optional<UpdateResponse> UpdateServer::response_from_cache(
+    const ResponseKey& key, const manifest::DeviceToken& token,
+    ServiceReceipt receipt) const {
+    if (response_capacity_ == 0) return std::nullopt;
+    const auto it = response_index_.find(key);
+    if (it == response_index_.end()) {
+        ++stats_.response_misses;
+        return std::nullopt;
+    }
+    ++stats_.response_hits;
+    response_lru_.splice(response_lru_.begin(), response_lru_, it->second);
+    const ResponseEntry& entry = *it->second;
+
+    UpdateResponse response;
+    response.manifest = entry.manifest;
+    response.manifest.device_id = token.device_id;
+    response.manifest.nonce = token.nonce;
+    response.manifest_bytes = entry.manifest_bytes;
+    response.payload = entry.payload;
+
+    // Re-fill the token-dependent wire bytes and re-sign: the freshness
+    // signature covers everything before itself (offset 136), so a patched
+    // envelope is byte-identical to one built from scratch.
+    Bytes& wire = response.manifest_bytes;
+    store_le32(MutByteSpan(wire.data() + kDeviceIdOffset, 4), token.device_id);
+    store_le32(MutByteSpan(wire.data() + kNonceOffset, 4), token.nonce);
+    response.manifest.server_signature = crypto::ecdsa_sign(
+        key_, crypto::Sha256::digest(ByteSpan(wire.data(), kServerSigOffset)));
+    std::memcpy(wire.data() + kServerSigOffset,
+                response.manifest.server_signature.data(), crypto::kSignatureSize);
+    ++stats_.sign_ops;
+
+    receipt.sign_ops += 1;
+    receipt.response_cache_hit = true;
+    receipt.payload_bytes = response.payload.size();
+    response.receipt = receipt;
+    return response;
+}
+
+void UpdateServer::store_response(const ResponseKey& key,
+                                  const UpdateResponse& response) const {
+    if (response_capacity_ == 0) return;
+    if (response_index_.contains(key)) return;
+    response_lru_.push_front(ResponseEntry{key, response.manifest,
+                                           response.manifest_bytes, response.payload});
+    response_index_[key] = response_lru_.begin();
+    if (response_lru_.size() > response_capacity_) {
+        ++stats_.response_evictions;
+        response_index_.erase(response_lru_.back().key);
+        response_lru_.pop_back();
+    }
+}
+
 UpdateResponse UpdateServer::finalize(manifest::Manifest m, Bytes payload,
-                                      const crypto::Signature& suit_vendor_sig) const {
+                                      const crypto::Signature& suit_vendor_sig,
+                                      ServiceReceipt receipt) const {
     m.payload_size = static_cast<std::uint32_t>(payload.size());
     UpdateResponse response;
     if (suit_mode_) {
@@ -72,16 +215,27 @@ UpdateResponse UpdateServer::finalize(manifest::Manifest m, Bytes payload,
             crypto::ecdsa_sign(key_, crypto::Sha256::digest(m.server_signed_bytes()));
         response.manifest_bytes = manifest::serialize(m);
     }
+    ++stats_.sign_ops;
+    receipt.sign_ops += 1;
+    receipt.payload_bytes = payload.size();
     response.manifest = m;
     response.payload = std::move(payload);
+    response.receipt = receipt;
     return response;
 }
 
 Expected<UpdateResponse> UpdateServer::prepare_update(
     std::uint32_t app_id, const manifest::DeviceToken& token) const {
+    ++stats_.requests;
     const auto apps = releases_.find(app_id);
     if (apps == releases_.end() || apps->second.empty()) return Status::kNotFound;
     const Release& latest = apps->second.rbegin()->second;
+
+    // Encrypted payloads are sealed per (device, nonce) and SUIT envelopes
+    // are re-encoded per request: neither can reuse a cached envelope.
+    const bool cacheable_envelope =
+        !suit_mode_ && !(encrypt_ && device_keys_.contains(token.device_id));
+    ServiceReceipt receipt;
 
     manifest::Manifest m = latest.manifest;  // vendor fields + vendor signature
     m.device_id = token.device_id;
@@ -93,28 +247,106 @@ Expected<UpdateResponse> UpdateServer::prepare_update(
         const auto base = apps->second.find(token.current_version);
         if (base != apps->second.end() &&
             base->second.manifest.version < latest.manifest.version) {
-            auto patch = diff::bsdiff(base->second.firmware, latest.firmware);
-            if (patch) {
-                auto compressed = compress::lzss_compress(*patch, lzss_params_);
-                if (compressed &&
-                    static_cast<double>(compressed->size()) <
-                        delta_threshold_ * static_cast<double>(latest.firmware.size())) {
-                    m.differential = true;
-                    m.old_version = token.current_version;
-                    m.encrypted = maybe_encrypt(token, *compressed);
-                    return finalize(m, std::move(*compressed),
-                                    latest.suit_vendor_signature);
-                }
+            const ResponseKey key{app_id, latest.manifest.version,
+                                  token.current_version, true};
+            if (cacheable_envelope) {
+                // A cached differential envelope proves the threshold
+                // decision: no need to touch the delta cache at all.
+                if (auto hit = response_from_cache(key, token, receipt)) return *hit;
+            }
+            receipt.delta_attempted = true;
+            auto compressed = compressed_delta(base->second, latest, receipt);
+            if (compressed &&
+                static_cast<double>(compressed->size()) <
+                    delta_threshold_ * static_cast<double>(latest.firmware.size())) {
+                m.differential = true;
+                m.old_version = token.current_version;
+                m.encrypted = maybe_encrypt(token, *compressed);
+                UpdateResponse response = finalize(m, std::move(*compressed),
+                                                   latest.suit_vendor_signature, receipt);
+                if (cacheable_envelope) store_response(key, response);
+                return response;
             }
         }
     }
 
     // Full-image path.
+    const ResponseKey key{app_id, latest.manifest.version, 0, false};
+    if (cacheable_envelope) {
+        if (auto hit = response_from_cache(key, token, receipt)) return *hit;
+    }
     m.differential = false;
     m.old_version = 0;
     Bytes payload = latest.firmware;
     m.encrypted = maybe_encrypt(token, payload);
-    return finalize(m, std::move(payload), latest.suit_vendor_signature);
+    UpdateResponse response =
+        finalize(m, std::move(payload), latest.suit_vendor_signature, receipt);
+    if (cacheable_envelope) store_response(key, response);
+    return response;
+}
+
+ServerModel ServerModel::calibrate(unsigned concurrency) {
+    using Clock = std::chrono::steady_clock;
+    const auto seconds = [](Clock::duration d) {
+        return std::chrono::duration<double>(d).count();
+    };
+
+    ServerModel m;
+    m.concurrency = concurrency;
+    m.measured = true;
+
+    // Per-signature cost (comb-table mul_base plus the mod-n arithmetic).
+    const crypto::PrivateKey key = crypto::PrivateKey::generate(to_bytes("upkit-calibrate"));
+    crypto::Sha256Digest digest = crypto::Sha256::digest(to_bytes("upkit-calibrate"));
+    (void)crypto::ecdsa_sign(key, digest);  // warm the curve singleton + table
+    volatile std::uint8_t sink = 0;
+    constexpr int kSigns = 64;
+    auto t0 = Clock::now();
+    for (int i = 0; i < kSigns; ++i) {
+        digest[0] = static_cast<std::uint8_t>(i);
+        sink = sink ^ crypto::ecdsa_sign(key, digest)[0];
+    }
+    m.sign_s = seconds(Clock::now() - t0) / kSigns;
+
+    // Delta generation: bsdiff + LZSS over a representative image pair,
+    // charged per KB of input.
+    Rng rng(0xCA11B8A7E);
+    const Bytes old_image = rng.bytes(8 * 1024);
+    Bytes new_image = old_image;
+    for (int i = 0; i < 64; ++i) new_image[rng.below(new_image.size())] ^= 0x5a;
+    t0 = Clock::now();
+    const auto patch = diff::bsdiff(old_image, new_image);
+    if (patch) {
+        const auto compressed = compress::lzss_compress(*patch);
+        if (compressed) sink = sink ^ (*compressed)[0];
+    }
+    const double input_kb =
+        static_cast<double>(old_image.size() + new_image.size()) / 1024.0;
+    m.delta_gen_per_kb_s = seconds(Clock::now() - t0) / input_kb;
+
+    // Content-addressed lookup: ordered-map probe over a populated index.
+    std::map<std::uint64_t, std::uint64_t> index;
+    for (std::uint64_t i = 0; i < 128; ++i) index.emplace(i * 0x9E3779B9u, i);
+    constexpr int kProbes = 4096;
+    t0 = Clock::now();
+    std::uint64_t found = 0;
+    for (int i = 0; i < kProbes; ++i) {
+        found += index.count(static_cast<std::uint64_t>(i) * 0x9E3779B9u);
+    }
+    sink = sink ^ static_cast<std::uint8_t>(found);
+    m.cache_lookup_s = seconds(Clock::now() - t0) / kProbes;
+
+    // Dispatch: envelope/payload copy-out per KB.
+    const Bytes blob = rng.bytes(64 * 1024);
+    constexpr int kCopies = 64;
+    t0 = Clock::now();
+    for (int i = 0; i < kCopies; ++i) {
+        Bytes copy = blob;
+        sink = sink ^ copy[static_cast<std::size_t>(i)];
+    }
+    m.dispatch_per_kb_s =
+        seconds(Clock::now() - t0) / kCopies / (static_cast<double>(blob.size()) / 1024.0);
+    return m;
 }
 
 }  // namespace upkit::server

@@ -6,16 +6,42 @@
 // (the second half of the double signature). When the token advertises a
 // current version, the server derives a bsdiff delta against that release
 // and LZSS-compresses it; otherwise it ships the full image.
+//
+// The request path is the fleet-scale hot path, so the expensive,
+// token-independent work is cached content-addressed:
+//  - delta cache: generated+compressed patches keyed by
+//    (from-digest, to-digest) of the two firmware images — identical
+//    content can never serve a stale patch, eviction is plain LRU;
+//  - response cache: serialized response envelopes keyed by the release
+//    and transport shape; per request only the token-dependent bytes
+//    (device ID, nonce, server signature) are re-filled and re-signed.
+// The per-request freshness signature is the one cost that can never be
+// cached — which is exactly why mul_base runs off a comb table now.
 #pragma once
 
+#include <list>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "compress/lzss.hpp"
 #include "crypto/ecdsa.hpp"
 #include "server/vendor_server.hpp"
+#include "sim/trace.hpp"
 
 namespace upkit::server {
+
+/// Per-request accounting of what the server actually did, so campaign
+/// simulations can charge a measured service time instead of a constant.
+struct ServiceReceipt {
+    unsigned sign_ops = 0;           // ECDSA signatures issued
+    bool delta_attempted = false;    // token advertised a cached base release
+    bool delta_cache_hit = false;    // patch served from the delta cache
+    bool response_cache_hit = false; // envelope served from the response cache
+    std::size_t payload_bytes = 0;
+    /// Bytes fed to bsdiff on a delta-cache miss (old + new image).
+    std::size_t delta_input_bytes = 0;
+};
 
 /// What travels to the device (via smartphone/gateway or directly).
 struct UpdateResponse {
@@ -24,15 +50,40 @@ struct UpdateResponse {
     Bytes payload;         // full firmware, or LZSS-compressed patch
     /// manifest_bytes is a SUIT envelope instead of the native format.
     bool suit_encoding = false;
+    ServiceReceipt receipt;
+};
+
+/// Cumulative counters over the server's lifetime (campaigns snapshot and
+/// diff them; see core::CampaignReport).
+struct ServerStats {
+    std::uint64_t requests = 0;            // prepare_update calls
+    std::uint64_t sign_ops = 0;            // per-request freshness signatures
+    std::uint64_t delta_hits = 0;
+    std::uint64_t delta_misses = 0;
+    std::uint64_t delta_evictions = 0;
+    std::uint64_t response_hits = 0;
+    std::uint64_t response_misses = 0;
+    std::uint64_t response_evictions = 0;
+    std::uint64_t key_rotations = 0;       // device key re-registrations
 };
 
 /// Operational model of the server deployment, for campaign simulation.
 ///
 /// prepare_update() itself is a pure function; what a rollout at scale
 /// contends for is the deployment serving it. A request occupies one of
-/// `concurrency` service slots for service_seconds(); requests beyond that
+/// `concurrency` service slots for its service time; requests beyond that
 /// wait in a FIFO admission queue (managed by the fleet engine, which is
 /// where queueing delay and queue-depth statistics are measured).
+///
+/// Two service-time modes:
+///  - constant (`measured == false`, the historical default): fixed +
+///    per-payload-KB seconds;
+///  - measured (`measured == true`): the per-request time is derived from
+///    what the request actually cost — signatures issued, delta cache
+///    hit or miss, payload dispatched — using per-operation costs, e.g.
+///    filled in by calibrate() from host micro-measurements. Given the
+///    same cost constants the model is deterministic, so reruns stay
+///    byte-identical.
 struct ServerModel {
     /// Requests serviced simultaneously; 0 = unbounded (no contention).
     unsigned concurrency = 0;
@@ -41,10 +92,45 @@ struct ServerModel {
     /// Added per KB of response payload (delta derivation, compression, I/O).
     double service_per_kb_s = 0.0;
 
+    /// Derive service time from the request's ServiceReceipt instead of
+    /// the constants above.
+    bool measured = false;
+    double sign_s = 0.0;             // per ECDSA signature
+    double delta_gen_per_kb_s = 0.0; // bsdiff + LZSS per KB of input, on a miss
+    double cache_lookup_s = 0.0;     // content-addressed lookup, hit or miss
+    double dispatch_per_kb_s = 0.0;  // serialization + copy per payload KB
+
     double service_seconds(std::size_t payload_bytes) const {
         return service_time_s +
                service_per_kb_s * static_cast<double>(payload_bytes) / 1024.0;
     }
+
+    /// Measured-mode service time; falls back to the constant model when
+    /// `measured` is off.
+    double service_seconds(const ServiceReceipt& receipt) const {
+        if (!measured) return service_seconds(receipt.payload_bytes);
+        double s = cache_lookup_s + sign_s * receipt.sign_ops +
+                   dispatch_per_kb_s * static_cast<double>(receipt.payload_bytes) / 1024.0;
+        if (receipt.delta_attempted && !receipt.delta_cache_hit) {
+            s += delta_gen_per_kb_s *
+                 static_cast<double>(receipt.delta_input_bytes) / 1024.0;
+        }
+        return s;
+    }
+
+    /// Micro-measures the per-operation costs on this host (ECDSA sign,
+    /// bsdiff+LZSS per KB, cache lookup, payload dispatch) and returns a
+    /// measured-mode model. Run once before a campaign; the constants are
+    /// then fixed, keeping the simulation deterministic.
+    static ServerModel calibrate(unsigned concurrency);
+};
+
+/// A device encryption key was replaced (register_device_key on an
+/// already-registered device with a different key).
+struct KeyRotation {
+    std::uint32_t device_id = 0;
+    /// 1 for the first rotation of a device, 2 for the second, ...
+    std::uint32_t generation = 0;
 };
 
 class UpdateServer {
@@ -71,21 +157,38 @@ public:
     void set_delta_threshold(double fraction) { delta_threshold_ = fraction; }
 
     compress::LzssParams lzss_params() const { return lzss_params_; }
-    void set_lzss_params(const compress::LzssParams& params) { lzss_params_ = params; }
+    void set_lzss_params(const compress::LzssParams& params) {
+        lzss_params_ = params;
+        invalidate_caches();  // cached patches were compressed with the old params
+    }
 
     /// Service model used by campaign simulations (defaults to an ideal,
     /// uncontended server so single-session experiments are unaffected).
     const ServerModel& model() const { return model_; }
     void set_model(const ServerModel& model) { model_ = model; }
 
+    // --- hot-path caches --------------------------------------------------
+
+    /// LRU capacities in entries; 0 disables the cache. Changing a capacity
+    /// drops the existing entries.
+    void set_delta_cache_capacity(std::size_t entries);
+    void set_response_cache_capacity(std::size_t entries);
+
+    const ServerStats& stats() const { return stats_; }
+
     // --- confidentiality extension --------------------------------------
 
     /// Registers a device's long-term encryption public key; responses to
     /// that device are ChaCha20-encrypted under an ECDH-derived content key
-    /// once encryption is enabled.
-    void register_device_key(std::uint32_t device_id, const crypto::PublicKey& key) {
-        device_keys_.insert_or_assign(device_id, key);
-    }
+    /// once encryption is enabled. Re-registering a *different* key is a
+    /// key rotation: it is counted, logged (key_rotations()), traced when a
+    /// tracer is attached, and all subsequent responses seal to the new key
+    /// only — a device still holding the stale key fails the AEAD tag.
+    /// Returns true when an existing, different key was replaced.
+    bool register_device_key(std::uint32_t device_id, const crypto::PublicKey& key);
+
+    /// Rotation log, in the order rotations happened.
+    const std::vector<KeyRotation>& key_rotations() const { return key_rotations_; }
 
     void set_encryption_enabled(bool enabled) { encrypt_ = enabled; }
 
@@ -94,12 +197,58 @@ public:
     /// signs the envelope per request, exactly as in the native format.
     void set_suit_mode(bool enabled) { suit_mode_ = enabled; }
 
+    /// Server-side administrative events (currently key rotations) are
+    /// emitted here; campaign engines attach their own tracer separately.
+    void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
+
 private:
+    /// Content address of a generated patch: digests of both endpoint
+    /// images. Identical key => byte-identical patch, so a hit can never
+    /// be stale no matter what was evicted in between.
+    using DeltaKey = std::pair<crypto::Sha256Digest, crypto::Sha256Digest>;
+
+    struct DeltaEntry {
+        DeltaKey key;
+        Bytes compressed;  // LZSS-compressed patch, pre-encryption
+    };
+
+    /// Everything in a response that does not depend on the device token.
+    struct ResponseKey {
+        std::uint32_t app_id = 0;
+        std::uint16_t version = 0;
+        std::uint16_t old_version = 0;  // 0 for full-image responses
+        bool differential = false;
+        auto operator<=>(const ResponseKey&) const = default;
+    };
+
+    struct ResponseEntry {
+        ResponseKey key;
+        manifest::Manifest manifest;  // token fields + server signature stale
+        Bytes manifest_bytes;         // native 200-byte wire form
+        Bytes payload;
+    };
+
     UpdateResponse finalize(manifest::Manifest m, Bytes payload,
-                            const crypto::Signature& suit_vendor_sig) const;
+                            const crypto::Signature& suit_vendor_sig,
+                            ServiceReceipt receipt) const;
     /// Wraps `payload` as [ephemeral pub (64)] [ciphertext] when the device
     /// has a registered key; returns whether it did.
     bool maybe_encrypt(const manifest::DeviceToken& token, Bytes& payload) const;
+
+    /// Delta-cache lookup/fill. Returns the compressed patch for
+    /// base -> latest, from cache or freshly generated, nullopt when
+    /// generation fails. Updates counters and `receipt`.
+    std::optional<Bytes> compressed_delta(const Release& base, const Release& latest,
+                                          ServiceReceipt& receipt) const;
+
+    /// Response-cache fast path: re-fills token fields + signature in a
+    /// cached envelope. Only serves native-format, unencrypted responses.
+    std::optional<UpdateResponse> response_from_cache(
+        const ResponseKey& key, const manifest::DeviceToken& token,
+        ServiceReceipt receipt) const;
+    void store_response(const ResponseKey& key, const UpdateResponse& response) const;
+
+    void invalidate_caches();
 
     crypto::PrivateKey key_;
     std::map<std::uint32_t, std::map<std::uint16_t, Release>> releases_;  // app -> version
@@ -110,7 +259,21 @@ private:
     bool encrypt_ = false;
     bool suit_mode_ = false;
     std::map<std::uint32_t, crypto::PublicKey> device_keys_;
+    std::map<std::uint32_t, std::uint32_t> device_key_generation_;
+    std::vector<KeyRotation> key_rotations_;
+    sim::Tracer* tracer_ = nullptr;
     mutable std::uint64_t ephemeral_counter_ = 0;
+
+    // LRU caches: most recent at the list front; maps point into the lists.
+    // Mutable: prepare_update is logically const (same token -> same
+    // response bytes); the caches and counters are bookkeeping.
+    std::size_t delta_capacity_ = 64;
+    std::size_t response_capacity_ = 64;
+    mutable std::list<DeltaEntry> delta_lru_;
+    mutable std::map<DeltaKey, std::list<DeltaEntry>::iterator> delta_index_;
+    mutable std::list<ResponseEntry> response_lru_;
+    mutable std::map<ResponseKey, std::list<ResponseEntry>::iterator> response_index_;
+    mutable ServerStats stats_;
 };
 
 }  // namespace upkit::server

@@ -28,7 +28,14 @@ enum class TraceType : std::uint8_t {
     kServiceDone,    // server finished serving   (value = service s)
     kRetryScheduled, // backoff sleep programmed  (code = next attempt #, value = delay s)
     kWaveStart,      // rollout wave released     (code = wave index)
+    kServerCache,    // request served            (code = cache bits, value = sign ops)
+    kKeyRotation,    // device key re-registered  (code = rotation generation)
 };
+
+/// Bit layout of the `code` field on kServerCache events.
+inline constexpr std::uint32_t kCacheBitDeltaHit = 1;     // patch from delta cache
+inline constexpr std::uint32_t kCacheBitResponseHit = 2;  // envelope from response cache
+inline constexpr std::uint32_t kCacheBitDeltaAttempt = 4; // differential path taken
 
 constexpr std::string_view to_string(TraceType t) {
     switch (t) {
@@ -41,6 +48,8 @@ constexpr std::string_view to_string(TraceType t) {
         case TraceType::kServiceDone: return "service-done";
         case TraceType::kRetryScheduled: return "retry";
         case TraceType::kWaveStart: return "wave";
+        case TraceType::kServerCache: return "server-cache";
+        case TraceType::kKeyRotation: return "key-rotation";
     }
     return "?";
 }

@@ -443,5 +443,97 @@ TEST(FleetEngineTest, RetryStormDrainsThroughBackoffAndJitter) {
     EXPECT_GE(report.server.peak_depth, 1u);
 }
 
+// ----------------------------------------------------------- server hot path
+
+TEST(FleetEngineTest, ServerCacheCountersSurfaceInReportAndTrace) {
+    World world;
+    world.add_devices(6, 0x9000, net::ble_gatt());
+    world.env.publish_os_update(2, 84);
+
+    sim::RingBufferSink sink(1 << 20);
+    sim::Tracer tracer;
+    tracer.add_sink(sink);
+    world.campaign.set_tracer(&tracer);
+    const CampaignReport report = world.campaign.run(kAppId);
+    ASSERT_EQ(report.succeeded, 6u);
+
+    // The report's counters are campaign-scoped: provisioning requests
+    // before run() (six of them, in add_devices) are excluded by the
+    // snapshot-and-diff, so requests here match the campaign's own.
+    const server::ServerStats& s = report.server_stats;
+    EXPECT_EQ(s.requests, report.server.requests);
+    EXPECT_EQ(s.sign_ops, s.requests);  // one freshness signature each
+    // Six identical differential requests: one delta generation, then hits
+    // (the response cache may answer first; either way nothing regenerates).
+    EXPECT_EQ(s.delta_misses, 1u);
+    EXPECT_EQ(s.delta_hits + s.response_hits, s.requests - 1);
+    EXPECT_EQ(s.key_rotations, 0u);
+
+    // Every served request traced a server-cache event whose bits agree
+    // with the aggregate counters.
+    std::uint64_t events = 0, delta_hits = 0, response_hits = 0;
+    for (const sim::TraceEvent& ev : sink.events()) {
+        if (ev.type != sim::TraceType::kServerCache) continue;
+        ++events;
+        if ((ev.code & sim::kCacheBitDeltaHit) != 0) ++delta_hits;
+        if ((ev.code & sim::kCacheBitResponseHit) != 0) ++response_hits;
+    }
+    EXPECT_EQ(events, s.requests);
+    EXPECT_EQ(delta_hits, s.delta_hits);
+    EXPECT_EQ(response_hits, s.response_hits);
+}
+
+/// The mixed campaign again, but under a measured-mode server model with
+/// fixed cost constants (what calibrate() would produce, pinned so the test
+/// is host-independent): service time now depends on each request's receipt.
+void run_measured_campaign(CampaignRun& out) {
+    World world;
+    world.add_devices(6, 0x6000, net::ble_gatt());
+    world.add_devices(2, 0x6006, net::coap_6lowpan(), 0.3);
+    world.env.publish_os_update(2, 77);
+    world.env.server.set_model({.concurrency = 2,
+                                .measured = true,
+                                .sign_s = 2e-4,
+                                .delta_gen_per_kb_s = 1e-3,
+                                .cache_lookup_s = 1e-5,
+                                .dispatch_per_kb_s = 5e-5});
+
+    sim::Tracer tracer;
+    sim::JsonlSink jsonl(out.trace);
+    tracer.add_sink(jsonl);
+    world.campaign.set_tracer(&tracer);
+
+    FleetPolicy policy;
+    policy.wave_size = 4;
+    policy.wave_stagger_s = 5.0;
+    out.report = world.campaign.run(kAppId, policy);
+}
+
+TEST(FleetEngineTest, MeasuredModelRerunIsByteIdenticalWithCachesOn) {
+    CampaignRun a, b;
+    run_measured_campaign(a);
+    run_measured_campaign(b);
+
+    ASSERT_EQ(a.report.succeeded, 8u);
+    EXPECT_FALSE(a.trace.empty());
+    EXPECT_EQ(a.trace, b.trace);  // byte-identical JSONL, caches hot
+    EXPECT_DOUBLE_EQ(a.report.makespan_s, b.report.makespan_s);
+    EXPECT_EQ(a.report.events_processed, b.report.events_processed);
+    EXPECT_EQ(a.report.server_stats.delta_hits, b.report.server_stats.delta_hits);
+    EXPECT_EQ(a.report.server_stats.response_hits,
+              b.report.server_stats.response_hits);
+
+    // Cache hits must actually have happened (else this proves nothing) and
+    // must have been cheaper than the lone miss: the makespan under the
+    // measured model beats a hypothetical all-miss fleet by construction,
+    // which shows up as sub-linear total service time.
+    EXPECT_GE(a.report.server_stats.delta_hits + a.report.server_stats.response_hits,
+              6u);
+    const double all_miss_service =
+        static_cast<double>(a.report.server.requests) *
+        (2e-4 + 1e-5 + 1e-3 * 96.0);  // sign + lookup + 2*48 KB delta input
+    EXPECT_LT(a.report.server.busy_s, all_miss_service);
+}
+
 }  // namespace
 }  // namespace upkit::core

@@ -1,0 +1,312 @@
+// Property tests for the update server's hot-path caches and key-rotation
+// bookkeeping (src/server/update_server).
+//
+// The caches are pure accelerations: a delta-cache hit must be byte-equal to
+// a freshly generated bsdiff+LZSS patch, a response-cache hit must be
+// byte-equal to an envelope built from scratch for the same token (RFC 6979
+// makes re-signing reproducible), and eviction under a tiny capacity must
+// only ever cost regeneration time — content addressing by image digests
+// makes a stale hit structurally impossible, which these tests pin down
+// observationally. Key rotation is the one server mutation that must NOT be
+// transparent: a device still holding the pre-rotation key has to fail the
+// AEAD tag on everything sealed after the rotation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/endian.hpp"
+#include "compress/lzss.hpp"
+#include "crypto/content_key.hpp"
+#include "crypto/hkdf.hpp"
+#include "crypto/poly1305.hpp"
+#include "diff/bsdiff.hpp"
+#include "test_env.hpp"
+
+namespace upkit {
+namespace {
+
+using server::ServerStats;
+using server::UpdateResponse;
+using testenv::kAppId;
+using testenv::kDeviceId;
+using testenv::TestEnv;
+
+manifest::DeviceToken token_for(std::uint32_t device_id, std::uint32_t nonce,
+                                std::uint16_t current_version) {
+    return {.device_id = device_id, .nonce = nonce, .current_version = current_version};
+}
+
+/// The reference the delta cache must reproduce: bsdiff + LZSS with the
+/// server's compression parameters, no cache involved.
+Bytes reference_patch(const Bytes& from, const Bytes& to,
+                      const compress::LzssParams& params) {
+    auto patch = diff::bsdiff(from, to);
+    EXPECT_TRUE(patch.has_value());
+    auto compressed = compress::lzss_compress(*patch, params);
+    EXPECT_TRUE(compressed.has_value());
+    return *compressed;
+}
+
+// ----------------------------------------------------------- delta cache
+
+TEST(ServerCacheTest, DeltaCacheHitIsByteEqualToFreshPatch) {
+    TestEnv env;
+    const Bytes v2 = env.publish_os_update(2, 91);
+    env.server.set_response_cache_capacity(0);  // isolate the delta cache
+
+    const auto first = env.server.prepare_update(kAppId, token_for(0x2001, 7, 1));
+    ASSERT_TRUE(first.has_value());
+    ASSERT_TRUE(first->manifest.differential);
+    EXPECT_TRUE(first->receipt.delta_attempted);
+    EXPECT_FALSE(first->receipt.delta_cache_hit);
+
+    const auto second = env.server.prepare_update(kAppId, token_for(0x2002, 8, 1));
+    ASSERT_TRUE(second.has_value());
+    EXPECT_TRUE(second->receipt.delta_cache_hit);
+
+    // Hit, miss, and an out-of-band regeneration all agree byte-for-byte.
+    const Bytes reference =
+        reference_patch(env.base_firmware, v2, env.server.lzss_params());
+    EXPECT_EQ(first->payload, reference);
+    EXPECT_EQ(second->payload, reference);
+
+    const ServerStats& s = env.server.stats();
+    EXPECT_EQ(s.delta_misses, 1u);
+    EXPECT_EQ(s.delta_hits, 1u);
+    EXPECT_EQ(s.delta_evictions, 0u);
+}
+
+TEST(ServerCacheTest, EvictionUnderTinyCapacityNeverServesStaleBytes) {
+    // Three distinct (from, to) pairs cycle through a 2-entry cache; every
+    // response — hit, miss, or post-eviction regeneration — must equal the
+    // reference patch for its own endpoints.
+    TestEnv env;
+    std::map<std::uint16_t, Bytes> firmware;
+    firmware[1] = env.base_firmware;
+    firmware[2] = env.publish_os_update(2, 92);
+    firmware[3] = env.publish_os_update(3, 93);
+    const Bytes latest = env.publish_os_update(4, 94);
+    env.server.set_response_cache_capacity(0);
+    env.server.set_delta_cache_capacity(2);
+
+    const auto check = [&](std::uint16_t from_version, std::uint32_t nonce) {
+        const auto response =
+            env.server.prepare_update(kAppId, token_for(0x3000 + nonce, nonce, from_version));
+        ASSERT_TRUE(response.has_value());
+        ASSERT_TRUE(response->manifest.differential)
+            << "from version " << from_version;
+        EXPECT_EQ(response->payload,
+                  reference_patch(firmware[from_version], latest,
+                                  env.server.lzss_params()))
+            << "from version " << from_version;
+    };
+
+    check(1, 1);  // miss: {1->4}
+    check(2, 2);  // miss: {1->4, 2->4}
+    check(3, 3);  // miss, evicts 1->4
+    EXPECT_EQ(env.server.stats().delta_evictions, 1u);
+    check(1, 4);  // miss again (was evicted) — regenerated, still correct
+    check(3, 5);  // hit
+    EXPECT_EQ(env.server.stats().delta_evictions, 2u);
+    EXPECT_EQ(env.server.stats().delta_hits, 1u);
+    EXPECT_EQ(env.server.stats().delta_misses, 4u);
+}
+
+TEST(ServerCacheTest, CompressionParamChangeInvalidatesCachedPatches) {
+    TestEnv env;
+    const Bytes v2 = env.publish_os_update(2, 95);
+    env.server.set_response_cache_capacity(0);
+    ASSERT_TRUE(env.server.prepare_update(kAppId, token_for(0x4001, 1, 1)).has_value());
+
+    compress::LzssParams narrow;
+    narrow.window_bits = 9;
+    env.server.set_lzss_params(narrow);  // drops entries compressed with the old window
+
+    const auto after = env.server.prepare_update(kAppId, token_for(0x4002, 2, 1));
+    ASSERT_TRUE(after.has_value());
+    EXPECT_FALSE(after->receipt.delta_cache_hit);  // old entry must not survive
+    EXPECT_EQ(after->payload, reference_patch(env.base_firmware, v2, narrow));
+}
+
+// -------------------------------------------------------- response cache
+
+TEST(ServerCacheTest, ResponseCacheHitDiffersOnlyInTokenFieldsAndSignature) {
+    TestEnv env;
+    env.publish_os_update(2, 96);
+
+    const auto a = env.server.prepare_update(kAppId, token_for(0x5001, 11, 1));
+    const auto b = env.server.prepare_update(kAppId, token_for(0x5002, 12, 1));
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_FALSE(a->receipt.response_cache_hit);
+    EXPECT_TRUE(b->receipt.response_cache_hit);
+    EXPECT_EQ(env.server.stats().response_hits, 1u);
+
+    // Identical payload object; envelopes agree everywhere except the
+    // token-bound fields (device ID + nonce, wire offsets 8..16) and the
+    // per-request server signature (136..200).
+    EXPECT_EQ(a->payload, b->payload);
+    ASSERT_EQ(a->manifest_bytes.size(), manifest::kManifestSize);
+    ASSERT_EQ(b->manifest_bytes.size(), manifest::kManifestSize);
+    for (std::size_t i = 0; i < manifest::kManifestSize; ++i) {
+        const bool token_field = (i >= 8 && i < 16) || i >= 136;
+        if (!token_field) {
+            EXPECT_EQ(a->manifest_bytes[i], b->manifest_bytes[i]) << "offset " << i;
+        }
+    }
+    EXPECT_EQ(b->manifest.device_id, 0x5002u);
+    EXPECT_EQ(b->manifest.nonce, 12u);
+
+    // Both signatures are genuine: each verifies over its own envelope.
+    for (const auto& r : {*a, *b}) {
+        const auto digest = crypto::Sha256::digest(r.manifest.server_signed_bytes());
+        EXPECT_TRUE(crypto::ecdsa_verify(
+            env.server.public_key(), digest,
+            ByteSpan(r.manifest.server_signature.data(), crypto::kSignatureSize)));
+    }
+}
+
+TEST(ServerCacheTest, ResponseCacheHitIsByteIdenticalToColdServer) {
+    // Two servers built from the same seeds: one answers the token cold,
+    // the other from a cache warmed by a different device. RFC 6979
+    // deterministic re-signing makes the envelopes byte-identical.
+    TestEnv warm, cold;
+    warm.publish_os_update(2, 97);
+    cold.publish_os_update(2, 97);
+    cold.server.set_response_cache_capacity(0);
+
+    ASSERT_TRUE(warm.server.prepare_update(kAppId, token_for(0x6001, 21, 1)).has_value());
+    const auto cached = warm.server.prepare_update(kAppId, token_for(0x6002, 22, 1));
+    const auto fresh = cold.server.prepare_update(kAppId, token_for(0x6002, 22, 1));
+    ASSERT_TRUE(cached.has_value() && fresh.has_value());
+    ASSERT_TRUE(cached->receipt.response_cache_hit);
+    ASSERT_FALSE(fresh->receipt.response_cache_hit);
+
+    EXPECT_EQ(cached->manifest_bytes, fresh->manifest_bytes);
+    EXPECT_EQ(cached->payload, fresh->payload);
+}
+
+TEST(ServerCacheTest, EncryptedResponsesBypassTheResponseCache) {
+    // Device-bound ciphertext must never be replayed to another device;
+    // the envelope cache steps aside as soon as a response would encrypt.
+    TestEnv env;
+    env.publish_os_update(2, 98);
+    env.server.set_encryption_enabled(true);
+    const auto key = crypto::PrivateKey::generate(to_bytes("cache-bypass-key"));
+    env.server.register_device_key(0x7001, key.public_key());
+
+    ASSERT_TRUE(env.server.prepare_update(kAppId, token_for(0x7001, 31, 1)).has_value());
+    const auto again = env.server.prepare_update(kAppId, token_for(0x7001, 32, 1));
+    ASSERT_TRUE(again.has_value());
+    EXPECT_FALSE(again->receipt.response_cache_hit);
+    EXPECT_EQ(env.server.stats().response_hits, 0u);
+}
+
+// --------------------------------------------------------- key rotation
+
+TEST(ServerCacheTest, KeyRotationIsCountedLoggedAndTraced) {
+    TestEnv env;
+    sim::RingBufferSink ring(64);
+    sim::Tracer tracer;
+    tracer.add_sink(ring);
+    env.server.set_tracer(&tracer);
+
+    const auto key_a = crypto::PrivateKey::generate(to_bytes("rotation-a"));
+    const auto key_b = crypto::PrivateKey::generate(to_bytes("rotation-b"));
+
+    // First registration and an idempotent re-registration are not rotations.
+    EXPECT_FALSE(env.server.register_device_key(kDeviceId, key_a.public_key()));
+    EXPECT_FALSE(env.server.register_device_key(kDeviceId, key_a.public_key()));
+    EXPECT_TRUE(env.server.key_rotations().empty());
+    EXPECT_EQ(env.server.stats().key_rotations, 0u);
+    EXPECT_EQ(ring.total_seen(), 0u);
+
+    // Replacing the key is a rotation: counted, logged, traced.
+    EXPECT_TRUE(env.server.register_device_key(kDeviceId, key_b.public_key()));
+    ASSERT_EQ(env.server.key_rotations().size(), 1u);
+    EXPECT_EQ(env.server.key_rotations()[0].device_id, kDeviceId);
+    EXPECT_EQ(env.server.key_rotations()[0].generation, 1u);
+    EXPECT_EQ(env.server.stats().key_rotations, 1u);
+    ASSERT_EQ(ring.total_seen(), 1u);
+    EXPECT_EQ(ring.events().back().type, sim::TraceType::kKeyRotation);
+    EXPECT_EQ(ring.events().back().device_id, kDeviceId);
+    EXPECT_EQ(ring.events().back().code, 1u);
+
+    // Rotating back is a second-generation rotation, not a no-op.
+    EXPECT_TRUE(env.server.register_device_key(kDeviceId, key_a.public_key()));
+    EXPECT_EQ(env.server.key_rotations()[1].generation, 2u);
+    EXPECT_EQ(ring.events().back().code, 2u);
+}
+
+TEST(ServerCacheTest, StaleKeyFailsAeadAfterRotation) {
+    // The regression the silent insert_or_assign used to hide: after a
+    // rotation, everything the server seals binds to the NEW key. A device
+    // still holding the stale private key derives a different content key
+    // from the response's ephemeral public key and must fail the AEAD tag;
+    // the rotated-to key must open the same ciphertext.
+    TestEnv env;
+    const Bytes v2 = env.publish_os_update(2, 99);
+    env.server.set_encryption_enabled(true);
+
+    const auto stale = crypto::PrivateKey::generate(to_bytes("stale-device-key"));
+    const auto fresh = crypto::PrivateKey::generate(to_bytes("fresh-device-key"));
+    env.server.register_device_key(kDeviceId, stale.public_key());
+    ASSERT_TRUE(env.server.register_device_key(kDeviceId, fresh.public_key()));
+
+    constexpr std::uint32_t kNonce = 41;
+    const auto response =
+        env.server.prepare_update(kAppId, token_for(kDeviceId, kNonce, 0));
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->manifest.encrypted);
+
+    // Unwrap [ephemeral pub (64)] [ciphertext || tag] exactly as the device
+    // pipeline does.
+    ASSERT_GT(response->payload.size(),
+              manifest::kEncryptionHeaderSize + crypto::kPolyTagSize);
+    const auto ephemeral = crypto::PublicKey::from_bytes(
+        ByteSpan(response->payload.data(), manifest::kEncryptionHeaderSize));
+    ASSERT_TRUE(ephemeral.has_value());
+    const ByteSpan ciphertext(
+        response->payload.data() + manifest::kEncryptionHeaderSize,
+        response->payload.size() - manifest::kEncryptionHeaderSize);
+    Bytes aad;
+    put_le32(aad, kDeviceId);
+    put_le32(aad, kNonce);
+
+    const auto open_with = [&](const crypto::PrivateKey& device_key) {
+        auto shared = crypto::ecdh_shared_secret(device_key, *ephemeral);
+        EXPECT_TRUE(shared.has_value());
+        const crypto::ContentKeys keys =
+            crypto::derive_content_keys(*shared, kDeviceId, kNonce);
+        return crypto::aead_open(keys.key, keys.nonce, aad, ciphertext);
+    };
+
+    EXPECT_FALSE(open_with(stale).has_value());  // rejected: wrong content key
+    const auto plaintext = open_with(fresh);
+    ASSERT_TRUE(plaintext.has_value());
+    EXPECT_EQ(*plaintext, v2);  // full image for a factory (version 0) token
+}
+
+// ------------------------------------------------------------- receipts
+
+TEST(ServerCacheTest, ReceiptsAccountForSignaturesAndRequests) {
+    TestEnv env;
+    env.publish_os_update(2, 90);
+
+    const auto full = env.server.prepare_update(kAppId, token_for(0x8001, 51, 0));
+    ASSERT_TRUE(full.has_value());
+    EXPECT_EQ(full->receipt.sign_ops, 1u);
+    EXPECT_FALSE(full->receipt.delta_attempted);
+    EXPECT_EQ(full->receipt.payload_bytes, full->payload.size());
+
+    const auto diff = env.server.prepare_update(kAppId, token_for(0x8002, 52, 1));
+    ASSERT_TRUE(diff.has_value());
+    EXPECT_TRUE(diff->receipt.delta_attempted);
+    EXPECT_GT(diff->receipt.delta_input_bytes, 0u);
+
+    const ServerStats& s = env.server.stats();
+    EXPECT_EQ(s.requests, 2u);
+    EXPECT_EQ(s.sign_ops, 2u);
+}
+
+}  // namespace
+}  // namespace upkit

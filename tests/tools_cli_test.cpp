@@ -23,7 +23,11 @@ namespace fs = std::filesystem;
 class ToolsCliTest : public ::testing::Test {
 protected:
     ToolsCliTest() {
-        dir_ = fs::temp_directory_path() / "upkit_cli_test";
+        // Unique per test case: ctest -j runs the cases as separate
+        // processes concurrently, so a shared directory would collide.
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = fs::temp_directory_path() /
+               (std::string("upkit_cli_test_") + info->name());
         fs::remove_all(dir_);
         fs::create_directories(dir_);
         write(dir_ / "v1.bin", sim::generate_firmware({.size = 24 * 1024, .seed = 1}));

@@ -8,6 +8,11 @@
 //
 // Output layout: [200-byte manifest][payload]. With --old the payload is an
 // LZSS-compressed bsdiff patch against the old firmware.
+//
+//   upkit-sign --bench N        times N ECDSA signatures and prints ops/s
+//              [--server-key s.priv]   (a built-in key when omitted)
+#include <chrono>
+
 #include "compress/lzss.hpp"
 #include "diff/bsdiff.hpp"
 #include "manifest/manifest.hpp"
@@ -19,6 +24,37 @@ using namespace upkit::tools;
 
 int main(int argc, char** argv) {
     const Args args(argc, argv);
+
+    if (args.flag("bench") != nullptr) {
+        // Signing throughput probe (the comb-table hot path); handy for
+        // sizing a deployment's ServerModel without running a campaign.
+        const std::uint64_t iters = args.flag_u64("bench", 256);
+        crypto::PrivateKey key;
+        if (const std::string* server_path = args.flag("server-key")) {
+            auto loaded = load_private_key(*server_path);
+            if (!loaded) die("cannot load server key");
+            key = *loaded;
+        } else {
+            key = crypto::PrivateKey::generate(to_bytes("upkit-sign-bench"));
+        }
+        crypto::Sha256Digest digest = crypto::Sha256::digest(to_bytes("bench"));
+        (void)crypto::ecdsa_sign(key, digest);  // warm the curve tables
+        volatile std::uint8_t sink = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            digest[0] = static_cast<std::uint8_t>(i);
+            sink = sink ^ crypto::ecdsa_sign(key, digest)[0];
+        }
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        std::printf("%llu signatures in %.3f s: %.1f ops/s (%.1f us each)\n",
+                    static_cast<unsigned long long>(iters), elapsed,
+                    static_cast<double>(iters) / elapsed,
+                    1e6 * elapsed / static_cast<double>(iters));
+        return 0;
+    }
+
     const std::string* firmware_path = args.flag("firmware");
     const std::string* vendor_path = args.flag("vendor-key");
     const std::string* server_path = args.flag("server-key");
