@@ -100,14 +100,14 @@ int main(int argc, char** argv) {
     constexpr int kCombIters = 512;
     auto t0 = Clock::now();
     for (int i = 0; i < kCombIters; ++i) {
-        sink += curve.mul_base(scalars[i % scalars.size()])->x.w[0];
+        sink = sink + curve.mul_base(scalars[i % scalars.size()])->x.w[0];
     }
     const double comb_s = seconds_since(t0) / kCombIters;
 
     constexpr int kLadderIters = 64;
     t0 = Clock::now();
     for (int i = 0; i < kLadderIters; ++i) {
-        sink += curve.mul_base_generic(scalars[i % scalars.size()])->x.w[0];
+        sink = sink + curve.mul_base_generic(scalars[i % scalars.size()])->x.w[0];
     }
     const double ladder_s = seconds_since(t0) / kLadderIters;
     const double speedup = ladder_s / comb_s;
@@ -128,7 +128,7 @@ int main(int argc, char** argv) {
     t0 = Clock::now();
     for (int i = 0; i < kSignIters; ++i) {
         digest[0] = static_cast<std::uint8_t>(i);
-        sink += crypto::ecdsa_sign(key, digest)[0];
+        sink = sink + crypto::ecdsa_sign(key, digest)[0];
     }
     const double sign_s = seconds_since(t0) / kSignIters;
 

@@ -44,7 +44,7 @@ std::optional<Bootloader::Candidate> Bootloader::read_candidate(std::uint32_t sl
     return std::nullopt;
 }
 
-Status Bootloader::verify_slot_image(const Candidate& candidate) {
+Status Bootloader::verify_slot_image(const Candidate& candidate, Bytes& scratch) {
     const slots::SlotConfig* slot = slots_->slot(candidate.slot_id);
     const manifest::Manifest& m = candidate.manifest;
 
@@ -65,17 +65,18 @@ Status Bootloader::verify_slot_image(const Candidate& candidate) {
         UPKIT_RETURN_IF_ERROR(verifier_->verify_signatures(m));
     }
 
-    // Digest, streamed from flash in sector-sized reads.
+    // Digest, streamed from flash in sector-sized reads through the boot's
+    // shared scratch buffer (grown, never shrunk, across candidates).
     crypto::Sha256 hasher;
     const std::uint32_t chunk = slot->device->geometry().sector_bytes;
-    Bytes buffer(chunk);
+    if (scratch.size() < chunk) scratch.resize(chunk);
     std::uint64_t remaining = m.firmware_size;
     std::uint64_t offset = slot->offset + candidate.firmware_offset;
     while (remaining > 0) {
         const std::size_t take =
             static_cast<std::size_t>(std::min<std::uint64_t>(chunk, remaining));
-        UPKIT_RETURN_IF_ERROR(slot->device->read(offset, MutByteSpan(buffer.data(), take)));
-        hasher.update(ByteSpan(buffer.data(), take));
+        UPKIT_RETURN_IF_ERROR(slot->device->read(offset, MutByteSpan(scratch.data(), take)));
+        hasher.update(ByteSpan(scratch.data(), take));
         offset += take;
         remaining -= take;
     }
@@ -119,9 +120,13 @@ Expected<BootReport> Bootloader::boot() {
                          return a.manifest.version > b.manifest.version;
                      });
 
+    // One sector-sized digest buffer shared by every candidate this boot
+    // scans (a real bootloader reuses one static buffer, and malloc churn
+    // per candidate would be pure waste).
+    Bytes scratch;
     for (const Candidate& candidate : candidates) {
         const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
-        const Status verdict = verify_slot_image(candidate);
+        const Status verdict = verify_slot_image(candidate, scratch);
         if (clock_ != nullptr) verification_seconds_ += clock_->now() - verify_start;
 
         if (verdict == Status::kFlashPowerLoss) {
@@ -169,6 +174,8 @@ Expected<BootReport> Bootloader::boot() {
 
         report.booted_slot = boot_slot;
         report.booted = candidate.manifest;
+        report.verification_seconds = verification_seconds_;
+        report.loading_seconds = loading_seconds_;
         return report;
     }
     // Distinguish "no valid image anywhere" (a true brick: device stays in

@@ -46,6 +46,11 @@ struct BootReport {
     bool resumed_interrupted_swap = false;
     /// Slots whose images failed verification and were invalidated.
     std::vector<std::uint32_t> invalidated;
+    /// Device-seconds this boot spent verifying candidates (signatures +
+    /// streamed re-digest) and loading (swap/copy + jump) — the per-phase
+    /// split the fleet campaign reports aggregate.
+    double verification_seconds = 0.0;
+    double loading_seconds = 0.0;
 };
 
 class Bootloader {
@@ -84,7 +89,8 @@ private:
     };
 
     std::optional<Candidate> read_candidate(std::uint32_t slot_id) const;
-    Status verify_slot_image(const Candidate& candidate);
+    /// `scratch` is the boot-wide sector buffer reused across candidates.
+    Status verify_slot_image(const Candidate& candidate, Bytes& scratch);
     void charge_cpu(double seconds);
 
     BootConfig config_;

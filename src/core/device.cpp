@@ -43,10 +43,16 @@ Device::Device(const DeviceConfig& config) : config_(config), meter_(*config.pla
 
     switch (config_.backend) {
         case BackendKind::kTinyDtls:
-            backend_ = crypto::make_tinydtls_backend();
+            backend_ = config_.calibrated_costs
+                           ? crypto::make_tinydtls_backend(crypto::calibrate_software_costs(
+                                 crypto::make_tinydtls_backend()->costs()))
+                           : crypto::make_tinydtls_backend();
             break;
         case BackendKind::kTinyCrypt:
-            backend_ = crypto::make_tinycrypt_backend();
+            backend_ = config_.calibrated_costs
+                           ? crypto::make_tinycrypt_backend(crypto::calibrate_software_costs(
+                                 crypto::make_tinycrypt_backend()->costs()))
+                           : crypto::make_tinycrypt_backend();
             break;
         case BackendKind::kCryptoAuthLib:
             hsm_ = std::make_shared<crypto::Atecc508>();

@@ -43,6 +43,14 @@ struct DeviceConfig {
     /// server) and accepts ChaCha20-encrypted payloads.
     bool enable_encryption = false;
 
+    /// When true, the software backends' paper-anchored cost profile is
+    /// rescaled by crypto::calibrate_software_costs() — host-measured
+    /// speedups of this repo's own verification kernels (wNAF +
+    /// precomputed-key ECDSA, unrolled SHA-256) — so campaigns and energy
+    /// accounting reflect the optimized hot path. Ignored for the HSM
+    /// backend (its verify runs in fixed-function hardware).
+    bool calibrated_costs = false;
+
     /// Pipeline buffer bytes; 0 = the platform's flash sector size.
     std::size_t pipeline_buffer = 0;
     /// Slot capacity; 0 = auto-size from the platform's flash geometry.

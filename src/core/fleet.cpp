@@ -183,6 +183,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         DeviceCtx& c = ctxs[i];
         c.last = c.driver->report();
         c.result.bytes_over_air += c.last.bytes_over_air;  // all attempts count
+        c.result.verification_s += c.last.phases.verification_s;
         c.driver.reset();
         c.transport.reset();
 
@@ -266,6 +267,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         }
         report.total_energy_mj += c.result.energy_mj;
         report.total_bytes += c.result.bytes_over_air;
+        report.verification_s += c.result.verification_s;
         report.makespan_s = std::max(report.makespan_s, c.result.end_s);
         report.devices.push_back(std::move(c.result));
     }

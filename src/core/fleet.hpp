@@ -74,6 +74,9 @@ struct CampaignDeviceResult {
     /// admission queue (summed over attempts).
     double queue_wait_s = 0.0;
     double energy_mj = 0.0;
+    /// Device-seconds spent in the verification phase (agent early-reject
+    /// checks + bootloader re-verification), summed over attempts.
+    double verification_s = 0.0;
     std::uint64_t bytes_over_air = 0;
 };
 
@@ -99,6 +102,10 @@ struct CampaignReport {
     /// device's busy time — the queue serializes what an uncontended fleet
     /// would do in parallel.
     double makespan_s = 0.0;
+    /// Total device-seconds the fleet spent verifying (all devices, all
+    /// attempts) — the device-side cost the verification hot path shrinks;
+    /// compare before/after campaigns to see the win.
+    double verification_s = 0.0;
     unsigned differential_updates = 0;
     ServerQueueStats server;
     /// What the server's hot-path caches and signer did during this

@@ -46,6 +46,16 @@ public:
     virtual bool verify(const PublicKey& key, const Sha256Digest& digest,
                         ByteSpan signature) const = 0;
 
+    /// Verification against a long-lived key whose wNAF table is already
+    /// built (UpKit's vendor and server keys are fixed at provisioning).
+    /// Software backends override this with the zero-table-construction hot
+    /// path; hardware backends (the ATECC508 holds keys in its own slots)
+    /// keep this fallback to the plain-key entry point.
+    virtual bool verify(const PreparedPublicKey& key, const Sha256Digest& digest,
+                        ByteSpan signature) const {
+        return verify(key.key(), digest, signature);
+    }
+
     /// ECDSA signing. Device-side backends may not support it (the
     /// ATECC508 is used verify-only in UpKit's deployment).
     virtual Expected<Signature> sign(const PrivateKey& key,
@@ -58,5 +68,33 @@ std::unique_ptr<CryptoBackend> make_tinydtls_backend();
 
 /// tinycrypt: software ECDSA tuned for speed, slightly larger flash.
 std::unique_ptr<CryptoBackend> make_tinycrypt_backend();
+
+/// Same software backends with an explicit cost profile (e.g. the
+/// host-calibrated one from calibrate_software_costs()).
+std::unique_ptr<CryptoBackend> make_tinydtls_backend(const BackendCosts& costs);
+std::unique_ptr<CryptoBackend> make_tinycrypt_backend(const BackendCosts& costs);
+
+/// Host-measured speedup of this repo's verification hot path over its own
+/// pre-optimization kernels — the ServerModel::calibrate() pattern applied
+/// to the device side.
+struct VerifyCalibration {
+    /// Prepared-key ECDSA verify vs the pre-wNAF kernel (comb u1*G + generic
+    /// ladder u2*P), approximated as the sum of those two measured halves.
+    double ecdsa_speedup = 1.0;
+    /// Unrolled SHA-256 kernel vs the rolled reference loop.
+    double sha256_speedup = 1.0;
+    /// Host throughput of the unrolled kernel, for reporting.
+    double sha256_host_mb_s = 0.0;
+};
+
+/// Runs the micro-measurements once per process and caches the result, so
+/// every caller (device configs, benches) sees the same numbers and fleet
+/// reruns stay byte-identical within a process.
+const VerifyCalibration& measure_verify_speedup();
+
+/// Scales a paper-anchored software cost profile by the measured speedups:
+/// the modelled Cortex-M4 is assumed to gain what the host gained from the
+/// same algorithmic changes (wNAF + precomputed tables, unrolled SHA-256).
+BackendCosts calibrate_software_costs(const BackendCosts& baseline);
 
 }  // namespace upkit::crypto

@@ -1,5 +1,8 @@
 #include "crypto/ecdsa.hpp"
 
+#include <map>
+#include <mutex>
+
 #include "crypto/hmac.hpp"
 #include "crypto/hmac_drbg.hpp"
 
@@ -14,7 +17,30 @@ U256 digest_to_scalar(const Sha256Digest& digest) {
     return U256::from_be_bytes(ByteSpan(digest.data(), digest.size()));
 }
 
+/// Process-wide intern cache for precomputed wNAF tables, keyed by the
+/// 64-byte key encoding. A simulated fleet provisions every device with the
+/// same vendor + server keys, so without interning a 1000-device campaign
+/// would rebuild the identical table 2000 times. Bounded: once full, new
+/// keys get a private (uncached) table rather than evicting hot ones.
+std::shared_ptr<const P256::Precomputed> interned_table(const PublicKey& key) {
+    constexpr std::size_t kMaxInterned = 128;
+    using KeyId = std::array<std::uint8_t, kPublicKeySize>;
+    static std::mutex mu;
+    static std::map<KeyId, std::shared_ptr<const P256::Precomputed>> cache;
+
+    const KeyId id = key.to_bytes();
+    std::lock_guard<std::mutex> lock(mu);
+    if (auto it = cache.find(id); it != cache.end()) return it->second;
+    auto table = std::make_shared<P256::Precomputed>(
+        P256::instance().precompute(key.point()));
+    if (cache.size() < kMaxInterned) cache.emplace(id, table);
+    return table;
+}
+
 }  // namespace
+
+PreparedPublicKey::PreparedPublicKey(const PublicKey& key)
+    : key_(key), table_(interned_table(key)) {}
 
 Expected<PublicKey> PublicKey::from_point(const AffinePoint& p) {
     if (!P256::instance().on_curve(p)) return Status::kBadKey;
@@ -136,7 +162,13 @@ Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest) {
     }
 }
 
-bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, ByteSpan signature) {
+namespace {
+
+/// Shared verify core: signature parsing, range checks, and the final
+/// r == x mod n test. `mul_add` maps (u1, u2) to u1*G + u2*P via whichever
+/// scalar-mul path the variant uses — the only thing the variants differ in.
+template <typename MulAddFn>
+bool verify_with(const Sha256Digest& digest, ByteSpan signature, MulAddFn&& mul_add) {
     if (signature.size() != kSignatureSize) return false;
     const P256& curve = P256::instance();
     const Montgomery& fn = curve.order();
@@ -151,9 +183,32 @@ bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, ByteSpan sig
     const U256 u1 = fn.from_mont(fn.mul(fn.to_mont(z), w_m));
     const U256 u2 = fn.from_mont(fn.mul(fn.to_mont(r), w_m));
 
-    const auto point = curve.mul_add(u1, u2, key.point());
+    const auto point = mul_add(u1, u2);
     if (!point) return false;
     return fn.reduce(point->x) == r;
+}
+
+}  // namespace
+
+bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, ByteSpan signature) {
+    return verify_with(digest, signature, [&](const U256& u1, const U256& u2) {
+        return P256::instance().mul_add(u1, u2, key.point());
+    });
+}
+
+bool ecdsa_verify(const PreparedPublicKey& key, const Sha256Digest& digest,
+                  ByteSpan signature) {
+    if (!key.valid()) return false;
+    return verify_with(digest, signature, [&](const U256& u1, const U256& u2) {
+        return P256::instance().mul_add(u1, u2, key.table());
+    });
+}
+
+bool ecdsa_verify_generic(const PublicKey& key, const Sha256Digest& digest,
+                          ByteSpan signature) {
+    return verify_with(digest, signature, [&](const U256& u1, const U256& u2) {
+        return P256::instance().mul_add_generic(u1, u2, key.point());
+    });
 }
 
 }  // namespace upkit::crypto

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "common/bytes.hpp"
@@ -65,11 +66,46 @@ private:
     U256 d_;
 };
 
+/// A public key bundled with its P256::Precomputed wNAF table, built once.
+/// UpKit's vendor and update-server keys are provisioned for the device's
+/// lifetime, so each of the four ECDSA verifies per update (agent manifest +
+/// firmware, bootloader manifest + firmware) reuses the same table.
+///
+/// Tables are interned process-wide: a fleet of simulated devices sharing
+/// the same two trust-anchor keys builds each table exactly once.
+class PreparedPublicKey {
+public:
+    /// Empty handle; valid() is false and verification always fails.
+    PreparedPublicKey() = default;
+
+    /// Builds (or fetches from the intern cache) the precomputed table.
+    explicit PreparedPublicKey(const PublicKey& key);
+
+    const PublicKey& key() const { return key_; }
+    const P256::Precomputed& table() const { return *table_; }
+    bool valid() const { return table_ != nullptr; }
+
+private:
+    PublicKey key_{};
+    std::shared_ptr<const P256::Precomputed> table_;
+};
+
 /// Signs a 32-byte message digest. RFC 6979: no RNG required at sign time.
 Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest);
 
 /// Verifies a 64-byte signature over a 32-byte digest. Never throws.
 bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, ByteSpan signature);
+
+/// Same, against a prepared key: the verification hot path (comb for u1*G,
+/// interleaved wNAF for u2*P, zero table construction).
+bool ecdsa_verify(const PreparedPublicKey& key, const Sha256Digest& digest,
+                  ByteSpan signature);
+
+/// Same, via the generic double-and-add ladder on both scalar-mul halves —
+/// the reference implementation the differential suite pins the fast
+/// variants against.
+bool ecdsa_verify_generic(const PublicKey& key, const Sha256Digest& digest,
+                          ByteSpan signature);
 
 /// RFC 6979 nonce derivation, exposed for known-answer tests.
 U256 rfc6979_nonce(const U256& d, const Sha256Digest& digest);

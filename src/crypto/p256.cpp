@@ -121,6 +121,26 @@ P256::Jacobian P256::add_mixed(const Jacobian& p, const MontAffine& q) const {
     return Jacobian{x3, y3, z3};
 }
 
+void P256::normalize_batch(const Jacobian* jac, MontAffine* out, std::size_t count) const {
+    // Montgomery's simultaneous-inversion trick: prefix products of the
+    // z coordinates, one inv of the total, then peel z_i^-1 back out.
+    // Callers guarantee no input is infinity (z == 0 would poison the run).
+    std::vector<U256> prefix(count);
+    U256 run = fp_.one();
+    for (std::size_t i = 0; i < count; ++i) {
+        run = fp_.mul(run, jac[i].z);
+        prefix[i] = run;
+    }
+    U256 inv_tail = fp_.inv(prefix[count - 1]);  // (z_0 ... z_{count-1})^-1
+    for (std::size_t i = count; i-- > 0;) {
+        const U256 zinv = i == 0 ? inv_tail : fp_.mul(inv_tail, prefix[i - 1]);
+        inv_tail = fp_.mul(inv_tail, jac[i].z);
+        const U256 zinv2 = fp_.sqr(zinv);
+        out[i].x = fp_.mul(jac[i].x, zinv2);
+        out[i].y = fp_.mul(jac[i].y, fp_.mul(zinv2, zinv));
+    }
+}
+
 void P256::build_comb_table() {
     // Row w holds {1..255} * B_w where B_w = 2^(8w) * G, built by repeated
     // addition in Jacobian coordinates. Every table scalar d * 2^(8w) is in
@@ -138,26 +158,8 @@ void P256::build_comb_table() {
             for (unsigned b = 0; b < kCombWindowBits; ++b) base = dbl(base);
         }
     }
-
-    // Normalize all 8160 points to affine with one field inversion
-    // (Montgomery's simultaneous-inversion trick): prefix products of the
-    // z coordinates, one inv of the total, then peel z_i^-1 back out.
-    const std::size_t count = jac.size();
-    std::vector<U256> prefix(count);
-    U256 run = fp_.one();
-    for (std::size_t i = 0; i < count; ++i) {
-        run = fp_.mul(run, jac[i].z);
-        prefix[i] = run;
-    }
-    U256 inv_tail = fp_.inv(prefix[count - 1]);  // (z_0 ... z_{count-1})^-1
-    comb_.resize(count);
-    for (std::size_t i = count; i-- > 0;) {
-        const U256 zinv = i == 0 ? inv_tail : fp_.mul(inv_tail, prefix[i - 1]);
-        inv_tail = fp_.mul(inv_tail, jac[i].z);
-        const U256 zinv2 = fp_.sqr(zinv);
-        comb_[i].x = fp_.mul(jac[i].x, zinv2);
-        comb_[i].y = fp_.mul(jac[i].y, fp_.mul(zinv2, zinv));
-    }
+    comb_.resize(jac.size());
+    normalize_batch(jac.data(), comb_.data(), jac.size());
 }
 
 P256::Jacobian P256::comb_mul_base(const U256& k) const {
@@ -185,6 +187,104 @@ P256::Jacobian P256::scalar_mul(const U256& k, const Jacobian& p) const {
     return acc;
 }
 
+P256::MontAffine P256::neg(const MontAffine& q) const {
+    // On-curve points never have y == 0 on P-256 (no order-2 point), so the
+    // Montgomery-form y is nonzero and sub() lands in [1, p-1].
+    return MontAffine{q.x, fp_.sub(U256::zero(), q.y)};
+}
+
+void P256::build_odd_row(const Jacobian& base, Jacobian* out) const {
+    // out[j] = (2j + 1) * base. base has prime order n and every table
+    // scalar is in [1, 2^(kWnafWidth-1) - 1], so no entry is infinity.
+    const Jacobian twice = dbl(base);
+    out[0] = base;
+    for (unsigned j = 1; j < kWnafOddEntries; ++j) out[j] = add(out[j - 1], twice);
+}
+
+int P256::wnaf_recode(U256 k, std::int8_t* digits) {
+    constexpr unsigned kWindow = 1u << kWnafWidth;  // 32
+    int len = 0;
+    while (!k.is_zero()) {
+        int d = 0;
+        if (k.is_odd()) {
+            // Centered remainder mod 32: odd d in [-15, 15]; subtracting it
+            // leaves k ≡ 0 mod 32, forcing ≥ 4 zero digits after each
+            // nonzero one (the 1/(w+1) density that makes wNAF fast).
+            const unsigned m = static_cast<unsigned>(k.w[0]) & (kWindow - 1);
+            d = m > kWindow / 2 ? static_cast<int>(m) - static_cast<int>(kWindow)
+                                : static_cast<int>(m);
+            const U256 mag = U256::from_u64(static_cast<std::uint64_t>(d < 0 ? -d : d));
+            // Free-function limb arithmetic (the member add() is the group
+            // law); k < 2^256 - 15 for reduced inputs, so no carry out.
+            if (d > 0) {
+                crypto::sub(k, k, mag);
+            } else {
+                crypto::add(k, k, mag);
+            }
+        }
+        digits[len++] = static_cast<std::int8_t>(d);
+        k = shr1(k);
+    }
+    return len;
+}
+
+P256::Jacobian P256::wnaf_mul(const U256& k, const MontAffine* odd) const {
+    std::int8_t digits[kWnafMaxDigits];
+    const int len = wnaf_recode(k, digits);
+    Jacobian acc{};
+    for (int i = len - 1; i >= 0; --i) {
+        acc = dbl(acc);
+        const int d = digits[i];
+        if (d > 0) {
+            acc = add_mixed(acc, odd[d >> 1]);
+        } else if (d < 0) {
+            acc = add_mixed(acc, neg(odd[(-d) >> 1]));
+        }
+    }
+    return acc;
+}
+
+P256::Jacobian P256::wnaf_mul(const U256& k, const Precomputed& pre) const {
+    // Interleaved walk: digit position 64*row + b is served by the row
+    // holding 2^(64 row) * P, so one pass of 64 doublings covers all four
+    // limbs at once. Position 256 — the one digit wNAF's carry can place
+    // beyond the top bit — is the overflow row, folded in at b == 0.
+    std::int8_t digits[kWnafMaxDigits] = {};
+    (void)wnaf_recode(k, digits);
+    const MontAffine* table = pre.table_.data();
+    const auto fold = [&](Jacobian& acc, unsigned row, int d) {
+        if (d > 0) {
+            acc = add_mixed(acc, table[row * kWnafOddEntries + static_cast<unsigned>(d >> 1)]);
+        } else if (d < 0) {
+            acc = add_mixed(acc, neg(table[row * kWnafOddEntries + static_cast<unsigned>((-d) >> 1)]));
+        }
+    };
+    Jacobian acc{};
+    for (int b = Precomputed::kRowShift - 1; b >= 0; --b) {
+        acc = dbl(acc);
+        for (unsigned row = 0; row < 4; ++row) {
+            fold(acc, row, digits[Precomputed::kRowShift * row + static_cast<unsigned>(b)]);
+        }
+        if (b == 0) fold(acc, 4, digits[256]);
+    }
+    return acc;
+}
+
+P256::Precomputed P256::precompute(const AffinePoint& p) const {
+    std::array<Jacobian, Precomputed::kRows * kWnafOddEntries> jac;
+    Jacobian base = to_jacobian(p);
+    for (unsigned row = 0; row < Precomputed::kRows; ++row) {
+        build_odd_row(base, jac.data() + row * kWnafOddEntries);
+        if (row + 1 < Precomputed::kRows) {
+            for (unsigned i = 0; i < Precomputed::kRowShift; ++i) base = dbl(base);
+        }
+    }
+    Precomputed out;
+    normalize_batch(jac.data(), out.table_.data(), jac.size());
+    out.valid_ = true;
+    return out;
+}
+
 std::optional<AffinePoint> P256::mul_base(const U256& k) const {
     const U256 k_reduced = fn_.reduce(k);
     if (k_reduced.is_zero()) return std::nullopt;
@@ -192,10 +292,26 @@ std::optional<AffinePoint> P256::mul_base(const U256& k) const {
 }
 
 std::optional<AffinePoint> P256::mul_base_generic(const U256& k) const {
-    return mul(k, g_);
+    return mul_generic(k, g_);
 }
 
 std::optional<AffinePoint> P256::mul(const U256& k, const AffinePoint& p) const {
+    const U256 k_reduced = fn_.reduce(k);
+    if (k_reduced.is_zero()) return std::nullopt;
+    std::array<Jacobian, kWnafOddEntries> jac;
+    std::array<MontAffine, kWnafOddEntries> odd;
+    build_odd_row(to_jacobian(p), jac.data());
+    normalize_batch(jac.data(), odd.data(), jac.size());
+    return to_affine(wnaf_mul(k_reduced, odd.data()));
+}
+
+std::optional<AffinePoint> P256::mul(const U256& k, const Precomputed& p) const {
+    const U256 k_reduced = fn_.reduce(k);
+    if (k_reduced.is_zero()) return std::nullopt;
+    return to_affine(wnaf_mul(k_reduced, p));
+}
+
+std::optional<AffinePoint> P256::mul_generic(const U256& k, const AffinePoint& p) const {
     const U256 k_reduced = fn_.reduce(k);
     if (k_reduced.is_zero()) return std::nullopt;
     return to_affine(scalar_mul(k_reduced, to_jacobian(p)));
@@ -204,10 +320,34 @@ std::optional<AffinePoint> P256::mul(const U256& k, const AffinePoint& p) const 
 std::optional<AffinePoint> P256::mul_add(const U256& u1, const U256& u2,
                                          const AffinePoint& p) const {
     // The fixed-base half costs ~32 mixed additions from the comb table;
-    // only the variable-base half walks the double-and-add ladder.
+    // the variable-base half builds a fresh wNAF row for P.
     const U256 u1r = fn_.reduce(u1);
     const U256 u2r = fn_.reduce(u2);
     Jacobian acc = u1r.is_zero() ? Jacobian{} : comb_mul_base(u1r);
+    if (!u2r.is_zero()) {
+        std::array<Jacobian, kWnafOddEntries> jac;
+        std::array<MontAffine, kWnafOddEntries> odd;
+        build_odd_row(to_jacobian(p), jac.data());
+        normalize_batch(jac.data(), odd.data(), jac.size());
+        acc = add(acc, wnaf_mul(u2r, odd.data()));
+    }
+    return to_affine(acc);
+}
+
+std::optional<AffinePoint> P256::mul_add(const U256& u1, const U256& u2,
+                                         const Precomputed& p) const {
+    const U256 u1r = fn_.reduce(u1);
+    const U256 u2r = fn_.reduce(u2);
+    Jacobian acc = u1r.is_zero() ? Jacobian{} : comb_mul_base(u1r);
+    if (!u2r.is_zero()) acc = add(acc, wnaf_mul(u2r, p));
+    return to_affine(acc);
+}
+
+std::optional<AffinePoint> P256::mul_add_generic(const U256& u1, const U256& u2,
+                                                 const AffinePoint& p) const {
+    const U256 u1r = fn_.reduce(u1);
+    const U256 u2r = fn_.reduce(u2);
+    Jacobian acc = u1r.is_zero() ? Jacobian{} : scalar_mul(u1r, to_jacobian(g_));
     if (!u2r.is_zero()) acc = add(acc, scalar_mul(u2r, to_jacobian(p)));
     return to_affine(acc);
 }

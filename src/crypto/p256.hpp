@@ -4,8 +4,18 @@
 // all three of its crypto libraries must support (Sect. V); this is the
 // from-scratch implementation every backend in this repo shares. Points are
 // held in Jacobian coordinates with Montgomery-form field elements.
+//
+// Two scalar-multiplication accelerations ride on the same
+// precompute-odd-multiples trick: the fixed-base comb table for k*G (the
+// signing hot path) and width-5 wNAF for variable-base k*P (the
+// verification hot path), with an optional per-key Precomputed handle that
+// interleaves the wNAF walk over five 64-bit limb rows so long-lived
+// verification keys pay for their table exactly once. The plain
+// double-and-add ladder survives as mul_generic / mul_add_generic, the
+// reference the differential suite pins every fast path against.
 #pragma once
 
+#include <array>
 #include <optional>
 #include <vector>
 
@@ -22,10 +32,54 @@ struct AffinePoint {
 };
 
 class P256 {
+private:
+    /// Jacobian point, coordinates in Montgomery form. Infinity <=> z == 0.
+    struct Jacobian {
+        U256 x, y, z;
+        bool infinity() const { return z.is_zero(); }
+    };
+
+    /// Precomputed-table entry: affine point with coordinates in Montgomery
+    /// form (z == 1 implicit), so table additions use the cheaper mixed
+    /// formula.
+    struct MontAffine {
+        U256 x, y;
+    };
+
 public:
     /// Singleton: curve parameters are fixed and the Montgomery contexts are
     /// moderately expensive to build.
     static const P256& instance();
+
+    /// Width-5 wNAF: nonzero digits are odd, in {±1, ±3, ..., ±15}, at
+    /// least kWnafWidth - 1 zero digits apart.
+    static constexpr unsigned kWnafWidth = 5;
+    static constexpr unsigned kWnafOddEntries = 1u << (kWnafWidth - 2);
+    /// A 256-bit scalar recodes to at most 257 digits (the carry can push
+    /// one digit past the top bit).
+    static constexpr unsigned kWnafMaxDigits = 257;
+
+    /// Per-key precomputed table for the variable-base half of ECDSA
+    /// verification. The wNAF walk is interleaved across one row of odd
+    /// multiples per 64-bit limb of the scalar — plus an overflow row for
+    /// the digit the wNAF carry can place at position 256 — cutting the
+    /// doubling count from 256 to 64. Build once per long-lived key
+    /// (vendor / update-server keys live for the device's lifetime) via
+    /// P256::precompute().
+    class Precomputed {
+    public:
+        static constexpr unsigned kRows = 5;       // limbs 0..3 + carry row
+        static constexpr unsigned kRowShift = 64;  // row r holds 2^(64 r) * P
+
+        Precomputed() = default;
+        bool valid() const { return valid_; }
+
+    private:
+        friend class P256;
+        // [row * kWnafOddEntries + j] = (2j + 1) * 2^(64 row) * P.
+        std::array<MontAffine, kRows * kWnafOddEntries> table_{};
+        bool valid_ = false;
+    };
 
     const Montgomery& field() const { return fp_; }
     const Montgomery& order() const { return fn_; }
@@ -48,28 +102,43 @@ public:
     /// bench compare the comb table against.
     std::optional<AffinePoint> mul_base_generic(const U256& k) const;
 
-    /// k * P for arbitrary point P (must be on curve).
+    /// k * P for arbitrary point P (must be on curve). Width-5 wNAF over a
+    /// freshly built row of odd multiples of P (batch-normalized to affine
+    /// with one field inversion, mixed madd additions).
     std::optional<AffinePoint> mul(const U256& k, const AffinePoint& p) const;
 
+    /// k * P against a per-key table: the interleaved wNAF walk, 64
+    /// doublings instead of 256. This is what the four ECDSA verifies per
+    /// update ride on once the key's table exists.
+    std::optional<AffinePoint> mul(const U256& k, const Precomputed& p) const;
+
+    /// k * P via the plain double-and-add ladder: the differential-suite
+    /// reference for every wNAF path.
+    std::optional<AffinePoint> mul_generic(const U256& k, const AffinePoint& p) const;
+
+    /// Builds the interleaved odd-multiples table for P (must be on curve,
+    /// prime order — every public key is). ~45 group ops + one inversion;
+    /// amortized to zero across a long-lived key's verifications.
+    Precomputed precompute(const AffinePoint& p) const;
+
     /// u1*G + u2*P in one shot (ECDSA verification workhorse). The u1*G
-    /// half comes from the comb table; only u2*P walks the ladder.
+    /// half comes from the comb table; u2*P walks a fresh wNAF row.
     std::optional<AffinePoint> mul_add(const U256& u1, const U256& u2,
                                        const AffinePoint& p) const;
 
+    /// u1*G + u2*P with a precomputed table for P: comb for the fixed
+    /// base, interleaved wNAF for the variable base.
+    std::optional<AffinePoint> mul_add(const U256& u1, const U256& u2,
+                                       const Precomputed& p) const;
+
+    /// u1*G + u2*P with the generic ladder on both halves — the pure
+    /// reference path (no comb, no wNAF) the differential suite pins the
+    /// optimized verify path against.
+    std::optional<AffinePoint> mul_add_generic(const U256& u1, const U256& u2,
+                                               const AffinePoint& p) const;
+
 private:
     P256();
-
-    /// Jacobian point, coordinates in Montgomery form. Infinity <=> z == 0.
-    struct Jacobian {
-        U256 x, y, z;
-        bool infinity() const { return z.is_zero(); }
-    };
-
-    /// Comb-table entry: affine point with coordinates in Montgomery form
-    /// (z == 1 implicit), so table additions use the cheaper mixed formula.
-    struct MontAffine {
-        U256 x, y;
-    };
 
     Jacobian to_jacobian(const AffinePoint& p) const;
     std::optional<AffinePoint> to_affine(const Jacobian& p) const;
@@ -78,6 +147,31 @@ private:
     /// p + q for affine q (madd-2007-bl); handles infinity/double/negate.
     Jacobian add_mixed(const Jacobian& p, const MontAffine& q) const;
     Jacobian scalar_mul(const U256& k, const Jacobian& p) const;
+
+    /// -q: field negation of y (never zero for on-curve points).
+    MontAffine neg(const MontAffine& q) const;
+
+    /// Montgomery's simultaneous-inversion trick: normalizes `count`
+    /// non-infinity Jacobian points to Montgomery-affine with one field
+    /// inversion total. Shared by the comb table, precompute(), and the
+    /// fresh wNAF rows.
+    void normalize_batch(const Jacobian* jac, MontAffine* out, std::size_t count) const;
+
+    /// out[j] = (2j + 1) * base for j in [0, kWnafOddEntries): base, then
+    /// repeated additions of 2*base.
+    void build_odd_row(const Jacobian& base, Jacobian* out) const;
+
+    /// Width-5 wNAF recoding of k (must be < 2^256 - 15 — any reduced
+    /// scalar qualifies). Writes up to kWnafMaxDigits signed digits, LSB
+    /// first; returns the count. Unwritten digits are untouched, so
+    /// zero-initialize when reading fixed positions.
+    static int wnaf_recode(U256 k, std::int8_t* digits);
+
+    /// wNAF walk over a single odd-multiples row (256 doublings).
+    Jacobian wnaf_mul(const U256& k, const MontAffine* odd) const;
+
+    /// Interleaved wNAF walk over a per-key table (64 doublings).
+    Jacobian wnaf_mul(const U256& k, const Precomputed& pre) const;
 
     /// Sum of comb-table entries for the byte digits of k (k in [1, n)).
     Jacobian comb_mul_base(const U256& k) const;

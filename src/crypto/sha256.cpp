@@ -19,31 +19,27 @@ constexpr std::array<std::uint32_t, 64> kK = {
 
 constexpr std::uint32_t rotr(std::uint32_t x, int n) { return std::rotr(x, n); }
 
-}  // namespace
-
-void Sha256::reset() {
-    state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
-              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
-    buffered_ = 0;
-    total_bytes_ = 0;
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+    // Compiles to a single load + bswap at -O2; stays correct on any
+    // endianness/alignment without reaching for C++23 std::byteswap.
+    return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
 }
 
-void Sha256::process_block(const std::uint8_t* block) {
+/// Rolled single-block compression — the reference kernel (see
+/// sha256_reference()). The streaming class uses the unrolled
+/// process_blocks() below.
+void compress_rolled(std::array<std::uint32_t, 8>& state, const std::uint8_t* block) {
     std::uint32_t w[64];
-    for (int i = 0; i < 16; ++i) {
-        w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-               (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-               (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-               static_cast<std::uint32_t>(block[4 * i + 3]);
-    }
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(block + 4 * i);
     for (int i = 16; i < 64; ++i) {
         const std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
         const std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
         w[i] = w[i - 16] + s0 + w[i - 7] + s1;
     }
 
-    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-    std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
     for (int i = 0; i < 64; ++i) {
         const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
@@ -62,15 +58,94 @@ void Sha256::process_block(const std::uint8_t* block) {
         a = t1 + t2;
     }
 
-    state_[0] += a;
-    state_[1] += b;
-    state_[2] += c;
-    state_[3] += d;
-    state_[4] += e;
-    state_[5] += f;
-    state_[6] += g;
-    state_[7] += h;
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
 }
+
+}  // namespace
+
+void Sha256::reset() {
+    state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    buffered_ = 0;
+    total_bytes_ = 0;
+}
+
+// Fully unrolled compression. The 8-word working state rotates through the
+// round macro's arguments instead of shuffling registers, and the message
+// schedule is a 16-word ring updated in place.
+#define UPKIT_SHA_BSIG0(x) (rotr((x), 2) ^ rotr((x), 13) ^ rotr((x), 22))
+#define UPKIT_SHA_BSIG1(x) (rotr((x), 6) ^ rotr((x), 11) ^ rotr((x), 25))
+#define UPKIT_SHA_SSIG0(x) (rotr((x), 7) ^ rotr((x), 18) ^ ((x) >> 3))
+#define UPKIT_SHA_SSIG1(x) (rotr((x), 17) ^ rotr((x), 19) ^ ((x) >> 10))
+#define UPKIT_SHA_RND(A, B, C, D, E, F, G, H, i, wv)                             \
+    t = (H) + UPKIT_SHA_BSIG1(E) + (((E) & (F)) ^ (~(E) & (G))) + kK[i] + (wv);  \
+    (D) += t;                                                                    \
+    (H) = t + UPKIT_SHA_BSIG0(A) + (((A) & (B)) ^ (((A) ^ (B)) & (C)));
+// Rounds 0-15 read the loaded message words; 16-63 extend the ring in place.
+#define UPKIT_SHA_R0(i, A, B, C, D, E, F, G, H) UPKIT_SHA_RND(A, B, C, D, E, F, G, H, i, w[(i) & 15])
+#define UPKIT_SHA_R1(i, A, B, C, D, E, F, G, H)                                  \
+    UPKIT_SHA_RND(A, B, C, D, E, F, G, H, i,                                     \
+                  (w[(i) & 15] += UPKIT_SHA_SSIG1(w[((i) - 2) & 15]) +           \
+                                  w[((i) - 7) & 15] +                            \
+                                  UPKIT_SHA_SSIG0(w[((i) - 15) & 15])))
+#define UPKIT_SHA_8ROUNDS(R, i)                      \
+    R((i) + 0, a, b, c, d, e, f, g, h)               \
+    R((i) + 1, h, a, b, c, d, e, f, g)               \
+    R((i) + 2, g, h, a, b, c, d, e, f)               \
+    R((i) + 3, f, g, h, a, b, c, d, e)               \
+    R((i) + 4, e, f, g, h, a, b, c, d)               \
+    R((i) + 5, d, e, f, g, h, a, b, c)               \
+    R((i) + 6, c, d, e, f, g, h, a, b)               \
+    R((i) + 7, b, c, d, e, f, g, h, a)
+
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t blocks) {
+    std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+    std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+    while (blocks-- > 0) {
+        std::uint32_t w[16];
+        for (int i = 0; i < 16; ++i) w[i] = load_be32(data + 4 * i);
+        data += kSha256BlockSize;
+
+        const std::uint32_t sa = a, sb = b, sc = c, sd = d;
+        const std::uint32_t se = e, sf = f, sg = g, sh = h;
+        std::uint32_t t;
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R0, 0)
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R0, 8)
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R1, 16)
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R1, 24)
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R1, 32)
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R1, 40)
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R1, 48)
+        UPKIT_SHA_8ROUNDS(UPKIT_SHA_R1, 56)
+        a += sa;
+        b += sb;
+        c += sc;
+        d += sd;
+        e += se;
+        f += sf;
+        g += sg;
+        h += sh;
+    }
+
+    state_ = {a, b, c, d, e, f, g, h};
+}
+
+#undef UPKIT_SHA_8ROUNDS
+#undef UPKIT_SHA_R1
+#undef UPKIT_SHA_R0
+#undef UPKIT_SHA_RND
+#undef UPKIT_SHA_SSIG1
+#undef UPKIT_SHA_SSIG0
+#undef UPKIT_SHA_BSIG1
+#undef UPKIT_SHA_BSIG0
 
 void Sha256::update(ByteSpan data) {
     if (data.empty()) return;  // empty spans may carry a null data pointer
@@ -82,13 +157,17 @@ void Sha256::update(ByteSpan data) {
         buffered_ += take;
         offset = take;
         if (buffered_ == kSha256BlockSize) {
-            process_block(buffer_.data());
+            process_blocks(buffer_.data(), 1);
             buffered_ = 0;
         }
     }
-    while (offset + kSha256BlockSize <= data.size()) {
-        process_block(data.data() + offset);
-        offset += kSha256BlockSize;
+    // Zero-copy fast path: with nothing buffered, every whole block is
+    // compressed straight out of the caller's span in one multi-block run
+    // (state stays in registers between blocks).
+    const std::size_t whole = (data.size() - offset) / kSha256BlockSize;
+    if (whole > 0) {
+        process_blocks(data.data() + offset, whole);
+        offset += whole * kSha256BlockSize;
     }
     if (offset < data.size()) {
         std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -111,7 +190,7 @@ Sha256Digest Sha256::finalize() {
     // Bypass update()'s length accounting for the final length field.
     total_bytes_ -= pad_len;  // keep total consistent if reused, though reset() follows
     std::memcpy(buffer_.data() + buffered_, len_bytes, 8);
-    process_block(buffer_.data());
+    process_blocks(buffer_.data(), 1);
 
     Sha256Digest out{};
     for (int i = 0; i < 8; ++i) {
@@ -133,6 +212,40 @@ Sha256Digest Sha256::digest(ByteSpan data) {
 Bytes sha256(ByteSpan data) {
     const Sha256Digest d = Sha256::digest(data);
     return Bytes(d.begin(), d.end());
+}
+
+Sha256Digest sha256_reference(ByteSpan data) {
+    std::array<std::uint32_t, 8> state = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                          0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+    std::size_t offset = 0;
+    while (offset + kSha256BlockSize <= data.size()) {
+        compress_rolled(state, data.data() + offset);
+        offset += kSha256BlockSize;
+    }
+
+    // Final one or two padded blocks: 0x80, zeros, 64-bit bit length.
+    std::uint8_t tail[kSha256BlockSize * 2] = {};
+    const std::size_t rem = data.size() - offset;
+    if (rem > 0) std::memcpy(tail, data.data() + offset, rem);
+    tail[rem] = 0x80;
+    const std::size_t tail_blocks = rem < 56 ? 1 : 2;
+    const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+    for (int i = 0; i < 8; ++i) {
+        tail[tail_blocks * kSha256BlockSize - 8 + i] =
+            static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+    }
+    for (std::size_t b = 0; b < tail_blocks; ++b) {
+        compress_rolled(state, tail + b * kSha256BlockSize);
+    }
+
+    Sha256Digest out{};
+    for (std::size_t i = 0; i < 8; ++i) {
+        out[4 * i] = static_cast<std::uint8_t>(state[i] >> 24);
+        out[4 * i + 1] = static_cast<std::uint8_t>(state[i] >> 16);
+        out[4 * i + 2] = static_cast<std::uint8_t>(state[i] >> 8);
+        out[4 * i + 3] = static_cast<std::uint8_t>(state[i]);
+    }
+    return out;
 }
 
 }  // namespace upkit::crypto

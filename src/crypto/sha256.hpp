@@ -32,7 +32,10 @@ public:
     static Sha256Digest digest(ByteSpan data);
 
 private:
-    void process_block(const std::uint8_t* block);
+    /// Unrolled compression over `blocks` consecutive 64-byte blocks:
+    /// working state lives in registers across the whole run, schedule is a
+    /// 16-word ring, message words load 4 bytes at a time.
+    void process_blocks(const std::uint8_t* data, std::size_t blocks);
 
     std::array<std::uint32_t, 8> state_{};
     std::array<std::uint8_t, kSha256BlockSize> buffer_{};
@@ -42,5 +45,11 @@ private:
 
 /// Digest as an owning byte buffer (convenience for wire formats).
 Bytes sha256(ByteSpan data);
+
+/// One-shot digest via the compact rolled compression loop — the
+/// pre-optimization kernel, retained as the reference the differential
+/// suite pins the unrolled path against and as the baseline for the
+/// host-calibrated cost model's SHA-256 speedup ratio.
+Sha256Digest sha256_reference(ByteSpan data);
 
 }  // namespace upkit::crypto

@@ -81,6 +81,15 @@ void fill_block(Rng& rng, std::size_t block_index, MutByteSpan out, std::uint32_
     }
 }
 
+// Images smaller than the tag region (sub-25-byte edge-case firmwares)
+// simply go untagged.
+void write_version_tag(Bytes& image, std::string_view tag) {
+    constexpr std::size_t kTagOffset = 16;
+    if (image.size() >= kTagOffset + tag.size()) {
+        std::copy(tag.begin(), tag.end(), image.begin() + kTagOffset);
+    }
+}
+
 }  // namespace
 
 Bytes generate_firmware(const FirmwareSpec& spec) {
@@ -93,8 +102,7 @@ Bytes generate_firmware(const FirmwareSpec& spec) {
         fill_block(rng, block, MutByteSpan(image.data() + off, len), table_base);
     }
     // Version tag near the start (the manifest's link-offset region).
-    const std::string_view tag = "FW-v1.0.0";
-    std::copy(tag.begin(), tag.end(), image.begin() + 16);
+    write_version_tag(image, "FW-v1.0.0");
     return image;
 }
 
@@ -115,8 +123,7 @@ Bytes mutate_os_version(ByteSpan firmware, std::uint64_t seed, double churn) {
             fill_tables(rng, MutByteSpan(out.data() + off, len), new_base);
         }
     }
-    const std::string_view tag = "FW-v1.1.0";
-    std::copy(tag.begin(), tag.end(), out.begin() + 16);
+    write_version_tag(out, "FW-v1.1.0");
     return out;
 }
 
@@ -129,8 +136,7 @@ Bytes mutate_app_change(ByteSpan firmware, std::uint64_t seed, std::size_t edit_
         firmware.size() / 4 + rng.below(std::max<std::size_t>(1, firmware.size() / 4));
     const std::size_t len = std::min(edit_bytes, firmware.size() - start);
     fill_code(rng, MutByteSpan(out.data() + start, len));
-    const std::string_view tag = "FW-v1.0.1";
-    std::copy(tag.begin(), tag.end(), out.begin() + 16);
+    write_version_tag(out, "FW-v1.0.1");
     return out;
 }
 

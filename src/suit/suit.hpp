@@ -93,6 +93,12 @@ Status verify_envelope(const Envelope& envelope, const crypto::PublicKey& vendor
                        const crypto::PublicKey& server_key,
                        const crypto::CryptoBackend& backend);
 
+/// Same, against prepared keys (the Verifier's cached-table hot path).
+Status verify_envelope(const Envelope& envelope,
+                       const crypto::PreparedPublicKey& vendor_key,
+                       const crypto::PreparedPublicKey& server_key,
+                       const crypto::CryptoBackend& backend);
+
 /// Converts a parsed envelope into the native manifest structure (signature
 /// fields carry the SUIT signatures; field checks work unchanged).
 Expected<manifest::Manifest> to_manifest(const Envelope& envelope);

@@ -26,6 +26,10 @@ struct DeviceIdentity {
 
 class Verifier {
 public:
+    /// Building the Verifier prepares both trust-anchor keys: their wNAF
+    /// tables are constructed (or fetched from the process-wide intern
+    /// cache) once here, so all four verifies per update — two in the
+    /// agent, two in the bootloader — do zero table construction.
     Verifier(const crypto::CryptoBackend& backend, const crypto::PublicKey& vendor_key,
              const crypto::PublicKey& server_key)
         : backend_(&backend), vendor_key_(vendor_key), server_key_(server_key) {}
@@ -75,8 +79,8 @@ private:
                                const slots::SlotConfig& slot) const;
 
     const crypto::CryptoBackend* backend_;
-    crypto::PublicKey vendor_key_;
-    crypto::PublicKey server_key_;
+    crypto::PreparedPublicKey vendor_key_;
+    crypto::PreparedPublicKey server_key_;
 };
 
 }  // namespace upkit::verify

@@ -1,0 +1,94 @@
+// Digest-agreement regression suite for the SHA-256 kernel rewrite.
+//
+// The same firmware bytes are digested twice per update through different
+// I/O shapes: the agent's pipeline hashes transport-chunk-sized pieces as
+// they stream in, the bootloader re-hashes sector-sized reads from flash,
+// and the server hashed the whole image in one shot at publish time. A
+// tail-block bug in any path (the 55/56 and 63/64/65 padding boundaries,
+// or the multi-block fast path's block accounting) shows up as a digest
+// mismatch — so this suite pins every streaming shape to the rolled
+// reference kernel, then runs full updates at the edge sizes end to end.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+#include "test_env.hpp"
+
+namespace upkit::core {
+namespace {
+
+using crypto::Sha256;
+using crypto::Sha256Digest;
+using testenv::kAppId;
+using testenv::TestEnv;
+
+// Sizes that straddle every SHA-256 tail-block boundary (55/56 flips the
+// one-vs-two padding blocks, 63/64/65 the block edge) plus the simulated
+// flash sector edges the bootloader streams at.
+constexpr std::size_t kEdgeSizes[] = {0,  1,  55,   56,   63,   64,
+                                      65, 127, 4095, 4096, 4097};
+
+Bytes patterned(std::size_t size) {
+    Bytes data(size);
+    for (std::size_t i = 0; i < size; ++i) {
+        data[i] = static_cast<std::uint8_t>(i * 131 + 17);
+    }
+    return data;
+}
+
+TEST(DigestAgreementTest, OneShotMatchesReferenceOnTailEdges) {
+    for (const std::size_t size : kEdgeSizes) {
+        const Bytes data = patterned(size);
+        EXPECT_EQ(Sha256::digest(data), crypto::sha256_reference(data)) << size;
+    }
+}
+
+TEST(DigestAgreementTest, StreamedChunkingsMatchReference) {
+    // Every chunk shape the repo actually uses: byte-at-a-time (worst-case
+    // buffering), sub-block odd sizes, exactly one block, the pipeline /
+    // bootloader sector size, and mixed splits that leave partial buffers
+    // before the multi-block fast path kicks in.
+    constexpr std::size_t kChunks[] = {1, 7, 37, 64, 100, 4096};
+    for (const std::size_t size : kEdgeSizes) {
+        const Bytes data = patterned(size);
+        const Sha256Digest expected = crypto::sha256_reference(data);
+        for (const std::size_t chunk : kChunks) {
+            Sha256 hasher;
+            for (std::size_t off = 0; off < data.size(); off += chunk) {
+                const std::size_t take = std::min(chunk, data.size() - off);
+                hasher.update(ByteSpan(data.data() + off, take));
+            }
+            EXPECT_EQ(hasher.finalize(), expected) << size << "/" << chunk;
+        }
+    }
+}
+
+TEST(DigestAgreementTest, AgentPipelineAndBootloaderAgreeOnEdgeSizes) {
+    // Full update at each edge size: the server digests the image one-shot
+    // when signing the manifest, the agent re-digests it chunk-streamed
+    // through the pipeline (early rejection), and the bootloader re-digests
+    // it sector-streamed from flash after reboot. The update only reaches
+    // kOk if all three digests agree. Size 0 is excluded: an empty image is
+    // (correctly) rejected as kBadManifest long before any digest runs.
+    for (const std::size_t size : kEdgeSizes) {
+        if (size == 0) continue;
+        TestEnv env(size);
+        DeviceConfig config = env.device_config(SlotLayout::kAB);
+        config.enable_differential = false;  // force a full-image transfer
+        auto device = std::make_unique<Device>(config);
+        const manifest::DeviceToken factory_token{
+            .device_id = testenv::kDeviceId, .nonce = 0, .current_version = 0};
+        auto image = env.server.prepare_update(kAppId, factory_token);
+        ASSERT_TRUE(image.has_value()) << size;
+        ASSERT_EQ(device->provision_factory(*image), Status::kOk) << size;
+
+        env.publish(2, sim::generate_firmware({.size = size, .seed = 43}));
+        UpdateSession session(*device, env.server, net::ble_gatt());
+        const SessionReport report = session.run(kAppId);
+        EXPECT_EQ(report.status, Status::kOk) << "size " << size;
+        EXPECT_EQ(report.final_version, 2) << "size " << size;
+        EXPECT_TRUE(report.rebooted) << "size " << size;
+    }
+}
+
+}  // namespace
+}  // namespace upkit::core

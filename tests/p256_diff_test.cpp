@@ -177,5 +177,212 @@ TEST(P256DiffTest, MulAddMatchesScalarIdentity) {
     }
 }
 
+// --------------------------------------------- wNAF variable-base mul
+
+// A deterministic set of base points P = x*G derived from the reference
+// ladder (so the wNAF paths are not checked against themselves).
+std::vector<AffinePoint> seeded_points(std::size_t count, std::uint64_t seed) {
+    const P256& curve = P256::instance();
+    Rng rng(seed);
+    std::vector<AffinePoint> points;
+    while (points.size() < count) {
+        const auto p = curve.mul_base_generic(random_u256(rng));
+        if (p) points.push_back(*p);
+    }
+    return points;
+}
+
+TEST(P256DiffTest, WnafMulMatchesLadderOnSeededScalars) {
+    const P256& curve = P256::instance();
+    Rng rng(0x5EED0007);
+    const auto points = seeded_points(8, 0x5EED0107);
+    for (std::size_t i = 0; i < kCases; ++i) {
+        const U256 k = random_u256(rng);
+        const AffinePoint& p = points[i % points.size()];
+        expect_same(curve.mul(k, p), curve.mul_generic(k, p), "wnaf mul", i);
+    }
+}
+
+TEST(P256DiffTest, WnafMulMatchesLadderOnEdgeScalars) {
+    const P256& curve = P256::instance();
+    const U256 n = curve.n();
+    const AffinePoint p = *curve.mul_base_generic(U256::from_u64(0xDEC0DE));
+
+    // 0 and n (== 0 mod n): both paths must refuse.
+    EXPECT_FALSE(curve.mul(U256::zero(), p).has_value());
+    EXPECT_FALSE(curve.mul_generic(U256::zero(), p).has_value());
+    EXPECT_FALSE(curve.mul(n, p).has_value());
+    EXPECT_FALSE(curve.mul_generic(n, p).has_value());
+
+    // k == 1 hands back P itself.
+    const auto identity = curve.mul(U256::one(), p);
+    ASSERT_TRUE(identity.has_value());
+    EXPECT_EQ(identity->x, p.x);
+    EXPECT_EQ(identity->y, p.y);
+
+    // Every single-bit scalar (lone wNAF digit at every position), the
+    // all-ones-ish straddles of the order, and n+k reductions.
+    for (unsigned b = 0; b < 256; ++b) {
+        U256 k;
+        k.w[b / 64] = 1ull << (b % 64);
+        expect_same(curve.mul(k, p), curve.mul_generic(k, p), "wnaf 2^b", b);
+    }
+    U256 n_minus_1;
+    sub(n_minus_1, n, U256::one());
+    expect_same(curve.mul(n_minus_1, p), curve.mul_generic(n_minus_1, p), "wnaf n-1", 0);
+    Rng rng(0x5EED0008);
+    for (std::size_t i = 0; i < 64; ++i) {
+        U256 k;
+        add(k, n, U256::from_u64(rng.next_u64() | 1));
+        expect_same(curve.mul(k, p), curve.mul_generic(k, p), "wnaf n+k", i);
+    }
+    // Dense small-window scalars: every odd value 1..31 plus shifted copies,
+    // exercising each wNAF digit magnitude with and without carries.
+    for (std::uint64_t v = 1; v < 32; ++v) {
+        for (unsigned shift = 0; shift < 3; ++shift) {
+            U256 k = U256::from_u64(v << (4 * shift));
+            expect_same(curve.mul(k, p), curve.mul_generic(k, p), "wnaf window", v);
+        }
+    }
+}
+
+TEST(P256DiffTest, PrecomputedMatchesFreshAndLadder) {
+    // The interleaved per-key table must be indistinguishable from both the
+    // fresh single-row wNAF walk and the reference ladder, for many keys.
+    const P256& curve = P256::instance();
+    Rng rng(0x5EED0009);
+    const auto points = seeded_points(8, 0x5EED0109);
+    std::vector<P256::Precomputed> tables;
+    for (const auto& p : points) tables.push_back(curve.precompute(p));
+
+    for (std::size_t i = 0; i < kCases; ++i) {
+        const U256 k = random_u256(rng);
+        const std::size_t j = i % points.size();
+        const auto pre = curve.mul(k, tables[j]);
+        expect_same(pre, curve.mul(k, points[j]), "precomputed vs fresh", i);
+        if (i % 8 == 0) {
+            expect_same(pre, curve.mul_generic(k, points[j]), "precomputed vs ladder", i);
+        }
+    }
+}
+
+TEST(P256DiffTest, PrecomputedMatchesLadderOnEdgeScalars) {
+    // Scalars near n exercise the wNAF carry digit at position 256 — the
+    // overflow row of the interleaved table.
+    const P256& curve = P256::instance();
+    const U256 n = curve.n();
+    const AffinePoint p = *curve.mul_base_generic(U256::from_u64(0xAB15EED));
+    const P256::Precomputed table = curve.precompute(p);
+
+    EXPECT_FALSE(curve.mul(U256::zero(), table).has_value());
+    EXPECT_FALSE(curve.mul(n, table).has_value());
+
+    std::vector<U256> edges;
+    edges.push_back(U256::one());
+    U256 e;
+    sub(e, n, U256::one());
+    edges.push_back(e);  // n-1: dense top limbs, carry digit
+    for (std::uint64_t d = 2; d <= 16; ++d) {
+        sub(e, n, U256::from_u64(d));
+        edges.push_back(e);  // n-d: every near-order carry pattern
+    }
+    for (unsigned b = 0; b < 256; b += 13) {
+        U256 k;
+        k.w[b / 64] = 1ull << (b % 64);
+        edges.push_back(k);
+    }
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+        expect_same(curve.mul(edges[i], table), curve.mul_generic(edges[i], p),
+                    "precomputed edge", i);
+    }
+}
+
+TEST(P256DiffTest, MulAddVariantsMatchGenericReference) {
+    // All three mul_add flavours — comb + fresh wNAF, comb + precomputed
+    // table, and the pure generic ladder — must agree everywhere, including
+    // the zero-scalar branches.
+    const P256& curve = P256::instance();
+    const Montgomery& fn = curve.order();
+    Rng rng(0x5EED000A);
+    const auto points = seeded_points(4, 0x5EED010A);
+    std::vector<P256::Precomputed> tables;
+    for (const auto& p : points) tables.push_back(curve.precompute(p));
+
+    for (std::size_t i = 0; i < kCases; ++i) {
+        U256 u1 = fn.reduce(random_u256(rng));
+        U256 u2 = fn.reduce(random_u256(rng));
+        if (i % 8 == 5) u1 = U256::zero();
+        if (i % 8 == 6) u2 = U256::zero();
+        if (i % 8 == 7) sub(u2, curve.n(), U256::one());
+        const std::size_t j = i % points.size();
+
+        const auto reference = curve.mul_add_generic(u1, u2, points[j]);
+        expect_same(curve.mul_add(u1, u2, points[j]), reference, "mul_add fresh", i);
+        expect_same(curve.mul_add(u1, u2, tables[j]), reference, "mul_add prepared", i);
+    }
+}
+
+// ------------------------------------------------------ ECDSA verify paths
+
+TEST(P256DiffTest, PreparedKeysShareInternedTables) {
+    // Two PreparedPublicKey instances for the same key bytes must be usable
+    // interchangeably (the intern cache hands out one shared table). Runs
+    // before VerifyVariantsAgree, whose 256 distinct keys exhaust the
+    // bounded intern cache — later keys get private (unshared) tables by
+    // design.
+    Rng rng(0x5EED000C);
+    const PrivateKey key = PrivateKey::generate(rng.bytes(32));
+    const PublicKey pub = key.public_key();
+    const PreparedPublicKey a(pub);
+    const PreparedPublicKey b(pub);
+    ASSERT_TRUE(a.valid());
+    ASSERT_TRUE(b.valid());
+    EXPECT_EQ(&a.table(), &b.table());
+
+    const Sha256Digest digest = Sha256::digest(rng.bytes(48));
+    const Signature sig = ecdsa_sign(key, digest);
+    EXPECT_TRUE(ecdsa_verify(a, digest, sig));
+    EXPECT_TRUE(ecdsa_verify(b, digest, sig));
+
+    // A default-constructed (table-less) handle fails closed.
+    const PreparedPublicKey empty;
+    EXPECT_FALSE(empty.valid());
+    EXPECT_FALSE(ecdsa_verify(empty, digest, sig));
+}
+
+TEST(P256DiffTest, VerifyVariantsAgree) {
+    // Valid signatures, corrupted signatures, and corrupted digests must
+    // get identical verdicts from the fresh, prepared, and generic-ladder
+    // verify entry points.
+    Rng rng(0x5EED000B);
+    for (std::size_t i = 0; i < 256; ++i) {
+        const PrivateKey key = PrivateKey::generate(rng.bytes(32));
+        const PublicKey pub = key.public_key();
+        const PreparedPublicKey prepared(pub);
+        const Sha256Digest digest = Sha256::digest(rng.bytes(1 + i % 64));
+        Signature sig = ecdsa_sign(key, digest);
+
+        EXPECT_TRUE(ecdsa_verify(pub, digest, sig)) << i;
+        EXPECT_TRUE(ecdsa_verify(prepared, digest, sig)) << i;
+        EXPECT_TRUE(ecdsa_verify_generic(pub, digest, sig)) << i;
+
+        // Flip one signature bit: all three must reject.
+        sig[i % sig.size()] ^= static_cast<std::uint8_t>(1u << (i % 8));
+        EXPECT_EQ(ecdsa_verify(pub, digest, sig), false) << i;
+        EXPECT_EQ(ecdsa_verify(prepared, digest, sig),
+                  ecdsa_verify_generic(pub, digest, sig))
+            << i;
+        sig[i % sig.size()] ^= static_cast<std::uint8_t>(1u << (i % 8));
+
+        // Wrong digest: same story.
+        Sha256Digest wrong = digest;
+        wrong[i % wrong.size()] ^= 0x40;
+        EXPECT_EQ(ecdsa_verify(prepared, wrong, sig),
+                  ecdsa_verify_generic(pub, wrong, sig))
+            << i;
+        EXPECT_FALSE(ecdsa_verify(prepared, wrong, sig)) << i;
+    }
+}
+
 }  // namespace
 }  // namespace upkit::crypto

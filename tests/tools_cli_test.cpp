@@ -134,6 +134,14 @@ TEST_F(ToolsCliTest, FileBackedDeviceLifecycle) {
     EXPECT_EQ(run("upkit-device", flash + "bogus-command"), 1);
 }
 
+TEST_F(ToolsCliTest, DeviceBenchVerifyRunsWithoutFlashImage) {
+    // The throughput probe needs no flash image and must exit 0 for both
+    // software backends (it self-checks a verify before timing).
+    EXPECT_EQ(run("upkit-device", "--bench-verify 8"), 0);
+    EXPECT_EQ(run("upkit-device", "--bench-verify 8 --backend tinydtls"), 0);
+    EXPECT_EQ(run("upkit-device", "--bench-verify 8 --backend bogus"), 1);
+}
+
 TEST_F(ToolsCliTest, DeviceBootRejectsForeignAppImage) {
     ASSERT_EQ(run("upkit-keygen", "--seed v --out " + path("v")), 0);
     ASSERT_EQ(run("upkit-keygen", "--seed s --out " + path("s")), 0);

@@ -9,6 +9,9 @@
 //   upkit-device --flash dev.bin boot --vendor-pub v.pub --server-pub s.pub
 //                [--app-id A]                            run the bootloader
 //   upkit-device --flash dev.bin status                  inspect both slots
+//   upkit-device --bench-verify N [--backend B]          verify/digest probe
+#include <chrono>
+
 #include "boot/bootloader.hpp"
 #include "flash/file_flash.hpp"
 #include "sim/platform.hpp"
@@ -75,13 +78,82 @@ void print_slot(flash::FileFlash& device, std::uint32_t slot_id) {
 
 int main(int argc, char** argv) {
     const Args args(argc, argv);
+
+    if (args.flag("bench-verify") != nullptr) {
+        // Device-side verification throughput probe (parity with
+        // `upkit-sign --bench`): ECDSA verify ops/s — fresh key vs the
+        // prepared per-key wNAF table — and SHA-256 digest MB/s for the
+        // selected software backend.
+        const std::uint64_t iters = args.flag_u64("bench-verify", 256);
+        const std::string* backend_name = args.flag("backend");
+        std::unique_ptr<crypto::CryptoBackend> backend;
+        if (backend_name == nullptr || *backend_name == "tinycrypt") {
+            backend = crypto::make_tinycrypt_backend();
+        } else if (*backend_name == "tinydtls") {
+            backend = crypto::make_tinydtls_backend();
+        } else {
+            die("unknown --backend (tinycrypt | tinydtls)");
+        }
+
+        const crypto::PrivateKey key =
+            crypto::PrivateKey::generate(to_bytes("upkit-device-bench"));
+        const crypto::PublicKey pub = key.public_key();
+        const crypto::PreparedPublicKey prepared(pub);
+        crypto::Sha256Digest digest = crypto::Sha256::digest(to_bytes("bench"));
+        const crypto::Signature sig = crypto::ecdsa_sign(key, digest);
+        if (!backend->verify(prepared, digest, sig)) die("self-check verify failed");
+
+        using BenchClock = std::chrono::steady_clock;
+        volatile std::uint8_t sink = 0;
+        auto t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            sink = sink ^ static_cast<std::uint8_t>(backend->verify(pub, digest, sig));
+        }
+        const double fresh_s =
+            std::chrono::duration<double>(BenchClock::now() - t0).count();
+        t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < iters; ++i) {
+            sink = sink ^ static_cast<std::uint8_t>(backend->verify(prepared, digest, sig));
+        }
+        const double prepared_s =
+            std::chrono::duration<double>(BenchClock::now() - t0).count();
+
+        Bytes buf(1024 * 1024);
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            buf[i] = static_cast<std::uint8_t>(i * 31 + 7);
+        }
+        const std::uint64_t sha_iters = iters / 16 + 4;
+        t0 = BenchClock::now();
+        for (std::uint64_t i = 0; i < sha_iters; ++i) {
+            buf[0] = static_cast<std::uint8_t>(i);
+            sink = sink ^ backend->digest(buf)[0];
+        }
+        const double sha_s =
+            std::chrono::duration<double>(BenchClock::now() - t0).count();
+
+        std::printf("backend %.*s, %llu verifies each\n",
+                    static_cast<int>(backend->name().size()), backend->name().data(),
+                    static_cast<unsigned long long>(iters));
+        std::printf("verify (fresh key):    %.1f ops/s (%.1f us each)\n",
+                    static_cast<double>(iters) / fresh_s,
+                    1e6 * fresh_s / static_cast<double>(iters));
+        std::printf("verify (prepared key): %.1f ops/s (%.1f us each)\n",
+                    static_cast<double>(iters) / prepared_s,
+                    1e6 * prepared_s / static_cast<double>(iters));
+        std::printf("sha256 digest:         %.1f MB/s\n",
+                    static_cast<double>(sha_iters) * static_cast<double>(buf.size()) /
+                        sha_s / 1e6);
+        return 0;
+    }
+
     const std::string* flash_path = args.flag("flash");
     if (flash_path == nullptr || args.positional().empty()) {
         std::fprintf(stderr,
                      "usage: upkit-device --flash dev.bin provision|stage IMAGE\n"
                      "       upkit-device --flash dev.bin boot --vendor-pub V --server-pub S"
                      " [--app-id A]\n"
-                     "       upkit-device --flash dev.bin status\n");
+                     "       upkit-device --flash dev.bin status\n"
+                     "       upkit-device --bench-verify N [--backend tinycrypt|tinydtls]\n");
         return 1;
     }
     auto device = flash::FileFlash::open(*flash_path, geometry());
