@@ -74,7 +74,7 @@ VerifyCalibration run_verify_calibration() {
     t0 = Clock::now();
     for (int i = 0; i < kCombIters; ++i) {
         k.w[0] ^= static_cast<std::uint64_t>(i);
-        sink = sink + curve.mul_base(k)->x.w[0];
+        sink = sink + curve.mul_base(k)->x.w[0];  // lint: public-scalar (calibration constant)
     }
     const double comb_s = seconds_since(t0) / kCombIters;
 
@@ -82,7 +82,7 @@ VerifyCalibration run_verify_calibration() {
     t0 = Clock::now();
     for (int i = 0; i < kLadderIters; ++i) {
         k.w[0] ^= static_cast<std::uint64_t>(i);
-        sink = sink + curve.mul_generic(k, pub.point())->x.w[0];
+        sink = sink + curve.mul_generic(k, pub.point())->x.w[0];  // lint: public-scalar (calibration constant)
     }
     const double ladder_s = seconds_since(t0) / kLadderIters;
 

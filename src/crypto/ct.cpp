@@ -1,0 +1,27 @@
+#include "crypto/ct.hpp"
+
+namespace upkit::crypto::ct {
+
+namespace {
+
+// Single-threaded harness state: the ctcheck test records one kernel at a
+// time. Not guarded — tracing is never enabled in production paths.
+std::vector<std::uint16_t> g_trace;
+
+}  // namespace
+
+void trace_record(std::uint16_t tag) { g_trace.push_back(tag); }
+
+void trace_begin() {
+    g_trace.clear();
+    g_trace_enabled = true;
+}
+
+std::vector<std::uint16_t> trace_take() {
+    g_trace_enabled = false;
+    std::vector<std::uint16_t> out;
+    out.swap(g_trace);
+    return out;
+}
+
+}  // namespace upkit::crypto::ct

@@ -1,8 +1,10 @@
 #include "crypto/ecdsa.hpp"
 
+#include <list>
 #include <map>
 #include <mutex>
 
+#include "crypto/ct.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/hmac_drbg.hpp"
 
@@ -17,23 +19,67 @@ U256 digest_to_scalar(const Sha256Digest& digest) {
     return U256::from_be_bytes(ByteSpan(digest.data(), digest.size()));
 }
 
-/// Process-wide intern cache for precomputed wNAF tables, keyed by the
+/// Process-wide LRU intern cache for precomputed wNAF tables, keyed by the
 /// 64-byte key encoding. A simulated fleet provisions every device with the
 /// same vendor + server keys, so without interning a 1000-device campaign
-/// would rebuild the identical table 2000 times. Bounded: once full, new
-/// keys get a private (uncached) table rather than evicting hot ones.
-std::shared_ptr<const P256::Precomputed> interned_table(const PublicKey& key) {
-    constexpr std::size_t kMaxInterned = 128;
+/// would rebuild the identical table 2000 times. Eviction drops only the
+/// cache's reference: handles pin their table via shared_ptr, so a table
+/// in use outlives its cache slot. All access is serialized by kIntern.mu.
+struct InternCache {
     using KeyId = std::array<std::uint8_t, kPublicKeySize>;
-    static std::mutex mu;
-    static std::map<KeyId, std::shared_ptr<const P256::Precomputed>> cache;
+    struct Entry {
+        std::list<KeyId>::iterator lru_pos;
+        std::shared_ptr<const P256::Precomputed> table;
+    };
 
-    const KeyId id = key.to_bytes();
-    std::lock_guard<std::mutex> lock(mu);
-    if (auto it = cache.find(id); it != cache.end()) return it->second;
+    static constexpr std::size_t kCapacity = 128;
+
+    std::mutex mu;
+    std::list<KeyId> lru;  // front = most recently used
+    std::map<KeyId, Entry> entries;
+    InternStats stats;
+};
+
+InternCache& intern_cache() {
+    static InternCache cache;
+    return cache;
+}
+
+std::shared_ptr<const P256::Precomputed> interned_table(const PublicKey& key) {
+    InternCache& c = intern_cache();
+    const InternCache::KeyId id = key.to_bytes();
+
+    {
+        std::lock_guard<std::mutex> lock(c.mu);
+        if (auto it = c.entries.find(id); it != c.entries.end()) {
+            c.lru.splice(c.lru.begin(), c.lru, it->second.lru_pos);
+            ++c.stats.hits;
+            return it->second.table;
+        }
+    }
+
+    // Build outside the lock: the table is ~45 group ops + an inversion and
+    // must not serialize unrelated threads. Two threads racing on the same
+    // new key both build; the loser's insert finds the winner's entry and
+    // adopts it, so callers still share one table.
     auto table = std::make_shared<P256::Precomputed>(
         P256::instance().precompute(key.point()));
-    if (cache.size() < kMaxInterned) cache.emplace(id, table);
+
+    std::lock_guard<std::mutex> lock(c.mu);
+    if (auto it = c.entries.find(id); it != c.entries.end()) {
+        c.lru.splice(c.lru.begin(), c.lru, it->second.lru_pos);
+        ++c.stats.hits;
+        return it->second.table;
+    }
+    ++c.stats.misses;
+    c.lru.push_front(id);
+    c.entries.emplace(id, InternCache::Entry{c.lru.begin(), table});
+    if (c.entries.size() > InternCache::kCapacity) {
+        c.entries.erase(c.lru.back());
+        c.lru.pop_back();
+        ++c.stats.evictions;
+    }
+    c.stats.size = c.entries.size();
     return table;
 }
 
@@ -41,6 +87,14 @@ std::shared_ptr<const P256::Precomputed> interned_table(const PublicKey& key) {
 
 PreparedPublicKey::PreparedPublicKey(const PublicKey& key)
     : key_(key), table_(interned_table(key)) {}
+
+InternStats PreparedPublicKey::intern_stats() {
+    InternCache& c = intern_cache();
+    std::lock_guard<std::mutex> lock(c.mu);
+    InternStats out = c.stats;
+    out.size = c.entries.size();
+    return out;
+}
 
 Expected<PublicKey> PublicKey::from_point(const AffinePoint& p) {
     if (!P256::instance().on_curve(p)) return Status::kBadKey;
@@ -71,21 +125,33 @@ PrivateKey PrivateKey::generate(ByteSpan seed) {
         std::array<std::uint8_t, 32> candidate{};
         drbg.generate(MutByteSpan(candidate));
         const U256 d = U256::from_be_bytes(candidate);
-        if (!d.is_zero() && d < curve.n()) return PrivateKey(d);
+        // Branchless range check; the accept/reject bit is declassified —
+        // a rejection only reveals that a uniformly random 256-bit string
+        // fell outside [1, n), which leaks nothing about the accepted key.
+        const std::uint64_t ok = ~ct_is_zero_mask(d) & ct_lt_mask(d, curve.n());
+        if (ct::declassify_value(ok != 0)) return PrivateKey(d);
     }
 }
 
 Expected<PrivateKey> PrivateKey::from_bytes(ByteSpan raw32) {
     if (raw32.size() != kPrivateKeySize) return Status::kBadKey;
     const U256 d = U256::from_be_bytes(raw32);
-    if (d.is_zero() || !(d < P256::instance().n())) return Status::kBadKey;
+    // Branchless range check on the candidate secret; only the public
+    // accept/reject verdict is branched on.
+    const std::uint64_t ok =
+        ~ct_is_zero_mask(d) & ct_lt_mask(d, P256::instance().n());
+    if (!ct::declassify_value(ok != 0)) return Status::kBadKey;
     return PrivateKey(d);
 }
 
 PublicKey PrivateKey::public_key() const {
-    const auto point = P256::instance().mul_base(d_);
-    // d is in [1, n-1], so d*G can never be the point at infinity.
-    auto key = PublicKey::from_point(*point);
+    // Constant-time walk: d is the long-lived secret, and key derivation
+    // can run on-device (e.g. when provisioning an ECDH ephemeral).
+    const auto point = P256::instance().mul_base_ct(d_);
+    // d is in [1, n-1], so d*G can never be the point at infinity; the
+    // resulting point is, by definition, the public key.
+    const AffinePoint p = ct::declassify_value(*point);
+    auto key = PublicKey::from_point(p);
     return *key;
 }
 
@@ -118,7 +184,12 @@ U256 rfc6979_nonce(const U256& d, const Sha256Digest& digest) {
     for (;;) {
         v = HmacSha256::mac(k, v);
         const U256 candidate = U256::from_be_bytes(v);
-        if (!candidate.is_zero() && candidate < curve.n()) return candidate;
+        // Branchless range check, declassified accept bit: RFC 6979
+        // rejection only reveals that an HMAC output exceeded n, which is
+        // independent of the nonce actually used.
+        const std::uint64_t ok =
+            ~ct_is_zero_mask(candidate) & ct_lt_mask(candidate, curve.n());
+        if (ct::declassify_value(ok != 0)) return candidate;
         HmacSha256 mac(k);
         mac.update(v);
         const std::uint8_t zero = 0x00;
@@ -135,18 +206,24 @@ Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest) {
 
     U256 k = rfc6979_nonce(key.scalar(), digest);
     for (;;) {
-        const auto point = curve.mul_base(k);
+        // The nonce is the most timing-sensitive secret in ECDSA (a few
+        // leaked bits across signatures break the key via lattice attacks),
+        // so k*G takes the constant-time Booth walk, not the comb table.
+        const auto point = curve.mul_base_ct(k);
         if (point) {
-            const U256 r = fn.reduce(point->x);
+            // r is the published signature half: declassified the moment
+            // it exists.
+            const U256 r = ct::declassify_value(fn.reduce(point->x));
             if (!r.is_zero()) {
                 // s = k^-1 (z + r d) mod n, computed in the order's
-                // Montgomery domain.
+                // Montgomery domain (branchless mul/add; inv is a fixed
+                // public-exponent pow).
                 const U256 km = fn.to_mont(k);
                 const U256 rm = fn.to_mont(r);
                 const U256 dm = fn.to_mont(key.scalar());
                 const U256 zm = fn.to_mont(z);
                 const U256 s_m = fn.mul(fn.inv(km), fn.add(zm, fn.mul(rm, dm)));
-                const U256 s = fn.from_mont(s_m);
+                const U256 s = ct::declassify_value(fn.from_mont(s_m));
                 if (!s.is_zero()) {
                     Signature sig{};
                     r.to_be_bytes(MutByteSpan(sig.data(), 32));
@@ -192,7 +269,8 @@ bool verify_with(const Sha256Digest& digest, ByteSpan signature, MulAddFn&& mul_
 
 bool ecdsa_verify(const PublicKey& key, const Sha256Digest& digest, ByteSpan signature) {
     return verify_with(digest, signature, [&](const U256& u1, const U256& u2) {
-        return P256::instance().mul_add(u1, u2, key.point());
+        // u1, u2 derive from the signature and digest, both public.
+        return P256::instance().mul_add(u1, u2, key.point());  // lint: public-scalar
     });
 }
 
@@ -200,14 +278,14 @@ bool ecdsa_verify(const PreparedPublicKey& key, const Sha256Digest& digest,
                   ByteSpan signature) {
     if (!key.valid()) return false;
     return verify_with(digest, signature, [&](const U256& u1, const U256& u2) {
-        return P256::instance().mul_add(u1, u2, key.table());
+        return P256::instance().mul_add(u1, u2, key.table());  // lint: public-scalar
     });
 }
 
 bool ecdsa_verify_generic(const PublicKey& key, const Sha256Digest& digest,
                           ByteSpan signature) {
     return verify_with(digest, signature, [&](const U256& u1, const U256& u2) {
-        return P256::instance().mul_add_generic(u1, u2, key.point());
+        return P256::instance().mul_add_generic(u1, u2, key.point());  // lint: public-scalar
     });
 }
 

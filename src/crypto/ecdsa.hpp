@@ -66,13 +66,26 @@ private:
     U256 d_;
 };
 
+/// Counters for the process-wide prepared-table intern cache. Snapshot
+/// semantics: read under the cache lock, returned by value.
+struct InternStats {
+    std::uint64_t hits = 0;        // table served from the cache
+    std::uint64_t misses = 0;      // table built fresh
+    std::uint64_t evictions = 0;   // LRU entries dropped (handles stay live)
+    std::size_t size = 0;          // entries currently cached
+};
+
 /// A public key bundled with its P256::Precomputed wNAF table, built once.
 /// UpKit's vendor and update-server keys are provisioned for the device's
 /// lifetime, so each of the four ECDSA verifies per update (agent manifest +
 /// firmware, bootloader manifest + firmware) reuses the same table.
 ///
-/// Tables are interned process-wide: a fleet of simulated devices sharing
-/// the same two trust-anchor keys builds each table exactly once.
+/// Tables are interned process-wide behind a mutex: a fleet of simulated
+/// devices sharing the same two trust-anchor keys builds each table exactly
+/// once, from any thread. The cache is a bounded LRU; eviction only drops
+/// the cache's reference — live PreparedPublicKey handles pin their table
+/// through the shared_ptr, so an evicted table stays valid until the last
+/// handle goes away.
 class PreparedPublicKey {
 public:
     /// Empty handle; valid() is false and verification always fails.
@@ -84,6 +97,9 @@ public:
     const PublicKey& key() const { return key_; }
     const P256::Precomputed& table() const { return *table_; }
     bool valid() const { return table_ != nullptr; }
+
+    /// Snapshot of the intern-cache counters (for tests and benchmarks).
+    static InternStats intern_stats();
 
 private:
     PublicKey key_{};

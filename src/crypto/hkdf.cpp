@@ -40,7 +40,10 @@ Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length) {
 
 Expected<Bytes> ecdh_shared_secret(const PrivateKey& private_key,
                                    const PublicKey& peer_public_key) {
-    const auto point = P256::instance().mul(private_key.scalar(), peer_public_key.point());
+    // The scalar is the device (or ephemeral) private key — this is the one
+    // variable-base multiplication in the repo that runs on a secret, so it
+    // takes the constant-time Booth walk rather than wNAF.
+    const auto point = P256::instance().mul_ct(private_key.scalar(), peer_public_key.point());
     if (!point) return Status::kBadKey;
     return point->x.to_be_bytes();
 }

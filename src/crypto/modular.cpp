@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "crypto/ct.hpp"
+
 namespace upkit::crypto {
 
 using u128 = unsigned __int128;
@@ -34,25 +36,23 @@ Montgomery::Montgomery(const U256& modulus) : n_(modulus) {
 }
 
 U256 Montgomery::add(const U256& a, const U256& b) const {
+    // Branchless final reduction: both the carry-out and the trial
+    // subtraction are computed unconditionally, then mask-selected, so the
+    // sequence of operations never depends on the (possibly secret) values.
     U256 out;
     const std::uint64_t carry = ::upkit::crypto::add(out, a, b);
-    if (carry != 0 || out >= n_) {
-        U256 tmp;
-        ::upkit::crypto::sub(tmp, out, n_);
-        out = tmp;
-    }
-    return out;
+    U256 reduced;
+    const std::uint64_t borrow = ::upkit::crypto::sub(reduced, out, n_);
+    const std::uint64_t take = ct::mask_from_bit(carry | (borrow ^ 1));
+    return ct_select(take, reduced, out);
 }
 
 U256 Montgomery::sub(const U256& a, const U256& b) const {
     U256 out;
     const std::uint64_t borrow = ::upkit::crypto::sub(out, a, b);
-    if (borrow != 0) {
-        U256 tmp;
-        ::upkit::crypto::add(tmp, out, n_);
-        out = tmp;
-    }
-    return out;
+    U256 wrapped;
+    ::upkit::crypto::add(wrapped, out, n_);
+    return ct_select(ct::mask_from_bit(borrow), wrapped, out);
 }
 
 U256 Montgomery::mul(const U256& a, const U256& b) const {
@@ -93,12 +93,11 @@ U256 Montgomery::mul(const U256& a, const U256& b) const {
     }
 
     U256 out{{t[0], t[1], t[2], t[3]}};
-    if (t[4] != 0 || out >= n_) {
-        U256 tmp;
-        ::upkit::crypto::sub(tmp, out, n_);
-        out = tmp;
-    }
-    return out;
+    // Branchless final reduction (t[4] is 0 or 1 after the last round).
+    U256 reduced;
+    const std::uint64_t borrow = ::upkit::crypto::sub(reduced, out, n_);
+    const std::uint64_t take = ct::mask_from_bit(ct::nonzero_bit(t[4]) | (borrow ^ 1));
+    return ct_select(take, reduced, out);
 }
 
 U256 Montgomery::pow(const U256& a, const U256& e) const {
@@ -120,13 +119,11 @@ U256 Montgomery::inv(const U256& a) const {
 }
 
 U256 Montgomery::reduce(const U256& a) const {
-    if (a >= n_) {
-        U256 out;
-        ::upkit::crypto::sub(out, a, n_);
-        // One subtraction suffices: a < 2^256 < 2n.
-        return out;
-    }
-    return a;
+    // One conditional subtraction suffices (a < 2^256 < 2n), mask-selected
+    // so reduction of a secret scalar stays branch-free.
+    U256 out;
+    const std::uint64_t borrow = ::upkit::crypto::sub(out, a, n_);
+    return ct_select(ct::mask_from_bit(borrow ^ 1), out, a);
 }
 
 }  // namespace upkit::crypto

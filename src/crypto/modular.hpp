@@ -32,6 +32,10 @@ public:
     U256 sub(const U256& a, const U256& b) const;
 
     /// a^e mod n for Montgomery-form a; result in Montgomery form.
+    /// Square-and-multiply driven by the bits of `e`: variable-time in the
+    /// exponent, constant-time in the base. Every exponent in this repo is
+    /// a public curve constant (n - 2 for inversion), so secret bases are
+    /// safe here.
     U256 pow(const U256& a, const U256& e) const;
 
     /// Multiplicative inverse via Fermat (modulus must be prime);

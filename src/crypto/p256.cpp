@@ -1,5 +1,7 @@
 #include "crypto/p256.hpp"
 
+#include "crypto/ct.hpp"
+
 namespace upkit::crypto {
 
 namespace {
@@ -9,6 +11,34 @@ const char* kOrderHex = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac
 const char* kBHex = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
 const char* kGxHex = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
 const char* kGyHex = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+/// One width-4 Booth (signed fixed-window) digit: value is
+/// neg_mask ? -magnitude : magnitude, magnitude in [0, 8].
+struct BoothDigit {
+    std::uint64_t magnitude;
+    std::uint64_t neg_mask;  // all-ones when negative
+};
+
+/// Digit w of the Booth recoding of k: the 5-bit window of (k << 1) at bit
+/// 4w (i.e. bits 4w-1 .. 4w+3 of k, with b_{-1} = 0), folded to a signed
+/// digit of weight 2^(4w). Window 64 sees only bit 255 and absorbs the
+/// final recoding carry. Branch-free in k; `window` is a public loop index.
+BoothDigit booth4(const U256& k, unsigned window) {
+    std::uint64_t v;
+    if (window == 0) {
+        v = (k.w[0] << 1) & 0x1f;
+    } else {
+        const unsigned bitpos = 4 * window - 1;
+        const unsigned limb = bitpos / 64;
+        const unsigned off = bitpos % 64;
+        std::uint64_t chunk = k.w[limb] >> off;
+        if (off > 59 && limb + 1 < 4) chunk |= k.w[limb + 1] << (64 - off);
+        v = chunk & 0x1f;
+    }
+    const std::uint64_t s = ct::mask_from_bit(v >> 4);
+    const std::uint64_t d = ct::select(s, 31 - v, v);
+    return BoothDigit{(d >> 1) + (d & 1), s};
+}
 
 }  // namespace
 
@@ -23,6 +53,7 @@ P256::P256()
       g_{U256::from_hex(kGxHex), U256::from_hex(kGyHex)} {
     b_mont_ = fp_.to_mont(U256::from_hex(kBHex));
     build_comb_table();
+    build_ct_table();
 }
 
 bool P256::on_curve(const AffinePoint& p) const {
@@ -43,7 +74,9 @@ P256::Jacobian P256::to_jacobian(const AffinePoint& p) const {
 }
 
 std::optional<AffinePoint> P256::to_affine(const Jacobian& p) const {
-    if (p.infinity()) return std::nullopt;
+    // Whether a scalar multiple is the identity is public by protocol
+    // (callers reject k == 0 before, or treat nullopt as a public error).
+    if (ct::declassify_value(p.infinity())) return std::nullopt;
     const U256 zinv = fp_.inv(p.z);
     const U256 zinv2 = fp_.sqr(zinv);
     const U256 zinv3 = fp_.mul(zinv2, zinv);
@@ -51,6 +84,7 @@ std::optional<AffinePoint> P256::to_affine(const Jacobian& p) const {
 }
 
 P256::Jacobian P256::dbl(const Jacobian& p) const {
+    ct::trace_note(ct::kTraceDbl);
     if (p.infinity() || p.y.is_zero()) return Jacobian{};  // 2*inf = inf; y=0 is order-2 (absent on P-256)
     // dbl-2001-b formulas specialized for a = -3.
     const U256 delta = fp_.sqr(p.z);
@@ -72,6 +106,7 @@ P256::Jacobian P256::dbl(const Jacobian& p) const {
 }
 
 P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
+    ct::trace_note(ct::kTraceAdd);
     if (p.infinity()) return q;
     if (q.infinity()) return p;
     // add-2007-bl.
@@ -99,6 +134,7 @@ P256::Jacobian P256::add(const Jacobian& p, const Jacobian& q) const {
 }
 
 P256::Jacobian P256::add_mixed(const Jacobian& p, const MontAffine& q) const {
+    ct::trace_note(ct::kTraceMadd);
     if (p.infinity()) return Jacobian{q.x, q.y, fp_.one()};
     // madd-2007-bl (q affine, z2 = 1).
     const U256 z1z1 = fp_.sqr(p.z);
@@ -201,6 +237,123 @@ void P256::build_odd_row(const Jacobian& base, Jacobian* out) const {
     for (unsigned j = 1; j < kWnafOddEntries; ++j) out[j] = add(out[j - 1], twice);
 }
 
+P256::Jacobian P256::ct_dbl(const Jacobian& p) const {
+    ct::trace_note(ct::kTraceCtDbl);
+    // dbl-2001-b is complete for infinity: z == 0 gives
+    // z3 = (y + z)^2 - gamma - delta = 2yz = 0, so no guard branch is
+    // needed. (y == 0 would be an order-2 point; P-256 has none, and the
+    // all-zero infinity encoding also lands on z3 == 0.)
+    const U256 delta = fp_.sqr(p.z);
+    const U256 gamma = fp_.sqr(p.y);
+    const U256 beta = fp_.mul(p.x, gamma);
+    const U256 alpha = fp_.mul(fp_.add(fp_.add(fp_.sub(p.x, delta), fp_.sub(p.x, delta)),
+                                       fp_.sub(p.x, delta)),
+                               fp_.add(p.x, delta));
+    U256 x3 = fp_.sub(fp_.sqr(alpha), fp_.add(fp_.add(beta, beta), fp_.add(beta, beta)));
+    x3 = fp_.sub(x3, fp_.add(fp_.add(beta, beta), fp_.add(beta, beta)));
+    const U256 z3 = fp_.sub(fp_.sub(fp_.sqr(fp_.add(p.y, p.z)), gamma), delta);
+    const U256 four_beta = fp_.add(fp_.add(beta, beta), fp_.add(beta, beta));
+    const U256 gamma2 = fp_.sqr(gamma);
+    const U256 eight_gamma2 =
+        fp_.add(fp_.add(fp_.add(gamma2, gamma2), fp_.add(gamma2, gamma2)),
+                fp_.add(fp_.add(gamma2, gamma2), fp_.add(gamma2, gamma2)));
+    const U256 y3 = fp_.sub(fp_.mul(alpha, fp_.sub(four_beta, x3)), eight_gamma2);
+    return Jacobian{x3, y3, z3};
+}
+
+P256::Jacobian P256::ct_add_mixed(const Jacobian& p, const MontAffine& q,
+                                  std::uint64_t q_zero_mask) const {
+    ct::trace_note(ct::kTraceCtMadd);
+    // madd-2007-bl computed unconditionally; the special cases are resolved
+    // by mask-selects afterwards, so the operation sequence is fixed.
+    const U256 z1z1 = fp_.sqr(p.z);
+    const U256 u2 = fp_.mul(q.x, z1z1);
+    const U256 s2 = fp_.mul(fp_.mul(q.y, p.z), z1z1);
+    const U256 h = fp_.sub(u2, p.x);
+    const U256 r = fp_.add(fp_.sub(s2, p.y), fp_.sub(s2, p.y));
+    const U256 hh = fp_.sqr(h);
+    const U256 i = fp_.add(fp_.add(hh, hh), fp_.add(hh, hh));
+    const U256 j = fp_.mul(h, i);
+    const U256 v = fp_.mul(p.x, i);
+    const U256 x3 = fp_.sub(fp_.sub(fp_.sqr(r), j), fp_.add(v, v));
+    const U256 yj = fp_.mul(p.y, j);
+    const U256 y3 = fp_.sub(fp_.mul(r, fp_.sub(v, x3)), fp_.add(yj, yj));
+    const U256 z3 = fp_.sub(fp_.sub(fp_.sqr(fp_.add(p.z, h)), z1z1), hh);
+    // p == infinity: the sum is q lifted to Jacobian (z = 1).
+    const std::uint64_t p_inf = ct_is_zero_mask(p.z);
+    Jacobian out{ct_select(p_inf, q.x, x3), ct_select(p_inf, q.y, y3),
+                 ct_select(p_inf, fp_.one(), z3)};
+    // q == 0 (a zero Booth digit): keep p. Applied last, so an all-zero q
+    // against an infinite p still yields infinity.
+    out.x = ct_select(q_zero_mask, p.x, out.x);
+    out.y = ct_select(q_zero_mask, p.y, out.y);
+    out.z = ct_select(q_zero_mask, p.z, out.z);
+    // The remaining exceptional case (h == 0 with q live: p == ±q) is not
+    // masked; see the caller-side analysis in ct_booth_mul_base / mul_ct.
+    return out;
+}
+
+P256::MontAffine P256::ct_select_entry(const MontAffine* row, unsigned count,
+                                       std::uint64_t magnitude,
+                                       std::uint64_t neg_mask) const {
+    ct::trace_note(ct::kTraceCtSelect);
+    // Touch every entry; accumulate the match with mask-selects so neither
+    // the branch pattern nor the cache footprint depends on the digit.
+    MontAffine out{U256::zero(), U256::zero()};
+    for (unsigned j = 1; j <= count; ++j) {
+        const std::uint64_t m = ct::eq_mask(j, magnitude);
+        out.x = ct_select(m, row[j - 1].x, out.x);
+        out.y = ct_select(m, row[j - 1].y, out.y);
+    }
+    // Negative digit: y -> p - y (a no-op on the magnitude-0 zero entry).
+    out.y = ct_select(neg_mask, fp_.sub(U256::zero(), out.y), out.y);
+    return out;
+}
+
+void P256::build_ct_table() {
+    // Row w holds {1..8} * B_w, B_w = 2^(4w) * G, for the 65 Booth windows.
+    // Construction is public (the generator is a curve constant), so the
+    // variable-time group ops are fine here. No entry is infinity: n is
+    // prime and j * 2^(4w) with j <= 8 is never divisible by it.
+    std::vector<Jacobian> jac(kCtWindows * kCtRowEntries);
+    Jacobian base = to_jacobian(g_);
+    for (unsigned w = 0; w < kCtWindows; ++w) {
+        Jacobian acc = base;
+        for (unsigned j = 1; j <= kCtRowEntries; ++j) {
+            jac[w * kCtRowEntries + j - 1] = acc;
+            acc = add(acc, base);
+        }
+        if (w + 1 < kCtWindows) {
+            for (unsigned b = 0; b < kCtWindowBits; ++b) base = dbl(base);
+        }
+    }
+    ct_base_.resize(jac.size());
+    normalize_batch(jac.data(), ct_base_.data(), jac.size());
+}
+
+P256::Jacobian P256::ct_booth_mul_base(const U256& k) const {
+    // LSB-first walk: one full-row scan plus one masked mixed addition per
+    // window, 65 of each, no doublings — a fixed operation sequence for
+    // every scalar.
+    //
+    // Masked-add exceptional case: madd breaks silently when the partial
+    // sum equals ±q (h == 0 with q live). The partial sum after window w
+    // is the Booth prefix of k — as an integer it lies strictly inside
+    // (-2^(4(w+1)), 2^(4(w+1))) — while a row-(w+1) entry's scalar is
+    // j * 2^(4(w+1)), so a collision requires wrapping mod n. That is
+    // impossible below the carry window and confined to a handful of
+    // adversarially constructed scalars at it; RFC 6979 nonces and honest
+    // keys never land there.
+    Jacobian acc{};
+    for (unsigned w = 0; w < kCtWindows; ++w) {
+        const BoothDigit d = booth4(k, w);
+        const MontAffine entry = ct_select_entry(ct_base_.data() + w * kCtRowEntries,
+                                                 kCtRowEntries, d.magnitude, d.neg_mask);
+        acc = ct_add_mixed(acc, entry, ct::is_zero_mask(d.magnitude));
+    }
+    return acc;
+}
+
 int P256::wnaf_recode(U256 k, std::int8_t* digits) {
     constexpr unsigned kWindow = 1u << kWnafWidth;  // 32
     int len = 0;
@@ -291,6 +444,14 @@ std::optional<AffinePoint> P256::mul_base(const U256& k) const {
     return to_affine(comb_mul_base(k_reduced));
 }
 
+std::optional<AffinePoint> P256::mul_base_ct(const U256& k) const {
+    // reduce() is branchless; whether k == 0 mod n is public by protocol
+    // (nonce / key generation rejects zero before any use).
+    const U256 k_reduced = fn_.reduce(k);
+    if (ct::declassify_value(k_reduced.is_zero())) return std::nullopt;
+    return to_affine(ct_booth_mul_base(k_reduced));
+}
+
 std::optional<AffinePoint> P256::mul_base_generic(const U256& k) const {
     return mul_generic(k, g_);
 }
@@ -309,6 +470,35 @@ std::optional<AffinePoint> P256::mul(const U256& k, const Precomputed& p) const 
     const U256 k_reduced = fn_.reduce(k);
     if (k_reduced.is_zero()) return std::nullopt;
     return to_affine(wnaf_mul(k_reduced, p));
+}
+
+std::optional<AffinePoint> P256::mul_ct(const U256& k, const AffinePoint& p) const {
+    const U256 k_reduced = fn_.reduce(k);
+    if (ct::declassify_value(k_reduced.is_zero())) return std::nullopt;
+    // Row of {1..8} * P, batch-normalized like the wNAF rows. P is public
+    // (the peer's key), so plain add() is fine for construction.
+    std::array<Jacobian, kCtRowEntries> jac;
+    const Jacobian base = to_jacobian(p);
+    jac[0] = base;
+    for (unsigned j = 1; j < kCtRowEntries; ++j) jac[j] = add(jac[j - 1], base);
+    std::array<MontAffine, kCtRowEntries> row;
+    normalize_batch(jac.data(), row.data(), jac.size());
+    // MSB-first Booth walk: four branchless doublings then one full-row
+    // scan and masked addition per window — 256 ct_dbl + 65 ct_madd, a
+    // fixed sequence for every scalar. Exceptional madd cases (partial sum
+    // == ±jP) require the running scalar to hit one of 17 residues mod n —
+    // probability ~2^-250 per addition for any honest key.
+    Jacobian acc{};
+    for (int w = static_cast<int>(kCtWindows) - 1; w >= 0; --w) {
+        if (w + 1 < static_cast<int>(kCtWindows)) {
+            for (unsigned b = 0; b < kCtWindowBits; ++b) acc = ct_dbl(acc);
+        }
+        const BoothDigit d = booth4(k_reduced, static_cast<unsigned>(w));
+        const MontAffine entry =
+            ct_select_entry(row.data(), kCtRowEntries, d.magnitude, d.neg_mask);
+        acc = ct_add_mixed(acc, entry, ct::is_zero_mask(d.magnitude));
+    }
+    return to_affine(acc);
 }
 
 std::optional<AffinePoint> P256::mul_generic(const U256& k, const AffinePoint& p) const {

@@ -94,8 +94,18 @@ public:
 
     /// k * G. Returns nullopt only for k == 0 mod n. Served from the
     /// fixed-base comb table: no doublings, one mixed addition per nonzero
-    /// byte of the reduced scalar (the ECDSA-sign hot path).
+    /// byte of the reduced scalar. Variable-time (the addition count and
+    /// table indices are scalar-shaped) — for PUBLIC scalars only; secret
+    /// scalars (signing nonces, private keys) go through mul_base_ct.
     std::optional<AffinePoint> mul_base(const U256& k) const;
+
+    /// k * G for a SECRET scalar: signed fixed-window (Booth) walk over a
+    /// dedicated 65-row table, each digit fetched by scanning the full row
+    /// with constant-time selects and folded in with a masked mixed
+    /// addition — a fixed operation sequence with no secret-dependent
+    /// branch or table index. ~2x the cost of the comb walk; the price of
+    /// closing the nonce cache-timing channel on the signing path.
+    std::optional<AffinePoint> mul_base_ct(const U256& k) const;
 
     /// k * G via the generic double-and-add ladder. Retained as the
     /// reference implementation the differential suite and the hot-path
@@ -113,8 +123,15 @@ public:
     std::optional<AffinePoint> mul(const U256& k, const Precomputed& p) const;
 
     /// k * P via the plain double-and-add ladder: the differential-suite
-    /// reference for every wNAF path.
+    /// reference for every wNAF path. Variable-time; public scalars only.
     std::optional<AffinePoint> mul_generic(const U256& k, const AffinePoint& p) const;
+
+    /// k * P for a SECRET scalar (the ECDH hot spot: device and ephemeral
+    /// private keys). MSB-first Booth windows over an on-the-fly row of
+    /// {1..8}P with branchless doublings, constant-time row scans, and
+    /// masked additions. Costs roughly the generic ladder; ECDH runs once
+    /// per encrypted session, so constant-time is the only concern here.
+    std::optional<AffinePoint> mul_ct(const U256& k, const AffinePoint& p) const;
 
     /// Builds the interleaved odd-multiples table for P (must be on curve,
     /// prime order — every public key is). ~45 group ops + one inversion;
@@ -177,6 +194,40 @@ private:
     Jacobian comb_mul_base(const U256& k) const;
     void build_comb_table();
 
+    // ---- constant-time (secret-scalar) machinery ------------------------
+
+    /// Width-4 signed (Booth) windows: 64 real windows plus the recoding
+    /// carry at position 256, magnitudes in [0, 8].
+    static constexpr unsigned kCtWindowBits = 4;
+    static constexpr unsigned kCtWindows = 256 / kCtWindowBits + 1;  // 65
+    static constexpr unsigned kCtRowEntries = 1u << (kCtWindowBits - 1);  // 8
+
+    /// Branchless doubling: the dbl-2001-b formulas are already complete
+    /// for infinity (z = 0 gives z3 = 2yz = 0), so this is dbl() minus the
+    /// early-out branch.
+    Jacobian ct_dbl(const Jacobian& p) const;
+
+    /// Masked mixed addition: madd-2007-bl computed unconditionally, with
+    /// the p-is-infinity and q-is-zero cases resolved by constant-time
+    /// selects instead of branches. The exceptional same-x cases (double /
+    /// inverse) are unreachable for the Booth walks' partial sums except
+    /// for a single scalar value (see the .cpp analysis).
+    Jacobian ct_add_mixed(const Jacobian& p, const MontAffine& q,
+                          std::uint64_t q_zero_mask) const;
+
+    /// Scans all `count` entries of `row`, accumulating the one whose
+    /// 1-based index equals `magnitude` ((0, 0) when magnitude == 0), then
+    /// conditionally negates y under `neg_mask`.
+    MontAffine ct_select_entry(const MontAffine* row, unsigned count,
+                               std::uint64_t magnitude, std::uint64_t neg_mask) const;
+
+    /// Fixed-sequence Booth walk over the dedicated base-point table:
+    /// 65 masked additions, zero doublings, no secret-dependent control
+    /// flow. k must be reduced and nonzero.
+    Jacobian ct_booth_mul_base(const U256& k) const;
+
+    void build_ct_table();
+
     // One 255-entry row per byte of the scalar: row w holds
     // {1..255} * 2^(8w) * G, so k*G is a sum of at most 32 mixed additions
     // with no doublings. All rows are batch-normalized to affine with a
@@ -190,6 +241,9 @@ private:
     AffinePoint g_;
     U256 b_mont_;  // curve coefficient b, Montgomery form
     std::vector<MontAffine> comb_;  // [window * kCombRowEntries + digit - 1]
+    // Booth table for the constant-time fixed-base walk:
+    // [window * kCtRowEntries + j - 1] = j * 2^(4 window) * G, j in [1, 8].
+    std::vector<MontAffine> ct_base_;
 };
 
 }  // namespace upkit::crypto

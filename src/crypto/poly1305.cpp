@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/ct.hpp"
+
 namespace upkit::crypto {
 
 namespace {
@@ -259,7 +261,11 @@ Expected<Bytes> aead_open(const ChaChaKey& key, const ChaChaNonce& nonce, ByteSp
     AeadMac mac(key, nonce, aad);
     mac.update_ciphertext(ciphertext);
     const PolyTag expected = mac.finalize();
-    if (!ct_equal(ByteSpan(expected.data(), expected.size()), tag)) {
+    // The compare itself is constant-time; the accept/reject bit is the
+    // AEAD's public output, so it is declassified before branching.
+    const bool tag_ok = ct::declassify_value(
+        ct_equal(ByteSpan(expected.data(), expected.size()), tag));
+    if (!tag_ok) {
         return Status::kBadDigest;
     }
     return chacha20_xor(key, nonce, ciphertext);

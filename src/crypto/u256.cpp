@@ -3,6 +3,8 @@
 #include <bit>
 #include <cassert>
 
+#include "crypto/ct.hpp"
+
 namespace upkit::crypto {
 
 using u128 = unsigned __int128;
@@ -119,6 +121,29 @@ U256 shl1(const U256& a) {
         carry = a.w[i] >> 63;
     }
     return out;
+}
+
+std::uint64_t ct_is_zero_mask(const U256& a) {
+    return ct::is_zero_mask(a.w[0] | a.w[1] | a.w[2] | a.w[3]);
+}
+
+std::uint64_t ct_lt_mask(const U256& a, const U256& b) {
+    U256 scratch;
+    return ct::mask_from_bit(sub(scratch, a, b));
+}
+
+U256 ct_select(std::uint64_t mask, const U256& a, const U256& b) {
+    U256 out;
+    for (std::size_t i = 0; i < 4; ++i) out.w[i] = ct::select(mask, a.w[i], b.w[i]);
+    return out;
+}
+
+void ct_cswap(std::uint64_t mask, U256& a, U256& b) {
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::uint64_t t = mask & (a.w[i] ^ b.w[i]);
+        a.w[i] ^= t;
+        b.w[i] ^= t;
+    }
 }
 
 U256 shr1(const U256& a) {

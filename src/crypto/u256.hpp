@@ -1,10 +1,12 @@
 // Fixed-width 256-bit unsigned integer arithmetic.
 //
 // Backbone of the P-256 field and scalar arithmetic. Four 64-bit
-// little-endian limbs; products use the compiler's 128-bit type. Arithmetic
-// primitives are branch-light; full side-channel hardening is out of scope
-// for this host-side reproduction (the paper's targets delegate to
-// tinycrypt / the ATECC508 for that).
+// little-endian limbs; products use the compiler's 128-bit type. The limb
+// primitives (add/sub/mul_wide/shifts) are constant-time: fixed iteration
+// counts, no data-dependent branches. The comparison helpers split in two:
+// cmp()/operator< are variable-time conveniences for public values, while
+// ct_lt_mask()/ct_is_zero_mask()/ct_select()/ct_cswap() are the branchless
+// forms the hardened secret-scalar kernels are written against.
 #pragma once
 
 #include <array>
@@ -42,7 +44,8 @@ struct U256 {
     friend bool operator==(const U256& a, const U256& b) { return a.w == b.w; }
 };
 
-/// Three-way compare: -1, 0, +1.
+/// Three-way compare: -1, 0, +1. Variable-time (limb-wise early exit);
+/// for secret operands use ct_lt_mask().
 int cmp(const U256& a, const U256& b);
 inline bool operator<(const U256& a, const U256& b) { return cmp(a, b) < 0; }
 inline bool operator>=(const U256& a, const U256& b) { return cmp(a, b) >= 0; }
@@ -59,5 +62,19 @@ std::array<std::uint64_t, 8> mul_wide(const U256& a, const U256& b);
 /// Logical shifts.
 U256 shl1(const U256& a);
 U256 shr1(const U256& a);
+
+// ---- constant-time helpers (secret-operand forms) -----------------------
+
+/// All-ones mask if a == 0 else 0, without branching.
+std::uint64_t ct_is_zero_mask(const U256& a);
+
+/// All-ones mask if a < b else 0, derived from the subtraction borrow.
+std::uint64_t ct_lt_mask(const U256& a, const U256& b);
+
+/// mask ? a : b, limb-wise. `mask` must be all-ones or all-zeros.
+U256 ct_select(std::uint64_t mask, const U256& a, const U256& b);
+
+/// Swaps a and b when mask is all-ones; no-op when all-zeros.
+void ct_cswap(std::uint64_t mask, U256& a, U256& b);
 
 }  // namespace upkit::crypto

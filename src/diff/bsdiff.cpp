@@ -35,7 +35,7 @@ std::size_t search(const std::vector<std::uint32_t>& sa, ByteSpan old_image, Byt
     const std::size_t mid = lo + (hi - lo) / 2;
     const ByteSpan suffix = old_image.subspan(sa[mid]);
     const std::size_t cmp_len = std::min(suffix.size(), target.size());
-    if (std::memcmp(suffix.data(), target.data(), cmp_len) < 0) {
+    if (std::memcmp(suffix.data(), target.data(), cmp_len) < 0) {  // lint: public-data (image bytes)
         return search(sa, old_image, target, mid, hi, pos);
     }
     return search(sa, old_image, target, lo, mid, pos);
@@ -179,7 +179,7 @@ Expected<Bytes> bsdiff(ByteSpan old_image, ByteSpan new_image) {
 
 Expected<Bytes> bspatch_all(ByteSpan old_image, ByteSpan patch) {
     if (patch.size() < kPatchHeaderSize) return Status::kCorruptPatch;
-    if (std::memcmp(patch.data(), kPatchMagic, 8) != 0) return Status::kCorruptPatch;
+    if (std::memcmp(patch.data(), kPatchMagic, 8) != 0) return Status::kCorruptPatch;  // lint: public-data (patch magic)
     const std::uint64_t new_size = load_le64(patch.subspan(8, 8));
     const std::uint64_t old_size = load_le64(patch.subspan(16, 8));
     if (old_size != old_image.size()) return Status::kPatchBaseMismatch;

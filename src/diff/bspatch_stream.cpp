@@ -71,7 +71,7 @@ struct PatchApplier::Impl {
             switch (state) {
                 case State::kHeader: {
                     if (!fill(data, kPatchHeaderSize)) return Status::kOk;
-                    if (std::memcmp(scratch.data(), kPatchMagic, 8) != 0) {
+                    if (std::memcmp(scratch.data(), kPatchMagic, 8) != 0) {  // lint: public-data (patch magic)
                         return Status::kCorruptPatch;
                     }
                     new_size = load_le64(ByteSpan(scratch.data() + 8, 8));

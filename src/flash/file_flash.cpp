@@ -53,7 +53,7 @@ Status FileFlash::erase_sector(std::uint64_t sector_index) {
 Status FileFlash::sync() {
     std::ofstream out(path_, std::ios::binary | std::ios::trunc);
     if (!out) return Status::kFlashIoError;
-    out.write(reinterpret_cast<const char*>(content_.data()),
+    out.write(reinterpret_cast<const char*>(content_.data()),  // lint: status-checked (good() below)
               static_cast<std::streamsize>(content_.size()));
     return out.good() ? Status::kOk : Status::kFlashIoError;
 }

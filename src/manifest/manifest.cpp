@@ -54,7 +54,7 @@ Bytes serialize(const Manifest& m) {
 
 Expected<Manifest> parse_manifest(ByteSpan data) {
     if (data.size() < kManifestSize) return Status::kBadManifest;
-    if (std::memcmp(data.data(), kMagic, 4) != 0) return Status::kBadManifest;
+    if (std::memcmp(data.data(), kMagic, 4) != 0) return Status::kBadManifest;  // lint: public-data (manifest magic)
     if (load_le16(data.subspan(4, 2)) != kFormatVersion) return Status::kBadManifest;
     const std::uint16_t flags = load_le16(data.subspan(6, 2));
     if ((flags & ~(kFlagDifferential | kFlagEncrypted)) != 0) return Status::kBadManifest;

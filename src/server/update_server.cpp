@@ -21,7 +21,32 @@ constexpr std::size_t kServerSigOffset = 136;
 
 }  // namespace
 
+void UpdateServer::set_vendor_key(const crypto::PublicKey& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    vendor_key_ = crypto::PreparedPublicKey(key);
+}
+
 Status UpdateServer::publish(Release release) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (vendor_key_.valid()) {
+        // Publish-time ingest check: the vendor signature over the release
+        // core, and the manifest's firmware digest against the actual
+        // image. The prepared key makes repeated publishes reuse one
+        // interned verification table (see PreparedPublicKey::intern_stats).
+        const auto tbs = crypto::Sha256::digest(release.manifest.vendor_signed_bytes());
+        if (!crypto::ecdsa_verify(vendor_key_, tbs,
+                                  ByteSpan(release.manifest.vendor_signature.data(),
+                                           release.manifest.vendor_signature.size()))) {
+            return Status::kBadVendorSignature;
+        }
+        const auto fw_digest = crypto::Sha256::digest(release.firmware);
+        if (!ct_equal(ByteSpan(fw_digest.data(), fw_digest.size()),
+                      ByteSpan(release.manifest.digest.data(),
+                               release.manifest.digest.size()))) {
+            return Status::kBadDigest;
+        }
+        ++stats_.publish_verifies;
+    }
     auto& versions = releases_[release.manifest.app_id];
     const std::uint16_t version = release.manifest.version;
     if (versions.contains(version)) return Status::kAlreadyExists;
@@ -30,6 +55,7 @@ Status UpdateServer::publish(Release release) {
 }
 
 std::optional<std::uint16_t> UpdateServer::latest_version(std::uint32_t app_id) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     const auto it = releases_.find(app_id);
     if (it == releases_.end() || it->second.empty()) return std::nullopt;
     return it->second.rbegin()->first;
@@ -37,6 +63,7 @@ std::optional<std::uint16_t> UpdateServer::latest_version(std::uint32_t app_id) 
 
 bool UpdateServer::register_device_key(std::uint32_t device_id,
                                        const crypto::PublicKey& key) {
+    const std::lock_guard<std::mutex> lock(mu_);
     const auto it = device_keys_.find(device_id);
     if (it == device_keys_.end()) {
         device_keys_.emplace(device_id, key);
@@ -60,17 +87,20 @@ bool UpdateServer::register_device_key(std::uint32_t device_id,
 }
 
 void UpdateServer::set_delta_cache_capacity(std::size_t entries) {
+    const std::lock_guard<std::mutex> lock(mu_);
     delta_capacity_ = entries;
     delta_lru_.clear();
     delta_index_.clear();
 }
 
 void UpdateServer::set_response_cache_capacity(std::size_t entries) {
+    const std::lock_guard<std::mutex> lock(mu_);
     response_capacity_ = entries;
     response_lru_.clear();
     response_index_.clear();
 }
 
+// Assumes mu_ is held by the caller (set_lzss_params).
 void UpdateServer::invalidate_caches() {
     delta_lru_.clear();
     delta_index_.clear();
@@ -226,6 +256,10 @@ UpdateResponse UpdateServer::finalize(manifest::Manifest m, Bytes payload,
 
 Expected<UpdateResponse> UpdateServer::prepare_update(
     std::uint32_t app_id, const manifest::DeviceToken& token) const {
+    // Held end to end: every helper below touches the caches, counters, or
+    // the ephemeral-key counter. Deployment concurrency is ServerModel's
+    // job; this lock is for memory safety under threaded drivers.
+    const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
     const auto apps = releases_.find(app_id);
     if (apps == releases_.end() || apps->second.empty()) return Status::kNotFound;

@@ -21,6 +21,7 @@
 
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -65,6 +66,7 @@ struct ServerStats {
     std::uint64_t response_misses = 0;
     std::uint64_t response_evictions = 0;
     std::uint64_t key_rotations = 0;       // device key re-registrations
+    std::uint64_t publish_verifies = 0;    // vendor-signature checks at publish
 };
 
 /// Operational model of the server deployment, for campaign simulation.
@@ -140,8 +142,17 @@ public:
 
     crypto::PublicKey public_key() const { return key_.public_key(); }
 
+    /// Trust anchor for publish-time verification. Once set, publish()
+    /// rejects releases whose vendor signature or firmware digest does not
+    /// check out — a compromised build pipeline is caught at ingest, not on
+    /// ten thousand devices. The key is held in prepared (interned) form,
+    /// so every publish reuses one precomputed verification table.
+    void set_vendor_key(const crypto::PublicKey& key);
+
     /// Publishes a vendor-signed release. Past versions are retained so
     /// deltas can be derived against whatever a device currently runs.
+    /// With a vendor key set (set_vendor_key), the release is verified
+    /// first: kBadVendorSignature / kBadDigest on failure.
     Status publish(Release release);
 
     /// The latest version available for `app_id` (the "announcement").
@@ -158,6 +169,7 @@ public:
 
     compress::LzssParams lzss_params() const { return lzss_params_; }
     void set_lzss_params(const compress::LzssParams& params) {
+        const std::lock_guard<std::mutex> lock(mu_);
         lzss_params_ = params;
         invalidate_caches();  // cached patches were compressed with the old params
     }
@@ -174,7 +186,12 @@ public:
     void set_delta_cache_capacity(std::size_t entries);
     void set_response_cache_capacity(std::size_t entries);
 
-    const ServerStats& stats() const { return stats_; }
+    /// Snapshot of the counters, taken under the server mutex (by value:
+    /// a reference would race with concurrent prepare_update calls).
+    ServerStats stats() const {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return stats_;
+    }
 
     // --- confidentiality extension --------------------------------------
 
@@ -251,6 +268,7 @@ private:
     void invalidate_caches();
 
     crypto::PrivateKey key_;
+    crypto::PreparedPublicKey vendor_key_;  // invalid until set_vendor_key
     std::map<std::uint32_t, std::map<std::uint16_t, Release>> releases_;  // app -> version
     double delta_threshold_ = 0.9;
     compress::LzssParams lzss_params_{};
@@ -263,6 +281,14 @@ private:
     std::vector<KeyRotation> key_rotations_;
     sim::Tracer* tracer_ = nullptr;
     mutable std::uint64_t ephemeral_counter_ = 0;
+
+    /// One coarse mutex over the mutable state (caches, counters, the
+    /// ephemeral-key counter, release/key maps). prepare_update holds it
+    /// end to end: the deployment's real concurrency is modelled by
+    /// ServerModel service slots, so the in-process lock is about memory
+    /// safety (TSan-clean fleet engines), not throughput. The private
+    /// helpers below assume the caller holds it.
+    mutable std::mutex mu_;
 
     // LRU caches: most recent at the list front; maps point into the lists.
     // Mutable: prepare_update is logically const (same token -> same

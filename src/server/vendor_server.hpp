@@ -28,6 +28,13 @@ public:
     const crypto::PrivateKey& private_key() const { return key_; }
     crypto::PublicKey public_key() const { return key_.public_key(); }
 
+    /// The vendor key in prepared (interned) form: verifiers that check
+    /// many releases against the same vendor share one precomputed table
+    /// through the global intern cache.
+    crypto::PreparedPublicKey prepared_public_key() const {
+        return crypto::PreparedPublicKey(key_.public_key());
+    }
+
     struct ReleaseSpec {
         std::uint16_t version = 1;
         std::uint32_t app_id = 0;

@@ -1,0 +1,21 @@
+// Fixture: non-exhaustive FsmState switch WITH a default that swallows new
+// states — must trip `fsm-switch-exhaustive` twice (missing kCleaning, and
+// the default itself).
+#include "agent/fsm.hpp"
+
+namespace upkit::agent {
+
+const char* short_name(FsmState s) {
+    switch (s) {
+        case FsmState::kWaiting: return "wait";
+        case FsmState::kStartUpdate: return "start";
+        case FsmState::kReceiveManifest: return "rx-man";
+        case FsmState::kVerifyManifest: return "vfy-man";
+        case FsmState::kReceiveFirmware: return "rx-fw";
+        case FsmState::kVerifyFirmware: return "vfy-fw";
+        case FsmState::kReadyToReboot: return "reboot";
+        default: return "?";
+    }
+}
+
+}  // namespace upkit::agent

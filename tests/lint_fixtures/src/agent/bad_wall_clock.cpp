@@ -1,0 +1,8 @@
+// Fixture: wall-clock read on a device path — must trip `banned-wall-clock`.
+// Device code takes time from the simulation scheduler so experiments
+// replay bit-for-bit.
+#include <ctime>
+
+long campaign_timestamp() {
+    return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,12 @@
+// Fixture: banned libc calls — must trip `banned-rand` (line 8) and
+// `banned-unbounded-copy` (line 12).
+#include <cstdlib>
+#include <cstring>
+
+unsigned weak_nonce() {
+    return static_cast<unsigned>(rand());
+}
+
+void copy_device_name(char* dst, const char* src) {
+    strcpy(dst, src);
+}

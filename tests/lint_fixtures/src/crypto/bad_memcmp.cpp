@@ -1,0 +1,6 @@
+// Fixture: unannotated memcmp on a digest — must trip `raw-compare`.
+#include <cstring>
+
+bool digest_matches(const unsigned char* computed, const unsigned char* expected) {
+    return std::memcmp(computed, expected, 32) == 0;
+}

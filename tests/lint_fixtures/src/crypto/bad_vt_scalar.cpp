@@ -1,0 +1,11 @@
+// Fixture: variable-time scalar multiplication on a private scalar without
+// the `public-scalar` annotation — must trip `vt-scalar-mul`.
+#include "crypto/p256.hpp"
+
+namespace upkit::crypto {
+
+AffinePoint leak_public_key(const P256& curve, const U256& secret_d) {
+    return *curve.mul_base(secret_d);
+}
+
+}  // namespace upkit::crypto

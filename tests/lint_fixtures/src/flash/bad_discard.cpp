@@ -1,0 +1,13 @@
+// Fixture: flash-op Status discarded at statement position — must trip
+// `discarded-flash-status`. Crash-consistency depends on every write/erase
+// on the device path being checked.
+#include "flash/flash.hpp"
+
+namespace upkit::flash {
+
+void careless_stage(Flash& device, ByteSpan data) {
+    device.erase_sector(0);
+    device.write(0, data);
+}
+
+}  // namespace upkit::flash

@@ -112,6 +112,84 @@ TEST(P256DiffTest, CombMatchesLadderOnOrderEdges) {
     EXPECT_EQ(one->x, curve.mul_base(n_minus_1)->x);
 }
 
+// ------------------------------------------- constant-time Booth walks
+
+TEST(P256DiffTest, CtBoothMatchesLadderOnSeededScalars) {
+    // mul_base_ct shares nothing with the ladder beyond the group law: a
+    // dedicated 65-row table, signed-window recoding, masked additions.
+    const P256& curve = P256::instance();
+    Rng rng(0x5EED0007);
+    for (std::size_t i = 0; i < kCases; ++i) {
+        const U256 k = random_u256(rng);
+        expect_same(curve.mul_base_ct(k), curve.mul_base_generic(k), "mul_base_ct", i);
+    }
+}
+
+TEST(P256DiffTest, CtBoothMatchesLadderOnEdgeScalars) {
+    const P256& curve = P256::instance();
+    const U256 n = curve.n();
+
+    EXPECT_FALSE(curve.mul_base_ct(U256::zero()).has_value());
+    EXPECT_FALSE(curve.mul_base_ct(n).has_value());
+
+    const auto one = curve.mul_base_ct(U256::one());
+    ASSERT_TRUE(one.has_value());
+    EXPECT_EQ(one->x, curve.generator().x);
+    EXPECT_EQ(one->y, curve.generator().y);
+
+    // Single-bit scalars hit every Booth window (including the carry
+    // window: bit 255 set recodes to a digit at position 256); all-ones
+    // windows maximize the negative-digit / borrow chains.
+    for (unsigned b = 0; b < 256; ++b) {
+        U256 k;
+        k.w[b / 64] = 1ull << (b % 64);
+        expect_same(curve.mul_base_ct(k), curve.mul_base_generic(k), "ct 2^b", b);
+    }
+    U256 n_minus_1;
+    sub(n_minus_1, n, U256::one());
+    expect_same(curve.mul_base_ct(n_minus_1), curve.mul_base_generic(n_minus_1),
+                "ct n-1", 0);
+    Rng rng(0x5EED0008);
+    for (std::size_t i = 0; i < 64; ++i) {
+        U256 k;
+        add(k, n, U256::from_u64(rng.next_u64() | 1));
+        expect_same(curve.mul_base_ct(k), curve.mul_base_generic(k), "ct n+k", i);
+    }
+}
+
+TEST(P256DiffTest, CtMulMatchesLadderOnSeededScalars) {
+    const P256& curve = P256::instance();
+    Rng rng(0x5EED0009);
+    const AffinePoint p = *curve.mul_base_generic(U256::from_u64(0xC0FFEE));
+    for (std::size_t i = 0; i < kCases / 4; ++i) {
+        const U256 k = random_u256(rng);
+        expect_same(curve.mul_ct(k, p), curve.mul_generic(k, p), "mul_ct", i);
+    }
+}
+
+TEST(P256DiffTest, CtMulMatchesLadderOnEdgeScalars) {
+    const P256& curve = P256::instance();
+    const U256 n = curve.n();
+    const AffinePoint p = *curve.mul_base_generic(U256::from_u64(0xFACADE));
+
+    EXPECT_FALSE(curve.mul_ct(U256::zero(), p).has_value());
+    EXPECT_FALSE(curve.mul_ct(n, p).has_value());
+    const auto same = curve.mul_ct(U256::one(), p);
+    ASSERT_TRUE(same.has_value());
+    EXPECT_EQ(same->x, p.x);
+    EXPECT_EQ(same->y, p.y);
+
+    for (unsigned b = 0; b < 256; b += 7) {
+        U256 k;
+        k.w[b / 64] = 1ull << (b % 64);
+        expect_same(curve.mul_ct(k, p), curve.mul_generic(k, p), "ct_mul 2^b", b);
+    }
+    U256 n_minus_1;
+    sub(n_minus_1, n, U256::one());
+    expect_same(curve.mul_ct(n_minus_1, p), curve.mul_generic(n_minus_1, p),
+                "ct_mul n-1", 0);
+}
+
 // ---------------------------------------------------------------- ECDSA
 
 TEST(P256DiffTest, SignaturesMatchReferenceLadderNonce) {

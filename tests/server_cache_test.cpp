@@ -13,6 +13,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 
 #include "common/endian.hpp"
 #include "compress/lzss.hpp"
@@ -306,6 +308,109 @@ TEST(ServerCacheTest, ReceiptsAccountForSignaturesAndRequests) {
     const ServerStats& s = env.server.stats();
     EXPECT_EQ(s.requests, 2u);
     EXPECT_EQ(s.sign_ops, 2u);
+}
+
+// ----------------------------------------- publish-time ingest verification
+
+TEST(ServerCacheTest, PublishVerifiesReleasesThroughInternedVendorKey) {
+    TestEnv env;
+    env.server.set_vendor_key(env.vendor.public_key());
+
+    // set_vendor_key interned the table once; every publish verifies
+    // against that held handle, so the whole sequence builds at most one
+    // table (zero if an earlier test in this process already interned it).
+    const auto before = crypto::PreparedPublicKey::intern_stats();
+    env.publish_os_update(2, 61);
+    env.publish_os_update(3, 62);
+    env.publish_os_update(4, 63);
+    const auto after = crypto::PreparedPublicKey::intern_stats();
+
+    EXPECT_EQ(env.server.stats().publish_verifies, 3u);
+    EXPECT_EQ(after.misses, before.misses);  // no table rebuilt per publish
+
+    // The table the server holds is the interned one: preparing the same
+    // key again is a pure cache hit, shared with any other verifier.
+    const crypto::PreparedPublicKey again(env.vendor.public_key());
+    EXPECT_TRUE(again.valid());
+    const auto reprepared = crypto::PreparedPublicKey::intern_stats();
+    EXPECT_EQ(reprepared.hits, after.hits + 1);
+    EXPECT_EQ(reprepared.misses, after.misses);
+
+    // The verified releases serve updates normally.
+    const auto response = env.server.prepare_update(kAppId, token_for(0x9001, 71, 1));
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->manifest.version, 4u);
+}
+
+TEST(ServerCacheTest, PublishRejectsTamperedReleases) {
+    TestEnv env;
+    env.server.set_vendor_key(env.vendor.public_key());
+
+    // Firmware mutated after vendor signing: digest check fails.
+    const Bytes fw = sim::mutate_os_version(env.base_firmware, 77);
+    server::Release bad_fw =
+        env.vendor.create_release(fw, {.version = 5, .app_id = kAppId});
+    bad_fw.firmware[100] ^= 0x01;
+    EXPECT_EQ(env.server.publish(std::move(bad_fw)), Status::kBadDigest);
+
+    // Forged vendor signature: signature check fails before the digest one.
+    server::Release bad_sig =
+        env.vendor.create_release(fw, {.version = 5, .app_id = kAppId});
+    bad_sig.manifest.vendor_signature[3] ^= 0x01;
+    EXPECT_EQ(env.server.publish(std::move(bad_sig)), Status::kBadVendorSignature);
+
+    // Neither tampered release was admitted.
+    EXPECT_EQ(env.server.latest_version(kAppId), 1);
+
+    // The untampered release goes through.
+    server::Release good = env.vendor.create_release(fw, {.version = 5, .app_id = kAppId});
+    EXPECT_EQ(env.server.publish(std::move(good)), Status::kOk);
+    EXPECT_EQ(env.server.latest_version(kAppId), 5);
+}
+
+// ------------------------------------------------- threaded request safety
+
+TEST(ServerCacheTest, ConcurrentPrepareUpdateKeepsCountersAndCachesCoherent) {
+    // Hammers prepare_update from several threads: the coarse server mutex
+    // must keep the LRU caches and counters coherent (this is the test the
+    // TSan CI job leans on). Responses are checked for byte-equality
+    // against a single-threaded reference afterwards.
+    TestEnv env;
+    env.publish_os_update(2, 55);
+
+    constexpr unsigned kThreads = 4;
+    constexpr unsigned kRequestsPerThread = 8;
+    std::vector<std::thread> workers;
+    std::atomic<unsigned> failures{0};
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&env, &failures, t] {
+            for (unsigned i = 0; i < kRequestsPerThread; ++i) {
+                const auto token =
+                    token_for(0xA000 + t, 100 + t * kRequestsPerThread + i, 1);
+                const auto response = env.server.prepare_update(kAppId, token);
+                if (!response.has_value() || !response->manifest.differential ||
+                    response->manifest.device_id != token.device_id) {
+                    ++failures;
+                }
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(failures.load(), 0u);
+
+    const ServerStats s = env.server.stats();
+    EXPECT_EQ(s.requests, kThreads * kRequestsPerThread);
+    // Exactly one delta generation total; everything else hit a cache.
+    EXPECT_EQ(s.delta_misses + s.response_misses, 2u);
+
+    // A post-hoc single-threaded request is byte-identical to the threaded
+    // ones' content (same token => same bytes, RFC 6979 determinism).
+    const auto threaded = env.server.prepare_update(kAppId, token_for(0xA000, 100, 1));
+    const auto reference = env.server.prepare_update(kAppId, token_for(0xA000, 100, 1));
+    ASSERT_TRUE(threaded.has_value());
+    ASSERT_TRUE(reference.has_value());
+    EXPECT_EQ(threaded->manifest_bytes, reference->manifest_bytes);
+    EXPECT_EQ(threaded->payload, reference->payload);
 }
 
 }  // namespace

@@ -142,6 +142,45 @@ TEST_F(ToolsCliTest, DeviceBenchVerifyRunsWithoutFlashImage) {
     EXPECT_EQ(run("upkit-device", "--bench-verify 8 --backend bogus"), 1);
 }
 
+// --- upkit-lint self-test ------------------------------------------------
+//
+// Two halves prove the lint is neither toothless nor noisy: it must catch
+// 100% of the seeded violations in tests/lint_fixtures/ (one file per rule
+// class), and it must report zero findings on the real tree.
+
+TEST_F(ToolsCliTest, LintCatchesAllSeededFixtureViolations) {
+    const std::string src = UPKIT_SOURCE_DIR;
+    const std::string rules = src + "/tools/upkit_lint.rules";
+    ASSERT_EQ(run("upkit-lint",
+                  "--rules " + rules + " " + src + "/tests/lint_fixtures"),
+              1);
+    const Bytes log = read(dir_ / "out.log");
+    const std::string out(log.begin(), log.end());
+    for (const char* rule_id :
+         {"raw-compare", "vt-scalar-mul", "banned-rand", "banned-unbounded-copy",
+          "banned-wall-clock", "fsm-switch-exhaustive", "discarded-flash-status"}) {
+        EXPECT_NE(out.find(std::string("[") + rule_id + "]"), std::string::npos)
+            << "fixture violation for rule '" << rule_id << "' not caught:\n"
+            << out;
+    }
+    // The default-swallow arm of the FSM rule fires separately from the
+    // missing-case arm; both must be present.
+    EXPECT_NE(out.find("missing: kCleaning"), std::string::npos) << out;
+    EXPECT_NE(out.find("default swallows"), std::string::npos) << out;
+}
+
+TEST_F(ToolsCliTest, LintRealTreeIsClean) {
+    const std::string src = UPKIT_SOURCE_DIR;
+    EXPECT_EQ(run("upkit-lint", "--rules " + src + "/tools/upkit_lint.rules " + src +
+                                    "/src " + src + "/tools " + src + "/bench " + src +
+                                    "/examples"),
+              0)
+        << [this] {
+               const Bytes log = read(dir_ / "out.log");
+               return std::string(log.begin(), log.end());
+           }();
+}
+
 TEST_F(ToolsCliTest, DeviceBootRejectsForeignAppImage) {
     ASSERT_EQ(run("upkit-keygen", "--seed v --out " + path("v")), 0);
     ASSERT_EQ(run("upkit-keygen", "--seed s --out " + path("s")), 0);

@@ -1,0 +1,367 @@
+// upkit-lint: the repo's invariant and constant-time-discipline checker.
+//
+// A deliberately small line-based scanner, not a compiler plugin: the
+// invariants it guards (no variable-time compares on secrets, exhaustive
+// FSM switches, no discarded flash Status, no banned libc calls) are all
+// visible at the token level, and a 500-line tool with zero dependencies
+// can run in every CI job and on a contributor's laptop in milliseconds.
+//
+// The rules are data (tools/upkit_lint.rules), so adding a ban or widening
+// a path scope is a table edit reviewed like any other change — the rule
+// table IS the written-down discipline. Escape hatches are explicit
+// `// lint: <word>` annotations on the offending line, each one an
+// auditable claim ("this memcmp compares a public magic number").
+//
+// Usage:
+//   upkit-lint --rules tools/upkit_lint.rules <dir-or-file>...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rule {
+    std::string id;
+    std::string type;  // ban-pattern | must-use-result | switch-exhaustive
+    std::vector<std::string> paths;     // substring scopes (empty = all)
+    std::vector<std::string> excludes;  // substring skips
+    std::string pattern_text;
+    std::optional<std::regex> pattern;
+    std::string allow;   // annotation word that exempts a line
+    std::string marker;  // switch-exhaustive: enum label prefix
+    std::vector<std::string> labels;
+    std::string message;
+};
+
+struct Finding {
+    std::string path;
+    std::size_t line;
+    std::string rule_id;
+    std::string message;
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        // Trim surrounding whitespace.
+        const auto b = item.find_first_not_of(" \t");
+        const auto e = item.find_last_not_of(" \t");
+        if (b != std::string::npos) out.push_back(item.substr(b, e - b + 1));
+    }
+    return out;
+}
+
+/// Parses the block-structured rules file. Returns nullopt on malformed
+/// input (unknown field, missing pattern, bad regex).
+std::optional<std::vector<Rule>> parse_rules(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "upkit-lint: cannot open rules file %s\n", path.c_str());
+        return std::nullopt;
+    }
+    std::vector<Rule> rules;
+    std::optional<Rule> current;
+    std::string line;
+    std::size_t lineno = 0;
+    auto fail = [&](const char* why) -> std::optional<std::vector<Rule>> {
+        std::fprintf(stderr, "upkit-lint: %s:%zu: %s\n", path.c_str(), lineno, why);
+        return std::nullopt;
+    };
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        std::string body = line.substr(first);
+        const auto space = body.find(' ');
+        const std::string key = body.substr(0, space);
+        const std::string value = space == std::string::npos ? "" : body.substr(space + 1);
+
+        if (key == "rule") {
+            if (current) rules.push_back(*current);
+            current = Rule{};
+            current->id = value;
+            continue;
+        }
+        if (!current) return fail("field outside a rule block");
+        if (key == "type") current->type = value;
+        else if (key == "paths") current->paths = split_csv(value);
+        else if (key == "exclude") current->excludes = split_csv(value);
+        else if (key == "pattern") current->pattern_text = value;
+        else if (key == "allow") current->allow = value;
+        else if (key == "marker") current->marker = value;
+        else if (key == "labels") current->labels = split_csv(value);
+        else if (key == "message") current->message = value;
+        else if (key == "end") { rules.push_back(*current); current.reset(); }
+        else return fail("unknown field");
+    }
+    if (current) rules.push_back(*current);
+
+    for (Rule& r : rules) {
+        if (r.type != "ban-pattern" && r.type != "must-use-result" &&
+            r.type != "switch-exhaustive") {
+            std::fprintf(stderr, "upkit-lint: rule %s: unknown type '%s'\n", r.id.c_str(),
+                         r.type.c_str());
+            return std::nullopt;
+        }
+        if (r.type == "switch-exhaustive") {
+            if (r.marker.empty() || r.labels.empty()) {
+                std::fprintf(stderr, "upkit-lint: rule %s: switch-exhaustive needs marker + labels\n",
+                             r.id.c_str());
+                return std::nullopt;
+            }
+            continue;
+        }
+        try {
+            r.pattern.emplace(r.pattern_text, std::regex::ECMAScript);
+        } catch (const std::regex_error&) {
+            std::fprintf(stderr, "upkit-lint: rule %s: bad regex '%s'\n", r.id.c_str(),
+                         r.pattern_text.c_str());
+            return std::nullopt;
+        }
+    }
+    return rules;
+}
+
+bool path_applies(const Rule& r, const std::string& path) {
+    for (const std::string& ex : r.excludes) {
+        if (path.find(ex) != std::string::npos) return false;
+    }
+    if (r.paths.empty()) return true;
+    for (const std::string& p : r.paths) {
+        if (path.find(p) != std::string::npos) return true;
+    }
+    return false;
+}
+
+/// One source line after preprocessing: code with comments and string/char
+/// literal contents blanked, plus any `// lint: <word>` annotation found in
+/// the stripped trailing comment.
+struct CookedLine {
+    std::string code;
+    std::string annotation;
+};
+
+/// Strips // and /* */ comments and the contents of string/char literals
+/// (delimiters kept, so `"x"` becomes `""` — patterns never match inside
+/// literals). Block-comment state carries across lines. Annotations are
+/// collected from comment text before it is dropped.
+class Stripper {
+public:
+    CookedLine cook(const std::string& raw) {
+        CookedLine out;
+        // Annotation lives in comment text; find it on the raw line.
+        static const std::regex kAnnot(R"(//\s*lint:\s*([A-Za-z0-9_-]+))");
+        std::smatch m;
+        if (std::regex_search(raw, m, kAnnot)) out.annotation = m[1];
+
+        std::string& code = out.code;
+        code.reserve(raw.size());
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            const char c = raw[i];
+            const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+            if (in_block_comment_) {
+                if (c == '*' && next == '/') { in_block_comment_ = false; ++i; }
+                continue;
+            }
+            if (in_string_ != '\0') {
+                if (c == '\\') { ++i; continue; }
+                if (c == in_string_) { in_string_ = '\0'; code.push_back(c); }
+                continue;
+            }
+            if (c == '/' && next == '/') break;  // rest is line comment
+            if (c == '/' && next == '*') { in_block_comment_ = true; ++i; continue; }
+            if (c == '"' || c == '\'') { in_string_ = c; code.push_back(c); continue; }
+            code.push_back(c);
+        }
+        // A string literal never spans lines in this codebase; reset so a
+        // stray unterminated quote cannot blank the rest of the file.
+        in_string_ = '\0';
+        return out;
+    }
+
+private:
+    bool in_block_comment_ = false;
+    char in_string_ = '\0';
+};
+
+/// Tracks an open `switch` block for switch-exhaustive rules.
+struct SwitchScan {
+    const Rule* rule;
+    std::size_t start_line;
+    int depth = 0;       // brace depth relative to the switch's own block
+    bool body_open = false;
+    bool has_marker = false;
+    bool has_default = false;
+    std::set<std::string> seen_labels;
+};
+
+void scan_file(const fs::path& file, const std::vector<Rule>& rules,
+               std::vector<Finding>& findings) {
+    std::ifstream in(file);
+    if (!in) return;
+    const std::string path = file.generic_string();
+
+    std::vector<const Rule*> line_rules;
+    std::vector<const Rule*> switch_rules;
+    for (const Rule& r : rules) {
+        if (!path_applies(r, path)) continue;
+        if (r.type == "switch-exhaustive") switch_rules.push_back(&r);
+        else line_rules.push_back(&r);
+    }
+    if (line_rules.empty() && switch_rules.empty()) return;
+
+    Stripper stripper;
+    std::vector<SwitchScan> open_switches;
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const CookedLine cooked = stripper.cook(raw);
+        const std::string& code = cooked.code;
+
+        for (const Rule* r : line_rules) {
+            if (!r->allow.empty() && cooked.annotation == r->allow) continue;
+            std::smatch m;
+            if (!std::regex_search(code, m, *r->pattern)) continue;
+            if (r->type == "must-use-result") {
+                // Statement position: nothing but whitespace before the
+                // call, so the returned Status falls on the floor. A `=`,
+                // `return`, `if (`, or `(void)` prefix all count as a use.
+                const std::string prefix = code.substr(0, static_cast<std::size_t>(m.position(0)));
+                if (prefix.find_first_not_of(" \t") != std::string::npos) continue;
+            }
+            findings.push_back({path, lineno, r->id, r->message});
+        }
+
+        // switch-exhaustive: open a scan per switch keyword, then feed
+        // every subsequent line to all open scans until braces balance.
+        for (const Rule* r : switch_rules) {
+            static const std::regex kSwitch(R"(\bswitch\s*\()");
+            if (std::regex_search(code, kSwitch)) {
+                open_switches.push_back(SwitchScan{r, lineno, 0, false, false, false, {}});
+            }
+        }
+        for (auto it = open_switches.begin(); it != open_switches.end();) {
+            SwitchScan& s = *it;
+            if (s.has_marker || true) {
+                static const std::regex kDefault(R"(\bdefault\s*:)");
+                if (std::regex_search(code, kDefault)) s.has_default = true;
+                const std::regex label(R"(\bcase\s+)" + s.rule->marker + R"((\w+))");
+                for (std::sregex_iterator mi(code.begin(), code.end(), label), e; mi != e; ++mi) {
+                    s.has_marker = true;
+                    s.seen_labels.insert((*mi)[1]);
+                }
+            }
+            for (char c : code) {
+                if (c == '{') { s.depth++; s.body_open = true; }
+                else if (c == '}') s.depth--;
+            }
+            if (s.body_open && s.depth <= 0) {
+                if (s.has_marker) {
+                    std::string missing;
+                    for (const std::string& want : s.rule->labels) {
+                        if (!s.seen_labels.count(want)) missing += (missing.empty() ? "" : ", ") + want;
+                    }
+                    if (!missing.empty()) {
+                        findings.push_back({path, s.start_line, s.rule->id,
+                                            s.rule->message + " [missing: " + missing + "]"});
+                    }
+                    if (s.has_default) {
+                        findings.push_back({path, s.start_line, s.rule->id,
+                                            s.rule->message + " [default swallows new states]"});
+                    }
+                }
+                it = open_switches.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+bool scannable(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+void collect_files(const fs::path& root, std::vector<fs::path>& out) {
+    // Fixture trees hold seeded violations for the lint's own tests: skip
+    // them when encountered during a walk, but scan them when the caller
+    // targets one explicitly (the self-test does exactly that).
+    const bool root_is_fixture =
+        root.generic_string().find("lint_fixtures") != std::string::npos;
+    if (fs::is_regular_file(root)) {
+        if (scannable(root)) out.push_back(root);
+        return;
+    }
+    for (auto it = fs::recursive_directory_iterator(root);
+         it != fs::recursive_directory_iterator(); ++it) {
+        const fs::path& p = it->path();
+        const std::string name = p.filename().string();
+        if (it->is_directory() &&
+            (name == "build" || name == ".git" ||
+             (!root_is_fixture && name == "lint_fixtures"))) {
+            it.disable_recursion_pending();
+            continue;
+        }
+        if (it->is_regular_file() && scannable(p)) out.push_back(p);
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string rules_path;
+    std::vector<std::string> targets;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--rules") == 0 && i + 1 < argc) {
+            rules_path = argv[++i];
+        } else {
+            targets.emplace_back(argv[i]);
+        }
+    }
+    if (rules_path.empty() || targets.empty()) {
+        std::fprintf(stderr, "usage: upkit-lint --rules <rules-file> <dir-or-file>...\n");
+        return 2;
+    }
+
+    const auto rules = parse_rules(rules_path);
+    if (!rules) return 2;
+
+    std::vector<fs::path> files;
+    for (const std::string& t : targets) {
+        if (!fs::exists(t)) {
+            std::fprintf(stderr, "upkit-lint: no such path: %s\n", t.c_str());
+            return 2;
+        }
+        collect_files(t, files);
+    }
+
+    std::vector<Finding> findings;
+    for (const fs::path& f : files) scan_file(f, *rules, findings);
+
+    for (const Finding& f : findings) {
+        std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule_id.c_str(),
+                    f.message.c_str());
+    }
+    if (!findings.empty()) {
+        std::fprintf(stderr, "upkit-lint: %zu finding(s) in %zu file(s) scanned\n",
+                     findings.size(), files.size());
+        return 1;
+    }
+    std::printf("upkit-lint: clean (%zu files, %zu rules)\n", files.size(), rules->size());
+    return 0;
+}
