@@ -38,6 +38,10 @@ struct Rig {
         config.app_id = kAppId;
         config.vendor_key = vendor.public_key();
         config.server_key = server.public_key();
+        // Figure/ablation benches model the optimized verification hot path
+        // (host-calibrated wNAF + unrolled-SHA costs); the committed bench
+        // JSONs were regenerated together with this flip.
+        config.calibrated_costs = true;
         return config;
     }
 

@@ -89,5 +89,15 @@ int main() {
     std::printf("  verification a ~2%% sliver in both:  %.2f%% / %.2f%%\n",
                 100.0 * push_report.phases.verification_s / push_report.phases.total(),
                 100.0 * pull_report.phases.verification_s / pull_report.phases.total());
+    // Machine-readable summary line (extracted into BENCH_fig8.json).
+    std::printf(
+        "{\"bench\":\"fig8a\",\"calibrated\":true,"
+        "\"push_total_s\":%.3f,\"push_propagation_s\":%.3f,\"push_verification_s\":%.3f,"
+        "\"push_loading_s\":%.3f,\"pull_total_s\":%.3f,\"pull_propagation_s\":%.3f,"
+        "\"pull_verification_s\":%.3f,\"pull_loading_s\":%.3f}\n",
+        push_report.phases.total(), push_report.phases.propagation_s,
+        push_report.phases.verification_s, push_report.phases.loading_s,
+        pull_report.phases.total(), pull_report.phases.propagation_s,
+        pull_report.phases.verification_s, pull_report.phases.loading_s);
     return 0;
 }

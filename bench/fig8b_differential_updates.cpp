@@ -73,5 +73,17 @@ int main() {
                 full.report.phases.verification_s, diff_os.report.phases.verification_s,
                 diff_app.report.phases.verification_s, full.report.phases.loading_s,
                 diff_os.report.phases.loading_s, diff_app.report.phases.loading_s);
+    // Machine-readable summary line (extracted into BENCH_fig8.json).
+    std::printf(
+        "{\"bench\":\"fig8b\",\"calibrated\":true,"
+        "\"full_total_s\":%.3f,\"diff_os_total_s\":%.3f,\"diff_app_total_s\":%.3f,"
+        "\"os_saving_pct\":%.1f,\"app_saving_pct\":%.1f,"
+        "\"full_air_bytes\":%llu,\"diff_os_air_bytes\":%llu,\"diff_app_air_bytes\":%llu}\n",
+        full_total, diff_os.report.phases.total(), diff_app.report.phases.total(),
+        100.0 * (1.0 - diff_os.report.phases.total() / full_total),
+        100.0 * (1.0 - diff_app.report.phases.total() / full_total),
+        static_cast<unsigned long long>(full.report.bytes_over_air),
+        static_cast<unsigned long long>(diff_os.report.bytes_over_air),
+        static_cast<unsigned long long>(diff_app.report.bytes_over_air));
     return 0;
 }

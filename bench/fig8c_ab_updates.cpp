@@ -47,5 +47,12 @@ int main() {
     std::printf("  loading-phase reduction with A/B: %.0f%% (paper: 92%%)\n", reduction);
     std::printf("  propagation unaffected by slot mode: %.1f s vs %.1f s\n",
                 static_report.phases.propagation_s, ab_report.phases.propagation_s);
+    // Machine-readable summary line (extracted into BENCH_fig8.json).
+    std::printf(
+        "{\"bench\":\"fig8c\",\"calibrated\":true,"
+        "\"static_loading_s\":%.3f,\"ab_loading_s\":%.3f,\"loading_reduction_pct\":%.1f,"
+        "\"static_total_s\":%.3f,\"ab_total_s\":%.3f}\n",
+        static_report.phases.loading_s, ab_report.phases.loading_s, reduction,
+        static_report.phases.total(), ab_report.phases.total());
     return 0;
 }

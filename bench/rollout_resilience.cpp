@@ -1,0 +1,150 @@
+// Rollout-resilience smoke: the ISSUE's containment scenario as a gated
+// bench. A 60-device fleet (6-device canary, waves of 18, trial boots on)
+// receives a fleet-wide bad image under a seeded chaos plan — 10% loss
+// bursts and a mid-campaign server outage — and the circuit breaker must
+// halt the rollout with at most canary + one wave exposed, every exposed
+// device auto-rolled-back and healthy on the old version. A second, healthy
+// scenario proves outage-spanning sessions resume mid-transfer instead of
+// restarting. Emits one JSON line (committed as BENCH_rollout_resilience
+// .json); exits nonzero if any containment gate fails.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/fleet.hpp"
+#include "sim/chaos.hpp"
+
+using namespace upkit;
+using namespace upkit::bench;
+
+namespace {
+
+constexpr std::size_t kFleet = 60;
+constexpr unsigned kCanary = 6;
+constexpr unsigned kWave = 18;
+
+struct Fleet {
+    std::vector<std::unique_ptr<core::Device>> devices;
+    std::unique_ptr<core::FleetCampaign> campaign;
+};
+
+Fleet build_fleet(Rig& rig, std::size_t count, bool trial_boot) {
+    Fleet fleet;
+    fleet.campaign = std::make_unique<core::FleetCampaign>(rig.server);
+    for (std::size_t i = 0; i < count; ++i) {
+        core::DeviceConfig config = rig.device_config(
+            i % 2 == 0 ? core::SlotLayout::kAB : core::SlotLayout::kStaticInternal);
+        config.device_id = 0x9000 + static_cast<std::uint32_t>(i);
+        config.seed = static_cast<std::uint64_t>(i) + 1;
+        config.enable_differential = false;
+        config.trial_boot = trial_boot;
+        auto device = std::make_unique<core::Device>(config);
+        auto factory = rig.server.prepare_update(
+            kAppId,
+            {.device_id = config.device_id, .nonce = 0, .current_version = 0});
+        if (!factory || device->provision_factory(*factory) != Status::kOk) {
+            std::fprintf(stderr, "provisioning device %zu failed\n", i);
+            std::abort();
+        }
+        fleet.campaign->add(*device, net::ble_gatt());
+        fleet.devices.push_back(std::move(device));
+    }
+    return fleet;
+}
+
+}  // namespace
+
+int main() {
+    bool gates_ok = true;
+
+    // --- scenario 1: bad image, breaker containment ----------------------
+    Rig rig1;
+    rig1.publish(1, sim::generate_firmware({.size = 8 * 1024, .seed = 1}));
+    Fleet fleet1 = build_fleet(rig1, kFleet, /*trial_boot=*/true);
+    rig1.publish(2, sim::generate_firmware({.size = 8 * 1024, .seed = 2}));
+
+    sim::ChaosPlan chaos1;
+    chaos1.mark_bad_version(2);
+    chaos1.add_loss_burst(0.0, 600.0, 0.10);
+    chaos1.add_outage(120.0, 180.0);
+    server::ServerModel model1{.concurrency = 8, .service_time_s = 0.02};
+    model1.chaos = &chaos1;
+    rig1.server.set_model(model1);
+
+    core::FleetPolicy containment;
+    containment.canary_size = kCanary;
+    containment.wave_size = kWave;
+    containment.wave_stagger_s = 5.0;
+    containment.promote_success_rate = 0.9;
+    containment.breaker_failure_rate = 0.5;
+    containment.breaker_min_failures = 3;
+    containment.breaker_abort = true;
+    containment.transport_resumes = 2;
+    const core::CampaignReport bad = fleet1.campaign->run(kAppId, containment);
+
+    unsigned healthy_on_v1 = 0;
+    for (const auto& device : fleet1.devices) {
+        if (device->identity().installed_version == 1) ++healthy_on_v1;
+    }
+    const bool exposure_gate = bad.exposed_devices > 0 &&
+                               bad.exposed_devices <= kCanary + kWave;
+    const bool rollback_gate = bad.rolled_back_devices == bad.exposed_devices &&
+                               healthy_on_v1 == kFleet;
+    const bool halt_gate = bad.halted_devices == kFleet - bad.exposed_devices &&
+                           !bad.breaker_trips.empty() &&
+                           bad.breaker_trips.back().aborted;
+    gates_ok = gates_ok && exposure_gate && rollback_gate && halt_gate;
+
+    // --- scenario 2: healthy image through a server outage ---------------
+    Rig rig2;
+    rig2.publish(1, sim::generate_firmware({.size = 48 * 1024, .seed = 3}));
+    Fleet fleet2 = build_fleet(rig2, 4, /*trial_boot=*/true);
+    rig2.publish(2, sim::generate_firmware({.size = 48 * 1024, .seed = 4}));
+
+    sim::ChaosPlan chaos2;
+    chaos2.add_outage(6.0, 18.0);
+    server::ServerModel model2{.concurrency = 4, .service_time_s = 0.02};
+    model2.chaos = &chaos2;
+    rig2.server.set_model(model2);
+
+    core::FleetPolicy resilient;
+    resilient.transport_resumes = 4;
+    resilient.reconnect_backoff_s = 2.0;
+    const core::CampaignReport outage = fleet2.campaign->run(kAppId, resilient);
+
+    unsigned refreshes = 0, resumes = 0;
+    for (const core::CampaignDeviceResult& d : outage.devices) {
+        refreshes += d.token_refreshes;
+        resumes += d.transport_resumes;
+    }
+    const bool resume_gate = outage.succeeded == 4 && refreshes > 0 && resumes > 0;
+    gates_ok = gates_ok && resume_gate;
+
+    const double first_trip_s =
+        bad.breaker_trips.empty() ? -1.0 : bad.breaker_trips.front().t;
+    std::printf(
+        "{\"bench\":\"rollout_resilience\","
+        "\"fleet\":%zu,\"canary\":%u,\"wave\":%u,"
+        "\"exposed\":%u,\"halted\":%u,\"rolled_back\":%u,\"confirmed\":%u,"
+        "\"breaker_trips\":%zu,\"first_trip_s\":%.3f,"
+        "\"healthy_on_v1\":%u,\"verification_mah\":%.6f,"
+        "\"outage_succeeded\":%u,\"token_refreshes\":%u,\"transport_resumes\":%u,"
+        "\"outage_rejections\":%llu,\"outage_makespan_s\":%.3f,"
+        "\"gate_exposure\":%s,\"gate_rollback\":%s,\"gate_halt\":%s,"
+        "\"gate_resume\":%s}\n",
+        kFleet, kCanary, kWave, bad.exposed_devices, bad.halted_devices,
+        bad.rolled_back_devices, bad.confirmed_devices, bad.breaker_trips.size(),
+        first_trip_s, healthy_on_v1, bad.verification_mah, outage.succeeded,
+        refreshes, resumes,
+        static_cast<unsigned long long>(outage.server.outage_rejections),
+        outage.makespan_s, exposure_gate ? "true" : "false",
+        rollback_gate ? "true" : "false", halt_gate ? "true" : "false",
+        resume_gate ? "true" : "false");
+
+    if (!gates_ok) {
+        std::fprintf(stderr, "rollout_resilience: containment gate failed\n");
+        return 1;
+    }
+    return 0;
+}

@@ -56,4 +56,27 @@ constexpr bool transition_allowed(FsmState from, FsmState to) {
     return false;
 }
 
+/// Trial-boot state machine (boot-confirm protocol, MCUboot test-swap
+/// style). Kept separate from FsmState: the update FSM governs one
+/// propagation attempt and dies with the agent at reboot, while the trial
+/// state spans the reboot — the bootloader arms it when an unconfirmed
+/// version boots, the *next* agent's self-test confirms it, and an expiry
+/// without confirmation rolls the device back at the following boot.
+enum class TrialState {
+    kNone,        // booted image is confirmed; no trial pending
+    kArmed,       // new version booted; confirm window running
+    kConfirmed,   // self-test passed, confirm_boot() accepted
+    kRolledBack,  // window expired unconfirmed; previous slot restored
+};
+
+constexpr std::string_view to_string(TrialState s) {
+    switch (s) {
+        case TrialState::kNone: return "none";
+        case TrialState::kArmed: return "armed";
+        case TrialState::kConfirmed: return "confirmed";
+        case TrialState::kRolledBack: return "rolled-back";
+    }
+    return "?";
+}
+
 }  // namespace upkit::agent

@@ -108,6 +108,32 @@ Expected<manifest::DeviceToken> UpdateAgent::request_device_token() {
     return token;
 }
 
+Expected<manifest::DeviceToken> UpdateAgent::refresh_token() {
+    // Only mid-download: earlier there is nothing worth resuming, later the
+    // image is already staged. The slot, pipeline, and manifest survive —
+    // only the nonce changes, so the server (which binds responses to the
+    // device's current_version, not the nonce) re-serves the same payload
+    // and the transfer continues from payload_offset().
+    if (state_ != FsmState::kReceiveFirmware || !token_.has_value()) {
+        return Status::kFsmBadState;
+    }
+    std::array<std::uint8_t, 4> nonce_bytes{};
+    nonce_drbg_.generate(MutByteSpan(nonce_bytes));
+    token_->nonce = static_cast<std::uint32_t>(nonce_bytes[0]) |
+                    (static_cast<std::uint32_t>(nonce_bytes[1]) << 8) |
+                    (static_cast<std::uint32_t>(nonce_bytes[2]) << 16) |
+                    (static_cast<std::uint32_t>(nonce_bytes[3]) << 24);
+    ++stats_.tokens_refreshed;
+    return *token_;
+}
+
+bool UpdateAgent::run_self_test(std::uint16_t running_version) {
+    charge_cpu(config_.self_test_seconds);
+    ++stats_.self_tests_run;
+    if (config_.self_test_hook) return config_.self_test_hook(running_version);
+    return true;
+}
+
 Status UpdateAgent::offer_manifest(ByteSpan chunk) {
     if (state_ != FsmState::kReceiveManifest) return Status::kFsmBadState;
     const std::size_t want = manifest::kManifestSize - manifest_buffer_.size();

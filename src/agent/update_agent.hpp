@@ -10,6 +10,7 @@
 // and verifies the reconstructed firmware's digest at the end.
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "agent/fsm.hpp"
@@ -41,11 +42,21 @@ struct AgentConfig {
     /// Long-term encryption key for the confidentiality extension; null
     /// means encrypted payloads are rejected at the manifest.
     const crypto::PrivateKey* encryption_key = nullptr;
+
+    /// CPU time the post-install self-test burns (sensor sanity sweep,
+    /// watchdog kick, app-level health probes) before boot confirmation.
+    double self_test_seconds = 0.25;
+    /// External health verdict for the running version; unset means the
+    /// self-test passes. Fleet campaigns wire this to the chaos plan's
+    /// per-device brick/bad-version verdicts.
+    std::function<bool(std::uint16_t version)> self_test_hook;
 };
 
 /// Counters the evaluation reads out.
 struct AgentStats {
     std::uint64_t tokens_issued = 0;
+    std::uint64_t tokens_refreshed = 0;     // mid-transfer re-issues (outage resume)
+    std::uint64_t self_tests_run = 0;       // post-install health checks
     std::uint64_t manifests_rejected = 0;   // early rejections, no download
     std::uint64_t firmwares_rejected = 0;   // digest failures after download
     std::uint64_t updates_staged = 0;       // stored + verified, pre-reboot
@@ -68,6 +79,19 @@ public:
     /// Paper step 4/5: issues a device token with a fresh nonce and arms the
     /// FSM. Valid in kWaiting or kCleaning (a new request supersedes).
     Expected<manifest::DeviceToken> request_device_token();
+
+    /// Re-issues the in-flight token with a fresh nonce, leaving the
+    /// partially-written target slot and pipeline untouched. Used when the
+    /// update server becomes reachable again mid-transfer: the old nonce is
+    /// spent server-side, but the download can resume from payload_offset()
+    /// instead of restarting — request_device_token() would invalidate the
+    /// slot. Valid only in kReceiveFirmware with a token outstanding.
+    Expected<manifest::DeviceToken> refresh_token();
+
+    /// Runs the post-install self-test against the currently-running
+    /// version (boot-confirm protocol): charges self_test_seconds of CPU
+    /// and returns the health verdict (self_test_hook, default healthy).
+    bool run_self_test(std::uint16_t running_version);
 
     /// Paper step 8: feeds manifest bytes. On the 200th byte the agent
     /// verifies the manifest (step 9); on success it erases/opens the target

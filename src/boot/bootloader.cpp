@@ -104,6 +104,19 @@ Expected<BootReport> Bootloader::boot() {
         report.resumed_interrupted_swap = *resumed;
     }
 
+    // Trial revert next: the previous boot armed a trial that was never
+    // confirmed — whatever ended that boot (watchdog at window expiry,
+    // crash, power cycle), the unconfirmed image must not run again. Drop
+    // it before slot selection so the previous image boots below.
+    if (config_.trial_boot && trial_.state == agent::TrialState::kArmed) {
+        if (slots_->invalidate(trial_.slot) == Status::kFlashPowerLoss) {
+            return Status::kFlashPowerLoss;
+        }
+        report.invalidated.push_back(trial_.slot);
+        report.rolled_back = true;
+        trial_.state = agent::TrialState::kRolledBack;
+    }
+
     // Gather parseable images from every slot we know about.
     std::vector<Candidate> candidates;
     for (const std::uint32_t id : config_.bootable_slots) {
@@ -172,6 +185,25 @@ Expected<BootReport> Bootloader::boot() {
         charge_cpu(0.001);
         if (clock_ != nullptr) loading_seconds_ += clock_->now() - load_start;
 
+        if (config_.trial_boot) {
+            if (confirmed_version_ == 0) {
+                // First ever boot: the factory image is trusted implicitly
+                // (there is nothing to roll back to).
+                confirmed_version_ = candidate.manifest.version;
+                trial_.state = agent::TrialState::kNone;
+            } else if (candidate.manifest.version != confirmed_version_) {
+                trial_ = TrialRecord{
+                    .state = agent::TrialState::kArmed,
+                    .version = candidate.manifest.version,
+                    .slot = boot_slot,
+                    .deadline_s = (clock_ != nullptr ? clock_->now() : 0.0) +
+                                  config_.confirm_window_s};
+                report.trial_boot = true;
+            } else if (trial_.state != agent::TrialState::kRolledBack) {
+                trial_.state = agent::TrialState::kNone;
+            }
+        }
+
         report.booted_slot = boot_slot;
         report.booted = candidate.manifest;
         report.verification_seconds = verification_seconds_;
@@ -190,6 +222,18 @@ Expected<BootReport> Bootloader::boot() {
         }
     }
     return Status::kNotFound;  // nothing valid anywhere: device stays in ROM
+}
+
+Status Bootloader::confirm_boot() {
+    if (trial_.state != agent::TrialState::kArmed) return Status::kFailedPrecondition;
+    if (clock_ != nullptr && clock_->now() > trial_.deadline_s) {
+        // Too late: the watchdog window has already closed. The trial stays
+        // armed so the revert still happens at the next boot.
+        return Status::kTimeout;
+    }
+    trial_.state = agent::TrialState::kConfirmed;
+    confirmed_version_ = trial_.version;
+    return Status::kOk;
 }
 
 }  // namespace upkit::boot

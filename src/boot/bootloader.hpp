@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "agent/fsm.hpp"
 #include "manifest/manifest.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
@@ -34,6 +35,14 @@ struct BootConfig {
     verify::DeviceIdentity identity;
     /// MCU reset + clock/peripheral init before our code runs.
     double reboot_seconds = 0.25;
+
+    /// Boot-confirm protocol (MCUboot test-swap style): booting a version
+    /// that was never confirmed arms a trial. Unless the application
+    /// confirms within `confirm_window_s` (self-test passed), the watchdog
+    /// reboots the device and the *next* boot reverts to the previous
+    /// image — a bad update can never strand the device.
+    bool trial_boot = false;
+    double confirm_window_s = 30.0;
 };
 
 struct BootReport {
@@ -46,6 +55,12 @@ struct BootReport {
     bool resumed_interrupted_swap = false;
     /// Slots whose images failed verification and were invalidated.
     std::vector<std::uint32_t> invalidated;
+    /// This boot armed a trial: an unconfirmed version is now running and
+    /// must be confirmed before the window expires.
+    bool trial_boot = false;
+    /// This boot reverted an unconfirmed trial image before slot selection
+    /// (the previous boot's trial expired without confirmation).
+    bool rolled_back = false;
     /// Device-seconds this boot spent verifying candidates (signatures +
     /// streamed re-digest) and loading (swap/copy + jump) — the per-phase
     /// split the fleet campaign reports aggregate.
@@ -76,6 +91,20 @@ public:
     /// Seconds the loading part (swap/copy + jump) of the last boot took.
     double last_loading_seconds() const { return loading_seconds_; }
 
+    /// Confirms the armed trial (application self-test passed). Returns
+    /// kFailedPrecondition with no trial armed, kTimeout past the window
+    /// (the trial stays armed — the watchdog revert is already inevitable),
+    /// kOk on success (the running version becomes the confirmed one).
+    Status confirm_boot();
+
+    agent::TrialState trial_state() const { return trial_.state; }
+    /// Device-clock instant the armed trial's window expires (the modelled
+    /// watchdog fires here). Meaningful only while a trial is armed.
+    double trial_deadline() const { return trial_.deadline_s; }
+    /// Last version that passed boot confirmation (0 = none yet; the first
+    /// booted version — the factory image — is trusted implicitly).
+    std::uint16_t confirmed_version() const { return confirmed_version_; }
+
 private:
     /// An image found in a slot: its metadata, where the firmware starts
     /// (native 200-byte manifest vs padded SUIT envelope region), and the
@@ -102,6 +131,18 @@ private:
 
     double verification_seconds_ = 0.0;
     double loading_seconds_ = 0.0;
+
+    /// Trial bookkeeping. On real hardware this lives in a flash trailer
+    /// (MCUboot's image trailer); here the Bootloader object survives the
+    /// simulated Device's reboots, which models the same persistence.
+    struct TrialRecord {
+        agent::TrialState state = agent::TrialState::kNone;
+        std::uint16_t version = 0;
+        std::uint32_t slot = 0;
+        double deadline_s = 0.0;
+    };
+    TrialRecord trial_;
+    std::uint16_t confirmed_version_ = 0;
 };
 
 }  // namespace upkit::boot

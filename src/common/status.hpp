@@ -45,6 +45,8 @@ enum class Status {
     kTruncatedImage,
     kTransportError,
     kTimeout,
+    kSelfTestFailed,
+    kCampaignHalted,
 
     // Storage failures.
     kFlashEraseRequired,
@@ -95,6 +97,8 @@ constexpr std::string_view to_string(Status s) {
         case Status::kTruncatedImage: return "update image truncated";
         case Status::kTransportError: return "transport error";
         case Status::kTimeout: return "timeout";
+        case Status::kSelfTestFailed: return "post-install self-test failed";
+        case Status::kCampaignHalted: return "campaign halted before release";
         case Status::kFlashEraseRequired: return "flash write without erase";
         case Status::kFlashOutOfBounds: return "flash access out of bounds";
         case Status::kFlashIoError: return "flash I/O error";

@@ -89,6 +89,8 @@ Device::Device(const DeviceConfig& config) : config_(config), meter_(*config.pla
         boot_config.bootable_slots = {0};
         boot_config.staging_slot = 1;
     }
+    boot_config.trial_boot = config_.trial_boot;
+    boot_config.confirm_window_s = config_.boot_confirm_window_s;
     bootloader_ = std::make_unique<boot::Bootloader>(boot_config, slot_manager_, *verifier_,
                                                      *config_.platform, &clock_, &meter_);
 }
@@ -154,6 +156,8 @@ void Device::restart_agent() {
                                        ? config_.pipeline_buffer
                                        : config_.platform->flash_sector_bytes;
     agent_config.encryption_key = encryption_key_.get();
+    agent_config.self_test_seconds = config_.self_test_seconds;
+    agent_config.self_test_hook = health_hook_;
 
     Bytes seed;
     put_le64(seed, config_.seed);

@@ -62,6 +62,14 @@ struct DeviceConfig {
     crypto::PublicKey server_key;
 
     std::uint64_t seed = 1;  // nonce DRBG seeding (deterministic replay)
+
+    /// Boot-confirm protocol: arm a trial on every boot of an unconfirmed
+    /// version; the agent's self-test must confirm within the window or the
+    /// bootloader reverts at the next boot (see boot::BootConfig).
+    bool trial_boot = false;
+    double boot_confirm_window_s = 30.0;
+    /// CPU seconds the post-install self-test costs.
+    double self_test_seconds = 0.25;
 };
 
 class Device {
@@ -113,6 +121,14 @@ public:
     sim::Tracer* tracer() const { return tracer_; }
     double trace_offset() const { return trace_offset_; }
 
+    /// External health verdict for the post-install self-test (fleet
+    /// campaigns wire this to the chaos plan). Takes effect from the next
+    /// reboot — exactly when the self-test can first run. Survives reboots
+    /// like the tracer binding.
+    void set_health_hook(std::function<bool(std::uint16_t)> hook) {
+        health_hook_ = std::move(hook);
+    }
+
 private:
     void build_slots();
     void restart_agent();
@@ -141,6 +157,7 @@ private:
 
     sim::Tracer* tracer_ = nullptr;
     double trace_offset_ = 0.0;
+    std::function<bool(std::uint16_t)> health_hook_;
 };
 
 }  // namespace upkit::core

@@ -8,6 +8,8 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "sim/chaos.hpp"
+#include "sim/energy.hpp"
 
 namespace upkit::core {
 
@@ -28,6 +30,23 @@ struct DeviceCtx {
     SessionReport last;
     bool done = false;
     double enqueue_t = 0.0;
+    unsigned cohort = 0;
+    bool released = false;
+};
+
+/// Per-cohort rollout state (gated campaigns). Attempt counters form the
+/// breaker's failure window and are reset when a paused breaker resumes.
+struct CohortState {
+    bool released_flag = false;
+    unsigned released = 0;
+    unsigned terminal = 0;
+    unsigned succeeded = 0;
+    unsigned failed = 0;
+    unsigned rolled_back = 0;
+    unsigned attempts_done = 0;
+    unsigned attempts_failed = 0;
+    double release_s = 0.0;
+    double complete_s = 0.0;
 };
 
 server::ServerStats stats_delta(const server::ServerStats& now,
@@ -60,6 +79,43 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
     std::deque<std::size_t> queue;  // FIFO admission queue of ctx indices
     unsigned in_service = 0;
 
+    // Fault injection, when the server model carries a chaos plan.
+    const sim::ChaosPlan* chaos = model.chaos;
+
+    // Cohort partition: canary first (when configured), then wave_size
+    // chunks in add() order. Cohorts are contiguous index ranges.
+    const std::size_t wave_size =
+        policy.wave_size == 0 ? std::max<std::size_t>(members_.size(), 1)
+                              : policy.wave_size;
+    const std::size_t canary =
+        std::min<std::size_t>(policy.canary_size, members_.size());
+    const auto cohort_of = [&](std::size_t i) -> unsigned {
+        if (canary == 0) return static_cast<unsigned>(i / wave_size);
+        if (i < canary) return 0;
+        return static_cast<unsigned>(1 + (i - canary) / wave_size);
+    };
+    const auto cohort_range = [&](unsigned k) -> std::pair<std::size_t, std::size_t> {
+        if (canary == 0) {
+            const std::size_t lo = static_cast<std::size_t>(k) * wave_size;
+            return {lo, std::min(members_.size(), lo + wave_size)};
+        }
+        if (k == 0) return {0, canary};
+        const std::size_t lo = canary + static_cast<std::size_t>(k - 1) * wave_size;
+        return {lo, std::min(members_.size(), lo + wave_size)};
+    };
+    const unsigned cohort_count =
+        members_.empty() ? 0 : cohort_of(members_.size() - 1) + 1;
+
+    // Gated-rollout state. `aborted` stops retries and promotions for good;
+    // `paused` defers them until the breaker's cool-down elapses.
+    const bool gated = policy.gated() && !members_.empty();
+    std::vector<CohortState> cohorts(cohort_count);
+    unsigned next_release = 0;  // next cohort index to release
+    unsigned trips = 0;
+    bool aborted = false;
+    bool paused = false;
+    std::vector<std::pair<std::size_t, double>> paused_retries;
+
     const auto trace = [&](sim::TraceType type, std::uint32_t device_id,
                            std::uint32_t code, double value) {
         if (tracer_ != nullptr) {
@@ -81,6 +137,9 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
     std::function<void()> admit;
     std::function<void(std::size_t)> start_attempt;
     std::function<void(std::size_t)> session_done;
+    std::function<void(unsigned)> release_cohort;
+    std::function<void()> maybe_promote;
+    std::function<void(unsigned, double, bool)> trip_breaker;
 
     pump = [&](std::size_t i) {
         DeviceCtx& c = ctxs[i];
@@ -98,6 +157,20 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
             case SessionDriver::Want::kServer:
                 sched.schedule_at(t, [&, i] {
                     DeviceCtx& d = ctxs[i];
+                    if (chaos != nullptr && chaos->server_down(sched.now())) {
+                        // The deployment is down: the request never reaches
+                        // the admission queue — the device's connect timeout
+                        // expires and the attempt sees kUnavailable (the
+                        // driver's reconnect path then waits the outage out).
+                        ++report.server.outage_rejections;
+                        trace(sim::TraceType::kServerOutage, d.result.device_id, 0,
+                              policy.outage_timeout_s);
+                        sched.schedule_in(policy.outage_timeout_s, [&, i] {
+                            ctxs[i].driver->provide_response(Status::kUnavailable);
+                            pump(i);
+                        });
+                        return;
+                    }
                     d.enqueue_t = sched.now();
                     queue.push_back(i);
                     report.server.peak_depth = std::max(
@@ -175,8 +248,52 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         c.driver = std::make_unique<SessionDriver>(device, *c.transport, tracer_,
                                                    c.view.offset());
         c.driver->set_transport_resumes(policy.transport_resumes);
+        if (chaos != nullptr) {
+            c.transport->set_chaos({.plan = chaos,
+                                    .device_id = c.result.device_id,
+                                    .campaign_offset = c.view.offset(),
+                                    .payload_via_server = true});
+            c.driver->set_outage_probe(
+                [&c, chaos] { return chaos->server_down(c.view.campaign_now()); });
+            c.driver->set_reconnect_backoff(policy.reconnect_backoff_s);
+        }
         trace(sim::TraceType::kSessionStart, c.result.device_id, c.attempt, 0.0);
         pump(i);
+    };
+
+    trip_breaker = [&](unsigned k, double failure_rate, bool force_abort) {
+        ++trips;
+        const bool abort_now =
+            force_abort || policy.breaker_abort || trips > policy.breaker_max_trips;
+        report.breaker_trips.push_back(BreakerTrip{.t = sched.now(),
+                                                   .wave = k,
+                                                   .failures = cohorts[k].attempts_failed,
+                                                   .completed = cohorts[k].attempts_done,
+                                                   .released = cohorts[k].released,
+                                                   .failure_rate = failure_rate,
+                                                   .aborted = abort_now});
+        trace(sim::TraceType::kBreakerTrip, 0, k, failure_rate);
+        if (abort_now) {
+            aborted = true;
+            return;
+        }
+        paused = true;
+        sched.schedule_in(policy.breaker_pause_s, [&] {
+            if (aborted) return;
+            paused = false;
+            // Windowed breaker: restart the failure window, or the pre-pause
+            // failures would instantly re-trip it on resume.
+            for (CohortState& w : cohorts) {
+                w.attempts_done = 0;
+                w.attempts_failed = 0;
+            }
+            auto deferred = std::move(paused_retries);
+            paused_retries.clear();
+            for (const auto& [idx, delay] : deferred) {
+                sched.schedule_in(delay, [&start_attempt, idx] { start_attempt(idx); });
+            }
+            maybe_promote();
+        });
     };
 
     session_done = [&](std::size_t i) {
@@ -184,12 +301,36 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         c.last = c.driver->report();
         c.result.bytes_over_air += c.last.bytes_over_air;  // all attempts count
         c.result.verification_s += c.last.phases.verification_s;
+        c.result.transport_resumes += c.last.transport_resumes;
+        c.result.token_refreshes += c.last.token_refreshes;
+        if (c.last.confirmed) c.result.confirmed = true;
+        if (c.last.rolled_back) c.result.rolled_back = true;
         c.driver.reset();
         c.transport.reset();
+
+        // Attempt-level breaker window: count the outcome, then let the
+        // breaker react before this device decides whether to retry.
+        CohortState* w = gated ? &cohorts[c.cohort] : nullptr;
+        if (w != nullptr) {
+            ++w->attempts_done;
+            if (c.last.status != Status::kOk) ++w->attempts_failed;
+            if (!aborted && !paused && policy.breaker_failure_rate > 0.0 &&
+                w->attempts_failed >= policy.breaker_min_failures) {
+                const double rate = static_cast<double>(w->attempts_failed) /
+                                    static_cast<double>(w->attempts_done);
+                if (rate > policy.breaker_failure_rate) {
+                    trip_breaker(c.cohort, rate, /*force_abort=*/false);
+                }
+            }
+        }
 
         const bool give_up = c.last.status == Status::kOk ||
                              // A stale offer will not get fresher by retrying.
                              c.last.status == Status::kStaleVersion ||
+                             // The image booted but failed its self-test; a
+                             // re-download installs the same bad image.
+                             c.last.status == Status::kSelfTestFailed ||
+                             aborted ||
                              c.attempt >= policy.max_attempts;
         if (!give_up) {
             double delay = 0.0;
@@ -206,7 +347,13 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
             }
             trace(sim::TraceType::kRetryScheduled, c.result.device_id, c.attempt + 1,
                   delay);
-            sched.schedule_in(delay, [&start_attempt, i] { start_attempt(i); });
+            if (paused) {
+                // Deferred until the breaker resumes (jitter already drawn,
+                // so the rng stream is identical either way).
+                paused_retries.emplace_back(i, delay);
+            } else {
+                sched.schedule_in(delay, [&start_attempt, i] { start_attempt(i); });
+            }
             return;
         }
 
@@ -219,40 +366,121 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         c.result.time_s = c.result.end_s - c.result.start_s;
         c.result.energy_mj = device.meter().total_millijoules() - c.e0;
         device.set_tracer(nullptr);
+
+        if (w != nullptr) {
+            ++w->terminal;
+            if (c.result.status == Status::kOk) ++w->succeeded;
+            else ++w->failed;
+            if (c.result.rolled_back) ++w->rolled_back;
+            w->complete_s = sched.now();
+            maybe_promote();
+        }
     };
 
-    // Release the fleet in waves on the shared timeline.
-    const std::size_t wave_size =
-        policy.wave_size == 0 ? std::max<std::size_t>(members_.size(), 1)
-                              : policy.wave_size;
-    for (std::size_t i = 0; i < members_.size(); ++i) {
-        const std::size_t wave = i / wave_size;
-        const double release_t = static_cast<double>(wave) * policy.wave_stagger_s;
-        sched.schedule_at(release_t, [&, i, wave] {
-            DeviceCtx& c = ctxs[i];
-            c.member = &members_[i];
-            Device& device = *c.member->device;
-            c.result.device_id = device.identity().device_id;
-            c.result.start_s = sched.now();
-            // Deterministic jitter stream: a function of the device id only,
-            // so a rerun of the same campaign replays the same delays.
-            c.jitter_rng.reseed(0x9E3779B97F4A7C15ull ^ c.result.device_id);
-            c.view = sim::DeviceClockView(device.clock(), sched.now());
-            c.e0 = device.meter().total_millijoules();
-            device.set_tracer(tracer_, c.view.offset());
-            if (i % wave_size == 0) {
-                trace(sim::TraceType::kWaveStart, 0,
-                      static_cast<std::uint32_t>(wave), 0.0);
-            }
+    // Binds device i to the campaign timeline at the current instant.
+    const auto setup_device = [&](std::size_t i, unsigned wave) {
+        DeviceCtx& c = ctxs[i];
+        c.member = &members_[i];
+        Device& device = *c.member->device;
+        c.result.device_id = device.identity().device_id;
+        c.result.wave = wave;
+        c.cohort = wave;
+        c.released = true;
+        c.result.start_s = sched.now();
+        // Deterministic jitter stream: a function of the device id only,
+        // so a rerun of the same campaign replays the same delays.
+        c.jitter_rng.reseed(0x9E3779B97F4A7C15ull ^ c.result.device_id);
+        c.view = sim::DeviceClockView(device.clock(), sched.now());
+        c.e0 = device.meter().total_millijoules();
+        device.set_tracer(tracer_, c.view.offset());
+        if (chaos != nullptr) {
+            const std::uint32_t id = c.result.device_id;
+            device.set_health_hook([chaos, id](std::uint16_t version) {
+                return chaos->self_test_passes(id, version);
+            });
+        }
+    };
+
+    release_cohort = [&](unsigned k) {
+        if (aborted) return;
+        if (paused) {
+            // Promotion landed inside a breaker pause: wait it out.
+            sched.schedule_in(policy.breaker_pause_s,
+                              [&release_cohort, k] { release_cohort(k); });
+            return;
+        }
+        CohortState& w = cohorts[k];
+        w.released_flag = true;
+        w.release_s = sched.now();
+        trace(sim::TraceType::kWaveStart, 0, k, 0.0);
+        const auto [lo, hi] = cohort_range(k);
+        for (std::size_t i = lo; i < hi; ++i) {
+            setup_device(i, k);
+            ++w.released;
             start_attempt(i);
-        });
+        }
+    };
+
+    maybe_promote = [&] {
+        if (!gated || aborted || paused) return;
+        if (next_release == 0 || next_release >= cohort_count) return;
+        const CohortState& prev = cohorts[next_release - 1];
+        if (!prev.released_flag || prev.terminal < prev.released) return;
+        const double rate =
+            prev.released == 0
+                ? 1.0
+                : static_cast<double>(prev.succeeded) / static_cast<double>(prev.released);
+        if (policy.promote_success_rate > 0.0 && rate < policy.promote_success_rate) {
+            // Gate failure: the cohort's devices are already terminal — a
+            // pause cannot heal them, so a failed gate always aborts.
+            trip_breaker(next_release - 1, 1.0 - rate, /*force_abort=*/true);
+            return;
+        }
+        const unsigned k = next_release;
+        ++next_release;  // bumped at scheduling time: no double promotion
+        trace(sim::TraceType::kWavePromote, 0, k, rate);
+        sched.schedule_in(policy.wave_stagger_s,
+                          [&release_cohort, k] { release_cohort(k); });
+    };
+
+    if (gated) {
+        // Staged promotion: only the canary releases up front; every later
+        // wave is earned by the cohort before it passing its gate.
+        next_release = 1;
+        sched.schedule_at(0.0, [&release_cohort] { release_cohort(0); });
+    } else {
+        // Legacy release: the whole schedule is fixed up front.
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            const std::size_t wave = i / wave_size;
+            const double release_t = static_cast<double>(wave) * policy.wave_stagger_s;
+            sched.schedule_at(release_t, [&, i, wave] {
+                setup_device(i, static_cast<unsigned>(wave));
+                if (i % wave_size == 0) {
+                    trace(sim::TraceType::kWaveStart, 0,
+                          static_cast<std::uint32_t>(wave), 0.0);
+                }
+                start_attempt(i);
+            });
+        }
     }
 
     sched.run(event_budget_);
 
     // Aggregate in member order (stable regardless of interleaving).
     report.devices.reserve(ctxs.size());
-    for (DeviceCtx& c : ctxs) {
+    for (std::size_t i = 0; i < ctxs.size(); ++i) {
+        DeviceCtx& c = ctxs[i];
+        if (gated && !c.released) {
+            // The breaker halted the campaign before this device's wave:
+            // contained, never offered the update — not an OTA failure.
+            c.result.device_id = members_[i].device->identity().device_id;
+            c.result.wave = cohort_of(i);
+            c.result.status = Status::kCampaignHalted;
+            c.result.halted = true;
+            ++report.halted_devices;
+            report.devices.push_back(std::move(c.result));
+            continue;
+        }
         if (!c.done) {
             // Event budget exhausted mid-session: surface the stuck device
             // rather than pretending it failed over the air.
@@ -265,11 +493,37 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         } else {
             ++report.failed;
         }
+        if (c.member != nullptr) {
+            // Battery cost of the verification seconds: CPU active draw plus
+            // the HSM's supply current where one did the verifying.
+            const Device& device = *c.member->device;
+            const double draw_ma = device.config().platform->cpu_active_ma +
+                                   device.verifier().backend().costs().active_current_ma;
+            c.result.verification_mah =
+                sim::milliamp_hours(c.result.verification_s, draw_ma);
+        }
+        ++report.exposed_devices;
+        if (c.result.confirmed) ++report.confirmed_devices;
+        if (c.result.rolled_back) ++report.rolled_back_devices;
+        report.verification_mah += c.result.verification_mah;
         report.total_energy_mj += c.result.energy_mj;
         report.total_bytes += c.result.bytes_over_air;
         report.verification_s += c.result.verification_s;
         report.makespan_s = std::max(report.makespan_s, c.result.end_s);
         report.devices.push_back(std::move(c.result));
+    }
+    if (gated) {
+        for (unsigned k = 0; k < cohort_count; ++k) {
+            const CohortState& w = cohorts[k];
+            if (!w.released_flag) continue;
+            report.waves.push_back(WaveStats{.wave = k,
+                                             .released = w.released,
+                                             .succeeded = w.succeeded,
+                                             .failed = w.failed,
+                                             .rolled_back = w.rolled_back,
+                                             .release_s = w.release_s,
+                                             .complete_s = w.complete_s});
+        }
     }
     report.events_processed = sched.events_processed();
     report.server_stats = stats_delta(server_->stats(), stats_before);

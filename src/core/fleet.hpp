@@ -47,6 +47,52 @@ struct FleetPolicy {
     unsigned transport_max_retries = 16;
     /// Mid-payload reconnects allowed per attempt (SessionDriver).
     unsigned transport_resumes = 0;
+
+    // --- rollout orchestration: canary, staged promotion, breaker ---------
+    //
+    // Any of canary_size / promote_success_rate / breaker_failure_rate
+    // being set switches the campaign from the legacy schedule-everything
+    // release to *gated* staged promotion (the hawkBit "waves" mechanism):
+    // only the canary cohort is released at t = 0; each subsequent wave is
+    // released wave_stagger_s after the previous cohort finished AND passed
+    // its promotion gate. A halted campaign leaves unreleased devices
+    // untouched (status kCampaignHalted) — containment, not failure.
+
+    /// Devices (in add() order) released first as the canary cohort;
+    /// 0 = no separate canary (waves of wave_size from the start).
+    unsigned canary_size = 0;
+    /// Promotion gate: fraction of a cohort's devices that must end kOk for
+    /// the next wave to release. A failed gate always aborts the rollout
+    /// (the cohort's devices are already terminal — pausing cannot heal
+    /// them). 0 = promote unconditionally.
+    double promote_success_rate = 0.0;
+
+    /// Circuit breaker over attempt outcomes within the releasing cohort:
+    /// once at least breaker_min_failures attempts failed AND the cohort's
+    /// failed/completed attempt ratio exceeds breaker_failure_rate, the
+    /// breaker trips. breaker_failure_rate = 0 disables the breaker.
+    unsigned breaker_min_failures = 3;
+    double breaker_failure_rate = 0.0;
+    /// Tripping aborts the rollout (true) or pauses it for breaker_pause_s
+    /// (false): retries and promotions are deferred, the failure window is
+    /// reset on resume. More than breaker_max_trips total trips escalates a
+    /// pausing breaker to an abort.
+    bool breaker_abort = true;
+    double breaker_pause_s = 60.0;
+    unsigned breaker_max_trips = 3;
+
+    /// Server-outage handling: a request that reaches a down server is
+    /// rejected kUnavailable after this timeout (the device's connect
+    /// timeout), and a mid-transfer reconnect retries every
+    /// reconnect_backoff_s until the outage window ends.
+    double outage_timeout_s = 10.0;
+    double reconnect_backoff_s = 5.0;
+
+    /// Whether this policy uses gated staged promotion.
+    bool gated() const {
+        return canary_size > 0 || promote_success_rate > 0.0 ||
+               breaker_failure_rate > 0.0;
+    }
 };
 
 struct FleetMember {
@@ -77,7 +123,42 @@ struct CampaignDeviceResult {
     /// Device-seconds spent in the verification phase (agent early-reject
     /// checks + bootloader re-verification), summed over attempts.
     double verification_s = 0.0;
+    /// Battery charge the verification seconds drew (mAh at the platform's
+    /// active CPU draw plus the HSM's supply current where configured).
+    double verification_mah = 0.0;
     std::uint64_t bytes_over_air = 0;
+    /// Cohort this device belongs to (0 = canary when one is configured).
+    unsigned wave = 0;
+    /// Resilience counters summed over attempts (see SessionReport).
+    unsigned transport_resumes = 0;
+    unsigned token_refreshes = 0;
+    /// Boot-confirm outcome of the final attempt.
+    bool confirmed = false;
+    bool rolled_back = false;
+    /// Never released: the campaign halted before this device's wave.
+    bool halted = false;
+};
+
+/// Per-wave rollout accounting (gated campaigns).
+struct WaveStats {
+    unsigned wave = 0;
+    unsigned released = 0;     // devices released in this wave
+    unsigned succeeded = 0;
+    unsigned failed = 0;
+    unsigned rolled_back = 0;  // devices that auto-reverted via trial boot
+    double release_s = 0.0;    // campaign instant the wave released
+    double complete_s = 0.0;   // instant its last device went terminal
+};
+
+/// One circuit-breaker trip.
+struct BreakerTrip {
+    double t = 0.0;            // campaign instant of the trip
+    unsigned wave = 0;         // cohort whose failures tripped it
+    unsigned failures = 0;     // failed attempts in the window
+    unsigned completed = 0;    // completed attempts in the window
+    unsigned released = 0;     // devices released in the cohort
+    double failure_rate = 0.0;
+    bool aborted = false;      // trip aborted the rollout (vs paused)
 };
 
 /// What the contended server did during the campaign.
@@ -88,6 +169,7 @@ struct ServerQueueStats {
     double total_wait_s = 0.0;       // summed queueing delay
     double max_wait_s = 0.0;         // worst single request
     double busy_s = 0.0;             // summed service time
+    std::uint64_t outage_rejections = 0;  // requests that hit a down server
 };
 
 struct CampaignReport {
@@ -107,6 +189,19 @@ struct CampaignReport {
     /// compare before/after campaigns to see the win.
     double verification_s = 0.0;
     unsigned differential_updates = 0;
+    /// Gated rollouts: per-wave stats and every breaker trip, in order.
+    std::vector<WaveStats> waves;
+    std::vector<BreakerTrip> breaker_trips;
+    /// Containment accounting. exposed = devices actually released (offered
+    /// the update); halted = devices the breaker protected (never released,
+    /// not counted in `failed`); rolled_back / confirmed = trial-boot
+    /// verdicts among the exposed.
+    unsigned exposed_devices = 0;
+    unsigned halted_devices = 0;
+    unsigned rolled_back_devices = 0;
+    unsigned confirmed_devices = 0;
+    /// Fleet battery cost of verification (sum of per-device mAh).
+    double verification_mah = 0.0;
     ServerQueueStats server;
     /// What the server's hot-path caches and signer did during this
     /// campaign (counters are snapshotted at run start and diffed, so

@@ -16,6 +16,10 @@ private:
     agent::UpdateAgent& agent_;
 };
 
+/// Backoff rounds spent waiting for an outage to end before the session
+/// gives up with kUnavailable (bounds the DES event count per attempt).
+constexpr unsigned kMaxReconnectWaits = 64;
+
 }  // namespace
 
 std::string_view SessionDriver::phase_name(Phase p) {
@@ -25,7 +29,10 @@ std::string_view SessionDriver::phase_name(Phase p) {
         case Phase::kAwaitServer: return "await-server";
         case Phase::kRecvManifest: return "recv-manifest";
         case Phase::kRecvPayload: return "recv-payload";
+        case Phase::kReconnect: return "reconnect";
         case Phase::kReboot: return "reboot";
+        case Phase::kConfirm: return "confirm";
+        case Phase::kRollback: return "rollback";
         case Phase::kDone: return "done";
     }
     return "?";
@@ -131,8 +138,36 @@ SessionDriver::StepResult SessionDriver::step() {
 
         case Phase::kAwaitServer: {
             // --- server prepared the doubly-signed image (steps 6-7) --------
-            if (response_status_ != Status::kOk) return finish(response_status_);
+            if (response_status_ != Status::kOk) {
+                if (resuming_ && response_status_ == Status::kUnavailable &&
+                    resumes_left_ > 0) {
+                    // The outage outlasted the reconnect: the request hit a
+                    // still-down server. Wait another round.
+                    --resumes_left_;
+                    reconnect_waits_ = 0;
+                    enter_phase(Phase::kReconnect);
+                    return yield(t0);
+                }
+                return finish(response_status_);
+            }
             assert(response_.has_value() && "provide_response() not called");
+            if (resuming_) {
+                // Refreshed-token response: the agent's manifest, pipeline,
+                // and partially-written slot survived the outage. Check the
+                // server still serves the same update, then continue the
+                // payload from the committed offset — the manifest phase is
+                // not repeated (the stored header keeps the originally
+                // signed manifest for the bootloader's re-verification).
+                resuming_ = false;
+                agent::UpdateAgent& agent = device_->agent();
+                if (!agent.pending_manifest().has_value() ||
+                    agent.pending_manifest()->version != response_->manifest.version) {
+                    return finish(Status::kStaleVersion);  // superseded mid-outage
+                }
+                payload_offset_ = static_cast<std::size_t>(agent.payload_offset());
+                enter_phase(Phase::kRecvPayload);
+                return yield(t0);
+            }
             report_.differential = response_->manifest.differential;
             manifest_offset_ = 0;
             manifest_sink_ = BytesSink{};
@@ -178,6 +213,14 @@ SessionDriver::StepResult SessionDriver::step() {
                 --resumes_left_;
                 ++report_.transport_resumes;
                 payload_offset_ = static_cast<std::size_t>(agent.payload_offset());
+                if (outage_probe_ && outage_probe_() && !response_->manifest.encrypted) {
+                    // The server is down, so an instant reconnect would just
+                    // time out again: wait the outage out and re-handshake.
+                    // (Encrypted payloads are bound to the original nonce
+                    // and cannot survive a token refresh mid-stream.)
+                    reconnect_waits_ = 0;
+                    enter_phase(Phase::kReconnect);
+                }
                 return yield(t0);
             }
             if (verdict != Status::kOk) {
@@ -190,6 +233,35 @@ SessionDriver::StepResult SessionDriver::step() {
                 return finish(Status::kBadDigest);
             }
             enter_phase(Phase::kReboot);
+            return yield(t0);
+        }
+
+        case Phase::kReconnect: {
+            device_->clock().advance(reconnect_backoff_s_);
+            if (outage_probe_ && outage_probe_()) {
+                if (++reconnect_waits_ >= kMaxReconnectWaits) {
+                    return finish(Status::kUnavailable);
+                }
+                return yield(t0);  // still down; probe again after backoff
+            }
+            auto token = device_->agent().refresh_token();
+            if (!token) return finish(token.status());
+            token_ = *token;
+            token_bytes_ = manifest::serialize(*token_);
+            uplink_offset_ = 0;
+            resuming_ = true;
+            ++report_.token_refreshes;
+            if (tracer_ != nullptr) {
+                tracer_->emit(sim::TraceEvent{
+                    .t = device_->clock().now() - trace_offset_,
+                    .device_id = device_->identity().device_id,
+                    .type = sim::TraceType::kTokenRefresh,
+                    .from = {},
+                    .to = {},
+                    .code = report_.token_refreshes,
+                    .value = 0.0});
+            }
+            enter_phase(Phase::kSendToken);
             return yield(t0);
         }
 
@@ -207,7 +279,65 @@ SessionDriver::StepResult SessionDriver::step() {
             if (boot_report->booted.version != response_->manifest.version) {
                 return finish(Status::kStaleVersion);  // rollback happened
             }
+            if (boot_report->trial_boot) {
+                report_.trial_boot = true;
+                enter_phase(Phase::kConfirm);
+                return yield(t0);
+            }
             return finish(Status::kOk);
+        }
+
+        case Phase::kConfirm: {
+            // --- boot-confirm protocol: self-test, then confirm or die ------
+            agent::UpdateAgent& agent = device_->agent();
+            const bool healthy =
+                agent.run_self_test(device_->identity().installed_version);
+            if (healthy && device_->bootloader().confirm_boot() == Status::kOk) {
+                report_.confirmed = true;
+                if (tracer_ != nullptr) {
+                    tracer_->emit(sim::TraceEvent{
+                        .t = device_->clock().now() - trace_offset_,
+                        .device_id = device_->identity().device_id,
+                        .type = sim::TraceType::kTrialBoot,
+                        .from = {},
+                        .to = {},
+                        .code = 1,
+                        .value = 0.0});
+                }
+                return finish(Status::kOk);
+            }
+            enter_phase(Phase::kRollback);
+            return yield(t0);
+        }
+
+        case Phase::kRollback: {
+            // The unhealthy image never confirms; the device limps along
+            // until the modelled watchdog fires at the trial deadline and
+            // resets it. The bootloader then reverts the unconfirmed slot
+            // and the previous version boots.
+            const double deadline = device_->bootloader().trial_deadline();
+            if (device_->clock().now() < deadline) {
+                device_->clock().advance(deadline - device_->clock().now());
+            }
+            const double boot_start = device_->clock().now();
+            auto boot_report = device_->reboot();
+            if (!boot_report) return finish(boot_report.status());
+            const double boot_elapsed = device_->clock().now() - boot_start;
+            const double boot_verify = device_->bootloader().last_verification_seconds();
+            report_.phases.verification_s += boot_verify;
+            report_.phases.loading_s += boot_elapsed - boot_verify;
+            report_.rolled_back = boot_report->rolled_back;
+            if (tracer_ != nullptr) {
+                tracer_->emit(sim::TraceEvent{
+                    .t = device_->clock().now() - trace_offset_,
+                    .device_id = device_->identity().device_id,
+                    .type = sim::TraceType::kTrialBoot,
+                    .from = {},
+                    .to = {},
+                    .code = 2,
+                    .value = 0.0});
+            }
+            return finish(Status::kSelfTestFailed);
         }
 
         case Phase::kDone:

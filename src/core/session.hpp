@@ -48,6 +48,14 @@ struct SessionReport {
     double energy_mj = 0.0;
     /// Times the payload transfer was resumed after a connection drop.
     unsigned transport_resumes = 0;
+    /// Times the device token was re-issued mid-transfer to survive a
+    /// server outage window (the transfer continued, never restarted).
+    unsigned token_refreshes = 0;
+    /// Boot-confirm protocol: the reboot armed a trial, the self-test
+    /// confirmed it, or the trial expired and the bootloader reverted.
+    bool trial_boot = false;
+    bool confirmed = false;
+    bool rolled_back = false;
 };
 
 /// One update attempt as a resumable state machine.
@@ -97,6 +105,21 @@ public:
     /// link drop — only a reboot loses them). 0 disables resuming.
     void set_transport_resumes(unsigned resumes) { transport_resumes_ = resumes; }
 
+    /// Server-outage resilience: tells the driver whether the update server
+    /// is currently unreachable. With a probe set, a mid-payload timeout
+    /// that coincides with an outage takes the reconnect path — back off,
+    /// wait the outage out, refresh the token (fresh nonce, same version,
+    /// so the server re-serves the identical payload), and resume the
+    /// transfer from the agent's committed offset — instead of burning the
+    /// remaining resumes against a dead server. Each reconnect consumes one
+    /// transport resume. Without a probe behavior is unchanged.
+    void set_outage_probe(std::function<bool()> probe) {
+        outage_probe_ = std::move(probe);
+    }
+
+    /// Seconds between reconnect probes while waiting out an outage.
+    void set_reconnect_backoff(double seconds) { reconnect_backoff_s_ = seconds; }
+
     StepResult step();
 
     /// The uploaded device token; valid once step() returned kServer.
@@ -116,7 +139,10 @@ private:
         kAwaitServer,   // waiting for provide_response()
         kRecvManifest,  // downlink manifest chunks, verify on last
         kRecvPayload,   // downlink payload chunks through the pipeline
+        kReconnect,     // waiting out a server outage, then token refresh
         kReboot,        // reboot + boot-time verification + load
+        kConfirm,       // trial boot armed: self-test + confirm_boot()
+        kRollback,      // unhealthy: idle to the watchdog, revert on reboot
         kDone,
     };
     static std::string_view phase_name(Phase p);
@@ -131,6 +157,8 @@ private:
     double trace_offset_;
     std::function<void(server::UpdateResponse&)> interceptor_;
     unsigned transport_resumes_ = 0;
+    std::function<bool()> outage_probe_;
+    double reconnect_backoff_s_ = 5.0;
 
     Phase phase_ = Phase::kStart;
     SessionReport report_;
@@ -148,6 +176,10 @@ private:
     std::size_t manifest_offset_ = 0;
     std::size_t payload_offset_ = 0;
     unsigned resumes_left_ = 0;
+    /// A token refresh is in flight: the next server response resumes the
+    /// existing transfer instead of starting a new one.
+    bool resuming_ = false;
+    unsigned reconnect_waits_ = 0;
 };
 
 /// Synchronous facade over SessionDriver for single-device experiments:

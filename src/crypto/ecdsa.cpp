@@ -222,7 +222,7 @@ Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest) {
                 const U256 rm = fn.to_mont(r);
                 const U256 dm = fn.to_mont(key.scalar());
                 const U256 zm = fn.to_mont(z);
-                const U256 s_m = fn.mul(fn.inv(km), fn.add(zm, fn.mul(rm, dm)));
+                const U256 s_m = fn.mul(fn.inv(km), fn.add(zm, fn.mul(rm, dm)));  // lint: inv-audited (fixed public exponent n-2, branchless mul)
                 const U256 s = ct::declassify_value(fn.from_mont(s_m));
                 if (!s.is_zero()) {
                     Signature sig{};
@@ -256,7 +256,7 @@ bool verify_with(const Sha256Digest& digest, ByteSpan signature, MulAddFn&& mul_
     if (!(r < curve.n()) || !(s < curve.n())) return false;
 
     const U256 z = fn.reduce(digest_to_scalar(digest));
-    const U256 w_m = fn.inv(fn.to_mont(s));
+    const U256 w_m = fn.inv(fn.to_mont(s));  // lint: inv-audited (s is a public signature component)
     const U256 u1 = fn.from_mont(fn.mul(fn.to_mont(z), w_m));
     const U256 u2 = fn.from_mont(fn.mul(fn.to_mont(r), w_m));
 

@@ -4,31 +4,79 @@
 
 namespace upkit::net {
 
-double Transport::transfer_chunk_seconds(std::size_t payload_bytes, bool* aborted) {
+double Transport::transfer_chunk_seconds(std::size_t payload_bytes, bool* aborted,
+                                         bool* corrupted) {
     *aborted = false;
-    double seconds = link_.chunk_seconds(payload_bytes);
+    *corrupted = false;
+    if (chaos_.plan == nullptr) {
+        // Pre-chaos loop, untouched: the rng draw sequence (one draw per
+        // attempt iff loss > 0) is part of the campaign determinism
+        // contract that existing trace-diff tests pin down.
+        double seconds = link_.chunk_seconds(payload_bytes);
+        unsigned attempts = 0;
+        while (link_.loss_probability > 0.0 && rng_.chance(link_.loss_probability)) {
+            if (++attempts > max_retries_) {
+                *aborted = true;
+                return seconds;
+            }
+            ++retransmissions_;
+            seconds += link_.chunk_seconds(payload_bytes);
+        }
+        return seconds;
+    }
+    // Chaos path: conditions are re-evaluated per transmission attempt at
+    // the campaign instant the attempt starts, so a burst or outage that
+    // begins mid-chunk affects the retries but not the attempts before it.
+    double seconds = 0.0;
     unsigned attempts = 0;
-    while (link_.loss_probability > 0.0 && rng_.chance(link_.loss_probability)) {
+    for (;;) {
+        const double campaign_t = clock_->now() - chaos_.campaign_offset + seconds;
+        const sim::ChaosPlan::Conditions c =
+            chaos_.plan->conditions(campaign_t, chaos_.device_id,
+                                    chaos_.payload_via_server);
+        seconds += link_.chunk_seconds(payload_bytes,
+                                       {c.extra_loss, c.overhead_factor});
+        bool lost;
+        if (c.blocked) {
+            lost = true;  // server down: deterministic loss, no rng draw
+        } else {
+            const double loss =
+                std::min(0.99, link_.loss_probability + c.extra_loss);
+            lost = loss > 0.0 && rng_.chance(loss);
+        }
+        if (!lost) {
+            *corrupted = c.corrupt;
+            return seconds;
+        }
         if (++attempts > max_retries_) {
             *aborted = true;
             return seconds;
         }
         ++retransmissions_;
-        seconds += link_.chunk_seconds(payload_bytes);
     }
-    return seconds;
 }
 
 Status Transport::chunk_to_device(ByteSpan data, std::size_t& offset, ByteSink& sink,
                                   double* seconds) {
     const std::size_t len = std::min(link_.mtu, data.size() - offset);
     bool aborted = false;
-    const double s = transfer_chunk_seconds(len, &aborted);
+    bool corrupted = false;
+    const double s = transfer_chunk_seconds(len, &aborted, &corrupted);
     clock_->advance(s);
     if (meter_ != nullptr) meter_->charge(sim::Component::kRadioRx, s);
     if (seconds != nullptr) *seconds = s;
     if (aborted) return Status::kTimeout;
-    UPKIT_RETURN_IF_ERROR(sink.write(data.subspan(offset, len)));
+    if (corrupted) {
+        // In-transit bit flip the link layer missed; the agent's digest
+        // check catches it after download.
+        Bytes mangled(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                      data.begin() + static_cast<std::ptrdiff_t>(offset + len));
+        mangled[len / 2] ^= 0x40;
+        ++chunks_corrupted_;
+        UPKIT_RETURN_IF_ERROR(sink.write(ByteSpan(mangled.data(), mangled.size())));
+    } else {
+        UPKIT_RETURN_IF_ERROR(sink.write(data.subspan(offset, len)));
+    }
     offset += len;
     bytes_down_ += len;
     return Status::kOk;
@@ -37,7 +85,8 @@ Status Transport::chunk_to_device(ByteSpan data, std::size_t& offset, ByteSink& 
 Status Transport::chunk_from_device(ByteSpan data, std::size_t& offset, double* seconds) {
     const std::size_t len = std::min(link_.mtu, data.size() - offset);
     bool aborted = false;
-    const double s = transfer_chunk_seconds(len, &aborted);
+    bool corrupted = false;
+    const double s = transfer_chunk_seconds(len, &aborted, &corrupted);
     clock_->advance(s);
     if (meter_ != nullptr) meter_->charge(sim::Component::kRadioTx, s);
     if (seconds != nullptr) *seconds = s;

@@ -10,10 +10,23 @@
 #include "common/rng.hpp"
 #include "common/sink.hpp"
 #include "net/link.hpp"
+#include "sim/chaos.hpp"
 #include "sim/clock.hpp"
 #include "sim/energy.hpp"
 
 namespace upkit::net {
+
+/// Attaches a seeded chaos plan to a transport. The plan speaks campaign
+/// time while the transport advances the device's own clock; `campaign_offset`
+/// is the device's DeviceClockView offset (campaign_t = device_t - offset).
+/// `payload_via_server` marks transfers that stream through the update
+/// server, which an outage window blocks entirely.
+struct ChaosBinding {
+    const sim::ChaosPlan* plan = nullptr;
+    std::uint32_t device_id = 0;
+    double campaign_offset = 0.0;
+    bool payload_via_server = true;
+};
 
 class Transport {
 public:
@@ -50,22 +63,31 @@ public:
     std::uint64_t bytes_to_device() const { return bytes_down_; }
     std::uint64_t bytes_from_device() const { return bytes_up_; }
     std::uint64_t chunks_retransmitted() const { return retransmissions_; }
+    std::uint64_t chunks_corrupted() const { return chunks_corrupted_; }
 
     /// Caps retransmissions per chunk before the transfer aborts.
     void set_max_retries(unsigned retries) { max_retries_ = retries; }
 
+    /// Overlays a chaos plan on every subsequent chunk. Without a binding
+    /// the transfer loop is bit-identical to the pre-chaos transport
+    /// (including its rng draw sequence).
+    void set_chaos(const ChaosBinding& binding) { chaos_ = binding; }
+
 private:
-    double transfer_chunk_seconds(std::size_t payload_bytes, bool* aborted);
+    double transfer_chunk_seconds(std::size_t payload_bytes, bool* aborted,
+                                  bool* corrupted);
 
     LinkParams link_;
     sim::VirtualClock* clock_;
     sim::EnergyMeter* meter_;
     Rng rng_;
     unsigned max_retries_ = 16;
+    ChaosBinding chaos_;
 
     std::uint64_t bytes_down_ = 0;
     std::uint64_t bytes_up_ = 0;
     std::uint64_t retransmissions_ = 0;
+    std::uint64_t chunks_corrupted_ = 0;
 };
 
 }  // namespace upkit::net

@@ -28,6 +28,7 @@
 #include "compress/lzss.hpp"
 #include "crypto/ecdsa.hpp"
 #include "server/vendor_server.hpp"
+#include "sim/chaos.hpp"
 #include "sim/trace.hpp"
 
 namespace upkit::server {
@@ -101,6 +102,17 @@ struct ServerModel {
     double delta_gen_per_kb_s = 0.0; // bsdiff + LZSS per KB of input, on a miss
     double cache_lookup_s = 0.0;     // content-addressed lookup, hit or miss
     double dispatch_per_kb_s = 0.0;  // serialization + copy per payload KB
+
+    /// Seeded fault plan for the deployment (outage windows make the server
+    /// unreachable; see sim/chaos.hpp). Not owned — the caller keeps the
+    /// plan alive across the campaign (set_model copies this struct, so the
+    /// plan itself must not be a member). Null = no faults.
+    const sim::ChaosPlan* chaos = nullptr;
+
+    /// Whether the deployment accepts requests at campaign time `t`.
+    bool available_at(double t) const {
+        return chaos == nullptr || !chaos->server_down(t);
+    }
 
     double service_seconds(std::size_t payload_bytes) const {
         return service_time_s +

@@ -1,0 +1,178 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+
+namespace upkit::sim {
+namespace {
+
+/// splitmix64: the plan's only random source. Each drawn value is a pure
+/// function of its predecessor, so generation order is the sole state.
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+double uniform01(std::uint64_t& state) {
+    return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+bool in_window(double t, double start, double end) {
+    return t >= start && t < end;
+}
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+    // FNV-1a over the value's bytes, 8 at a time.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFFu;
+        h *= 0x100000001B3ull;
+    }
+}
+
+void mix(std::uint64_t& h, double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(h, bits);
+}
+
+}  // namespace
+
+ChaosPlan ChaosPlan::generate(const ChaosSpec& spec) {
+    ChaosPlan plan;
+    std::uint64_t state = spec.seed;
+    // Independent sub-streams per fault class: adding a burst never shifts
+    // where the outages land, which keeps scenario matrices comparable
+    // across spec tweaks.
+    std::uint64_t burst_state = splitmix64(state) ^ 0xB0B0B0B0B0B0B0B0ull;
+    std::uint64_t outage_state = splitmix64(state) ^ 0x0A0A0A0A0A0A0A0Aull;
+    std::uint64_t spike_state = splitmix64(state) ^ 0x5151515151515151ull;
+    const std::uint64_t profile_seed = splitmix64(state);
+
+    for (unsigned i = 0; i < spec.loss_bursts; ++i) {
+        const double start = uniform01(burst_state) * spec.horizon_s;
+        plan.add_loss_burst(start, start + spec.burst_duration_s, spec.burst_loss);
+    }
+    for (unsigned i = 0; i < spec.outages; ++i) {
+        const double start = uniform01(outage_state) * spec.horizon_s;
+        plan.add_outage(start, start + spec.outage_duration_s);
+    }
+    for (unsigned i = 0; i < spec.latency_spikes; ++i) {
+        const double start = uniform01(spike_state) * spec.horizon_s;
+        plan.add_latency_spike(start, start + spec.spike_duration_s, spec.spike_factor);
+    }
+    plan.set_device_profile_params(profile_seed, spec.flaky_fraction,
+                                   spec.flaky_extra_loss, spec.corrupt_fraction,
+                                   spec.corrupt_duration_s, spec.horizon_s,
+                                   spec.brick_fraction);
+    return plan;
+}
+
+void ChaosPlan::set_device_profile_params(std::uint64_t seed, double flaky_fraction,
+                                          double flaky_extra_loss,
+                                          double corrupt_fraction,
+                                          double corrupt_duration_s, double horizon_s,
+                                          double brick_fraction) {
+    profile_seed_ = seed;
+    flaky_fraction_ = flaky_fraction;
+    flaky_extra_loss_ = flaky_extra_loss;
+    corrupt_fraction_ = corrupt_fraction;
+    corrupt_duration_s_ = corrupt_duration_s;
+    corrupt_horizon_s_ = horizon_s;
+    brick_fraction_ = brick_fraction;
+}
+
+bool ChaosPlan::server_down(double t) const {
+    for (const auto& w : outages_) {
+        if (in_window(t, w.start_s, w.end_s)) return true;
+    }
+    return false;
+}
+
+double ChaosPlan::server_up_at(double t) const {
+    // Outage windows may overlap; chase the chain until no window covers t.
+    double up = t;
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        for (const auto& w : outages_) {
+            if (in_window(up, w.start_s, w.end_s)) {
+                up = w.end_s;
+                moved = true;
+            }
+        }
+    }
+    return up;
+}
+
+ChaosPlan::Conditions ChaosPlan::conditions(double t, std::uint32_t device_id,
+                                            bool payload_via_server) const {
+    Conditions c;
+    for (const auto& b : bursts_) {
+        if (in_window(t, b.start_s, b.end_s)) c.extra_loss += b.loss_probability;
+    }
+    for (const auto& s : spikes_) {
+        if (in_window(t, s.start_s, s.end_s)) {
+            c.overhead_factor = std::max(c.overhead_factor, s.overhead_factor);
+        }
+    }
+    const DeviceChaosProfile p = device_profile(device_id);
+    c.extra_loss += p.extra_loss;
+    c.corrupt = in_window(t, p.corrupt_start_s, p.corrupt_end_s);
+    c.blocked = payload_via_server && server_down(t);
+    return c;
+}
+
+DeviceChaosProfile ChaosPlan::device_profile(std::uint32_t device_id) const {
+    DeviceChaosProfile p;
+    if (profile_seed_ == 0) return p;
+    std::uint64_t state = profile_seed_ ^ (0x9E3779B97F4A7C15ull * (device_id + 1));
+    if (uniform01(state) < flaky_fraction_) p.extra_loss = flaky_extra_loss_;
+    if (uniform01(state) < corrupt_fraction_) {
+        p.corrupt_start_s = uniform01(state) * corrupt_horizon_s_;
+        p.corrupt_end_s = p.corrupt_start_s + corrupt_duration_s_;
+    }
+    p.self_test_bricks = uniform01(state) < brick_fraction_;
+    return p;
+}
+
+bool ChaosPlan::self_test_passes(std::uint32_t device_id, std::uint16_t version) const {
+    for (const std::uint16_t bad : bad_versions_) {
+        if (version == bad) return false;
+    }
+    return !device_profile(device_id).self_test_bricks;
+}
+
+std::uint64_t ChaosPlan::fingerprint() const {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    mix(h, static_cast<std::uint64_t>(outages_.size()));
+    for (const auto& w : outages_) {
+        mix(h, w.start_s);
+        mix(h, w.end_s);
+    }
+    mix(h, static_cast<std::uint64_t>(bursts_.size()));
+    for (const auto& b : bursts_) {
+        mix(h, b.start_s);
+        mix(h, b.end_s);
+        mix(h, b.loss_probability);
+    }
+    mix(h, static_cast<std::uint64_t>(spikes_.size()));
+    for (const auto& s : spikes_) {
+        mix(h, s.start_s);
+        mix(h, s.end_s);
+        mix(h, s.overhead_factor);
+    }
+    mix(h, static_cast<std::uint64_t>(bad_versions_.size()));
+    for (const std::uint16_t v : bad_versions_) mix(h, static_cast<std::uint64_t>(v));
+    mix(h, profile_seed_);
+    mix(h, flaky_fraction_);
+    mix(h, flaky_extra_loss_);
+    mix(h, corrupt_fraction_);
+    mix(h, corrupt_duration_s_);
+    mix(h, corrupt_horizon_s_);
+    mix(h, brick_fraction_);
+    return h;
+}
+
+}  // namespace upkit::sim

@@ -37,6 +37,14 @@ constexpr std::string_view to_string(Component c) {
     return "?";
 }
 
+/// Battery-budget view of an activity: charge drawn from the cell in mAh.
+/// Fleet reports use this to express verification cost against a battery
+/// capacity (e.g. a CR2477's ~1000 mAh on nRF52840-class parts) instead of
+/// abstract millijoules.
+constexpr double milliamp_hours(double seconds, double current_ma) {
+    return current_ma * seconds / 3600.0;
+}
+
 class EnergyMeter {
 public:
     explicit EnergyMeter(const PlatformProfile& platform) : platform_(&platform) {}

@@ -30,6 +30,11 @@ enum class TraceType : std::uint8_t {
     kWaveStart,      // rollout wave released     (code = wave index)
     kServerCache,    // request served            (code = cache bits, value = sign ops)
     kKeyRotation,    // device key re-registered  (code = rotation generation)
+    kWavePromote,    // cohort passed its gate    (code = promoted wave, value = success rate)
+    kBreakerTrip,    // circuit breaker tripped   (code = wave, value = failure rate)
+    kServerOutage,   // request hit a down server (value = retry delay s)
+    kTrialBoot,      // trial-boot verdict        (code = 1 confirmed, 2 rolled back)
+    kTokenRefresh,   // session token re-issued   (code = refresh count)
 };
 
 /// Bit layout of the `code` field on kServerCache events.
@@ -50,6 +55,11 @@ constexpr std::string_view to_string(TraceType t) {
         case TraceType::kWaveStart: return "wave";
         case TraceType::kServerCache: return "server-cache";
         case TraceType::kKeyRotation: return "key-rotation";
+        case TraceType::kWavePromote: return "wave-promote";
+        case TraceType::kBreakerTrip: return "breaker-trip";
+        case TraceType::kServerOutage: return "server-outage";
+        case TraceType::kTrialBoot: return "trial-boot";
+        case TraceType::kTokenRefresh: return "token-refresh";
     }
     return "?";
 }

@@ -1,0 +1,11 @@
+// Fixture: modular inverse of a secret nonce without the `inv-audited`
+// annotation — must trip `secret-inverse`.
+#include "crypto/modular.hpp"
+
+namespace upkit::crypto {
+
+U256 leak_nonce_inverse(const Montgomery& fn, const U256& secret_k) {
+    return fn.inv(secret_k);
+}
+
+}  // namespace upkit::crypto

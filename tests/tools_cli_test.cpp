@@ -157,8 +157,9 @@ TEST_F(ToolsCliTest, LintCatchesAllSeededFixtureViolations) {
     const Bytes log = read(dir_ / "out.log");
     const std::string out(log.begin(), log.end());
     for (const char* rule_id :
-         {"raw-compare", "vt-scalar-mul", "banned-rand", "banned-unbounded-copy",
-          "banned-wall-clock", "fsm-switch-exhaustive", "discarded-flash-status"}) {
+         {"raw-compare", "vt-scalar-mul", "secret-inverse", "banned-rand",
+          "banned-unbounded-copy", "banned-wall-clock", "fsm-switch-exhaustive",
+          "discarded-flash-status"}) {
         EXPECT_NE(out.find(std::string("[") + rule_id + "]"), std::string::npos)
             << "fixture violation for rule '" << rule_id << "' not caught:\n"
             << out;
