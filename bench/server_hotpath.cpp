@@ -1,6 +1,6 @@
 // Server hot-path bench: the two accelerations PR'd together — fixed-base
-// comb scalar multiplication (ECDSA signing) and the content-addressed
-// delta/response caches — measured in isolation and end-to-end.
+// comb scalar multiplication (ECDSA signing) and the response envelope
+// cache — measured in isolation and end-to-end.
 //
 // Micro section: mul_base via the comb table vs the generic double-and-add
 // ladder (ops/s and speedup, cross-checked for agreement), plus ECDSA sign
@@ -162,8 +162,7 @@ int main(int argc, char** argv) {
     const server::ServerStats& s = hot.report.server_stats;
     const double requests = static_cast<double>(s.requests);
     const double hit_ratio =
-        requests > 0 ? static_cast<double>(s.delta_hits + s.response_hits) / requests
-                     : 0.0;
+        requests > 0 ? static_cast<double>(s.response_hits) / requests : 0.0;
 
     std::printf(
         "{\"bench\":\"server_hotpath\",\"devices\":%zu,\"server_concurrency\":%u,"
@@ -173,7 +172,7 @@ int main(int argc, char** argv) {
         "\"sign_us\":%.1f,\"calibrated_sign_us\":%.1f,"
         "\"makespan_const_s\":%.3f,\"makespan_measured_s\":%.3f,"
         "\"makespan_improvement\":%.2f,"
-        "\"requests\":%llu,\"delta_hits\":%llu,\"delta_misses\":%llu,"
+        "\"requests\":%llu,\"delta_generations\":%llu,"
         "\"response_hits\":%llu,\"cache_hit_ratio\":%.3f,"
         "\"server_busy_const_s\":%.3f,\"server_busy_measured_s\":%.3f}\n",
         fleet, concurrency, 1.0 / comb_s, 1.0 / ladder_s, 1.0 / ct_s, speedup,
@@ -181,8 +180,7 @@ int main(int argc, char** argv) {
         sign_s * 1e6, measured.sign_s * 1e6, constant.report.makespan_s,
         hot.report.makespan_s, constant.report.makespan_s / hot.report.makespan_s,
         static_cast<unsigned long long>(s.requests),
-        static_cast<unsigned long long>(s.delta_hits),
-        static_cast<unsigned long long>(s.delta_misses),
+        static_cast<unsigned long long>(s.delta_generations),
         static_cast<unsigned long long>(s.response_hits), hit_ratio,
         constant.report.server.busy_s, hot.report.server.busy_s);
 

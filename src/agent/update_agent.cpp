@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "diff/cdc.hpp"
 #include "suit/suit.hpp"
 
 namespace upkit::agent {
@@ -61,7 +62,9 @@ void UpdateAgent::set_state(FsmState next) {
 Status UpdateAgent::fail(Status status) {
     // Cleaning state (paper): invalidate the used slot, reset all variables.
     target_handle_.close();
-    pipeline_.reset();
+    pipeline_.reset();  // must go before the chunk plan it points into
+    chunk_plan_.reset();
+    air_chunks_.clear();
     old_firmware_.reset();
     manifest_.reset();
     manifest_buffer_.clear();
@@ -86,6 +89,7 @@ Expected<manifest::DeviceToken> UpdateAgent::request_device_token() {
                   (static_cast<std::uint32_t>(nonce_bytes[3]) << 24);
     token.current_version =
         config_.enable_differential ? config_.identity.installed_version : 0;
+    prepare_chunk_state(token);
     token_ = token;
     ++stats_.tokens_issued;
 
@@ -136,13 +140,85 @@ bool UpdateAgent::run_self_test(std::uint16_t running_version) {
 
 Status UpdateAgent::offer_manifest(ByteSpan chunk) {
     if (state_ != FsmState::kReceiveManifest) return Status::kFsmBadState;
-    const std::size_t want = manifest::kManifestSize - manifest_buffer_.size();
-    if (chunk.size() > want) return fail(Status::kSizeExceeded);
+    // The manifest wire is variable-length (a chunked one carries its chunk
+    // table); the total size is pinned down incrementally as header bytes
+    // arrive, and overshoot is rejected as soon as it is detectable.
+    if (const std::size_t total = manifest::wire_size_partial(manifest_buffer_);
+        total != 0 && chunk.size() > total - manifest_buffer_.size()) {
+        return fail(Status::kSizeExceeded);
+    }
     append(manifest_buffer_, chunk);
-    if (manifest_buffer_.size() < manifest::kManifestSize) return Status::kOk;
+    const std::size_t total = manifest::wire_size_partial(manifest_buffer_);
+    if (total == 0 || manifest_buffer_.size() < total) return Status::kOk;
+    if (manifest_buffer_.size() > total) return fail(Status::kSizeExceeded);
 
     set_state(FsmState::kVerifyManifest);
     return verify_manifest_now();
+}
+
+Expected<UpdateAgent::InstalledImageInfo> UpdateAgent::installed_image_info() const {
+    const slots::SlotConfig* installed = slots_->slot(config_.installed_slot);
+    if (installed == nullptr) return Status::kNotFound;
+    Bytes header(suit::kSuitHeaderRegion);
+    if (installed->device->read(installed->offset, MutByteSpan(header)) != Status::kOk) {
+        return Status::kFlashIoError;
+    }
+    // A chunked native header is variable-length and can outgrow the fixed
+    // probe read; the size hint tells us how much to fetch before parsing.
+    if (auto wire = manifest::wire_size_hint(header)) {
+        if (*wire > header.size()) {
+            header.resize(*wire);
+            if (installed->device->read(installed->offset, MutByteSpan(header)) !=
+                Status::kOk) {
+                return Status::kFlashIoError;
+            }
+        }
+        if (auto native = manifest::parse_manifest(header)) {
+            return InstalledImageInfo{*native, manifest::wire_size(*native)};
+        }
+    }
+    if (auto env = suit::parse_envelope_prefix(header)) {
+        if (auto converted = suit::to_manifest(*env)) {
+            return InstalledImageInfo{*converted, suit::kSuitHeaderRegion};
+        }
+    }
+    return Status::kBadManifest;
+}
+
+void UpdateAgent::prepare_chunk_state(manifest::DeviceToken& token) {
+    installed_chunks_.clear();
+    installed_fw_offset_ = 0;
+    installed_fw_size_ = 0;
+    if (!config_.enable_chunked) return;
+    // No (readable) installed image means nothing to advertise — the token
+    // stays legacy and the server serves a whole image.
+    auto info = installed_image_info();
+    if (!info || info->manifest.firmware_size == 0) return;
+    const slots::SlotConfig* installed = slots_->slot(config_.installed_slot);
+    Bytes firmware(info->manifest.firmware_size);
+    if (installed->device->read(installed->offset + info->fw_offset,
+                                MutByteSpan(firmware)) != Status::kOk) {
+        return;
+    }
+    // One content-defined chunking pass over the installed image — the same
+    // cut points the server computed when it ingested this version, so both
+    // sides agree on what the device holds. Costed as a SHA-256 sweep (the
+    // gear hash is cheap next to the per-chunk digests).
+    charge_cpu(verifier_->backend().costs().sha256_seconds_per_kb *
+               static_cast<double>(firmware.size()) / 1024.0);
+    for (const manifest::ChunkRef& ref : diff::chunk_image(firmware)) {
+        installed_chunks_.emplace(manifest::digest_prefix(ref.digest),
+                                  InstalledChunk{ref.offset, ref.length});
+    }
+    if (installed_chunks_.empty() || installed_chunks_.size() > manifest::kMaxHaveEntries) {
+        installed_chunks_.clear();
+        return;
+    }
+    installed_fw_offset_ = info->fw_offset;
+    installed_fw_size_ = info->manifest.firmware_size;
+    token.have.clear();
+    token.have.reserve(installed_chunks_.size());
+    for (const auto& entry : installed_chunks_) token.have.push_back(entry.first);
 }
 
 Status UpdateAgent::verify_manifest_now() {
@@ -218,30 +294,62 @@ Status UpdateAgent::accept_verified_manifest(const manifest::Manifest& m,
     // The installed image may itself be stored in either wire format.
     const RandomReader* old_reader = nullptr;
     if (m.differential) {
-        const slots::SlotConfig* installed = slots_->slot(config_.installed_slot);
-        if (installed == nullptr) return fail(Status::kNotFound);
-        Bytes installed_header(suit::kSuitHeaderRegion);
-        if (installed->device->read(installed->offset, MutByteSpan(installed_header)) !=
-            Status::kOk) {
-            return fail(Status::kFlashIoError);
+        auto info = installed_image_info();
+        if (!info) {
+            return fail(info.status() == Status::kBadManifest ? Status::kBadOldVersion
+                                                              : info.status());
         }
-        std::optional<manifest::Manifest> installed_manifest;
-        std::uint64_t installed_fw_offset = manifest::kManifestSize;
-        if (auto native = manifest::parse_manifest(installed_header)) {
-            installed_manifest = *native;
-        } else if (auto env = suit::parse_envelope_prefix(installed_header)) {
-            if (auto converted = suit::to_manifest(*env)) {
-                installed_manifest = *converted;
-                installed_fw_offset = suit::kSuitHeaderRegion;
-            }
-        }
-        if (!installed_manifest) return fail(Status::kBadOldVersion);
-        if (installed_manifest->version != m.old_version) {
+        if (info->manifest.version != m.old_version) {
             return fail(Status::kBadOldVersion);
         }
-        old_firmware_.emplace(*slots_, config_.installed_slot, installed_fw_offset,
-                              installed_manifest->firmware_size);
+        old_firmware_.emplace(*slots_, config_.installed_slot, info->fw_offset,
+                              info->manifest.firmware_size);
         old_reader = &*old_firmware_;
+    }
+
+    // Chunked transfers: turn the manifest's chunk table plus the installed
+    // chunk map (computed when the token was issued) into the install plan.
+    chunk_plan_.reset();
+    air_chunks_.clear();
+    if (m.chunked) {
+        // The server only goes chunked for tokens that advertised a
+        // have-list, but reject defensively if this agent cannot source
+        // local chunks.
+        if (!config_.enable_chunked) {
+            ++stats_.manifests_rejected;
+            return fail(Status::kBadManifest);
+        }
+        pipeline::ChunkPlan plan;
+        plan.entries.reserve(m.chunk_table.size());
+        std::uint64_t air = 0;
+        bool any_local = false;
+        for (const manifest::ChunkRef& ref : m.chunk_table) {
+            pipeline::ChunkPlan::Entry e;
+            e.ref = ref;
+            const auto it = installed_chunks_.find(manifest::digest_prefix(ref.digest));
+            if (it != installed_chunks_.end()) {
+                e.local = true;
+                e.old_offset = it->second.offset;
+                any_local = true;
+            } else {
+                air += ref.length;
+            }
+            plan.entries.push_back(e);
+        }
+        // Both sides must agree byte-for-byte on the have/want split; a
+        // payload size that does not match our own accounting means the
+        // server worked from a different have-list.
+        if (air != m.payload_size) {
+            ++stats_.manifests_rejected;
+            return fail(Status::kBadManifest);
+        }
+        chunk_plan_ = std::move(plan);
+        air_chunks_ = chunk_plan_->air_chunks();
+        if (any_local) {
+            old_firmware_.emplace(*slots_, config_.installed_slot, installed_fw_offset_,
+                                  installed_fw_size_);
+            old_reader = &*old_firmware_;
+        }
     }
 
     // Store the header (native manifest or padded SUIT envelope) ahead of
@@ -254,12 +362,20 @@ Status UpdateAgent::accept_verified_manifest(const manifest::Manifest& m,
                                  .encrypted = m.encrypted,
                                  .device_encryption_key = config_.encryption_key,
                                  .device_id = config_.identity.device_id,
-                                 .request_nonce = token_->nonce},
+                                 .request_nonce = token_->nonce,
+                                 .chunk_plan = chunk_plan_ ? &*chunk_plan_ : nullptr},
         target_handle_, old_reader);
 
     manifest_ = m;
     payload_received_ = 0;
     set_state(FsmState::kReceiveFirmware);
+    if (manifest_->chunked && manifest_->payload_size == 0) {
+        // Every chunk of the new image is already on the device (e.g. a
+        // metadata-only rebuild): nothing travels over the air, so the
+        // image is assembled and verified right here.
+        set_state(FsmState::kVerifyFirmware);
+        return verify_firmware_now();
+    }
     return Status::kOk;
 }
 
@@ -271,6 +387,22 @@ Status UpdateAgent::offer_payload(ByteSpan chunk) {
     }
 
     const Status ws = pipeline_->write(chunk);
+    if (manifest_->chunked) {
+        // Each air chunk is re-hashed on arrival (the per-chunk gate in
+        // front of the flash path) — pay the digest time as bytes stream.
+        charge_cpu(verifier_->backend().costs().sha256_seconds_per_kb *
+                   static_cast<double>(chunk.size()) / 1024.0);
+    }
+    if (ws == Status::kChunkDigestMismatch) {
+        // Recoverable: the stage dropped the bad chunk before anything
+        // reached flash and is still positioned on it. Roll the resume
+        // offset back to the last committed byte so the driver re-sends
+        // just that chunk instead of abandoning the session.
+        ++stats_.chunks_rejected;
+        stats_.payload_bytes_received += chunk.size();
+        payload_received_ = pipeline_->chunk_stage()->committed_air_bytes();
+        return ws;
+    }
     if (ws != Status::kOk) {
         ++stats_.firmwares_rejected;
         return fail(ws);
@@ -314,8 +446,12 @@ Status UpdateAgent::verify_firmware_now() {
         return fail(verdict);
     }
 
+    if (const pipeline::ChunkStage* cs = pipeline_->chunk_stage()) {
+        stats_.chunk_bytes_local += cs->local_bytes();
+    }
     target_handle_.close();
-    pipeline_.reset();
+    pipeline_.reset();  // before the chunk plan it points into
+    chunk_plan_.reset();
     old_firmware_.reset();
     ++stats_.updates_staged;
     set_state(FsmState::kReadyToReboot);

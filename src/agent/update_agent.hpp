@@ -11,7 +11,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "agent/fsm.hpp"
 #include "crypto/hmac_drbg.hpp"
@@ -35,6 +37,12 @@ struct AgentConfig {
 
     /// Differential support costs agent flash/RAM; devices may disable it.
     bool enable_differential = true;
+
+    /// Content-addressed chunk support: when set, device tokens advertise
+    /// the digest prefixes of chunks present in the installed image (the
+    /// have-list) and the agent accepts chunked manifests, pulling only the
+    /// missing chunks over the air.
+    bool enable_chunked = false;
 
     /// Pipeline buffer size; match the flash sector size.
     std::size_t pipeline_buffer = 4096;
@@ -61,6 +69,8 @@ struct AgentStats {
     std::uint64_t firmwares_rejected = 0;   // digest failures after download
     std::uint64_t updates_staged = 0;       // stored + verified, pre-reboot
     std::uint64_t payload_bytes_received = 0;
+    std::uint64_t chunks_rejected = 0;      // per-chunk digest failures (re-requested)
+    std::uint64_t chunk_bytes_local = 0;    // image bytes sourced from the installed slot
     /// Virtual-clock seconds spent in the agent's verification steps
     /// (manifest signatures + firmware digest) — the phase accounting of
     /// the paper's Fig. 8a reads this.
@@ -124,6 +134,14 @@ public:
     const std::optional<manifest::Manifest>& pending_manifest() const { return manifest_; }
     const AgentConfig& config() const { return config_; }
 
+    /// True when the accepted manifest is chunked (have/want transfer).
+    bool chunked_transfer() const { return chunk_plan_.has_value(); }
+
+    /// Wire layout of the air chunks for the in-flight chunked update —
+    /// what the session driver streams (and the chaos plan targets). Empty
+    /// for legacy transfers; valid after the manifest is accepted.
+    const std::vector<pipeline::AirChunk>& air_chunks() const { return air_chunks_; }
+
     /// Abandons any in-flight update and invalidates the target slot.
     void clean();
 
@@ -149,6 +167,20 @@ private:
     Status accept_verified_manifest(const manifest::Manifest& m, ByteSpan header_bytes);
     void charge_cpu(double seconds);
 
+    /// Locates the manifest (either wire format) and firmware offset of the
+    /// image in the installed slot — the differential base and the chunk
+    /// have-list both start here.
+    struct InstalledImageInfo {
+        manifest::Manifest manifest;
+        std::uint64_t fw_offset = 0;
+    };
+    Expected<InstalledImageInfo> installed_image_info() const;
+
+    /// Chunks the installed image and fills the token's have-list; keeps
+    /// the prefix → (offset, length) map so the install plan built at
+    /// manifest-accept time matches what the server was told.
+    void prepare_chunk_state(manifest::DeviceToken& token);
+
     AgentConfig config_;
     slots::SlotManager* slots_;
     const verify::Verifier* verifier_;
@@ -170,6 +202,20 @@ private:
     std::optional<slots::SlotReader> old_firmware_;
     std::unique_ptr<pipeline::Pipeline> pipeline_;
     std::uint64_t payload_received_ = 0;
+
+    // Chunked-transfer state. The installed-chunk map is rebuilt whenever a
+    // token is issued (the have-list is derived from its keys); the plan is
+    // built when a chunked manifest is accepted and owns the entries the
+    // pipeline's ChunkStage reads.
+    struct InstalledChunk {
+        std::uint64_t offset = 0;
+        std::uint32_t length = 0;
+    };
+    std::map<std::uint64_t, InstalledChunk> installed_chunks_;
+    std::uint64_t installed_fw_offset_ = 0;
+    std::uint32_t installed_fw_size_ = 0;
+    std::optional<pipeline::ChunkPlan> chunk_plan_;
+    std::vector<pipeline::AirChunk> air_chunks_;
 };
 
 }  // namespace upkit::agent

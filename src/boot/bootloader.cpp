@@ -25,11 +25,23 @@ std::optional<Bootloader::Candidate> Bootloader::read_candidate(std::uint32_t sl
         return std::nullopt;
     }
 
+    // Chunked native manifests are variable-length: the chunk table can
+    // extend past the fixed probe region, so learn the true wire size from
+    // the prefix and re-read the full header before parsing.
+    if (auto hinted = manifest::wire_size_hint(header)) {
+        if (*hinted > header.size() && *hinted <= config->size) {
+            header.resize(*hinted);
+            if (config->device->read(config->offset, MutByteSpan(header)) != Status::kOk) {
+                return std::nullopt;
+            }
+        }
+    }
+
     Candidate candidate;
     candidate.slot_id = slot_id;
     if (auto native = manifest::parse_manifest(header)) {
         candidate.manifest = *native;
-        candidate.firmware_offset = manifest::kManifestSize;
+        candidate.firmware_offset = manifest::wire_size(*native);
         return candidate;
     }
     // SUIT-encoded header region (interop mode).

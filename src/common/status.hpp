@@ -39,6 +39,7 @@ enum class Status {
     kBadAppId,
     kBadManifest,
     kSizeExceeded,
+    kChunkDigestMismatch,
 
     // Propagation / agent failures.
     kFsmBadState,
@@ -93,6 +94,7 @@ constexpr std::string_view to_string(Status s) {
         case Status::kBadAppId: return "application/platform ID mismatch";
         case Status::kBadManifest: return "malformed manifest";
         case Status::kSizeExceeded: return "firmware size exceeds manifest size";
+        case Status::kChunkDigestMismatch: return "payload chunk digest mismatch (re-request)";
         case Status::kFsmBadState: return "operation invalid in current FSM state";
         case Status::kTruncatedImage: return "update image truncated";
         case Status::kTransportError: return "transport error";

@@ -152,6 +152,7 @@ void Device::restart_agent() {
     agent_config.installed_slot = installed_slot_;
     agent_config.target_slot = target_slot_;
     agent_config.enable_differential = config_.enable_differential;
+    agent_config.enable_chunked = config_.enable_chunked;
     agent_config.pipeline_buffer = config_.pipeline_buffer != 0
                                        ? config_.pipeline_buffer
                                        : config_.platform->flash_sector_bytes;

@@ -38,6 +38,12 @@ struct DeviceConfig {
     std::uint32_t app_id = 0xA0;
     bool enable_differential = true;
 
+    /// Content-addressed chunk transfer: the agent advertises the chunks of
+    /// its installed image in each device token and the server streams only
+    /// the missing ones. Off by default — legacy campaigns are byte-for-byte
+    /// unaffected.
+    bool enable_chunked = false;
+
     /// Confidentiality extension: the device carries a long-term P-256
     /// encryption key pair (register its public half with the update
     /// server) and accepts ChaCha20-encrypted payloads.

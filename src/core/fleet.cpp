@@ -54,12 +54,16 @@ server::ServerStats stats_delta(const server::ServerStats& now,
     server::ServerStats d;
     d.requests = now.requests - then.requests;
     d.sign_ops = now.sign_ops - then.sign_ops;
-    d.delta_hits = now.delta_hits - then.delta_hits;
-    d.delta_misses = now.delta_misses - then.delta_misses;
-    d.delta_evictions = now.delta_evictions - then.delta_evictions;
+    d.delta_generations = now.delta_generations - then.delta_generations;
     d.response_hits = now.response_hits - then.response_hits;
     d.response_misses = now.response_misses - then.response_misses;
     d.response_evictions = now.response_evictions - then.response_evictions;
+    d.chunked_responses = now.chunked_responses - then.chunked_responses;
+    d.chunk_hits = now.chunk_hits - then.chunk_hits;
+    d.chunk_misses = now.chunk_misses - then.chunk_misses;
+    d.chunks_served = now.chunks_served - then.chunks_served;
+    d.chunk_bytes_served = now.chunk_bytes_served - then.chunk_bytes_served;
+    d.chunk_bytes_deduped = now.chunk_bytes_deduped - then.chunk_bytes_deduped;
     d.key_rotations = now.key_rotations - then.key_rotations;
     return d;
 }
@@ -209,7 +213,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
             if (*response) {
                 const server::ServiceReceipt& r = (*response)->receipt;
                 std::uint32_t bits = 0;
-                if (r.delta_cache_hit) bits |= sim::kCacheBitDeltaHit;
+                if (r.chunked) bits |= sim::kCacheBitChunked;
                 if (r.response_cache_hit) bits |= sim::kCacheBitResponseHit;
                 if (r.delta_attempted) bits |= sim::kCacheBitDeltaAttempt;
                 trace(sim::TraceType::kServerCache, c.result.device_id, bits,
@@ -256,6 +260,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
             c.driver->set_outage_probe(
                 [&c, chaos] { return chaos->server_down(c.view.campaign_now()); });
             c.driver->set_reconnect_backoff(policy.reconnect_backoff_s);
+            c.driver->set_chunk_chaos(chaos);
         }
         trace(sim::TraceType::kSessionStart, c.result.device_id, c.attempt, 0.0);
         pump(i);
@@ -303,6 +308,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         c.result.verification_s += c.last.phases.verification_s;
         c.result.transport_resumes += c.last.transport_resumes;
         c.result.token_refreshes += c.last.token_refreshes;
+        c.result.chunk_retries += c.last.chunk_retries;
         if (c.last.confirmed) c.result.confirmed = true;
         if (c.last.rolled_back) c.result.rolled_back = true;
         c.driver.reset();
@@ -362,6 +368,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         c.result.status = c.last.status;
         c.result.final_version = device.identity().installed_version;
         c.result.differential = c.last.differential;
+        c.result.chunked = c.last.chunked;
         c.result.end_s = sched.now();
         c.result.time_s = c.result.end_s - c.result.start_s;
         c.result.energy_mj = device.meter().total_millijoules() - c.e0;
@@ -490,9 +497,11 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         if (c.result.status == Status::kOk) {
             ++report.succeeded;
             if (c.result.differential) ++report.differential_updates;
+            if (c.result.chunked) ++report.chunked_updates;
         } else {
             ++report.failed;
         }
+        report.chunk_retries += c.result.chunk_retries;
         if (c.member != nullptr) {
             // Battery cost of the verification seconds: CPU active draw plus
             // the HSM's supply current where one did the verifying.

@@ -106,6 +106,11 @@ struct CampaignDeviceResult {
     unsigned attempts = 0;
     std::uint16_t final_version = 0;
     bool differential = false;
+    /// Final attempt used a content-addressed (chunked) transfer.
+    bool chunked = false;
+    /// Air chunks re-requested after on-arrival digest failures, summed
+    /// over attempts (recovered, not failed).
+    unsigned chunk_retries = 0;
     /// Campaign-timeline instants: when the device's wave released it and
     /// when its last attempt finished. end_s − start_s == time_s.
     double start_s = 0.0;
@@ -189,6 +194,9 @@ struct CampaignReport {
     /// compare before/after campaigns to see the win.
     double verification_s = 0.0;
     unsigned differential_updates = 0;
+    unsigned chunked_updates = 0;
+    /// Per-chunk re-requests recovered across the whole campaign.
+    unsigned chunk_retries = 0;
     /// Gated rollouts: per-wave stats and every breaker trip, in order.
     std::vector<WaveStats> waves;
     std::vector<BreakerTrip> breaker_trips;

@@ -20,6 +20,10 @@ private:
 /// gives up with kUnavailable (bounds the DES event count per attempt).
 constexpr unsigned kMaxReconnectWaits = 64;
 
+/// Per-chunk re-requests tolerated per attempt before the session gives up
+/// as kBadDigest (a link this dirty will not finish anyway).
+constexpr unsigned kMaxChunkRetries = 64;
+
 }  // namespace
 
 std::string_view SessionDriver::phase_name(Phase p) {
@@ -169,6 +173,7 @@ SessionDriver::StepResult SessionDriver::step() {
                 return yield(t0);
             }
             report_.differential = response_->manifest.differential;
+            report_.chunked = response_->manifest.chunked;
             manifest_offset_ = 0;
             manifest_sink_ = BytesSink{};
             enter_phase(Phase::kRecvManifest);
@@ -194,6 +199,21 @@ SessionDriver::StepResult SessionDriver::step() {
                 report_.rejected_before_download = true;
                 return finish(manifest_verdict);
             }
+            if (agent.update_ready()) {
+                // Chunked update fully assembled from chunks the device
+                // already held: there is no payload phase at all.
+                enter_phase(Phase::kReboot);
+                return yield(t0);
+            }
+            chunk_poison_pending_.clear();
+            if (chunk_chaos_ != nullptr && agent.chunked_transfer()) {
+                const auto& chunks = agent.air_chunks();
+                chunk_poison_pending_.assign(chunks.size(), false);
+                for (std::size_t i = 0; i < chunks.size(); ++i) {
+                    chunk_poison_pending_[i] = chunk_chaos_->payload_chunk_corrupted(
+                        device_->identity().device_id, chunks[i].table_index);
+                }
+            }
             payload_offset_ = 0;
             enter_phase(Phase::kRecvPayload);
             return yield(t0);
@@ -206,9 +226,60 @@ SessionDriver::StepResult SessionDriver::step() {
             // link drops).
             agent::UpdateAgent& agent = device_->agent();
             AgentPayloadSink sink(agent);
-            const Status verdict =
-                transport_->chunk_to_device(response_->payload, payload_offset_, sink);
+            Status verdict;
+            // Chunk-targeted chaos: if the upcoming MTU window overlaps an
+            // air chunk still marked for its one-shot corruption, deliver a
+            // locally-mangled copy of the window (one bit flip inside the
+            // marked chunk). The agent's per-chunk digest check rejects it
+            // and the driver re-sends just that chunk — the clean copy, the
+            // mark having been spent.
+            std::size_t poison = chunk_poison_pending_.size();
+            if (!chunk_poison_pending_.empty()) {
+                const auto& chunks = agent.air_chunks();
+                const std::size_t len = std::min(transport_->link().mtu,
+                                                 response_->payload.size() - payload_offset_);
+                for (std::size_t i = 0; i < chunks.size(); ++i) {
+                    if (chunk_poison_pending_[i] &&
+                        payload_offset_ < chunks[i].wire_offset + chunks[i].length &&
+                        payload_offset_ + len > chunks[i].wire_offset) {
+                        poison = i;
+                        break;
+                    }
+                }
+            }
+            if (poison != chunk_poison_pending_.size()) {
+                const auto& chunk = agent.air_chunks()[poison];
+                const std::size_t len = std::min(transport_->link().mtu,
+                                                 response_->payload.size() - payload_offset_);
+                Bytes window(response_->payload.begin() +
+                                 static_cast<std::ptrdiff_t>(payload_offset_),
+                             response_->payload.begin() +
+                                 static_cast<std::ptrdiff_t>(payload_offset_ + len));
+                const std::size_t flip = chunk.wire_offset > payload_offset_
+                                             ? chunk.wire_offset - payload_offset_
+                                             : 0;
+                window[flip] ^= 0x20;
+                chunk_poison_pending_[poison] = false;
+                std::size_t local = 0;
+                verdict = transport_->chunk_to_device(window, local, sink);
+                payload_offset_ += local;
+            } else {
+                verdict =
+                    transport_->chunk_to_device(response_->payload, payload_offset_, sink);
+            }
             agent_verify_ = agent.stats().verification_seconds - verify_base_;
+            if (verdict == Status::kChunkDigestMismatch) {
+                // The agent dropped the bad chunk before flash and rolled
+                // its offset back to the last committed byte; re-send from
+                // there. Not a session failure unless it keeps happening.
+                ++report_.chunk_retries;
+                if (report_.chunk_retries > kMaxChunkRetries) {
+                    report_.rejected_after_download = true;
+                    return finish(Status::kBadDigest);
+                }
+                payload_offset_ = static_cast<std::size_t>(agent.payload_offset());
+                return yield(t0);
+            }
             if (verdict == Status::kTimeout && resumes_left_ > 0) {
                 --resumes_left_;
                 ++report_.transport_resumes;
@@ -353,6 +424,7 @@ SessionReport UpdateSession::run(std::uint32_t app_id) {
     SessionDriver driver(*device_, transport_, tracer_, trace_offset);
     driver.set_interceptor(interceptor_);
     driver.set_transport_resumes(transport_resumes_);
+    driver.set_chunk_chaos(chunk_chaos_);
 
     // Pump the driver to completion: an uncontended server answers after its
     // configured service time (zero by default), never queueing.

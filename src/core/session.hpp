@@ -42,6 +42,12 @@ struct SessionReport {
 
     PhaseBreakdown phases;
     bool differential = false;
+    /// Content-addressed transfer: only the chunks missing from the device
+    /// travelled over the air.
+    bool chunked = false;
+    /// Air chunks that failed their on-arrival digest check and were
+    /// re-requested (per-chunk recovery, not a session failure).
+    unsigned chunk_retries = 0;
     std::uint64_t bytes_over_air = 0;
     std::uint16_t final_version = 0;
     bool rebooted = false;
@@ -120,6 +126,12 @@ public:
     /// Seconds between reconnect probes while waiting out an outage.
     void set_reconnect_backoff(double seconds) { reconnect_backoff_s_ = seconds; }
 
+    /// Chunk-targeted fault injection: when a plan is attached, air chunks
+    /// it marks for this device are corrupted on their first delivery (a
+    /// local bit flip before the bytes enter the transport), exercising the
+    /// agent's per-chunk re-request path. Chunked transfers only.
+    void set_chunk_chaos(const sim::ChaosPlan* plan) { chunk_chaos_ = plan; }
+
     StepResult step();
 
     /// The uploaded device token; valid once step() returned kServer.
@@ -159,6 +171,7 @@ private:
     unsigned transport_resumes_ = 0;
     std::function<bool()> outage_probe_;
     double reconnect_backoff_s_ = 5.0;
+    const sim::ChaosPlan* chunk_chaos_ = nullptr;
 
     Phase phase_ = Phase::kStart;
     SessionReport report_;
@@ -180,6 +193,9 @@ private:
     /// existing transfer instead of starting a new one.
     bool resuming_ = false;
     unsigned reconnect_waits_ = 0;
+    /// Chunk chaos: air chunks (by air-chunk index) still awaiting their
+    /// one-shot first-delivery corruption.
+    std::vector<bool> chunk_poison_pending_;
 };
 
 /// Synchronous facade over SessionDriver for single-device experiments:
@@ -202,6 +218,9 @@ public:
     /// See SessionDriver::set_transport_resumes.
     void set_transport_resumes(unsigned resumes) { transport_resumes_ = resumes; }
 
+    /// See SessionDriver::set_chunk_chaos.
+    void set_chunk_chaos(const sim::ChaosPlan* plan) { chunk_chaos_ = plan; }
+
     /// Trace session phases and FSM transitions (timeline starts at 0 when
     /// the session does).
     void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
@@ -219,6 +238,7 @@ private:
     net::Transport transport_;
     std::function<void(server::UpdateResponse&)> interceptor_;
     unsigned transport_resumes_ = 0;
+    const sim::ChaosPlan* chunk_chaos_ = nullptr;
     sim::Tracer* tracer_ = nullptr;
 };
 

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/status.hpp"
@@ -50,6 +51,34 @@ inline constexpr std::uint16_t kFlagEncrypted = 0x0002;
 inline constexpr std::size_t kEncryptionHeaderSize = 64;
 inline constexpr std::size_t kEncryptionTagSize = 16;
 inline constexpr std::size_t kEncryptionOverhead = kEncryptionHeaderSize + kEncryptionTagSize;
+/// Manifest carries a chunk table (content-defined chunking, diff/cdc.hpp)
+/// appended after the 200-byte core: count (u32) followed by `count`
+/// fixed-size entries. The payload is then the concatenation of the chunks
+/// the device reported missing, each independently verifiable on arrival.
+inline constexpr std::uint16_t kFlagChunked = 0x0004;
+/// Wire size of one chunk-table entry: offset u32 + length u32 + SHA-256.
+inline constexpr std::size_t kChunkEntrySize = 40;
+/// Structural bound on table size (a 4096-entry table is a ~160 KB wire
+/// manifest — far beyond any image this framework targets).
+inline constexpr std::size_t kMaxChunkEntries = 4096;
+
+/// One contiguous chunk of an image: where it lives in the *new* image and
+/// the digest that names it in the content-addressed store.
+struct ChunkRef {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+    crypto::Sha256Digest digest{};
+
+    friend bool operator==(const ChunkRef& a, const ChunkRef& b) {
+        return a.offset == b.offset && a.length == b.length && a.digest == b.digest;
+    }
+};
+
+/// First 8 digest bytes as a little-endian integer — the compact chunk
+/// identity used in device have-lists. A prefix collision at worst makes
+/// the device copy a wrong local chunk, which the full per-chunk digest
+/// check catches before any byte reaches flash.
+std::uint64_t digest_prefix(const crypto::Sha256Digest& digest);
 
 /// Requested by the proxy/agent before each update (paper Sect. III-B).
 struct DeviceToken {
@@ -60,10 +89,20 @@ struct DeviceToken {
     /// updates, 0 otherwise (the paper's in-band capability signal).
     std::uint16_t current_version = 0;
 
+    /// Have-list: digest prefixes of the chunks of the installed image,
+    /// strictly increasing (canonical wire order). Non-empty iff the device
+    /// chunked its installed image and wants a chunked (have/want) update;
+    /// empty keeps the legacy 10-byte token byte-identical.
+    std::vector<std::uint64_t> have = {};
+
     bool supports_differential() const { return current_version != 0; }
+    bool supports_chunked() const { return !have.empty(); }
 };
 
+/// Legacy token wire size; a token with a have-list is
+/// kDeviceTokenSize + 2 + 8 * have.size().
 inline constexpr std::size_t kDeviceTokenSize = 10;
+inline constexpr std::size_t kMaxHaveEntries = kMaxChunkEntries;
 
 Bytes serialize(const DeviceToken& token);
 Expected<DeviceToken> parse_device_token(ByteSpan data);
@@ -86,23 +125,59 @@ struct Manifest {
     bool encrypted = false;
     std::uint32_t payload_size = 0;  // bytes on the air: firmware or compressed patch
 
+    /// Chunked distribution (kFlagChunked): the signed chunk table of the
+    /// *new* image. May legitimately be empty while chunked is true (an
+    /// empty image chunks to zero entries). Legacy manifests keep
+    /// chunked == false and an empty table, and serialize byte-identically
+    /// to the original 200-byte format.
+    bool chunked = false;
+    std::vector<ChunkRef> chunk_table;
+
     crypto::Signature vendor_signature{};
     crypto::Signature server_signature{};
 
     /// Canonical bytes covered by the vendor signature: the fields known at
-    /// generation time, before any device token exists.
+    /// generation time, before any device token exists. Deliberately
+    /// excludes the chunk table: the table is distribution metadata the
+    /// server may strip for legacy devices, authenticated per request by
+    /// the server signature, while the vendor-signed image digest keeps the
+    /// end-to-end authenticity of whatever the chunks assemble into.
     Bytes vendor_signed_bytes() const;
 
     /// Bytes covered by the update-server signature: the full serialized
-    /// manifest up to (and excluding) the server signature itself, i.e.
-    /// token fields, transport fields, and the vendor signature.
+    /// manifest minus the server signature field itself, i.e. token fields,
+    /// transport fields, the vendor signature, and any chunk table.
     Bytes server_signed_bytes() const;
 };
 
-/// Serializes to the fixed 200-byte wire format.
+/// Serializes to the wire format: exactly 200 bytes for legacy manifests,
+/// 200 + 4 + kChunkEntrySize * n for chunked ones.
 Bytes serialize(const Manifest& m);
 
-/// Parses and structurally validates (magic, format, reserved field).
+/// Wire size `m` serializes to.
+std::size_t wire_size(const Manifest& m);
+
+/// Wire size of the manifest whose first bytes are `prefix`, without a full
+/// parse — how slot readers learn how many header bytes to fetch. Needs the
+/// flags field, plus the chunk count (first 204 bytes) when the chunked
+/// flag is set; returns kBadManifest if the prefix is too short to tell.
+Expected<std::size_t> wire_size_hint(ByteSpan prefix);
+
+/// Incremental framing helper for receivers assembling a manifest from a
+/// byte stream: given the bytes so far, returns the total wire size once it
+/// is determined, or 0 while more bytes are needed to tell. A prefix that
+/// cannot be a chunked manifest (bad magic/format, chunked flag clear)
+/// resolves to the legacy size, so malformed input is still rejected by a
+/// full parse after exactly 200 bytes — the pre-chunk behaviour.
+std::size_t wire_size_partial(ByteSpan prefix);
+
+/// Parses and structurally validates (magic, format, reserved field,
+/// chunk-table framing).
 Expected<Manifest> parse_manifest(ByteSpan data);
+
+/// Structural validity of the chunk table against the manifest core: a
+/// chunked manifest's entries must tile [0, firmware_size) contiguously
+/// with nonzero lengths; a legacy manifest must carry no table.
+Status validate_chunk_table(const Manifest& m);
 
 }  // namespace upkit::manifest

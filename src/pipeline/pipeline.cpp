@@ -10,7 +10,12 @@ Pipeline::Pipeline(const PipelineConfig& config, slots::SlotHandle& out,
     writer_ = std::make_unique<WriterStage>(out);
     buffer_ = std::make_unique<BufferStage>(*writer_, config.buffer_size);
     digest_ = std::make_unique<DigestTee>(*buffer_);
-    if (config.differential) {
+    if (config.chunk_plan != nullptr) {
+        assert(!config.differential && !config.encrypted &&
+               "chunked pipelines are never combined with differential/encrypted");
+        chunker_ = std::make_unique<ChunkStage>(*config.chunk_plan, old_firmware, *digest_);
+        front_ = chunker_.get();
+    } else if (config.differential) {
         assert(old_firmware != nullptr && "differential pipeline needs the installed image");
         patcher_ = std::make_unique<diff::PatchApplier>(*old_firmware, *digest_);
         decoder_ = std::make_unique<compress::LzssDecoder>(*patcher_);
@@ -35,6 +40,7 @@ Status Pipeline::finish() { return front_->finish(); }
 std::size_t Pipeline::ram_usage() const {
     std::size_t ram = config_.buffer_size;
     if (decoder_ != nullptr) ram += decoder_->window_ram();
+    if (chunker_ != nullptr) ram += chunker_->ram_usage();
     return ram;
 }
 

@@ -7,6 +7,9 @@
 //   differential:  payload -> LZSS decompression -> bspatch (reading the
 //                  installed firmware from its slot) -> digest tee ->
 //                  buffer -> writer
+//   chunked:       payload -> chunk stage (per-chunk digest verification,
+//                  local chunks copied from the installed firmware) ->
+//                  digest tee -> buffer -> writer
 //
 // Because the patch is applied in transit, no extra memory slot is ever
 // required to hold it — the feature that lets UpKit do differential updates
@@ -18,6 +21,7 @@
 
 #include "compress/lzss.hpp"
 #include "diff/bspatch_stream.hpp"
+#include "pipeline/chunk_stage.hpp"
 #include "pipeline/decrypt_stage.hpp"
 #include "pipeline/stages.hpp"
 
@@ -34,6 +38,12 @@ struct PipelineConfig {
     const crypto::PrivateKey* device_encryption_key = nullptr;
     std::uint32_t device_id = 0;
     std::uint32_t request_nonce = 0;
+
+    /// Content-addressed extension: when set, the payload carries only the
+    /// chunks the device is missing and a ChunkStage reassembles the image
+    /// (mutually exclusive with differential/encrypted — the server never
+    /// combines them). The plan must outlive the pipeline.
+    const ChunkPlan* chunk_plan = nullptr;
 };
 
 class Pipeline final : public ByteSink {
@@ -58,6 +68,9 @@ public:
 
     std::uint64_t flash_chunks_written() const { return writer_->chunks_written(); }
 
+    /// The chunk-reassembly stage (null unless config.chunk_plan was set).
+    const ChunkStage* chunk_stage() const { return chunker_.get(); }
+
     /// RAM the pipeline holds (buffer + decompression window), for the
     /// footprint accounting and the ablation benches.
     std::size_t ram_usage() const;
@@ -70,6 +83,7 @@ private:
     std::unique_ptr<DigestTee> digest_;
     std::unique_ptr<diff::PatchApplier> patcher_;
     std::unique_ptr<compress::LzssDecoder> decoder_;
+    std::unique_ptr<ChunkStage> chunker_;
     std::unique_ptr<DecryptStage> decrypter_;
     ByteSink* front_ = nullptr;
 };

@@ -1,0 +1,48 @@
+#include "server/chunk_store.hpp"
+
+namespace upkit::server {
+
+Status ChunkStore::ingest(ByteSpan image, const std::vector<manifest::ChunkRef>& table) {
+    for (const manifest::ChunkRef& ref : table) {
+        if (ref.length == 0 ||
+            static_cast<std::uint64_t>(ref.offset) + ref.length > image.size()) {
+            return Status::kInvalidArgument;
+        }
+    }
+    for (const manifest::ChunkRef& ref : table) {
+        ++stats_.ingested;
+        auto [it, inserted] = entries_.try_emplace(ref.digest);
+        if (inserted) {
+            const ByteSpan slice = image.subspan(ref.offset, ref.length);
+            it->second.bytes.assign(slice.begin(), slice.end());
+            ++stats_.chunks;
+            stats_.unique_bytes += ref.length;
+        } else {
+            ++stats_.deduped;
+        }
+        ++it->second.refs;
+        stats_.logical_bytes += ref.length;
+    }
+    return Status::kOk;
+}
+
+void ChunkStore::release(const std::vector<manifest::ChunkRef>& table) {
+    for (const manifest::ChunkRef& ref : table) {
+        const auto it = entries_.find(ref.digest);
+        if (it == entries_.end()) continue;
+        stats_.logical_bytes -= ref.length;
+        if (--it->second.refs == 0) {
+            stats_.unique_bytes -= it->second.bytes.size();
+            --stats_.chunks;
+            ++stats_.released;
+            entries_.erase(it);
+        }
+    }
+}
+
+const Bytes* ChunkStore::find(const crypto::Sha256Digest& digest) const {
+    const auto it = entries_.find(digest);
+    return it == entries_.end() ? nullptr : &it->second.bytes;
+}
+
+}  // namespace upkit::server

@@ -1,5 +1,6 @@
 #include "server/update_server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -18,6 +19,31 @@ namespace {
 constexpr std::size_t kDeviceIdOffset = 8;
 constexpr std::size_t kNonceOffset = 12;
 constexpr std::size_t kServerSigOffset = 136;
+
+// FNV-1a over a have-list, as the response-cache key component: devices
+// holding the same chunk set share one cached envelope.
+std::uint64_t have_list_hash(const std::vector<std::uint64_t>& have) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint64_t prefix : have) {
+        for (int shift = 0; shift < 64; shift += 8) {
+            h ^= (prefix >> shift) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    }
+    return h;
+}
+
+// Digest over the server-signed wire bytes: everything before the server
+// signature field, plus the chunk table after it when present.
+crypto::Sha256Digest server_signed_wire_digest(const Bytes& wire) {
+    crypto::Sha256 hasher;
+    hasher.update(ByteSpan(wire.data(), kServerSigOffset));
+    if (wire.size() > manifest::kManifestSize) {
+        hasher.update(ByteSpan(wire.data() + manifest::kManifestSize,
+                               wire.size() - manifest::kManifestSize));
+    }
+    return hasher.finalize();
+}
 
 }  // namespace
 
@@ -47,10 +73,44 @@ Status UpdateServer::publish(Release release) {
         }
         ++stats_.publish_verifies;
     }
+    if (release.manifest.chunked) {
+        // The table is distribution metadata this server re-signs per
+        // request, so it is validated at ingest: structure (contiguous
+        // tiling of the image) and every per-chunk digest.
+        if (manifest::validate_chunk_table(release.manifest) != Status::kOk) {
+            return Status::kBadManifest;
+        }
+        for (const manifest::ChunkRef& ref : release.manifest.chunk_table) {
+            const auto digest = crypto::Sha256::digest(
+                ByteSpan(release.firmware.data() + ref.offset, ref.length));
+            if (!ct_equal(ByteSpan(digest.data(), digest.size()),
+                          ByteSpan(ref.digest.data(), ref.digest.size()))) {
+                return Status::kBadDigest;
+            }
+        }
+    }
     auto& versions = releases_[release.manifest.app_id];
     const std::uint16_t version = release.manifest.version;
     if (versions.contains(version)) return Status::kAlreadyExists;
+    if (release.manifest.chunked) {
+        UPKIT_RETURN_IF_ERROR(
+            chunk_store_.ingest(release.firmware, release.manifest.chunk_table));
+    }
     versions.emplace(version, std::move(release));
+    return Status::kOk;
+}
+
+Status UpdateServer::retire_release(std::uint32_t app_id, std::uint16_t version) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto apps = releases_.find(app_id);
+    if (apps == releases_.end()) return Status::kNotFound;
+    const auto it = apps->second.find(version);
+    if (it == apps->second.end()) return Status::kNotFound;
+    if (it->second.manifest.chunked) {
+        chunk_store_.release(it->second.manifest.chunk_table);
+    }
+    apps->second.erase(it);
+    invalidate_caches();
     return Status::kOk;
 }
 
@@ -86,13 +146,6 @@ bool UpdateServer::register_device_key(std::uint32_t device_id,
     return true;
 }
 
-void UpdateServer::set_delta_cache_capacity(std::size_t entries) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    delta_capacity_ = entries;
-    delta_lru_.clear();
-    delta_index_.clear();
-}
-
 void UpdateServer::set_response_cache_capacity(std::size_t entries) {
     const std::lock_guard<std::mutex> lock(mu_);
     response_capacity_ = entries;
@@ -100,10 +153,8 @@ void UpdateServer::set_response_cache_capacity(std::size_t entries) {
     response_index_.clear();
 }
 
-// Assumes mu_ is held by the caller (set_lzss_params).
+// Assumes mu_ is held by the caller (set_lzss_params, retire_release).
 void UpdateServer::invalidate_caches() {
-    delta_lru_.clear();
-    delta_index_.clear();
     response_lru_.clear();
     response_index_.clear();
 }
@@ -141,34 +192,48 @@ bool UpdateServer::maybe_encrypt(const manifest::DeviceToken& token, Bytes& payl
 std::optional<Bytes> UpdateServer::compressed_delta(const Release& base,
                                                     const Release& latest,
                                                     ServiceReceipt& receipt) const {
-    const DeltaKey key{base.manifest.digest, latest.manifest.digest};
-    if (delta_capacity_ != 0) {
-        const auto it = delta_index_.find(key);
-        if (it != delta_index_.end()) {
-            ++stats_.delta_hits;
-            receipt.delta_cache_hit = true;
-            delta_lru_.splice(delta_lru_.begin(), delta_lru_, it->second);
-            return it->second->compressed;
-        }
-        ++stats_.delta_misses;
-    }
-
+    ++stats_.delta_generations;
     receipt.delta_input_bytes = base.firmware.size() + latest.firmware.size();
     auto patch = diff::bsdiff(base.firmware, latest.firmware);
     if (!patch) return std::nullopt;
     auto compressed = compress::lzss_compress(*patch, lzss_params_);
     if (!compressed) return std::nullopt;
-
-    if (delta_capacity_ != 0) {
-        delta_lru_.push_front(DeltaEntry{key, *compressed});
-        delta_index_[key] = delta_lru_.begin();
-        if (delta_lru_.size() > delta_capacity_) {
-            ++stats_.delta_evictions;
-            delta_index_.erase(delta_lru_.back().key);
-            delta_lru_.pop_back();
-        }
-    }
     return std::move(*compressed);
+}
+
+Bytes UpdateServer::assemble_chunks(const Release& release,
+                                    const manifest::DeviceToken& token,
+                                    ServiceReceipt& receipt) const {
+    receipt.chunked = true;
+    Bytes payload;
+    // The have-list is sorted (canonical wire order), so membership is a
+    // binary search; the agent applies the identical prefix rule to decide
+    // which chunks to expect on the air.
+    const auto device_has = [&token](std::uint64_t prefix) {
+        return std::binary_search(token.have.begin(), token.have.end(), prefix);
+    };
+    for (const manifest::ChunkRef& ref : release.manifest.chunk_table) {
+        if (device_has(manifest::digest_prefix(ref.digest))) {
+            receipt.chunk_bytes_deduped += ref.length;
+            stats_.chunk_bytes_deduped += ref.length;
+            continue;
+        }
+        const Bytes* stored = chunk_store_.find(ref.digest);
+        if (stored != nullptr) {
+            ++stats_.chunk_hits;
+            append(payload, ByteSpan(stored->data(), stored->size()));
+        } else {
+            // Published before the store existed (or raced a retirement):
+            // slice the retained image directly.
+            ++stats_.chunk_misses;
+            append(payload, ByteSpan(release.firmware.data() + ref.offset, ref.length));
+        }
+        ++receipt.chunks_sent;
+        ++stats_.chunks_served;
+        stats_.chunk_bytes_served += ref.length;
+    }
+    ++stats_.chunked_responses;
+    return payload;
 }
 
 std::optional<UpdateResponse> UpdateServer::response_from_cache(
@@ -192,13 +257,14 @@ std::optional<UpdateResponse> UpdateServer::response_from_cache(
     response.payload = entry.payload;
 
     // Re-fill the token-dependent wire bytes and re-sign: the freshness
-    // signature covers everything before itself (offset 136), so a patched
-    // envelope is byte-identical to one built from scratch.
+    // signature covers everything but itself (bytes before offset 136 plus
+    // any chunk table after offset 200), so a patched envelope is
+    // byte-identical to one built from scratch.
     Bytes& wire = response.manifest_bytes;
     store_le32(MutByteSpan(wire.data() + kDeviceIdOffset, 4), token.device_id);
     store_le32(MutByteSpan(wire.data() + kNonceOffset, 4), token.nonce);
-    response.manifest.server_signature = crypto::ecdsa_sign(
-        key_, crypto::Sha256::digest(ByteSpan(wire.data(), kServerSigOffset)));
+    response.manifest.server_signature =
+        crypto::ecdsa_sign(key_, server_signed_wire_digest(wire));
     std::memcpy(wire.data() + kServerSigOffset,
                 response.manifest.server_signature.data(), crypto::kSignatureSize);
     ++stats_.sign_ops;
@@ -274,6 +340,30 @@ Expected<UpdateResponse> UpdateServer::prepare_update(
     manifest::Manifest m = latest.manifest;  // vendor fields + vendor signature
     m.device_id = token.device_id;
     m.nonce = token.nonce;
+
+    // Chunked (have/want) path: the release carries a chunk table and the
+    // device reported which chunk digests it already holds; serve only the
+    // missing chunks from the content-addressed store. Encrypted transport
+    // falls back to legacy paths — an AEAD-sealed payload cannot survive
+    // per-chunk re-requests.
+    if (latest.manifest.chunked && token.supports_chunked() && cacheable_envelope) {
+        const ResponseKey key{app_id, latest.manifest.version, 0, false, true,
+                              have_list_hash(token.have)};
+        if (auto hit = response_from_cache(key, token, receipt)) return *hit;
+        m.differential = false;
+        m.old_version = 0;
+        Bytes payload = assemble_chunks(latest, token, receipt);
+        UpdateResponse response =
+            finalize(m, std::move(payload), latest.suit_vendor_signature, receipt);
+        store_response(key, response);
+        return response;
+    }
+
+    // Legacy paths never ship the table: the flag and table are
+    // server-controlled wire fields (outside the vendor signature), so
+    // stripping them yields exactly the historical 200-byte manifest.
+    m.chunked = false;
+    m.chunk_table.clear();
 
     // Differential path: the token advertises the installed version and we
     // still hold that release.

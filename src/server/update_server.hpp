@@ -9,12 +9,17 @@
 //
 // The request path is the fleet-scale hot path, so the expensive,
 // token-independent work is cached content-addressed:
-//  - delta cache: generated+compressed patches keyed by
-//    (from-digest, to-digest) of the two firmware images — identical
-//    content can never serve a stale patch, eviction is plain LRU;
+//  - chunk store: every published image's content-defined chunks, keyed by
+//    chunk SHA-256 and refcounted across releases (server/chunk_store.hpp).
+//    A device that reports the chunk digests it already holds (have/want
+//    negotiation) is served only the missing chunks — payload bytes dedup
+//    across versions and across endpoints. This replaces the retired
+//    per-endpoint-pair bsdiff cache, which the response cache had starved
+//    to a 0% hit rate by construction;
 //  - response cache: serialized response envelopes keyed by the release
-//    and transport shape; per request only the token-dependent bytes
-//    (device ID, nonce, server signature) are re-filled and re-signed.
+//    and transport shape (including the have-list hash for chunked
+//    responses); per request only the token-dependent bytes (device ID,
+//    nonce, server signature) are re-filled and re-signed.
 // The per-request freshness signature is the one cost that can never be
 // cached — which is exactly why mul_base runs off a comb table now.
 #pragma once
@@ -27,6 +32,7 @@
 
 #include "compress/lzss.hpp"
 #include "crypto/ecdsa.hpp"
+#include "server/chunk_store.hpp"
 #include "server/vendor_server.hpp"
 #include "sim/chaos.hpp"
 #include "sim/trace.hpp"
@@ -37,12 +43,16 @@ namespace upkit::server {
 /// simulations can charge a measured service time instead of a constant.
 struct ServiceReceipt {
     unsigned sign_ops = 0;           // ECDSA signatures issued
-    bool delta_attempted = false;    // token advertised a cached base release
-    bool delta_cache_hit = false;    // patch served from the delta cache
+    bool delta_attempted = false;    // bsdiff + LZSS ran for this request
     bool response_cache_hit = false; // envelope served from the response cache
     std::size_t payload_bytes = 0;
-    /// Bytes fed to bsdiff on a delta-cache miss (old + new image).
+    /// Bytes fed to bsdiff when a delta was generated (old + new image).
     std::size_t delta_input_bytes = 0;
+    /// Chunked (have/want) responses: payload assembled from the chunk
+    /// store, counting only the chunks the device was missing.
+    bool chunked = false;
+    unsigned chunks_sent = 0;
+    std::size_t chunk_bytes_deduped = 0;  // bytes skipped: device already had them
 };
 
 /// What travels to the device (via smartphone/gateway or directly).
@@ -60,12 +70,17 @@ struct UpdateResponse {
 struct ServerStats {
     std::uint64_t requests = 0;            // prepare_update calls
     std::uint64_t sign_ops = 0;            // per-request freshness signatures
-    std::uint64_t delta_hits = 0;
-    std::uint64_t delta_misses = 0;
-    std::uint64_t delta_evictions = 0;
+    std::uint64_t delta_generations = 0;   // bsdiff + LZSS runs (uncached)
     std::uint64_t response_hits = 0;
     std::uint64_t response_misses = 0;
     std::uint64_t response_evictions = 0;
+    /// Chunk-store serving counters (have/want responses).
+    std::uint64_t chunked_responses = 0;
+    std::uint64_t chunk_hits = 0;          // chunks served from the store
+    std::uint64_t chunk_misses = 0;        // fell back to slicing the release image
+    std::uint64_t chunks_served = 0;
+    std::uint64_t chunk_bytes_served = 0;
+    std::uint64_t chunk_bytes_deduped = 0; // bytes devices already held
     std::uint64_t key_rotations = 0;       // device key re-registrations
     std::uint64_t publish_verifies = 0;    // vendor-signature checks at publish
 };
@@ -82,8 +97,8 @@ struct ServerStats {
 ///  - constant (`measured == false`, the historical default): fixed +
 ///    per-payload-KB seconds;
 ///  - measured (`measured == true`): the per-request time is derived from
-///    what the request actually cost — signatures issued, delta cache
-///    hit or miss, payload dispatched — using per-operation costs, e.g.
+///    what the request actually cost — signatures issued, delta
+///    generated or not, payload dispatched — using per-operation costs, e.g.
 ///    filled in by calibrate() from host micro-measurements. Given the
 ///    same cost constants the model is deterministic, so reruns stay
 ///    byte-identical.
@@ -125,7 +140,7 @@ struct ServerModel {
         if (!measured) return service_seconds(receipt.payload_bytes);
         double s = cache_lookup_s + sign_s * receipt.sign_ops +
                    dispatch_per_kb_s * static_cast<double>(receipt.payload_bytes) / 1024.0;
-        if (receipt.delta_attempted && !receipt.delta_cache_hit) {
+        if (receipt.delta_attempted) {
             s += delta_gen_per_kb_s *
                  static_cast<double>(receipt.delta_input_bytes) / 1024.0;
         }
@@ -164,8 +179,16 @@ public:
     /// Publishes a vendor-signed release. Past versions are retained so
     /// deltas can be derived against whatever a device currently runs.
     /// With a vendor key set (set_vendor_key), the release is verified
-    /// first: kBadVendorSignature / kBadDigest on failure.
+    /// first: kBadVendorSignature / kBadDigest on failure. A chunked
+    /// release (manifest carries a chunk table) is structurally validated,
+    /// its per-chunk digests checked against the image, and its chunks
+    /// ingested into the content-addressed store.
     Status publish(Release release);
+
+    /// Unpublishes one release and drops its chunk-store references;
+    /// chunks no other release shares are freed. Cached response
+    /// envelopes are invalidated wholesale (retirement is rare).
+    Status retire_release(std::uint32_t app_id, std::uint16_t version);
 
     /// The latest version available for `app_id` (the "announcement").
     std::optional<std::uint16_t> latest_version(std::uint32_t app_id) const;
@@ -193,9 +216,8 @@ public:
 
     // --- hot-path caches --------------------------------------------------
 
-    /// LRU capacities in entries; 0 disables the cache. Changing a capacity
-    /// drops the existing entries.
-    void set_delta_cache_capacity(std::size_t entries);
+    /// Response-cache LRU capacity in entries; 0 disables the cache.
+    /// Changing the capacity drops the existing entries.
     void set_response_cache_capacity(std::size_t entries);
 
     /// Snapshot of the counters, taken under the server mutex (by value:
@@ -203,6 +225,13 @@ public:
     ServerStats stats() const {
         const std::lock_guard<std::mutex> lock(mu_);
         return stats_;
+    }
+
+    /// Chunk-store occupancy/dedup snapshot (unique vs logical bytes —
+    /// the storage-side dedup ratio).
+    ChunkStore::Stats chunk_store_stats() const {
+        const std::lock_guard<std::mutex> lock(mu_);
+        return chunk_store_.stats();
     }
 
     // --- confidentiality extension --------------------------------------
@@ -231,29 +260,23 @@ public:
     void set_tracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
 private:
-    /// Content address of a generated patch: digests of both endpoint
-    /// images. Identical key => byte-identical patch, so a hit can never
-    /// be stale no matter what was evicted in between.
-    using DeltaKey = std::pair<crypto::Sha256Digest, crypto::Sha256Digest>;
-
-    struct DeltaEntry {
-        DeltaKey key;
-        Bytes compressed;  // LZSS-compressed patch, pre-encryption
-    };
-
     /// Everything in a response that does not depend on the device token.
     struct ResponseKey {
         std::uint32_t app_id = 0;
         std::uint16_t version = 0;
-        std::uint16_t old_version = 0;  // 0 for full-image responses
+        std::uint16_t old_version = 0;  // 0 for full-image and chunked responses
         bool differential = false;
+        bool chunked = false;
+        /// FNV-1a over the have-list (chunked responses only): devices
+        /// holding the same chunks share one cached envelope.
+        std::uint64_t have_hash = 0;
         auto operator<=>(const ResponseKey&) const = default;
     };
 
     struct ResponseEntry {
         ResponseKey key;
         manifest::Manifest manifest;  // token fields + server signature stale
-        Bytes manifest_bytes;         // native 200-byte wire form
+        Bytes manifest_bytes;         // native wire form (200 B + chunk table)
         Bytes payload;
     };
 
@@ -264,11 +287,16 @@ private:
     /// has a registered key; returns whether it did.
     bool maybe_encrypt(const manifest::DeviceToken& token, Bytes& payload) const;
 
-    /// Delta-cache lookup/fill. Returns the compressed patch for
-    /// base -> latest, from cache or freshly generated, nullopt when
-    /// generation fails. Updates counters and `receipt`.
+    /// Generates the bsdiff+LZSS patch for base -> latest (nullopt when
+    /// generation fails). Uncached: the response cache absorbs repeats,
+    /// and the retired delta cache never hit behind it.
     std::optional<Bytes> compressed_delta(const Release& base, const Release& latest,
                                           ServiceReceipt& receipt) const;
+
+    /// Assembles the missing-chunk payload for a chunked release against a
+    /// device have-list. Updates chunk counters and `receipt`.
+    Bytes assemble_chunks(const Release& release, const manifest::DeviceToken& token,
+                          ServiceReceipt& receipt) const;
 
     /// Response-cache fast path: re-fills token fields + signature in a
     /// cached envelope. Only serves native-format, unencrypted responses.
@@ -302,15 +330,14 @@ private:
     /// helpers below assume the caller holds it.
     mutable std::mutex mu_;
 
-    // LRU caches: most recent at the list front; maps point into the lists.
-    // Mutable: prepare_update is logically const (same token -> same
-    // response bytes); the caches and counters are bookkeeping.
-    std::size_t delta_capacity_ = 64;
+    // Response LRU cache: most recent at the list front; the map points
+    // into the list. Mutable: prepare_update is logically const (same
+    // token -> same response bytes); caches and counters are bookkeeping.
     std::size_t response_capacity_ = 64;
-    mutable std::list<DeltaEntry> delta_lru_;
-    mutable std::map<DeltaKey, std::list<DeltaEntry>::iterator> delta_index_;
     mutable std::list<ResponseEntry> response_lru_;
     mutable std::map<ResponseKey, std::list<ResponseEntry>::iterator> response_index_;
+    /// Content-addressed chunks of every published chunked release.
+    ChunkStore chunk_store_;
     mutable ServerStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "server/vendor_server.hpp"
 
+#include "diff/cdc.hpp"
 #include "suit/suit.hpp"
 
 namespace upkit::server {
@@ -11,6 +12,13 @@ Release VendorServer::create_release(Bytes firmware, const ReleaseSpec& spec) co
     release.manifest.link_offset = spec.link_offset;
     release.manifest.firmware_size = static_cast<std::uint32_t>(firmware.size());
     release.manifest.digest = crypto::Sha256::digest(firmware);
+    if (spec.chunked) {
+        // The table rides outside the vendor signature (the image digest
+        // above is what carries end-to-end authenticity), so chunking here
+        // is a packaging step, not a signing one.
+        release.manifest.chunked = true;
+        release.manifest.chunk_table = diff::chunk_image(firmware);
+    }
     release.manifest.vendor_signature = crypto::ecdsa_sign(
         key_, crypto::Sha256::digest(release.manifest.vendor_signed_bytes()));
     // The SUIT to-be-signed bytes cover the same vendor fields in their

@@ -39,6 +39,10 @@ public:
         std::uint16_t version = 1;
         std::uint32_t app_id = 0;
         std::uint32_t link_offset = slots::kAnyLinkOffset;
+        /// Attach a content-defined chunk table (diff/cdc.hpp) so the
+        /// update server can ingest the image into its chunk store and
+        /// serve have/want devices only the chunks they miss.
+        bool chunked = false;
     };
 
     /// Creates a vendor-signed release for `firmware`.

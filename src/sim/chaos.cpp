@@ -66,6 +66,10 @@ ChaosPlan ChaosPlan::generate(const ChaosSpec& spec) {
                                    spec.flaky_extra_loss, spec.corrupt_fraction,
                                    spec.corrupt_duration_s, spec.horizon_s,
                                    spec.brick_fraction);
+    // No extra draw from `state`: chunk corruption derives from the profile
+    // seed per (device, chunk), so adding it never shifts the existing
+    // burst/outage/spike/profile sub-streams.
+    plan.set_chunk_corruption(spec.chunk_corrupt_fraction);
     return plan;
 }
 
@@ -137,6 +141,15 @@ DeviceChaosProfile ChaosPlan::device_profile(std::uint32_t device_id) const {
     return p;
 }
 
+bool ChaosPlan::payload_chunk_corrupted(std::uint32_t device_id,
+                                        std::uint32_t chunk_index) const {
+    if (profile_seed_ == 0 || chunk_corrupt_fraction_ <= 0.0) return false;
+    std::uint64_t state = profile_seed_ ^ 0xC4C4C4C4C4C4C4C4ull ^
+                          (0x9E3779B97F4A7C15ull * (device_id + 1)) ^
+                          (0xD6E8FEB86659FD93ull * (chunk_index + 1));
+    return uniform01(state) < chunk_corrupt_fraction_;
+}
+
 bool ChaosPlan::self_test_passes(std::uint32_t device_id, std::uint16_t version) const {
     for (const std::uint16_t bad : bad_versions_) {
         if (version == bad) return false;
@@ -172,6 +185,7 @@ std::uint64_t ChaosPlan::fingerprint() const {
     mix(h, corrupt_duration_s_);
     mix(h, corrupt_horizon_s_);
     mix(h, brick_fraction_);
+    mix(h, chunk_corrupt_fraction_);
     return h;
 }
 

@@ -76,6 +76,12 @@ struct ChaosSpec {
     double corrupt_fraction = 0.0;
     double corrupt_duration_s = 10.0;
     double brick_fraction = 0.0;
+
+    /// Chunk-targeted corruption for content-addressed transfers: the
+    /// probability that any given (device, chunk-table-index) pair arrives
+    /// corrupted on its first transmission. Exercises the per-chunk
+    /// re-request path rather than whole-session failure.
+    double chunk_corrupt_fraction = 0.0;
 };
 
 class ChaosPlan {
@@ -130,6 +136,16 @@ public:
     /// Trial-boot health verdict for `device_id` running `version`.
     bool self_test_passes(std::uint32_t device_id, std::uint16_t version) const;
 
+    /// Chunk-targeted corruption: whether the first transmission of chunk
+    /// table entry `chunk_index` to `device_id` arrives corrupted. A pure
+    /// function of (seed, device, chunk) — no time dependence, so the
+    /// re-requested copy always goes through and a seeded rerun replays the
+    /// exact same set of poisoned chunks.
+    bool payload_chunk_corrupted(std::uint32_t device_id, std::uint32_t chunk_index) const;
+
+    /// Chunk-corruption fraction (also set by generate() from the spec).
+    void set_chunk_corruption(double fraction) { chunk_corrupt_fraction_ = fraction; }
+
     const std::vector<OutageWindow>& outages() const { return outages_; }
     const std::vector<LossBurst>& loss_bursts() const { return bursts_; }
     const std::vector<LatencySpike>& latency_spikes() const { return spikes_; }
@@ -151,6 +167,7 @@ private:
     double corrupt_duration_s_ = 0.0;
     double corrupt_horizon_s_ = 0.0;
     double brick_fraction_ = 0.0;
+    double chunk_corrupt_fraction_ = 0.0;
 };
 
 }  // namespace upkit::sim

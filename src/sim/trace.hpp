@@ -38,9 +38,9 @@ enum class TraceType : std::uint8_t {
 };
 
 /// Bit layout of the `code` field on kServerCache events.
-inline constexpr std::uint32_t kCacheBitDeltaHit = 1;     // patch from delta cache
+inline constexpr std::uint32_t kCacheBitChunked = 1;      // payload from the chunk store
 inline constexpr std::uint32_t kCacheBitResponseHit = 2;  // envelope from response cache
-inline constexpr std::uint32_t kCacheBitDeltaAttempt = 4; // differential path taken
+inline constexpr std::uint32_t kCacheBitDeltaAttempt = 4; // bsdiff delta generated
 
 constexpr std::string_view to_string(TraceType t) {
     switch (t) {

@@ -26,7 +26,10 @@ Status Verifier::check_compatibility(const Manifest& m, const DeviceIdentity& id
     if (m.link_offset != slots::kAnyLinkOffset && m.link_offset != slot.link_offset) {
         return Status::kBadLinkOffset;
     }
-    if (manifest::kManifestSize + static_cast<std::uint64_t>(m.firmware_size) > slot.size) {
+    // Chunked manifests carry a variable-length header (the chunk table).
+    const std::uint64_t header =
+        m.chunked ? manifest::wire_size(m) : manifest::kManifestSize;
+    if (header + static_cast<std::uint64_t>(m.firmware_size) > slot.size) {
         return Status::kSlotTooSmall;
     }
     return Status::kOk;
@@ -56,13 +59,24 @@ Status Verifier::verify_manifest_fields(const Manifest& m,
     } else if (m.old_version != 0) {
         return Status::kBadManifest;  // full images carry no base version
     }
-    if (m.payload_size == 0) return Status::kBadManifest;
-    const std::uint32_t overhead =
-        m.encrypted ? static_cast<std::uint32_t>(manifest::kEncryptionOverhead) : 0;
-    if (!m.differential && m.payload_size != m.firmware_size + overhead) {
-        return Status::kBadManifest;
+    if (m.chunked) {
+        // A chunked transfer is a whole-image delivery where part of the
+        // image is sourced locally: never differential or encrypted, the
+        // air payload is at most the image (and legitimately zero when the
+        // device already holds every chunk), and the table must tile the
+        // image exactly.
+        if (m.differential || m.encrypted) return Status::kBadManifest;
+        if (m.payload_size > m.firmware_size) return Status::kBadManifest;
+        UPKIT_RETURN_IF_ERROR(manifest::validate_chunk_table(m));
+    } else {
+        if (m.payload_size == 0) return Status::kBadManifest;
+        const std::uint32_t overhead =
+            m.encrypted ? static_cast<std::uint32_t>(manifest::kEncryptionOverhead) : 0;
+        if (!m.differential && m.payload_size != m.firmware_size + overhead) {
+            return Status::kBadManifest;
+        }
+        if (m.encrypted && m.payload_size <= overhead) return Status::kBadManifest;
     }
-    if (m.encrypted && m.payload_size <= overhead) return Status::kBadManifest;
 
     return check_compatibility(m, identity, target_slot);
 }

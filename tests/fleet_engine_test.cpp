@@ -463,23 +463,21 @@ TEST(FleetEngineTest, ServerCacheCountersSurfaceInReportAndTrace) {
     const server::ServerStats& s = report.server_stats;
     EXPECT_EQ(s.requests, report.server.requests);
     EXPECT_EQ(s.sign_ops, s.requests);  // one freshness signature each
-    // Six identical differential requests: one delta generation, then hits
-    // (the response cache may answer first; either way nothing regenerates).
-    EXPECT_EQ(s.delta_misses, 1u);
-    EXPECT_EQ(s.delta_hits + s.response_hits, s.requests - 1);
+    // Six identical differential requests: one delta generation, then the
+    // response cache answers every repeat without regenerating.
+    EXPECT_EQ(s.delta_generations, 1u);
+    EXPECT_EQ(s.response_hits, s.requests - 1);
     EXPECT_EQ(s.key_rotations, 0u);
 
     // Every served request traced a server-cache event whose bits agree
     // with the aggregate counters.
-    std::uint64_t events = 0, delta_hits = 0, response_hits = 0;
+    std::uint64_t events = 0, response_hits = 0;
     for (const sim::TraceEvent& ev : sink.events()) {
         if (ev.type != sim::TraceType::kServerCache) continue;
         ++events;
-        if ((ev.code & sim::kCacheBitDeltaHit) != 0) ++delta_hits;
         if ((ev.code & sim::kCacheBitResponseHit) != 0) ++response_hits;
     }
     EXPECT_EQ(events, s.requests);
-    EXPECT_EQ(delta_hits, s.delta_hits);
     EXPECT_EQ(response_hits, s.response_hits);
 }
 
@@ -519,7 +517,8 @@ TEST(FleetEngineTest, MeasuredModelRerunIsByteIdenticalWithCachesOn) {
     EXPECT_EQ(a.trace, b.trace);  // byte-identical JSONL, caches hot
     EXPECT_DOUBLE_EQ(a.report.makespan_s, b.report.makespan_s);
     EXPECT_EQ(a.report.events_processed, b.report.events_processed);
-    EXPECT_EQ(a.report.server_stats.delta_hits, b.report.server_stats.delta_hits);
+    EXPECT_EQ(a.report.server_stats.delta_generations,
+              b.report.server_stats.delta_generations);
     EXPECT_EQ(a.report.server_stats.response_hits,
               b.report.server_stats.response_hits);
 
@@ -527,8 +526,7 @@ TEST(FleetEngineTest, MeasuredModelRerunIsByteIdenticalWithCachesOn) {
     // must have been cheaper than the lone miss: the makespan under the
     // measured model beats a hypothetical all-miss fleet by construction,
     // which shows up as sub-linear total service time.
-    EXPECT_GE(a.report.server_stats.delta_hits + a.report.server_stats.response_hits,
-              6u);
+    EXPECT_GE(a.report.server_stats.response_hits, 6u);
     const double all_miss_service =
         static_cast<double>(a.report.server.requests) *
         (2e-4 + 1e-5 + 1e-3 * 96.0);  // sign + lookup + 2*48 KB delta input

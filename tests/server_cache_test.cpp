@@ -1,15 +1,15 @@
-// Property tests for the update server's hot-path caches and key-rotation
-// bookkeeping (src/server/update_server).
+// Property tests for the update server's hot-path caches, chunk store, and
+// key-rotation bookkeeping (src/server/update_server).
 //
-// The caches are pure accelerations: a delta-cache hit must be byte-equal to
-// a freshly generated bsdiff+LZSS patch, a response-cache hit must be
-// byte-equal to an envelope built from scratch for the same token (RFC 6979
-// makes re-signing reproducible), and eviction under a tiny capacity must
-// only ever cost regeneration time — content addressing by image digests
-// makes a stale hit structurally impossible, which these tests pin down
-// observationally. Key rotation is the one server mutation that must NOT be
-// transparent: a device still holding the pre-rotation key has to fail the
-// AEAD tag on everything sealed after the rotation.
+// The caches are pure accelerations: a response-cache hit must be byte-equal
+// to an envelope built from scratch for the same token (RFC 6979 makes
+// re-signing reproducible), and the content-addressed chunk store must hand
+// back exactly the bytes a fresh slice of the release image would — content
+// addressing by chunk digests makes a stale hit structurally impossible,
+// which these tests pin down observationally. Key rotation is the one server
+// mutation that must NOT be transparent: a device still holding the
+// pre-rotation key has to fail the AEAD tag on everything sealed after the
+// rotation.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -22,6 +22,7 @@
 #include "crypto/hkdf.hpp"
 #include "crypto/poly1305.hpp"
 #include "diff/bsdiff.hpp"
+#include "diff/cdc.hpp"
 #include "test_env.hpp"
 
 namespace upkit {
@@ -49,85 +50,197 @@ Bytes reference_patch(const Bytes& from, const Bytes& to,
     return *compressed;
 }
 
-// ----------------------------------------------------------- delta cache
+// --------------------------------------------------------- delta serving
 
-TEST(ServerCacheTest, DeltaCacheHitIsByteEqualToFreshPatch) {
+TEST(ServerCacheTest, DeltaGenerationIsDeterministicAndCounted) {
+    // With the per-endpoint-pair patch cache retired, every uncached
+    // differential request regenerates — and RFC-determinism makes every
+    // regeneration byte-equal to an out-of-band reference patch.
     TestEnv env;
     const Bytes v2 = env.publish_os_update(2, 91);
-    env.server.set_response_cache_capacity(0);  // isolate the delta cache
+    env.server.set_response_cache_capacity(0);  // force regeneration
 
     const auto first = env.server.prepare_update(kAppId, token_for(0x2001, 7, 1));
     ASSERT_TRUE(first.has_value());
     ASSERT_TRUE(first->manifest.differential);
     EXPECT_TRUE(first->receipt.delta_attempted);
-    EXPECT_FALSE(first->receipt.delta_cache_hit);
 
     const auto second = env.server.prepare_update(kAppId, token_for(0x2002, 8, 1));
     ASSERT_TRUE(second.has_value());
-    EXPECT_TRUE(second->receipt.delta_cache_hit);
+    EXPECT_TRUE(second->receipt.delta_attempted);
 
-    // Hit, miss, and an out-of-band regeneration all agree byte-for-byte.
     const Bytes reference =
         reference_patch(env.base_firmware, v2, env.server.lzss_params());
     EXPECT_EQ(first->payload, reference);
     EXPECT_EQ(second->payload, reference);
-
-    const ServerStats& s = env.server.stats();
-    EXPECT_EQ(s.delta_misses, 1u);
-    EXPECT_EQ(s.delta_hits, 1u);
-    EXPECT_EQ(s.delta_evictions, 0u);
+    EXPECT_EQ(env.server.stats().delta_generations, 2u);
 }
 
-TEST(ServerCacheTest, EvictionUnderTinyCapacityNeverServesStaleBytes) {
-    // Three distinct (from, to) pairs cycle through a 2-entry cache; every
-    // response — hit, miss, or post-eviction regeneration — must equal the
-    // reference patch for its own endpoints.
+TEST(ServerCacheTest, ResponseCacheAbsorbsRepeatDeltaGeneration) {
+    // The response cache is what makes delta serving cheap at fleet scale:
+    // the second device on the same (from, to) endpoints costs one
+    // signature, not a bsdiff run.
     TestEnv env;
-    std::map<std::uint16_t, Bytes> firmware;
-    firmware[1] = env.base_firmware;
-    firmware[2] = env.publish_os_update(2, 92);
-    firmware[3] = env.publish_os_update(3, 93);
-    const Bytes latest = env.publish_os_update(4, 94);
-    env.server.set_response_cache_capacity(0);
-    env.server.set_delta_cache_capacity(2);
+    env.publish_os_update(2, 92);
 
-    const auto check = [&](std::uint16_t from_version, std::uint32_t nonce) {
-        const auto response =
-            env.server.prepare_update(kAppId, token_for(0x3000 + nonce, nonce, from_version));
-        ASSERT_TRUE(response.has_value());
-        ASSERT_TRUE(response->manifest.differential)
-            << "from version " << from_version;
-        EXPECT_EQ(response->payload,
-                  reference_patch(firmware[from_version], latest,
-                                  env.server.lzss_params()))
-            << "from version " << from_version;
-    };
-
-    check(1, 1);  // miss: {1->4}
-    check(2, 2);  // miss: {1->4, 2->4}
-    check(3, 3);  // miss, evicts 1->4
-    EXPECT_EQ(env.server.stats().delta_evictions, 1u);
-    check(1, 4);  // miss again (was evicted) — regenerated, still correct
-    check(3, 5);  // hit
-    EXPECT_EQ(env.server.stats().delta_evictions, 2u);
-    EXPECT_EQ(env.server.stats().delta_hits, 1u);
-    EXPECT_EQ(env.server.stats().delta_misses, 4u);
+    const auto first = env.server.prepare_update(kAppId, token_for(0x3001, 1, 1));
+    const auto second = env.server.prepare_update(kAppId, token_for(0x3002, 2, 1));
+    ASSERT_TRUE(first.has_value() && second.has_value());
+    EXPECT_FALSE(first->receipt.response_cache_hit);
+    EXPECT_TRUE(second->receipt.response_cache_hit);
+    EXPECT_FALSE(second->receipt.delta_attempted);
+    EXPECT_EQ(second->payload, first->payload);
+    EXPECT_EQ(env.server.stats().delta_generations, 1u);
 }
 
-TEST(ServerCacheTest, CompressionParamChangeInvalidatesCachedPatches) {
+TEST(ServerCacheTest, CompressionParamChangeInvalidatesCachedEnvelopes) {
     TestEnv env;
     const Bytes v2 = env.publish_os_update(2, 95);
-    env.server.set_response_cache_capacity(0);
     ASSERT_TRUE(env.server.prepare_update(kAppId, token_for(0x4001, 1, 1)).has_value());
 
     compress::LzssParams narrow;
     narrow.window_bits = 9;
-    env.server.set_lzss_params(narrow);  // drops entries compressed with the old window
+    env.server.set_lzss_params(narrow);  // drops envelopes built with the old window
 
     const auto after = env.server.prepare_update(kAppId, token_for(0x4002, 2, 1));
     ASSERT_TRUE(after.has_value());
-    EXPECT_FALSE(after->receipt.delta_cache_hit);  // old entry must not survive
+    EXPECT_FALSE(after->receipt.response_cache_hit);  // old entry must not survive
     EXPECT_EQ(after->payload, reference_patch(env.base_firmware, v2, narrow));
+}
+
+// ------------------------------------------------------------ chunk store
+
+/// Publishes `firmware` as a chunked release (vendor attaches the
+/// content-defined chunk table; the server ingests it into the store).
+void publish_chunked(TestEnv& env, std::uint16_t version, const Bytes& firmware) {
+    ASSERT_EQ(env.server.publish(env.vendor.create_release(
+                  firmware, {.version = version, .app_id = kAppId, .chunked = true})),
+              Status::kOk);
+}
+
+/// Have-list a device running `installed` would advertise: the sorted
+/// digest prefixes of its image's content-defined chunks.
+std::vector<std::uint64_t> have_list_for(const Bytes& installed) {
+    std::vector<std::uint64_t> have;
+    for (const auto& ref : diff::chunk_image(installed)) {
+        have.push_back(manifest::digest_prefix(ref.digest));
+    }
+    std::sort(have.begin(), have.end());
+    have.erase(std::unique(have.begin(), have.end()), have.end());
+    return have;
+}
+
+TEST(ServerCacheTest, ChunkStoreDedupsAcrossPublishedVersions) {
+    TestEnv env;
+    const Bytes v2 = sim::mutate_app_change(env.base_firmware, 81, 600);
+    const Bytes v3 = sim::mutate_app_change(env.base_firmware, 82, 600);
+    publish_chunked(env, 2, v2);
+    publish_chunked(env, 3, v3);
+
+    // Content-defined cut points survive a small localized edit, so most
+    // of v3's chunks matched chunks already stored for v2.
+    const auto s = env.server.chunk_store_stats();
+    EXPECT_EQ(s.logical_bytes, v2.size() + v3.size());
+    EXPECT_LT(s.unique_bytes, s.logical_bytes);
+    EXPECT_GT(s.deduped, 0u);
+    EXPECT_EQ(s.ingested, diff::chunk_image(v2).size() + diff::chunk_image(v3).size());
+}
+
+TEST(ServerCacheTest, ChunkedResponseServesOnlyMissingChunks) {
+    TestEnv env;
+    const Bytes v2 = sim::mutate_app_change(env.base_firmware, 83, 600);
+    const Bytes v3 = sim::mutate_app_change(env.base_firmware, 84, 600);
+    publish_chunked(env, 2, v2);
+    publish_chunked(env, 3, v3);
+
+    manifest::DeviceToken token = token_for(0x6001, 5, 2);
+    token.have = have_list_for(v2);
+    const auto response = env.server.prepare_update(kAppId, token);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->manifest.chunked);
+    EXPECT_TRUE(response->receipt.chunked);
+    EXPECT_GT(response->receipt.chunk_bytes_deduped, 0u);
+
+    // The payload is exactly the concatenation of the chunks the device
+    // was missing, in table order — byte-equal to fresh slices of v3.
+    Bytes reference;
+    std::size_t missing = 0;
+    for (const auto& ref : response->manifest.chunk_table) {
+        if (std::binary_search(token.have.begin(), token.have.end(),
+                               manifest::digest_prefix(ref.digest))) {
+            continue;
+        }
+        append(reference, ByteSpan(v3.data() + ref.offset, ref.length));
+        ++missing;
+    }
+    EXPECT_EQ(response->payload, reference);
+    EXPECT_EQ(response->receipt.chunks_sent, missing);
+    EXPECT_LT(response->payload.size(), v3.size());  // dedup saved air bytes
+
+    const ServerStats& s = env.server.stats();
+    EXPECT_EQ(s.chunked_responses, 1u);
+    EXPECT_GT(s.chunk_hits, 0u);
+    EXPECT_EQ(s.chunk_misses, 0u);  // every chunk was ingested at publish
+    EXPECT_GT(s.chunk_bytes_deduped, 0u);
+}
+
+TEST(ServerCacheTest, ChunkedResponseCacheSharesEnvelopesByHaveList) {
+    TestEnv env;
+    const Bytes v2 = sim::mutate_app_change(env.base_firmware, 85, 600);
+    const Bytes v3 = sim::mutate_app_change(env.base_firmware, 86, 600);
+    publish_chunked(env, 2, v2);
+    publish_chunked(env, 3, v3);
+
+    manifest::DeviceToken a = token_for(0x7001, 6, 2);
+    a.have = have_list_for(v2);
+    manifest::DeviceToken b = token_for(0x7002, 7, 2);
+    b.have = a.have;
+    manifest::DeviceToken fresh = token_for(0x7003, 8, 0);
+    fresh.have.push_back(1);  // chunk-capable but holds nothing the server has
+
+    const auto first = env.server.prepare_update(kAppId, a);
+    const auto second = env.server.prepare_update(kAppId, b);
+    const auto cold = env.server.prepare_update(kAppId, fresh);
+    ASSERT_TRUE(first.has_value() && second.has_value() && cold.has_value());
+    // Same have-list => one cached envelope; a different have-list must
+    // not reuse it (its payload is a different chunk subset).
+    EXPECT_FALSE(first->receipt.response_cache_hit);
+    EXPECT_TRUE(second->receipt.response_cache_hit);
+    EXPECT_EQ(second->payload, first->payload);
+    EXPECT_FALSE(cold->receipt.response_cache_hit);
+    EXPECT_EQ(cold->payload.size(), v3.size());  // nothing to dedup: full image
+}
+
+TEST(ServerCacheTest, RetireReleaseFreesOnlyUnsharedChunks) {
+    TestEnv env;
+    const Bytes v2 = sim::mutate_app_change(env.base_firmware, 87, 600);
+    const Bytes v3 = sim::mutate_app_change(env.base_firmware, 88, 600);
+    publish_chunked(env, 2, v2);
+    publish_chunked(env, 3, v3);
+    const auto both = env.server.chunk_store_stats();
+
+    ASSERT_EQ(env.server.retire_release(kAppId, 3), Status::kOk);
+    const auto after = env.server.chunk_store_stats();
+    // v3's unshared chunks were freed; everything v2 still references stays.
+    EXPECT_GT(after.released, 0u);
+    EXPECT_LT(after.unique_bytes, both.unique_bytes);
+    EXPECT_GT(after.chunks, 0u);
+
+    // v2 is the latest again and serves intact from the store.
+    manifest::DeviceToken token = token_for(0x8001, 9, 0);
+    token.have.push_back(1);
+    const auto response = env.server.prepare_update(kAppId, token);
+    ASSERT_TRUE(response.has_value());
+    ASSERT_TRUE(response->manifest.chunked);
+    EXPECT_EQ(response->manifest.version, 2u);
+    EXPECT_EQ(response->payload, v2);
+
+    ASSERT_EQ(env.server.retire_release(kAppId, 2), Status::kOk);
+    const auto empty = env.server.chunk_store_stats();
+    EXPECT_EQ(empty.chunks, 0u);
+    EXPECT_EQ(empty.unique_bytes, 0u);
+
+    EXPECT_EQ(env.server.retire_release(kAppId, 2), Status::kNotFound);
 }
 
 // -------------------------------------------------------- response cache
@@ -400,8 +513,10 @@ TEST(ServerCacheTest, ConcurrentPrepareUpdateKeepsCountersAndCachesCoherent) {
 
     const ServerStats s = env.server.stats();
     EXPECT_EQ(s.requests, kThreads * kRequestsPerThread);
-    // Exactly one delta generation total; everything else hit a cache.
-    EXPECT_EQ(s.delta_misses + s.response_misses, 2u);
+    // Exactly one delta generation total; everything else hit the
+    // response cache.
+    EXPECT_EQ(s.delta_generations, 1u);
+    EXPECT_EQ(s.response_misses, 1u);
 
     // A post-hoc single-threaded request is byte-identical to the threaded
     // ones' content (same token => same bytes, RFC 6979 determinism).
