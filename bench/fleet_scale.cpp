@@ -1,17 +1,34 @@
-// Fleet-scale campaign bench: rolls one release out to N simulated devices
-// on the discrete-event engine and emits one machine-readable JSON object
-// (devices, makespan, completion-time percentiles, bytes, energy, server
-// queue stats). CI runs it as a smoke step; pass a device count to scale:
+// Fleet-scale campaign bench: sweeps campaign size × engine shards × edge
+// servers and emits one machine-readable JSON line per cell (wall clock,
+// makespan, completion percentiles, campaign fingerprint, verify-memo
+// counters). Within a sweep, every (devices, edges) group is run at each
+// shard count and the campaign fingerprints must match bit-for-bit — the
+// bench exits nonzero on a mismatch, so CI's smoke cell doubles as a
+// determinism gate at scale.
 //
-//   fleet_scale [devices] [server_concurrency]     (defaults: 256, 8)
+//   fleet_scale [devices_csv] [shards_csv] [edges_csv] [max_run_seconds]
+//   defaults:    1000,100000,1000000  1,8   1,4        0 (no gate)
+//
+// Devices are synthetic (FleetCampaign::add_synthetic) on a deliberately
+// tiny platform profile — 16 KiB of simulated flash per device keeps a
+// million-device fleet around 16 GiB — and provisioning happens outside
+// the timed region, so run_wall_s measures the rollout engine, not the
+// factory. The process-global ECDSA verify memo is enabled: the vendor
+// signature over the shared payload verifies once per campaign instead of
+// once per device, which is what makes million-device cells tractable on
+// one host (and is proven invisible to results by the shard test battery).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "core/fleet.hpp"
+#include "crypto/backend.hpp"
+#include "sim/platform.hpp"
 
 using namespace upkit;
 using namespace upkit::bench;
@@ -19,7 +36,7 @@ using namespace upkit::bench;
 namespace {
 
 /// Completion percentile over per-device end instants (nearest-rank).
-double percentile(std::vector<double> sorted, double p) {
+double percentile(const std::vector<double>& sorted, double p) {
     if (sorted.empty()) return 0.0;
     const std::size_t rank = std::min(
         sorted.size() - 1,
@@ -27,46 +44,105 @@ double percentile(std::vector<double> sorted, double p) {
     return sorted[rank];
 }
 
-}  // namespace
+/// Small simulated MCU for scale runs: the nRF52840's 1 MiB of flash per
+/// device would cost a terabyte at a million devices; 16 KiB (4 KiB
+/// bootloader + two ~6 KiB slots) holds the 2 KiB bench firmware fine.
+const sim::PlatformProfile& fleet_profile() {
+    static constexpr sim::PlatformProfile profile{
+        .name = "fleet-sim",
+        .cpu_mhz = 64.0,
+        .internal_flash_bytes = 16 * 1024,
+        .ram_bytes = 64 * 1024,
+        .flash_sector_bytes = 1024,
+        .flash_page_bytes = 256,
+        .has_external_flash = false,
+        .external_flash_bytes = 0,
+        .flash_erase_sector_s = 0.085,
+        .flash_write_page_s = 0.0053,
+        .flash_read_bandwidth_bps = 16e6,
+        .voltage = 3.0,
+        .cpu_active_ma = 6.3,
+        .radio_tx_ma = 16.4,
+        .radio_rx_ma = 11.7,
+        .flash_ma = 7.0,
+        .sleep_ma = 0.003,
+    };
+    return profile;
+}
 
-int main(int argc, char** argv) {
-    const std::size_t fleet = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
-    const unsigned concurrency =
-        argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 8;
+std::vector<std::size_t> parse_csv(const char* s) {
+    std::vector<std::size_t> out;
+    while (*s != '\0') {
+        char* end = nullptr;
+        out.push_back(std::strtoul(s, &end, 10));
+        s = (end != nullptr && *end == ',') ? end + 1 : (end != nullptr ? end : s + 1);
+        if (end == nullptr) break;
+    }
+    return out;
+}
+
+struct CellResult {
+    core::CampaignReport report;
+    double setup_wall_s = 0.0;
+    double run_wall_s = 0.0;
+    crypto::VerifyMemoStats memo;
+};
+
+/// Builds a fresh fleet and runs one campaign cell. Device construction +
+/// factory provisioning happen before the timer starts; the timed region is
+/// the rollout itself.
+int run_cell(std::size_t devices, unsigned shards, unsigned edges, CellResult& out) {
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
 
     Rig rig;
     rig.publish(1, sim::generate_firmware({.size = 2 * 1024, .seed = 30}));
 
-    std::vector<std::unique_ptr<core::Device>> devices;
-    devices.reserve(fleet);
     core::FleetCampaign campaign(rig.server);
-    for (std::size_t i = 0; i < fleet; ++i) {
-        core::DeviceConfig config = rig.device_config(core::SlotLayout::kAB);
-        config.device_id = 0x20000 + static_cast<std::uint32_t>(i);
-        config.seed = static_cast<std::uint64_t>(i) + 1;
-        config.enable_differential = false;  // scale bench, not a bsdiff bench
-        auto device = std::make_unique<core::Device>(config);
-        auto factory = rig.server.prepare_update(
-            kAppId, {.device_id = config.device_id, .nonce = 0, .current_version = 0});
-        if (!factory || device->provision_factory(*factory) != Status::kOk) {
-            std::fprintf(stderr, "provisioning device %zu failed\n", i);
-            return 1;
-        }
-        net::LinkParams link = net::ble_gatt();
-        link.loss_probability = (i % 10 == 9) ? 0.3 : 0.0;  // 10% on flaky links
-        campaign.add(*device, link);
-        devices.push_back(std::move(device));
+    core::SyntheticFleetSpec spec;
+    spec.count = devices;
+    spec.base = rig.device_config(core::SlotLayout::kAB);
+    spec.base.platform = &fleet_profile();
+    spec.base.bootloader_reserved = 4 * 1024;
+    spec.base.enable_differential = false;  // scale bench, not a bsdiff bench
+    spec.link = net::ble_gatt();
+    spec.first_device_id = 0x20000;
+    spec.app_id = kAppId;
+    spec.provision_version = 1;
+    if (campaign.add_synthetic(spec) != Status::kOk) {
+        std::fprintf(stderr, "fleet_scale: provisioning %zu devices failed\n",
+                     devices);
+        return 1;
     }
 
     rig.publish(2, sim::generate_firmware({.size = 2 * 1024, .seed = 31}));
-    rig.server.set_model({.concurrency = concurrency, .service_time_s = 0.05});
+    rig.server.set_model({.concurrency = 8, .service_time_s = 0.05});
+    if (edges > 0) {
+        campaign.set_edges({.edges = edges,
+                            .model = {.concurrency = 8, .service_time_s = 0.01},
+                            .backhaul_rtt_s = 0.05,
+                            .backhaul_per_kb_s = 0.001});
+    }
+    campaign.set_shards(shards);
+    campaign.set_event_budget(1000 * devices);  // a stuck engine fails, not hangs
 
     core::FleetPolicy policy;
-    policy.wave_size = static_cast<unsigned>(std::max<std::size_t>(fleet / 4, 1));
+    policy.wave_size = static_cast<unsigned>(std::max<std::size_t>(devices / 4, 1));
     policy.wave_stagger_s = 5.0;
-    campaign.set_event_budget(1000 * fleet);  // a stuck engine fails, not hangs
-    const core::CampaignReport report = campaign.run(kAppId, policy);
 
+    crypto::verify_memo_reset();
+    const auto t1 = clock::now();
+    out.report = campaign.run(kAppId, policy);
+    const auto t2 = clock::now();
+    out.setup_wall_s = std::chrono::duration<double>(t1 - t0).count();
+    out.run_wall_s = std::chrono::duration<double>(t2 - t1).count();
+    out.memo = crypto::verify_memo_stats();
+    return 0;
+}
+
+void print_cell(std::size_t devices, unsigned shards, unsigned edges,
+                const CellResult& cell) {
+    const core::CampaignReport& report = cell.report;
     std::vector<double> completions;
     completions.reserve(report.devices.size());
     for (const core::CampaignDeviceResult& r : report.devices) {
@@ -75,24 +151,79 @@ int main(int argc, char** argv) {
     std::sort(completions.begin(), completions.end());
 
     std::printf(
-        "{\"bench\":\"fleet_scale\",\"devices\":%zu,\"succeeded\":%u,\"failed\":%u,"
+        "{\"bench\":\"fleet_scale\",\"devices\":%zu,\"shards\":%u,\"edges\":%u,"
+        "\"succeeded\":%u,\"failed\":%u,"
         "\"makespan_s\":%.3f,\"completion_p50_s\":%.3f,\"completion_p99_s\":%.3f,"
-        "\"total_bytes\":%llu,\"total_energy_mj\":%.1f,"
-        "\"server_concurrency\":%u,\"server_requests\":%llu,"
-        "\"server_peak_queue\":%u,\"server_max_wait_s\":%.3f,"
-        "\"events\":%llu}\n",
-        fleet, report.succeeded, report.failed, report.makespan_s,
+        "\"total_bytes\":%llu,\"server_requests\":%llu,\"events\":%llu,"
+        "\"fingerprint\":\"%016llx\","
+        "\"setup_wall_s\":%.3f,\"run_wall_s\":%.3f,"
+        "\"verify_memo_hits\":%llu,\"verify_memo_misses\":%llu}\n",
+        devices, shards, edges, report.succeeded, report.failed, report.makespan_s,
         percentile(completions, 0.50), percentile(completions, 0.99),
-        static_cast<unsigned long long>(report.total_bytes), report.total_energy_mj,
-        concurrency, static_cast<unsigned long long>(report.server.requests),
-        report.server.peak_depth, report.server.max_wait_s,
-        static_cast<unsigned long long>(report.events_processed));
+        static_cast<unsigned long long>(report.total_bytes),
+        static_cast<unsigned long long>(report.server.requests),
+        static_cast<unsigned long long>(report.events_processed),
+        static_cast<unsigned long long>(report.fingerprint()), cell.setup_wall_s,
+        cell.run_wall_s, static_cast<unsigned long long>(cell.memo.hits),
+        static_cast<unsigned long long>(cell.memo.misses));
+    std::fflush(stdout);
+}
 
-    // Smoke criteria: the whole fleet converges and nothing is stuck.
-    if (report.succeeded != fleet) {
-        std::fprintf(stderr, "fleet_scale: %u/%zu devices updated\n", report.succeeded,
-                     fleet);
-        return 1;
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::vector<std::size_t> device_counts =
+        parse_csv(argc > 1 ? argv[1] : "1000,100000,1000000");
+    const std::vector<std::size_t> shard_counts = parse_csv(argc > 2 ? argv[2] : "1,8");
+    const std::vector<std::size_t> edge_counts = parse_csv(argc > 3 ? argv[3] : "1,4");
+    const double max_run_s = argc > 4 ? std::strtod(argv[4], nullptr) : 0.0;
+
+    crypto::set_verify_memo_enabled(true);
+
+    int rc = 0;
+    for (const std::size_t devices : device_counts) {
+        for (const std::size_t edges : edge_counts) {
+            std::uint64_t group_fp = 0;
+            bool group_fp_set = false;
+            for (const std::size_t shards : shard_counts) {
+                CellResult cell;
+                if (run_cell(devices, static_cast<unsigned>(shards),
+                             static_cast<unsigned>(edges), cell) != 0) {
+                    return 1;
+                }
+                print_cell(devices, static_cast<unsigned>(shards),
+                           static_cast<unsigned>(edges), cell);
+
+                // Smoke criteria: the fleet converges, the wall-clock gate
+                // holds, and every shard count reproduces the same campaign.
+                if (cell.report.succeeded != devices) {
+                    std::fprintf(stderr, "fleet_scale: %u/%zu devices updated\n",
+                                 cell.report.succeeded, devices);
+                    rc = 1;
+                }
+                if (max_run_s > 0.0 && cell.run_wall_s > max_run_s) {
+                    std::fprintf(stderr,
+                                 "fleet_scale: %zu-device run took %.1f s "
+                                 "(gate %.1f s)\n",
+                                 devices, cell.run_wall_s, max_run_s);
+                    rc = 1;
+                }
+                const std::uint64_t fp = cell.report.fingerprint();
+                if (!group_fp_set) {
+                    group_fp = fp;
+                    group_fp_set = true;
+                } else if (fp != group_fp) {
+                    std::fprintf(stderr,
+                                 "fleet_scale: fingerprint diverged at "
+                                 "devices=%zu edges=%zu shards=%zu: "
+                                 "%016llx != %016llx\n",
+                                 devices, edges, shards,
+                                 static_cast<unsigned long long>(fp),
+                                 static_cast<unsigned long long>(group_fp));
+                    rc = 1;
+                }
+            }
+        }
     }
-    return 0;
+    return rc;
 }

@@ -8,12 +8,16 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "core/fleet_detail.hpp"
 #include "sim/chaos.hpp"
 #include "sim/energy.hpp"
 
 namespace upkit::core {
 
 namespace {
+
+using detail::CohortPartition;
+using detail::CohortState;
 
 /// Everything the engine tracks for one fleet member: its clock view onto
 /// the campaign timeline, the in-flight attempt's transport + driver, and
@@ -32,45 +36,157 @@ struct DeviceCtx {
     double enqueue_t = 0.0;
     unsigned cohort = 0;
     bool released = false;
+    /// Regional edge currently serving this device's attempt (-1 = origin).
+    /// Chosen when the request targets a queue; the driver's outage probe
+    /// and the transport's chaos binding follow it.
+    int serving_region = -1;
 };
 
-/// Per-cohort rollout state (gated campaigns). Attempt counters form the
-/// breaker's failure window and are reset when a paused breaker resumes.
-struct CohortState {
-    bool released_flag = false;
-    unsigned released = 0;
-    unsigned terminal = 0;
-    unsigned succeeded = 0;
-    unsigned failed = 0;
-    unsigned rolled_back = 0;
-    unsigned attempts_done = 0;
-    unsigned attempts_failed = 0;
-    double release_s = 0.0;
-    double complete_s = 0.0;
-};
+void mix(std::uint64_t& h, std::uint64_t v) {
+    // FNV-1a over the value's bytes, 8 at a time.
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xFFu;
+        h *= 0x100000001B3ull;
+    }
+}
 
-server::ServerStats stats_delta(const server::ServerStats& now,
-                                const server::ServerStats& then) {
-    server::ServerStats d;
-    d.requests = now.requests - then.requests;
-    d.sign_ops = now.sign_ops - then.sign_ops;
-    d.delta_generations = now.delta_generations - then.delta_generations;
-    d.response_hits = now.response_hits - then.response_hits;
-    d.response_misses = now.response_misses - then.response_misses;
-    d.response_evictions = now.response_evictions - then.response_evictions;
-    d.chunked_responses = now.chunked_responses - then.chunked_responses;
-    d.chunk_hits = now.chunk_hits - then.chunk_hits;
-    d.chunk_misses = now.chunk_misses - then.chunk_misses;
-    d.chunks_served = now.chunks_served - then.chunks_served;
-    d.chunk_bytes_served = now.chunk_bytes_served - then.chunk_bytes_served;
-    d.chunk_bytes_deduped = now.chunk_bytes_deduped - then.chunk_bytes_deduped;
-    d.key_rotations = now.key_rotations - then.key_rotations;
-    return d;
+void mix(std::uint64_t& h, double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    mix(h, bits);
+}
+
+void mix_queue(std::uint64_t& h, const ServerQueueStats& q) {
+    mix(h, q.requests);
+    mix(h, static_cast<std::uint64_t>(q.peak_depth));
+    mix(h, static_cast<std::uint64_t>(q.peak_in_service));
+    mix(h, q.total_wait_s);
+    mix(h, q.max_wait_s);
+    mix(h, q.busy_s);
+    mix(h, q.outage_rejections);
 }
 
 }  // namespace
 
+std::uint64_t CampaignReport::fingerprint() const {
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    mix(h, static_cast<std::uint64_t>(devices.size()));
+    for (const CampaignDeviceResult& d : devices) {
+        mix(h, static_cast<std::uint64_t>(d.device_id));
+        mix(h, static_cast<std::uint64_t>(d.status));
+        mix(h, static_cast<std::uint64_t>(d.attempts));
+        mix(h, static_cast<std::uint64_t>(d.final_version));
+        mix(h, static_cast<std::uint64_t>(d.differential) | (std::uint64_t(d.chunked) << 1) |
+                   (std::uint64_t(d.confirmed) << 2) | (std::uint64_t(d.rolled_back) << 3) |
+                   (std::uint64_t(d.halted) << 4));
+        mix(h, static_cast<std::uint64_t>(d.chunk_retries));
+        mix(h, d.start_s);
+        mix(h, d.end_s);
+        mix(h, d.time_s);
+        mix(h, d.backoff_s);
+        mix(h, d.queue_wait_s);
+        mix(h, d.energy_mj);
+        mix(h, d.verification_s);
+        mix(h, d.verification_mah);
+        mix(h, d.bytes_over_air);
+        mix(h, static_cast<std::uint64_t>(d.wave));
+        mix(h, static_cast<std::uint64_t>(d.transport_resumes));
+        mix(h, static_cast<std::uint64_t>(d.token_refreshes));
+    }
+    mix(h, static_cast<std::uint64_t>(succeeded));
+    mix(h, static_cast<std::uint64_t>(failed));
+    mix(h, total_energy_mj);
+    mix(h, total_bytes);
+    mix(h, makespan_s);
+    mix(h, verification_s);
+    mix(h, verification_mah);
+    mix(h, static_cast<std::uint64_t>(differential_updates));
+    mix(h, static_cast<std::uint64_t>(chunked_updates));
+    mix(h, static_cast<std::uint64_t>(chunk_retries));
+    mix(h, static_cast<std::uint64_t>(waves.size()));
+    for (const WaveStats& w : waves) {
+        mix(h, static_cast<std::uint64_t>(w.wave));
+        mix(h, static_cast<std::uint64_t>(w.released));
+        mix(h, static_cast<std::uint64_t>(w.succeeded));
+        mix(h, static_cast<std::uint64_t>(w.failed));
+        mix(h, static_cast<std::uint64_t>(w.rolled_back));
+        mix(h, w.release_s);
+        mix(h, w.complete_s);
+    }
+    mix(h, static_cast<std::uint64_t>(breaker_trips.size()));
+    for (const BreakerTrip& b : breaker_trips) {
+        mix(h, b.t);
+        mix(h, static_cast<std::uint64_t>(b.wave));
+        mix(h, static_cast<std::uint64_t>(b.failures));
+        mix(h, static_cast<std::uint64_t>(b.completed));
+        mix(h, static_cast<std::uint64_t>(b.released));
+        mix(h, b.failure_rate);
+        mix(h, static_cast<std::uint64_t>(b.aborted));
+    }
+    mix(h, static_cast<std::uint64_t>(exposed_devices));
+    mix(h, static_cast<std::uint64_t>(halted_devices));
+    mix(h, static_cast<std::uint64_t>(rolled_back_devices));
+    mix(h, static_cast<std::uint64_t>(confirmed_devices));
+    mix_queue(h, server);
+    mix(h, server_stats.requests);
+    mix(h, server_stats.sign_ops);
+    mix(h, server_stats.delta_generations);
+    mix(h, server_stats.response_hits);
+    mix(h, server_stats.response_misses);
+    mix(h, server_stats.response_evictions);
+    mix(h, server_stats.chunked_responses);
+    mix(h, server_stats.chunk_hits);
+    mix(h, server_stats.chunk_misses);
+    mix(h, server_stats.chunks_served);
+    mix(h, server_stats.chunk_bytes_served);
+    mix(h, server_stats.chunk_bytes_deduped);
+    mix(h, server_stats.key_rotations);
+    mix(h, events_processed);
+    mix(h, static_cast<std::uint64_t>(edges.size()));
+    for (const EdgeReport& e : edges) {
+        mix(h, static_cast<std::uint64_t>(e.region));
+        mix_queue(h, e.queue);
+        mix(h, e.cache.requests);
+        mix(h, e.cache.cache_hits);
+        mix(h, e.cache.cache_misses);
+        mix(h, e.cache.origin_fetch_bytes);
+        mix(h, e.cache.bytes_served);
+        mix(h, e.fallbacks);
+    }
+    return h;
+}
+
+Status FleetCampaign::add_synthetic(const SyntheticFleetSpec& spec) {
+    owned_.reserve(owned_.size() + spec.count);
+    members_.reserve(members_.size() + spec.count);
+    for (std::size_t k = 0; k < spec.count; ++k) {
+        DeviceConfig cfg = spec.base;
+        cfg.device_id = spec.first_device_id + static_cast<std::uint32_t>(k);
+        cfg.app_id = spec.app_id;
+        cfg.seed = spec.base.seed + k;
+        auto device = std::make_unique<Device>(cfg);
+        manifest::DeviceToken token;
+        token.device_id = cfg.device_id;
+        token.nonce = 0;
+        token.current_version = 0;
+        auto image =
+            server_->prepare_update(spec.app_id, token, spec.provision_version);
+        if (!image) return image.status();
+        UPKIT_RETURN_IF_ERROR(device->provision_factory(*image));
+        members_.push_back(FleetMember{device.get(), spec.link});
+        owned_.push_back(std::move(device));
+    }
+    return Status::kOk;
+}
+
 CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& policy) {
+    if (shards_ > 0) return run_sharded(app_id, policy, shards_);
+    return run_reference(app_id, policy);
+}
+
+CampaignReport FleetCampaign::run_reference(std::uint32_t app_id,
+                                            const FleetPolicy& policy) {
     CampaignReport report;
     sim::EventScheduler sched;
     const server::ServerStats stats_before = server_->stats();
@@ -80,35 +196,37 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
                                      : model.concurrency;
 
     std::vector<DeviceCtx> ctxs(members_.size());  // sized once: lambdas keep refs
-    std::deque<std::size_t> queue;  // FIFO admission queue of ctx indices
-    unsigned in_service = 0;
+
+    // Serving targets: regional edges 0..edges-1 (when configured) plus the
+    // origin as the last entry. Without edges the origin is target 0 and
+    // every code path below reduces to the legacy single-queue engine.
+    const EdgeTopology& topo = edges_;
+    const std::size_t edge_count = topo.edges;
+    const std::size_t origin_target = edge_count;
+    struct Target {
+        std::deque<std::size_t> queue;  // FIFO admission queue of ctx indices
+        unsigned in_service = 0;
+        unsigned cap = 0;
+        ServerQueueStats stats;     // per-target detail (edge topologies)
+        server::EdgeCache cache;    // edges only
+        std::uint64_t fallbacks = 0;
+    };
+    std::vector<Target> targets(edge_count + 1);
+    for (std::size_t r = 0; r < edge_count; ++r) {
+        targets[r].cap = topo.model.concurrency == 0
+                             ? std::numeric_limits<unsigned>::max()
+                             : topo.model.concurrency;
+    }
+    targets[origin_target].cap = service_cap;
 
     // Fault injection, when the server model carries a chaos plan.
     const sim::ChaosPlan* chaos = model.chaos;
 
     // Cohort partition: canary first (when configured), then wave_size
     // chunks in add() order. Cohorts are contiguous index ranges.
-    const std::size_t wave_size =
-        policy.wave_size == 0 ? std::max<std::size_t>(members_.size(), 1)
-                              : policy.wave_size;
-    const std::size_t canary =
-        std::min<std::size_t>(policy.canary_size, members_.size());
-    const auto cohort_of = [&](std::size_t i) -> unsigned {
-        if (canary == 0) return static_cast<unsigned>(i / wave_size);
-        if (i < canary) return 0;
-        return static_cast<unsigned>(1 + (i - canary) / wave_size);
-    };
-    const auto cohort_range = [&](unsigned k) -> std::pair<std::size_t, std::size_t> {
-        if (canary == 0) {
-            const std::size_t lo = static_cast<std::size_t>(k) * wave_size;
-            return {lo, std::min(members_.size(), lo + wave_size)};
-        }
-        if (k == 0) return {0, canary};
-        const std::size_t lo = canary + static_cast<std::size_t>(k - 1) * wave_size;
-        return {lo, std::min(members_.size(), lo + wave_size)};
-    };
-    const unsigned cohort_count =
-        members_.empty() ? 0 : cohort_of(members_.size() - 1) + 1;
+    const CohortPartition part(members_.size(), policy.wave_size, policy.canary_size);
+    const std::size_t wave_size = part.wave_size;
+    const unsigned cohort_count = part.count();
 
     // Gated-rollout state. `aborted` stops retries and promotions for good;
     // `paused` defers them until the breaker's cool-down elapses.
@@ -138,7 +256,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
     // through the scheduler — continuations are scheduled, not called — so
     // stack depth stays flat no matter how long a session runs.
     std::function<void(std::size_t)> pump;
-    std::function<void()> admit;
+    std::function<void(std::size_t)> admit;
     std::function<void(std::size_t)> start_attempt;
     std::function<void(std::size_t)> session_done;
     std::function<void(unsigned)> release_cohort;
@@ -161,27 +279,62 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
             case SessionDriver::Want::kServer:
                 sched.schedule_at(t, [&, i] {
                     DeviceCtx& d = ctxs[i];
-                    if (chaos != nullptr && chaos->server_down(sched.now())) {
-                        // The deployment is down: the request never reaches
-                        // the admission queue — the device's connect timeout
-                        // expires and the attempt sees kUnavailable (the
-                        // driver's reconnect path then waits the outage out).
-                        ++report.server.outage_rejections;
-                        trace(sim::TraceType::kServerOutage, d.result.device_id, 0,
-                              policy.outage_timeout_s);
-                        sched.schedule_in(policy.outage_timeout_s, [&, i] {
-                            ctxs[i].driver->provide_response(Status::kUnavailable);
-                            pump(i);
-                        });
-                        return;
+                    // The serving target was pinned at attempt start (home
+                    // region, or the origin after a connect-time fallback);
+                    // here we only handle faults that began mid-attempt.
+                    std::size_t target =
+                        d.serving_region >= 0
+                            ? static_cast<std::size_t>(d.serving_region)
+                            : origin_target;
+                    if (chaos != nullptr) {
+                        bool down = target == origin_target
+                                        ? chaos->server_down(sched.now())
+                                        : chaos->region_down(
+                                              static_cast<unsigned>(target),
+                                              sched.now());
+                        if (down && target != origin_target &&
+                            topo.origin_fallback &&
+                            !chaos->server_down(sched.now())) {
+                            // Regional outage, origin healthy: retarget.
+                            ++targets[target].fallbacks;
+                            trace(sim::TraceType::kEdgeFallback, d.result.device_id,
+                                  static_cast<std::uint32_t>(target), 0.0);
+                            target = origin_target;
+                            d.serving_region = -1;
+                            down = false;
+                        }
+                        if (down) {
+                            // The deployment is down: the request never reaches
+                            // the admission queue — the device's connect timeout
+                            // expires and the attempt sees kUnavailable (the
+                            // driver's reconnect path then waits the outage out).
+                            ++report.server.outage_rejections;
+                            if (edge_count > 0) {
+                                ++targets[target].stats.outage_rejections;
+                            }
+                            trace(sim::TraceType::kServerOutage, d.result.device_id, 0,
+                                  policy.outage_timeout_s);
+                            sched.schedule_in(policy.outage_timeout_s, [&, i] {
+                                ctxs[i].driver->provide_response(Status::kUnavailable);
+                                pump(i);
+                            });
+                            return;
+                        }
                     }
                     d.enqueue_t = sched.now();
-                    queue.push_back(i);
-                    report.server.peak_depth = std::max(
-                        report.server.peak_depth, static_cast<unsigned>(queue.size()));
+                    Target& tg = targets[target];
+                    tg.queue.push_back(i);
+                    report.server.peak_depth =
+                        std::max(report.server.peak_depth,
+                                 static_cast<unsigned>(tg.queue.size()));
+                    if (edge_count > 0) {
+                        tg.stats.peak_depth =
+                            std::max(tg.stats.peak_depth,
+                                     static_cast<unsigned>(tg.queue.size()));
+                    }
                     trace(sim::TraceType::kQueueEnter, d.result.device_id,
-                          static_cast<std::uint32_t>(queue.size()), 0.0);
-                    admit();
+                          static_cast<std::uint32_t>(tg.queue.size()), 0.0);
+                    admit(target);
                 });
                 break;
             case SessionDriver::Want::kFinished:
@@ -190,24 +343,34 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         }
     };
 
-    admit = [&] {
-        while (in_service < service_cap && !queue.empty()) {
-            const std::size_t i = queue.front();
-            queue.pop_front();
+    admit = [&](std::size_t target) {
+        Target& tg = targets[target];
+        const bool is_origin = target == origin_target;
+        const server::ServerModel& tmodel = is_origin ? model : topo.model;
+        while (tg.in_service < tg.cap && !tg.queue.empty()) {
+            const std::size_t i = tg.queue.front();
+            tg.queue.pop_front();
             DeviceCtx& c = ctxs[i];
             const double wait = sched.now() - c.enqueue_t;
             c.result.queue_wait_s += wait;
             ++report.server.requests;
             report.server.total_wait_s += wait;
             report.server.max_wait_s = std::max(report.server.max_wait_s, wait);
+            if (edge_count > 0) {
+                ++tg.stats.requests;
+                tg.stats.total_wait_s += wait;
+                tg.stats.max_wait_s = std::max(tg.stats.max_wait_s, wait);
+            }
             trace(sim::TraceType::kQueueExit, c.result.device_id,
-                  static_cast<std::uint32_t>(queue.size()), wait);
+                  static_cast<std::uint32_t>(tg.queue.size()), wait);
 
             // The request occupies a service slot while the server builds
             // the device-bound image (prepare_update is the work product;
             // the model says what the deployment charges for it — in
             // measured mode, from the request's ServiceReceipt: signatures
-            // issued, cache hit or miss, payload dispatched).
+            // issued, cache hit or miss, payload dispatched). With edges the
+            // origin still prepares and signs every response — the edge is a
+            // payload cache, never a signing authority.
             auto response = std::make_shared<Expected<server::UpdateResponse>>(
                 server_->prepare_update(app_id, c.driver->token()));
             if (*response) {
@@ -219,18 +382,46 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
                 trace(sim::TraceType::kServerCache, c.result.device_id, bits,
                       static_cast<double>(r.sign_ops));
             }
-            const double service =
-                *response ? model.service_seconds((*response)->receipt)
-                          : model.service_seconds(std::size_t{0});
-            ++in_service;
+            double service = *response ? tmodel.service_seconds((*response)->receipt)
+                                       : tmodel.service_seconds(std::size_t{0});
+            if (!is_origin && *response) {
+                // Edge payload cache: a miss pulls the bytes from the
+                // origin over the backhaul before serving.
+                const bool hit = tg.cache.serve(**response);
+                trace(sim::TraceType::kEdgeCache, c.result.device_id,
+                      static_cast<std::uint32_t>(target), hit ? 1.0 : 0.0);
+                if (!hit) {
+                    service += topo.backhaul_rtt_s +
+                               topo.backhaul_per_kb_s *
+                                   static_cast<double>((*response)->payload.size() +
+                                                       (*response)->manifest_bytes.size()) /
+                                   1024.0;
+                }
+            }
+            ++tg.in_service;
             report.server.peak_in_service =
-                std::max(report.server.peak_in_service, in_service);
+                std::max(report.server.peak_in_service, tg.in_service);
             report.server.busy_s += service;
-            sched.schedule_in(service, [&, i, response, service] {
-                --in_service;
+            if (edge_count > 0) {
+                tg.stats.peak_in_service =
+                    std::max(tg.stats.peak_in_service, tg.in_service);
+                tg.stats.busy_s += service;
+            }
+            sched.schedule_in(service, [&, i, target, response, service] {
+                --targets[target].in_service;
                 trace(sim::TraceType::kServiceDone, ctxs[i].result.device_id, 0, service);
+                if (chaos != nullptr) {
+                    // The payload transfers under the serving target's fault
+                    // domain (home edge, or the origin after a fallback).
+                    DeviceCtx& d = ctxs[i];
+                    d.transport->set_chaos({.plan = chaos,
+                                            .device_id = d.result.device_id,
+                                            .campaign_offset = d.view.offset(),
+                                            .payload_via_server = true,
+                                            .region = d.serving_region});
+                }
                 ctxs[i].driver->provide_response(std::move(*response));
-                admit();  // the freed slot may admit the next request
+                admit(target);  // the freed slot may admit the next request
                 pump(i);
             });
         }
@@ -252,13 +443,35 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         c.driver = std::make_unique<SessionDriver>(device, *c.transport, tracer_,
                                                    c.view.offset());
         c.driver->set_transport_resumes(policy.transport_resumes);
+        // The attempt's serving target is chosen now, before the uplink: the
+        // transport's fault domain and the driver's outage probe are bound to
+        // it for the whole attempt. A device whose home region is already dark
+        // retargets the origin here (when fallback is on and the origin is
+        // up) — otherwise its uplink would time the outage out without ever
+        // reaching the admission queue.
+        c.serving_region = edge_count > 0 ? static_cast<int>(i % edge_count) : -1;
         if (chaos != nullptr) {
+            if (c.serving_region >= 0 && topo.origin_fallback &&
+                chaos->region_down(static_cast<unsigned>(c.serving_region),
+                                   sched.now()) &&
+                !chaos->server_down(sched.now())) {
+                ++targets[static_cast<std::size_t>(c.serving_region)].fallbacks;
+                trace(sim::TraceType::kEdgeFallback, c.result.device_id,
+                      static_cast<std::uint32_t>(c.serving_region), 0.0);
+                c.serving_region = -1;
+            }
             c.transport->set_chaos({.plan = chaos,
                                     .device_id = c.result.device_id,
                                     .campaign_offset = c.view.offset(),
-                                    .payload_via_server = true});
-            c.driver->set_outage_probe(
-                [&c, chaos] { return chaos->server_down(c.view.campaign_now()); });
+                                    .payload_via_server = true,
+                                    .region = c.serving_region});
+            c.driver->set_outage_probe([&c, chaos] {
+                const double t = c.view.campaign_now();
+                return c.serving_region >= 0
+                           ? chaos->region_down(
+                                 static_cast<unsigned>(c.serving_region), t)
+                           : chaos->server_down(t);
+            });
             c.driver->set_reconnect_backoff(policy.reconnect_backoff_s);
             c.driver->set_chunk_chaos(chaos);
         }
@@ -397,7 +610,11 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         // Deterministic jitter stream: a function of the device id only,
         // so a rerun of the same campaign replays the same delays.
         c.jitter_rng.reseed(0x9E3779B97F4A7C15ull ^ c.result.device_id);
-        c.view = sim::DeviceClockView(device.clock(), sched.now());
+        // Oscillator drift (chaos plans): exactly 1.0 when unconfigured,
+        // which keeps the clock-view arithmetic bit-identical to pre-drift.
+        const double rate =
+            chaos != nullptr ? chaos->device_clock_rate(c.result.device_id) : 1.0;
+        c.view = sim::DeviceClockView(device.clock(), sched.now(), rate);
         c.e0 = device.meter().total_millijoules();
         device.set_tracer(tracer_, c.view.offset());
         if (chaos != nullptr) {
@@ -420,7 +637,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
         w.released_flag = true;
         w.release_s = sched.now();
         trace(sim::TraceType::kWaveStart, 0, k, 0.0);
-        const auto [lo, hi] = cohort_range(k);
+        const auto [lo, hi] = part.range(k);
         for (std::size_t i = lo; i < hi; ++i) {
             setup_device(i, k);
             ++w.released;
@@ -481,7 +698,7 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
             // The breaker halted the campaign before this device's wave:
             // contained, never offered the update — not an OTA failure.
             c.result.device_id = members_[i].device->identity().device_id;
-            c.result.wave = cohort_of(i);
+            c.result.wave = part.cohort_of(i);
             c.result.status = Status::kCampaignHalted;
             c.result.halted = true;
             ++report.halted_devices;
@@ -534,8 +751,16 @@ CampaignReport FleetCampaign::run(std::uint32_t app_id, const FleetPolicy& polic
                                              .complete_s = w.complete_s});
         }
     }
+    if (edge_count > 0) {
+        for (std::size_t r = 0; r < edge_count; ++r) {
+            report.edges.push_back(EdgeReport{.region = static_cast<unsigned>(r),
+                                              .queue = targets[r].stats,
+                                              .cache = targets[r].cache.stats(),
+                                              .fallbacks = targets[r].fallbacks});
+        }
+    }
     report.events_processed = sched.events_processed();
-    report.server_stats = stats_delta(server_->stats(), stats_before);
+    report.server_stats = detail::stats_delta(server_->stats(), stats_before);
     return report;
 }
 

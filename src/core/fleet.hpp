@@ -12,9 +12,11 @@
 // campaign makespan, per-device queueing delay, and server-queue statistics.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "core/session.hpp"
+#include "server/edge.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
 
@@ -100,6 +102,45 @@ struct FleetMember {
     net::LinkParams link;           // this device's radio conditions
 };
 
+/// Multi-server edge topology: `edges` regional servers front the vendor
+/// origin. Devices are assigned round-robin by fleet index (region =
+/// index % edges); each region has its own admission queue, payload cache,
+/// and chaos outage domain (sim::ChaosPlan::region_down). The origin stays
+/// the sole signing authority — every request's device-bound manifest is
+/// prepared and signed there — so an edge caches payload bytes, not
+/// envelopes; a cache miss pulls the payload over the backhaul. edges == 0
+/// is the legacy single-origin deployment, byte-for-byte.
+struct EdgeTopology {
+    unsigned edges = 0;
+    /// Service model of each regional edge (the origin keeps the
+    /// UpdateServer's own model, as before).
+    server::ServerModel model;
+    /// Backhaul charge added to an edge's service time on a cache miss.
+    double backhaul_rtt_s = 0.0;
+    double backhaul_per_kb_s = 0.0;
+    /// A device whose region is inside an outage window retargets the
+    /// origin (counted + traced as kEdgeFallback) instead of timing out —
+    /// unless the origin itself is also down.
+    bool origin_fallback = true;
+};
+
+/// Bulk fleet construction for scale campaigns: `count` devices built from
+/// a shared config template (per-device id and nonce seed derived by index)
+/// and factory-provisioned at `provision_version` — which must already be
+/// published, and may be older than the campaign version, exactly like
+/// hardware that shipped before the rollout. Provisioning happens in
+/// add_synthetic(), outside the campaign timeline, so run() measures the
+/// rollout, not the factory.
+struct SyntheticFleetSpec {
+    std::size_t count = 0;
+    DeviceConfig base;
+    net::LinkParams link;
+    std::uint32_t first_device_id = 0x10001;
+    std::uint32_t app_id = 0xA0;
+    std::uint16_t provision_version = 1;
+};
+
+
 struct CampaignDeviceResult {
     std::uint32_t device_id = 0;
     Status status = Status::kOk;
@@ -177,6 +218,15 @@ struct ServerQueueStats {
     std::uint64_t outage_rejections = 0;  // requests that hit a down server
 };
 
+/// Per-region accounting when an EdgeTopology is configured.
+struct EdgeReport {
+    unsigned region = 0;
+    ServerQueueStats queue;
+    server::EdgeStats cache;
+    /// Requests redirected to the origin because this region was down.
+    std::uint64_t fallbacks = 0;
+};
+
 struct CampaignReport {
     std::vector<CampaignDeviceResult> devices;
     unsigned succeeded = 0;
@@ -217,6 +267,17 @@ struct CampaignReport {
     server::ServerStats server_stats;
     /// Discrete events the scheduler processed for this campaign.
     std::uint64_t events_processed = 0;
+    /// Per-region detail (empty without an EdgeTopology). With edges,
+    /// `server` aggregates across all serving targets: requests/waits/busy
+    /// sum, peaks are the worst any single target saw.
+    std::vector<EdgeReport> edges;
+
+    /// FNV-1a over every field of the report, per-device results included.
+    /// Equal fingerprints == equal reports; the differential battery pins
+    /// sharded runs to the reference engine with this (and the bench proves
+    /// the same identity at million-device scale, where storing two full
+    /// reports for a diff would be silly).
+    std::uint64_t fingerprint() const;
 };
 
 class FleetCampaign {
@@ -227,7 +288,26 @@ public:
         members_.push_back(FleetMember{&device, link});
     }
 
+    /// Builds and factory-provisions `spec.count` campaign-owned devices
+    /// (ids spec.first_device_id + k, nonce seeds spec.base.seed + k) from
+    /// `spec.provision_version`, which must be published on the server.
+    /// Returns the first provisioning error, adding no device after it.
+    Status add_synthetic(const SyntheticFleetSpec& spec);
+
     std::size_t size() const { return members_.size(); }
+
+    /// Shards the engine across `shards` worker threads (devices are
+    /// space-partitioned by fleet index, index % shards). 0 — the default —
+    /// runs the retained single-heap reference engine. Any non-zero count
+    /// replays byte-identically to the reference: device session segments
+    /// run ahead on their shard, and the coordinator replays their event
+    /// descriptors through one heap in the reference's exact
+    /// (time, sequence) order, blocking only when a shard hasn't caught up.
+    void set_shards(unsigned shards) { shards_ = shards; }
+
+    /// Regional edge topology (see EdgeTopology). Must be configured before
+    /// run(); edges == 0 keeps the legacy single-origin path.
+    void set_edges(const EdgeTopology& topology) { edges_ = topology; }
 
     /// Campaign events (queue enter/exit, retries, waves, plus each
     /// device's FSM and session-phase transitions) go to `tracer`.
@@ -241,10 +321,17 @@ public:
     CampaignReport run(std::uint32_t app_id, const FleetPolicy& policy = {});
 
 private:
+    CampaignReport run_reference(std::uint32_t app_id, const FleetPolicy& policy);
+    CampaignReport run_sharded(std::uint32_t app_id, const FleetPolicy& policy,
+                               unsigned shards);
+
     server::UpdateServer* server_;
     std::vector<FleetMember> members_;
+    std::vector<std::unique_ptr<Device>> owned_;  // add_synthetic devices
     sim::Tracer* tracer_ = nullptr;
     std::uint64_t event_budget_ = 0;
+    unsigned shards_ = 0;
+    EdgeTopology edges_;
 };
 
 }  // namespace upkit::core

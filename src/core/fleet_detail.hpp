@@ -1,0 +1,87 @@
+// Internals shared by the two fleet engines (fleet.cpp's single-heap
+// reference and fleet_shard.cpp's sharded coordinator).
+//
+// The sharded engine exists to be diffed against the reference, so the two
+// deliberately do NOT share their event-handling code — an oracle that
+// shares its core with the thing under test proves nothing. What they do
+// share is the pure bookkeeping where divergence would only create false
+// differential failures: cohort index math, server-stats deltas, and the
+// per-cohort rollout state.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "server/update_server.hpp"
+
+namespace upkit::core::detail {
+
+/// Per-cohort rollout state (gated campaigns). Attempt counters form the
+/// breaker's failure window and are reset when a paused breaker resumes.
+struct CohortState {
+    bool released_flag = false;
+    unsigned released = 0;
+    unsigned terminal = 0;
+    unsigned succeeded = 0;
+    unsigned failed = 0;
+    unsigned rolled_back = 0;
+    unsigned attempts_done = 0;
+    unsigned attempts_failed = 0;
+    double release_s = 0.0;
+    double complete_s = 0.0;
+};
+
+/// Contiguous cohort partition of fleet indices: canary first (when
+/// configured), then wave_size chunks in add() order.
+struct CohortPartition {
+    std::size_t total = 0;
+    std::size_t wave_size = 1;
+    std::size_t canary = 0;
+
+    CohortPartition(std::size_t total_devices, unsigned policy_wave_size,
+                    unsigned policy_canary_size)
+        : total(total_devices),
+          wave_size(policy_wave_size == 0 ? std::max<std::size_t>(total_devices, 1)
+                                          : policy_wave_size),
+          canary(std::min<std::size_t>(policy_canary_size, total_devices)) {}
+
+    unsigned cohort_of(std::size_t i) const {
+        if (canary == 0) return static_cast<unsigned>(i / wave_size);
+        if (i < canary) return 0;
+        return static_cast<unsigned>(1 + (i - canary) / wave_size);
+    }
+
+    std::pair<std::size_t, std::size_t> range(unsigned k) const {
+        if (canary == 0) {
+            const std::size_t lo = static_cast<std::size_t>(k) * wave_size;
+            return {lo, std::min(total, lo + wave_size)};
+        }
+        if (k == 0) return {0, canary};
+        const std::size_t lo = canary + static_cast<std::size_t>(k - 1) * wave_size;
+        return {lo, std::min(total, lo + wave_size)};
+    }
+
+    unsigned count() const { return total == 0 ? 0 : cohort_of(total - 1) + 1; }
+};
+
+inline server::ServerStats stats_delta(const server::ServerStats& now,
+                                       const server::ServerStats& then) {
+    server::ServerStats d;
+    d.requests = now.requests - then.requests;
+    d.sign_ops = now.sign_ops - then.sign_ops;
+    d.delta_generations = now.delta_generations - then.delta_generations;
+    d.response_hits = now.response_hits - then.response_hits;
+    d.response_misses = now.response_misses - then.response_misses;
+    d.response_evictions = now.response_evictions - then.response_evictions;
+    d.chunked_responses = now.chunked_responses - then.chunked_responses;
+    d.chunk_hits = now.chunk_hits - then.chunk_hits;
+    d.chunk_misses = now.chunk_misses - then.chunk_misses;
+    d.chunks_served = now.chunks_served - then.chunks_served;
+    d.chunk_bytes_served = now.chunk_bytes_served - then.chunk_bytes_served;
+    d.chunk_bytes_deduped = now.chunk_bytes_deduped - then.chunk_bytes_deduped;
+    d.key_rotations = now.key_rotations - then.key_rotations;
+    return d;
+}
+
+}  // namespace upkit::core::detail

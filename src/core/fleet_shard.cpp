@@ -1,0 +1,767 @@
+// Sharded fleet engine: byte-identical to fleet.cpp's single-heap reference
+// for any shard count.
+//
+// How: the engine is split into a *coordinator* and per-shard *workers*.
+// The coordinator owns the one EventScheduler, the admission queues, the
+// rollout state machine (waves, breaker, promotion), the server, and the
+// real tracer — and replays exactly the reference engine's event sequence:
+// every handler makes the same schedule_at/schedule_in calls at the same
+// times, at the same program points, in the same order, so the heap pops
+// the same (time, seq) sequence. What moves off the coordinator is the
+// expensive part: SessionDriver::step() chains. A device's *segment* — the
+// run of steps between two global interaction points (attempt start /
+// server response → next server request / session end) — is a pure function
+// of device-local state plus its start instant, because each kDelay step's
+// continuation fires exactly at the device clock's own next instant. So the
+// worker that owns the device (shard = fleet index % shards) computes the
+// whole segment ahead of time, recording per step its Want, its event time
+// (with EventScheduler::schedule_at's forward clamp mirrored bit-for-bit),
+// and the trace events the step emitted (into a per-shard buffering sink).
+// The coordinator consumes one record per event — blocking only when a
+// shard hasn't caught up — emits the buffered traces into the real tracer
+// at that point in the global order, and schedules the consequence.
+//
+// Thread-safety contract: a device's Device/Transport/SessionDriver/clock
+// view are touched by exactly one thread at a time — its shard worker while
+// a segment runs, the coordinator while the driver is parked (at kServer,
+// for token reads and the server response; at kFinished, for the report and
+// terminal accounting). Handoffs synchronize on the segment buffer's mutex
+// (coordinator blocks popping the record the worker pushed) and the shard
+// queue's mutex (worker runs the task the coordinator submitted), so every
+// crossing has a happens-before edge. The coordinator-side fields (results,
+// jitter RNG, cohort state, queues) are never touched by workers.
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/fleet.hpp"
+#include "core/fleet_detail.hpp"
+#include "sim/chaos.hpp"
+#include "sim/energy.hpp"
+#include "sim/shard.hpp"
+
+namespace upkit::core {
+
+namespace {
+
+using detail::CohortPartition;
+using detail::CohortState;
+
+/// One precomputed step: how the driver wants to continue, the campaign
+/// instant the continuation fires at, and the traces the step emitted.
+struct StepRec {
+    SessionDriver::Want want = SessionDriver::Want::kDelay;
+    double t = 0.0;
+    std::vector<sim::TraceEvent> traces;
+};
+
+/// Worker → coordinator handoff for one device. push() under the mutex
+/// publishes the record (and everything the segment wrote before it);
+/// pop() blocks until the owning shard has produced the next record.
+struct SegmentBuffer {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<StepRec> recs;
+
+    void push(StepRec&& rec) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            recs.push_back(std::move(rec));
+        }
+        cv.notify_one();
+    }
+
+    StepRec pop() {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return !recs.empty(); });
+        StepRec rec = std::move(recs.front());
+        recs.pop_front();
+        return rec;
+    }
+};
+
+/// Redirects a shard Tracer's fan-out into the StepRec being computed.
+/// One per shard: tasks on a shard run sequentially, so the current-target
+/// pointer is only ever touched by that shard's worker thread.
+class BufferSink final : public sim::TraceSink {
+public:
+    void on_event(const sim::TraceEvent& event) override {
+        if (out_ != nullptr) out_->push_back(event);
+    }
+    void set_target(std::vector<sim::TraceEvent>* out) { out_ = out; }
+
+private:
+    std::vector<sim::TraceEvent>* out_ = nullptr;
+};
+
+struct ShardCtx {
+    sim::Tracer tracer;
+    BufferSink sink;
+    ShardCtx() { tracer.add_sink(sink); }
+};
+
+/// Device state shared across the handoff boundary (see contract above).
+struct ShardDevice {
+    FleetMember* member = nullptr;
+    sim::DeviceClockView view;
+    std::unique_ptr<net::Transport> transport;
+    std::unique_ptr<SessionDriver> driver;
+    /// Regional edge serving the current attempt (-1 = origin). Written by
+    /// the coordinator while the driver is parked; read by the worker's
+    /// outage probe mid-segment.
+    int serving_region = -1;
+    std::size_t shard = 0;
+    SegmentBuffer buffer;
+};
+
+/// Coordinator-private per-device state (the reference engine's DeviceCtx
+/// minus what the worker owns).
+struct CoordDev {
+    CampaignDeviceResult result;
+    Rng jitter_rng{0};
+    unsigned attempt = 0;
+    double e0 = 0.0;
+    SessionReport last;
+    bool done = false;
+    double enqueue_t = 0.0;
+    unsigned cohort = 0;
+    bool released = false;
+    /// The current attempt retargeted the origin at connect time because the
+    /// home region was inside an outage window (trace deferred so scatter-
+    /// gather release can emit it in fleet order, next to kSessionStart).
+    bool start_fallback = false;
+};
+
+/// Runs one segment on the worker thread, starting at campaign instant `t`
+/// (the time of the coordinator event that kicked it off). Mirrors the
+/// reference pump loop exactly: sync the device's idle time forward, step,
+/// map the device clock back to the campaign timeline, and clamp the
+/// continuation forward the way EventScheduler::schedule_at would.
+void run_segment(ShardDevice& sd, ShardCtx& sc, double t) {
+    for (;;) {
+        StepRec rec;
+        sc.sink.set_target(&rec.traces);
+        sd.view.sync_to(t);
+        const SessionDriver::StepResult r = sd.driver->step();
+        sc.sink.set_target(nullptr);
+        double tn = sd.view.campaign_now();
+        if (tn < t) tn = t;  // schedule_at's forward clamp, bit-for-bit
+        rec.want = r.want;
+        rec.t = tn;
+        const bool more = r.want == SessionDriver::Want::kDelay;
+        sd.buffer.push(std::move(rec));
+        if (!more) return;
+        t = tn;
+    }
+}
+
+}  // namespace
+
+CampaignReport FleetCampaign::run_sharded(std::uint32_t app_id,
+                                          const FleetPolicy& policy,
+                                          unsigned shards) {
+    CampaignReport report;
+    sim::EventScheduler sched;
+    const server::ServerStats stats_before = server_->stats();
+    const server::ServerModel& model = server_->model();
+    const unsigned service_cap = model.concurrency == 0
+                                     ? std::numeric_limits<unsigned>::max()
+                                     : model.concurrency;
+
+    const std::size_t nshards = std::max(1u, shards);
+    std::vector<std::unique_ptr<ShardCtx>> shard_ctx;
+    for (std::size_t s = 0; s < nshards; ++s) {
+        shard_ctx.push_back(std::make_unique<ShardCtx>());
+    }
+    auto pool = std::make_unique<sim::ShardPool>(nshards);
+
+    std::vector<CoordDev> cdevs(members_.size());
+    std::vector<ShardDevice> sdevs(members_.size());
+    for (std::size_t i = 0; i < sdevs.size(); ++i) {
+        sdevs[i].shard = i % nshards;
+    }
+
+    // Serving targets: identical layout and accounting to the reference.
+    const EdgeTopology& topo = edges_;
+    const std::size_t edge_count = topo.edges;
+    const std::size_t origin_target = edge_count;
+    struct Target {
+        std::deque<std::size_t> queue;
+        unsigned in_service = 0;
+        unsigned cap = 0;
+        ServerQueueStats stats;
+        server::EdgeCache cache;
+        std::uint64_t fallbacks = 0;
+    };
+    std::vector<Target> targets(edge_count + 1);
+    for (std::size_t r = 0; r < edge_count; ++r) {
+        targets[r].cap = topo.model.concurrency == 0
+                             ? std::numeric_limits<unsigned>::max()
+                             : topo.model.concurrency;
+    }
+    targets[origin_target].cap = service_cap;
+
+    const sim::ChaosPlan* chaos = model.chaos;
+
+    const CohortPartition part(members_.size(), policy.wave_size, policy.canary_size);
+    const std::size_t wave_size = part.wave_size;
+    const unsigned cohort_count = part.count();
+
+    const bool gated = policy.gated() && !members_.empty();
+    std::vector<CohortState> cohorts(cohort_count);
+    unsigned next_release = 0;
+    unsigned trips = 0;
+    bool aborted = false;
+    bool paused = false;
+    std::vector<std::pair<std::size_t, double>> paused_retries;
+
+    const auto trace = [&](sim::TraceType type, std::uint32_t device_id,
+                           std::uint32_t code, double value) {
+        if (tracer_ != nullptr) {
+            tracer_->emit(sim::TraceEvent{.t = sched.now(),
+                                          .device_id = device_id,
+                                          .type = type,
+                                          .from = {},
+                                          .to = {},
+                                          .code = code,
+                                          .value = value});
+        }
+    };
+
+    // Submits device i's attempt-start task to its shard: idle-sync, build
+    // transport + driver (same seeds, same options as the reference), and
+    // compute the first segment from instant T.
+    const auto submit_start = [&](std::size_t i, unsigned attempt, double T) {
+        ShardDevice& sd = sdevs[i];
+        ShardCtx& sc = *shard_ctx[sd.shard];
+        sim::Tracer* st = tracer_ != nullptr ? &sc.tracer : nullptr;
+        const std::uint32_t id = cdevs[i].result.device_id;
+        pool->submit(sd.shard, [&sd, &sc, &policy, st, id, attempt, T, chaos] {
+            sd.view.sync_to(T);
+            Device& device = *sd.member->device;
+            sd.transport = std::make_unique<net::Transport>(
+                sd.member->link, device.clock(), &device.meter(),
+                id * 1000003ull + (attempt - 1));
+            sd.transport->set_max_retries(policy.transport_max_retries);
+            sd.driver = std::make_unique<SessionDriver>(device, *sd.transport, st,
+                                                        sd.view.offset());
+            sd.driver->set_transport_resumes(policy.transport_resumes);
+            if (chaos != nullptr) {
+                sd.transport->set_chaos({.plan = chaos,
+                                         .device_id = id,
+                                         .campaign_offset = sd.view.offset(),
+                                         .payload_via_server = true,
+                                         .region = sd.serving_region});
+                sd.driver->set_outage_probe([&sd, chaos] {
+                    const double t = sd.view.campaign_now();
+                    return sd.serving_region >= 0
+                               ? chaos->region_down(
+                                     static_cast<unsigned>(sd.serving_region), t)
+                               : chaos->server_down(t);
+                });
+                sd.driver->set_reconnect_backoff(policy.reconnect_backoff_s);
+                sd.driver->set_chunk_chaos(chaos);
+            }
+            run_segment(sd, sc, T);
+        });
+    };
+
+    // Submits the server-response handoff: rebind the transport's fault
+    // domain to the serving target, hand the driver the response, compute
+    // the next segment from instant T. `response` may hold a failure
+    // status (outage rejection) — same provide_response call either way.
+    const auto submit_resume =
+        [&](std::size_t i, std::shared_ptr<Expected<server::UpdateResponse>> response,
+            double T) {
+            ShardDevice& sd = sdevs[i];
+            ShardCtx& sc = *shard_ctx[sd.shard];
+            const std::uint32_t id = cdevs[i].result.device_id;
+            pool->submit(sd.shard, [&sd, &sc, id, response = std::move(response), T,
+                                    chaos]() mutable {
+                if (chaos != nullptr) {
+                    sd.transport->set_chaos({.plan = chaos,
+                                             .device_id = id,
+                                             .campaign_offset = sd.view.offset(),
+                                             .payload_via_server = true,
+                                             .region = sd.serving_region});
+                }
+                sd.driver->provide_response(std::move(*response));
+                run_segment(sd, sc, T);
+            });
+        };
+
+    // Serving-target selection at attempt start, mirroring the reference:
+    // home region by fleet index, retargeted to the origin when the region
+    // is already dark (fallback on, origin up). Decided on the coordinator
+    // before submit_start so the shard task binds the transport's fault
+    // domain to the final target; the kEdgeFallback trace is deferred to
+    // trace_start so scatter-gather release keeps fleet-order emission.
+    const auto pick_start_region = [&](std::size_t i, double T) {
+        ShardDevice& sd = sdevs[i];
+        CoordDev& c = cdevs[i];
+        sd.serving_region = edge_count > 0 ? static_cast<int>(i % edge_count) : -1;
+        c.start_fallback = false;
+        if (chaos != nullptr && sd.serving_region >= 0 && topo.origin_fallback &&
+            chaos->region_down(static_cast<unsigned>(sd.serving_region), T) &&
+            !chaos->server_down(T)) {
+            ++targets[static_cast<std::size_t>(sd.serving_region)].fallbacks;
+            c.start_fallback = true;
+            sd.serving_region = -1;
+        }
+    };
+    const auto trace_start = [&](std::size_t i) {
+        CoordDev& c = cdevs[i];
+        if (c.start_fallback) {
+            trace(sim::TraceType::kEdgeFallback, c.result.device_id,
+                  static_cast<std::uint32_t>(i % edge_count), 0.0);
+        }
+        trace(sim::TraceType::kSessionStart, c.result.device_id, c.attempt, 0.0);
+    };
+
+    // The coordinator's handler cycle, mirroring the reference engine
+    // handler-for-handler (consume == the reference's pump: one event in,
+    // one schedule call out).
+    std::function<void(std::size_t)> consume;
+    std::function<void(std::size_t)> enqueue;
+    std::function<void(std::size_t)> admit;
+    std::function<void(std::size_t)> start_attempt;
+    std::function<void(std::size_t)> session_done;
+    std::function<void(unsigned)> release_cohort;
+    std::function<void()> maybe_promote;
+    std::function<void(unsigned, double, bool)> trip_breaker;
+
+    consume = [&](std::size_t i) {
+        ShardDevice& sd = sdevs[i];
+        StepRec rec = sd.buffer.pop();
+        if (tracer_ != nullptr) {
+            // The step's own traces, at this point in the global order —
+            // exactly where the reference's inline step() emitted them.
+            for (const sim::TraceEvent& e : rec.traces) tracer_->emit(e);
+        }
+        switch (rec.want) {
+            case SessionDriver::Want::kDelay:
+                sched.schedule_at(rec.t, [&consume, i] { consume(i); });
+                break;
+            case SessionDriver::Want::kServer:
+                sched.schedule_at(rec.t, [&enqueue, i] { enqueue(i); });
+                break;
+            case SessionDriver::Want::kFinished:
+                sched.schedule_at(rec.t, [&session_done, i] { session_done(i); });
+                break;
+        }
+    };
+
+    enqueue = [&](std::size_t i) {
+        CoordDev& d = cdevs[i];
+        std::size_t target = sdevs[i].serving_region >= 0
+                                 ? static_cast<std::size_t>(sdevs[i].serving_region)
+                                 : origin_target;
+        if (chaos != nullptr) {
+            bool down = target == origin_target
+                            ? chaos->server_down(sched.now())
+                            : chaos->region_down(static_cast<unsigned>(target),
+                                                 sched.now());
+            if (down && target != origin_target && topo.origin_fallback &&
+                !chaos->server_down(sched.now())) {
+                ++targets[target].fallbacks;
+                trace(sim::TraceType::kEdgeFallback, d.result.device_id,
+                      static_cast<std::uint32_t>(target), 0.0);
+                target = origin_target;
+                sdevs[i].serving_region = -1;
+                down = false;
+            }
+            if (down) {
+                ++report.server.outage_rejections;
+                if (edge_count > 0) ++targets[target].stats.outage_rejections;
+                trace(sim::TraceType::kServerOutage, d.result.device_id, 0,
+                      policy.outage_timeout_s);
+                sched.schedule_in(policy.outage_timeout_s, [&, i] {
+                    submit_resume(i,
+                                  std::make_shared<Expected<server::UpdateResponse>>(
+                                      Status::kUnavailable),
+                                  sched.now());
+                    consume(i);
+                });
+                return;
+            }
+        }
+        d.enqueue_t = sched.now();
+        Target& tg = targets[target];
+        tg.queue.push_back(i);
+        report.server.peak_depth = std::max(
+            report.server.peak_depth, static_cast<unsigned>(tg.queue.size()));
+        if (edge_count > 0) {
+            tg.stats.peak_depth = std::max(tg.stats.peak_depth,
+                                           static_cast<unsigned>(tg.queue.size()));
+        }
+        trace(sim::TraceType::kQueueEnter, d.result.device_id,
+              static_cast<std::uint32_t>(tg.queue.size()), 0.0);
+        admit(target);
+    };
+
+    admit = [&](std::size_t target) {
+        Target& tg = targets[target];
+        const bool is_origin = target == origin_target;
+        const server::ServerModel& tmodel = is_origin ? model : topo.model;
+        while (tg.in_service < tg.cap && !tg.queue.empty()) {
+            const std::size_t i = tg.queue.front();
+            tg.queue.pop_front();
+            CoordDev& c = cdevs[i];
+            const double wait = sched.now() - c.enqueue_t;
+            c.result.queue_wait_s += wait;
+            ++report.server.requests;
+            report.server.total_wait_s += wait;
+            report.server.max_wait_s = std::max(report.server.max_wait_s, wait);
+            if (edge_count > 0) {
+                ++tg.stats.requests;
+                tg.stats.total_wait_s += wait;
+                tg.stats.max_wait_s = std::max(tg.stats.max_wait_s, wait);
+            }
+            trace(sim::TraceType::kQueueExit, c.result.device_id,
+                  static_cast<std::uint32_t>(tg.queue.size()), wait);
+
+            // Driver parked at kServer: its token is stable to read here.
+            auto response = std::make_shared<Expected<server::UpdateResponse>>(
+                server_->prepare_update(app_id, sdevs[i].driver->token()));
+            if (*response) {
+                const server::ServiceReceipt& r = (*response)->receipt;
+                std::uint32_t bits = 0;
+                if (r.chunked) bits |= sim::kCacheBitChunked;
+                if (r.response_cache_hit) bits |= sim::kCacheBitResponseHit;
+                if (r.delta_attempted) bits |= sim::kCacheBitDeltaAttempt;
+                trace(sim::TraceType::kServerCache, c.result.device_id, bits,
+                      static_cast<double>(r.sign_ops));
+            }
+            double service = *response ? tmodel.service_seconds((*response)->receipt)
+                                       : tmodel.service_seconds(std::size_t{0});
+            if (!is_origin && *response) {
+                const bool hit = tg.cache.serve(**response);
+                trace(sim::TraceType::kEdgeCache, c.result.device_id,
+                      static_cast<std::uint32_t>(target), hit ? 1.0 : 0.0);
+                if (!hit) {
+                    service += topo.backhaul_rtt_s +
+                               topo.backhaul_per_kb_s *
+                                   static_cast<double>((*response)->payload.size() +
+                                                       (*response)->manifest_bytes.size()) /
+                                   1024.0;
+                }
+            }
+            ++tg.in_service;
+            report.server.peak_in_service =
+                std::max(report.server.peak_in_service, tg.in_service);
+            report.server.busy_s += service;
+            if (edge_count > 0) {
+                tg.stats.peak_in_service =
+                    std::max(tg.stats.peak_in_service, tg.in_service);
+                tg.stats.busy_s += service;
+            }
+            sched.schedule_in(service, [&, i, target, response, service] {
+                --targets[target].in_service;
+                trace(sim::TraceType::kServiceDone, cdevs[i].result.device_id, 0,
+                      service);
+                submit_resume(i, response, sched.now());
+                admit(target);
+                consume(i);
+            });
+        }
+    };
+
+    start_attempt = [&](std::size_t i) {
+        CoordDev& c = cdevs[i];
+        ++c.attempt;
+        c.result.attempts = c.attempt;
+        pick_start_region(i, sched.now());
+        submit_start(i, c.attempt, sched.now());
+        trace_start(i);
+        consume(i);
+    };
+
+    trip_breaker = [&](unsigned k, double failure_rate, bool force_abort) {
+        ++trips;
+        const bool abort_now =
+            force_abort || policy.breaker_abort || trips > policy.breaker_max_trips;
+        report.breaker_trips.push_back(BreakerTrip{.t = sched.now(),
+                                                   .wave = k,
+                                                   .failures = cohorts[k].attempts_failed,
+                                                   .completed = cohorts[k].attempts_done,
+                                                   .released = cohorts[k].released,
+                                                   .failure_rate = failure_rate,
+                                                   .aborted = abort_now});
+        trace(sim::TraceType::kBreakerTrip, 0, k, failure_rate);
+        if (abort_now) {
+            aborted = true;
+            return;
+        }
+        paused = true;
+        sched.schedule_in(policy.breaker_pause_s, [&] {
+            if (aborted) return;
+            paused = false;
+            for (CohortState& w : cohorts) {
+                w.attempts_done = 0;
+                w.attempts_failed = 0;
+            }
+            auto deferred = std::move(paused_retries);
+            paused_retries.clear();
+            for (const auto& [idx, delay] : deferred) {
+                sched.schedule_in(delay, [&start_attempt, idx] { start_attempt(idx); });
+            }
+            maybe_promote();
+        });
+    };
+
+    session_done = [&](std::size_t i) {
+        CoordDev& c = cdevs[i];
+        ShardDevice& sd = sdevs[i];
+        // Driver parked at kFinished: the report and the device's terminal
+        // state are stable to read (published by the record's push).
+        c.last = sd.driver->report();
+        c.result.bytes_over_air += c.last.bytes_over_air;
+        c.result.verification_s += c.last.phases.verification_s;
+        c.result.transport_resumes += c.last.transport_resumes;
+        c.result.token_refreshes += c.last.token_refreshes;
+        c.result.chunk_retries += c.last.chunk_retries;
+        if (c.last.confirmed) c.result.confirmed = true;
+        if (c.last.rolled_back) c.result.rolled_back = true;
+        sd.driver.reset();
+        sd.transport.reset();
+
+        CohortState* w = gated ? &cohorts[c.cohort] : nullptr;
+        if (w != nullptr) {
+            ++w->attempts_done;
+            if (c.last.status != Status::kOk) ++w->attempts_failed;
+            if (!aborted && !paused && policy.breaker_failure_rate > 0.0 &&
+                w->attempts_failed >= policy.breaker_min_failures) {
+                const double rate = static_cast<double>(w->attempts_failed) /
+                                    static_cast<double>(w->attempts_done);
+                if (rate > policy.breaker_failure_rate) {
+                    trip_breaker(c.cohort, rate, /*force_abort=*/false);
+                }
+            }
+        }
+
+        const bool give_up = c.last.status == Status::kOk ||
+                             c.last.status == Status::kStaleVersion ||
+                             c.last.status == Status::kSelfTestFailed ||
+                             aborted ||
+                             c.attempt >= policy.max_attempts;
+        if (!give_up) {
+            double delay = 0.0;
+            if (policy.initial_backoff_s > 0) {
+                delay = policy.initial_backoff_s *
+                        std::pow(policy.backoff_factor,
+                                 static_cast<double>(c.attempt - 1));
+                delay = std::min(delay, policy.max_backoff_s);
+                const double u =
+                    static_cast<double>(c.jitter_rng.next_u32()) / 2147483648.0 - 1.0;
+                delay *= 1.0 + policy.jitter * u;
+                c.result.backoff_s += delay;
+            }
+            trace(sim::TraceType::kRetryScheduled, c.result.device_id, c.attempt + 1,
+                  delay);
+            if (paused) {
+                paused_retries.emplace_back(i, delay);
+            } else {
+                sched.schedule_in(delay, [&start_attempt, i] { start_attempt(i); });
+            }
+            return;
+        }
+
+        Device& device = *sd.member->device;
+        c.done = true;
+        c.result.status = c.last.status;
+        c.result.final_version = device.identity().installed_version;
+        c.result.differential = c.last.differential;
+        c.result.chunked = c.last.chunked;
+        c.result.end_s = sched.now();
+        c.result.time_s = c.result.end_s - c.result.start_s;
+        c.result.energy_mj = device.meter().total_millijoules() - c.e0;
+        device.set_tracer(nullptr);
+
+        if (w != nullptr) {
+            ++w->terminal;
+            if (c.result.status == Status::kOk) ++w->succeeded;
+            else ++w->failed;
+            if (c.result.rolled_back) ++w->rolled_back;
+            w->complete_s = sched.now();
+            maybe_promote();
+        }
+    };
+
+    const auto setup_device = [&](std::size_t i, unsigned wave) {
+        CoordDev& c = cdevs[i];
+        ShardDevice& sd = sdevs[i];
+        sd.member = &members_[i];
+        Device& device = *sd.member->device;
+        c.result.device_id = device.identity().device_id;
+        c.result.wave = wave;
+        c.cohort = wave;
+        c.released = true;
+        c.result.start_s = sched.now();
+        c.jitter_rng.reseed(0x9E3779B97F4A7C15ull ^ c.result.device_id);
+        const double rate =
+            chaos != nullptr ? chaos->device_clock_rate(c.result.device_id) : 1.0;
+        sd.view = sim::DeviceClockView(device.clock(), sched.now(), rate);
+        c.e0 = device.meter().total_millijoules();
+        device.set_tracer(tracer_ != nullptr ? &shard_ctx[sd.shard]->tracer : nullptr,
+                          sd.view.offset());
+        if (chaos != nullptr) {
+            const std::uint32_t id = c.result.device_id;
+            device.set_health_hook([chaos, id](std::uint16_t version) {
+                return chaos->self_test_passes(id, version);
+            });
+        }
+    };
+
+    release_cohort = [&](unsigned k) {
+        if (aborted) return;
+        if (paused) {
+            sched.schedule_in(policy.breaker_pause_s,
+                              [&release_cohort, k] { release_cohort(k); });
+            return;
+        }
+        CohortState& w = cohorts[k];
+        w.released_flag = true;
+        w.release_s = sched.now();
+        trace(sim::TraceType::kWaveStart, 0, k, 0.0);
+        const auto [lo, hi] = part.range(k);
+        // Scatter first so every shard starts computing its devices' first
+        // segments concurrently; then consume in fleet order — which is
+        // where the trace emissions and schedule calls happen, preserving
+        // the reference's per-device order exactly.
+        for (std::size_t i = lo; i < hi; ++i) {
+            setup_device(i, k);
+            ++w.released;
+            CoordDev& c = cdevs[i];
+            ++c.attempt;
+            c.result.attempts = c.attempt;
+            pick_start_region(i, sched.now());
+            submit_start(i, c.attempt, sched.now());
+        }
+        for (std::size_t i = lo; i < hi; ++i) {
+            trace_start(i);
+            consume(i);
+        }
+    };
+
+    maybe_promote = [&] {
+        if (!gated || aborted || paused) return;
+        if (next_release == 0 || next_release >= cohort_count) return;
+        const CohortState& prev = cohorts[next_release - 1];
+        if (!prev.released_flag || prev.terminal < prev.released) return;
+        const double rate =
+            prev.released == 0
+                ? 1.0
+                : static_cast<double>(prev.succeeded) / static_cast<double>(prev.released);
+        if (policy.promote_success_rate > 0.0 && rate < policy.promote_success_rate) {
+            trip_breaker(next_release - 1, 1.0 - rate, /*force_abort=*/true);
+            return;
+        }
+        const unsigned k = next_release;
+        ++next_release;
+        trace(sim::TraceType::kWavePromote, 0, k, rate);
+        sched.schedule_in(policy.wave_stagger_s,
+                          [&release_cohort, k] { release_cohort(k); });
+    };
+
+    if (gated) {
+        next_release = 1;
+        sched.schedule_at(0.0, [&release_cohort] { release_cohort(0); });
+    } else {
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+            const std::size_t wave = i / wave_size;
+            const double release_t = static_cast<double>(wave) * policy.wave_stagger_s;
+            sched.schedule_at(release_t, [&, i, wave] {
+                setup_device(i, static_cast<unsigned>(wave));
+                if (i % wave_size == 0) {
+                    trace(sim::TraceType::kWaveStart, 0,
+                          static_cast<std::uint32_t>(wave), 0.0);
+                }
+                start_attempt(i);
+            });
+        }
+    }
+
+    sched.run(event_budget_);
+
+    // Join the workers before aggregating: an exhausted event budget can
+    // leave shards mid-segment, and the join is the happens-before edge for
+    // every terminal device read below.
+    pool->drain();
+    pool.reset();
+
+    report.devices.reserve(cdevs.size());
+    for (std::size_t i = 0; i < cdevs.size(); ++i) {
+        CoordDev& c = cdevs[i];
+        ShardDevice& sd = sdevs[i];
+        if (gated && !c.released) {
+            c.result.device_id = members_[i].device->identity().device_id;
+            c.result.wave = part.cohort_of(i);
+            c.result.status = Status::kCampaignHalted;
+            c.result.halted = true;
+            ++report.halted_devices;
+            report.devices.push_back(std::move(c.result));
+            continue;
+        }
+        if (!c.done) {
+            c.result.status = Status::kResourceExhausted;
+            if (sd.member != nullptr) sd.member->device->set_tracer(nullptr);
+        }
+        if (c.result.status == Status::kOk) {
+            ++report.succeeded;
+            if (c.result.differential) ++report.differential_updates;
+            if (c.result.chunked) ++report.chunked_updates;
+        } else {
+            ++report.failed;
+        }
+        report.chunk_retries += c.result.chunk_retries;
+        if (sd.member != nullptr) {
+            const Device& device = *sd.member->device;
+            const double draw_ma = device.config().platform->cpu_active_ma +
+                                   device.verifier().backend().costs().active_current_ma;
+            c.result.verification_mah =
+                sim::milliamp_hours(c.result.verification_s, draw_ma);
+        }
+        ++report.exposed_devices;
+        if (c.result.confirmed) ++report.confirmed_devices;
+        if (c.result.rolled_back) ++report.rolled_back_devices;
+        report.verification_mah += c.result.verification_mah;
+        report.total_energy_mj += c.result.energy_mj;
+        report.total_bytes += c.result.bytes_over_air;
+        report.verification_s += c.result.verification_s;
+        report.makespan_s = std::max(report.makespan_s, c.result.end_s);
+        report.devices.push_back(std::move(c.result));
+    }
+    if (gated) {
+        for (unsigned k = 0; k < cohort_count; ++k) {
+            const CohortState& w = cohorts[k];
+            if (!w.released_flag) continue;
+            report.waves.push_back(WaveStats{.wave = k,
+                                             .released = w.released,
+                                             .succeeded = w.succeeded,
+                                             .failed = w.failed,
+                                             .rolled_back = w.rolled_back,
+                                             .release_s = w.release_s,
+                                             .complete_s = w.complete_s});
+        }
+    }
+    if (edge_count > 0) {
+        for (std::size_t r = 0; r < edge_count; ++r) {
+            report.edges.push_back(EdgeReport{.region = static_cast<unsigned>(r),
+                                              .queue = targets[r].stats,
+                                              .cache = targets[r].cache.stats(),
+                                              .fallbacks = targets[r].fallbacks});
+        }
+    }
+    report.events_processed = sched.events_processed();
+    report.server_stats = detail::stats_delta(server_->stats(), stats_before);
+    return report;
+}
+
+}  // namespace upkit::core

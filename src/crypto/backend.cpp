@@ -1,7 +1,12 @@
 #include "crypto/backend.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <chrono>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "crypto/p256.hpp"
@@ -9,6 +14,85 @@
 namespace upkit::crypto {
 
 namespace {
+
+// --- verify memo ---------------------------------------------------------
+//
+// Keyed by the full 160-byte (pubkey || digest || signature) triple so a
+// hit can never alias a different verification. The triple is folded to a
+// 128-bit FNV pair for the table key; at the few-million entries a 1M-device
+// campaign produces, a collision needs ~2^64 entries — not a concern. The
+// map is guarded by a plain mutex: verify() calls come from shard workers,
+// and the critical section is two hash probes (TSan runs the fleet suite).
+
+struct MemoKey {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const MemoKey& o) const { return lo == o.lo && hi == o.hi; }
+};
+
+struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const {
+        return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9E3779B97F4A7C15ull));
+    }
+};
+
+struct VerifyMemo {
+    std::mutex mu;
+    std::unordered_map<MemoKey, bool, MemoKeyHash> results;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+VerifyMemo& verify_memo() {
+    static VerifyMemo memo;
+    return memo;
+}
+
+std::atomic<bool> g_verify_memo_enabled{false};
+
+MemoKey memo_key(const PublicKey& key, const Sha256Digest& digest, ByteSpan signature) {
+    std::array<std::uint8_t, kPublicKeySize + kSha256DigestSize + kSignatureSize> buf{};
+    const auto pub = key.to_bytes();
+    std::memcpy(buf.data(), pub.data(), pub.size());
+    std::memcpy(buf.data() + pub.size(), digest.data(), digest.size());
+    std::memcpy(buf.data() + pub.size() + digest.size(), signature.data(),
+                signature.size());
+    MemoKey k{0xCBF29CE484222325ull, 0x84222325CBF29CE4ull};
+    for (const std::uint8_t b : buf) {
+        k.lo = (k.lo ^ b) * 0x100000001B3ull;
+        k.hi = (k.hi ^ b) * 0x100000001B3ull;
+        k.hi ^= k.hi >> 29;
+    }
+    return k;
+}
+
+/// Consults the memo around the raw verify `fn`. Signature length is
+/// checked first so malformed input never lands in the table.
+template <typename Fn>
+bool memoized_verify(const PublicKey& key, const Sha256Digest& digest,
+                     ByteSpan signature, Fn&& fn) {
+    if (!g_verify_memo_enabled.load(std::memory_order_relaxed) ||
+        signature.size() != kSignatureSize) {
+        return fn();
+    }
+    const MemoKey k = memo_key(key, digest, signature);
+    VerifyMemo& memo = verify_memo();
+    {
+        std::lock_guard<std::mutex> lock(memo.mu);
+        auto it = memo.results.find(k);
+        if (it != memo.results.end()) {
+            ++memo.hits;
+            return it->second;
+        }
+    }
+    const bool ok = fn();
+    {
+        std::lock_guard<std::mutex> lock(memo.mu);
+        ++memo.misses;
+        memo.results.emplace(k, ok);
+    }
+    return ok;
+}
 
 /// Both software libraries wrap the same from-scratch ECDSA core (that code
 /// sharing is the point of the security interface); they differ in the
@@ -23,12 +107,14 @@ public:
 
     bool verify(const PublicKey& key, const Sha256Digest& digest,
                 ByteSpan signature) const override {
-        return ecdsa_verify(key, digest, signature);
+        return memoized_verify(key, digest, signature,
+                               [&] { return ecdsa_verify(key, digest, signature); });
     }
 
     bool verify(const PreparedPublicKey& key, const Sha256Digest& digest,
                 ByteSpan signature) const override {
-        return ecdsa_verify(key, digest, signature);
+        return memoized_verify(key.key(), digest, signature,
+                               [&] { return ecdsa_verify(key, digest, signature); });
     }
 
     Expected<Signature> sign(const PrivateKey& key,
@@ -116,6 +202,28 @@ VerifyCalibration run_verify_calibration() {
 }
 
 }  // namespace
+
+void set_verify_memo_enabled(bool enabled) {
+    g_verify_memo_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool verify_memo_enabled() {
+    return g_verify_memo_enabled.load(std::memory_order_relaxed);
+}
+
+void verify_memo_reset() {
+    VerifyMemo& memo = verify_memo();
+    std::lock_guard<std::mutex> lock(memo.mu);
+    memo.results.clear();
+    memo.hits = 0;
+    memo.misses = 0;
+}
+
+VerifyMemoStats verify_memo_stats() {
+    VerifyMemo& memo = verify_memo();
+    std::lock_guard<std::mutex> lock(memo.mu);
+    return {memo.hits, memo.misses};
+}
 
 const VerifyCalibration& measure_verify_speedup() {
     static const VerifyCalibration calibration = run_verify_calibration();

@@ -9,6 +9,7 @@
 // primitive runs on the modelled MCU (the math itself runs natively here).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string_view>
 
@@ -61,6 +62,27 @@ public:
     virtual Expected<Signature> sign(const PrivateKey& key,
                                      const Sha256Digest& digest) const = 0;
 };
+
+/// Process-wide memo of software-backend verify() results, keyed by the
+/// full (public key, digest, signature) triple. Fleet campaigns re-verify
+/// the same manifests at boot that they verified at receive time (and every
+/// device checks the one vendor signature per version), so at million-device
+/// scale the memo removes the dominant repeated cost without changing a
+/// single verdict — the answer is a pure function of the key. OFF by
+/// default: calibration loops time raw verifies, and the small suites want
+/// the real kernels exercised. The fleet engine and the scale bench opt in.
+/// Hits/misses are counted so tests can prove both the reuse and the
+/// equivalence of results with the memo on and off.
+struct VerifyMemoStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+void set_verify_memo_enabled(bool enabled);
+bool verify_memo_enabled();
+/// Drops all memoized entries and zeroes the counters (benches call this
+/// between sweep cells so one cell's warm cache can't flatter the next).
+void verify_memo_reset();
+VerifyMemoStats verify_memo_stats();
 
 /// TinyDTLS's crypto core: software ECDSA, the smallest-flash option in the
 /// paper's Table I comparison.

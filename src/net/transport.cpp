@@ -33,7 +33,7 @@ double Transport::transfer_chunk_seconds(std::size_t payload_bytes, bool* aborte
         const double campaign_t = clock_->now() - chaos_.campaign_offset + seconds;
         const sim::ChaosPlan::Conditions c =
             chaos_.plan->conditions(campaign_t, chaos_.device_id,
-                                    chaos_.payload_via_server);
+                                    chaos_.payload_via_server, chaos_.region);
         seconds += link_.chunk_seconds(payload_bytes,
                                        {c.extra_loss, c.overhead_factor});
         bool lost;

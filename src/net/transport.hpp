@@ -26,6 +26,10 @@ struct ChaosBinding {
     std::uint32_t device_id = 0;
     double campaign_offset = 0.0;
     bool payload_via_server = true;
+    /// Regional edge serving this device's payload, or -1 when the vendor
+    /// origin serves it directly — selects which fault domain can block
+    /// chunks (sim::ChaosPlan::region_down vs server_down).
+    int region = -1;
 };
 
 class Transport {

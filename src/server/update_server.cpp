@@ -326,10 +326,26 @@ Expected<UpdateResponse> UpdateServer::prepare_update(
     // the ephemeral-key counter. Deployment concurrency is ServerModel's
     // job; this lock is for memory safety under threaded drivers.
     const std::lock_guard<std::mutex> lock(mu_);
+    return prepare_update_locked(app_id, token, 0);
+}
+
+Expected<UpdateResponse> UpdateServer::prepare_update(
+    std::uint32_t app_id, const manifest::DeviceToken& token,
+    std::uint16_t version) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return prepare_update_locked(app_id, token, version);
+}
+
+Expected<UpdateResponse> UpdateServer::prepare_update_locked(
+    std::uint32_t app_id, const manifest::DeviceToken& token,
+    std::uint16_t target) const {
     ++stats_.requests;
     const auto apps = releases_.find(app_id);
     if (apps == releases_.end() || apps->second.empty()) return Status::kNotFound;
-    const Release& latest = apps->second.rbegin()->second;
+    const auto pinned = target == 0 ? apps->second.end() : apps->second.find(target);
+    if (target != 0 && pinned == apps->second.end()) return Status::kNotFound;
+    const Release& latest =
+        target == 0 ? apps->second.rbegin()->second : pinned->second;
 
     // Encrypted payloads are sealed per (device, nonce) and SUIT envelopes
     // are re-encoded per request: neither can reuse a cached envelope.

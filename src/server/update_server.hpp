@@ -197,6 +197,15 @@ public:
     Expected<UpdateResponse> prepare_update(std::uint32_t app_id,
                                             const manifest::DeviceToken& token) const;
 
+    /// Same, but bound to a specific published version instead of the
+    /// latest (kNotFound when unpublished). Factory provisioning uses this:
+    /// a synthetic fleet built after version N+1 is announced still boots
+    /// from a version-N image, exactly like hardware that left the factory
+    /// before the campaign.
+    Expected<UpdateResponse> prepare_update(std::uint32_t app_id,
+                                            const manifest::DeviceToken& token,
+                                            std::uint16_t version) const;
+
     /// Tuning knob: deltas larger than this fraction of the full image fall
     /// back to a full-image update (a delta that barely saves air time is
     /// not worth the on-device patching cost).
@@ -279,6 +288,12 @@ private:
         Bytes manifest_bytes;         // native wire form (200 B + chunk table)
         Bytes payload;
     };
+
+    /// Shared body of both prepare_update overloads; the caller holds mu_.
+    /// `target` of 0 means "latest".
+    Expected<UpdateResponse> prepare_update_locked(std::uint32_t app_id,
+                                                   const manifest::DeviceToken& token,
+                                                   std::uint16_t target) const;
 
     UpdateResponse finalize(manifest::Manifest m, Bytes payload,
                             const crypto::Signature& suit_vendor_sig,

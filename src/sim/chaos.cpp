@@ -70,6 +70,16 @@ ChaosPlan ChaosPlan::generate(const ChaosSpec& spec) {
     // seed per (device, chunk), so adding it never shifts the existing
     // burst/outage/spike/profile sub-streams.
     plan.set_chunk_corruption(spec.chunk_corrupt_fraction);
+    // Regional fault domains and oscillator drift are pure functions of
+    // (profile_seed, region|device), salted below — again no extra draw, so
+    // a spec without them generates the byte-identical legacy plan.
+    if (spec.regions > 0 && spec.region_outages > 0) {
+        plan.set_region_outage_params(profile_seed, spec.region_outages,
+                                      spec.region_outage_duration_s, spec.horizon_s);
+    }
+    if (spec.clock_drift_ppm > 0.0) {
+        plan.set_clock_drift(profile_seed, spec.clock_drift_ppm);
+    }
     return plan;
 }
 
@@ -110,8 +120,60 @@ double ChaosPlan::server_up_at(double t) const {
     return up;
 }
 
+bool ChaosPlan::region_down(unsigned region, double t) const {
+    for (const auto& r : region_outages_) {
+        if (r.region == region && in_window(t, r.window.start_s, r.window.end_s)) {
+            return true;
+        }
+    }
+    if (region_seed_ != 0 && region_outage_count_ > 0) {
+        std::uint64_t state = region_seed_ ^ 0x4E04E04E04E04E04ull ^
+                              (0x9E3779B97F4A7C15ull * (region + 1));
+        for (unsigned i = 0; i < region_outage_count_; ++i) {
+            const double start = uniform01(state) * region_horizon_s_;
+            if (in_window(t, start, start + region_outage_duration_s_)) return true;
+        }
+    }
+    return false;
+}
+
+double ChaosPlan::region_up_at(unsigned region, double t) const {
+    double up = t;
+    // Derived and pinned windows may overlap; chase the chain.
+    while (region_down(region, up)) {
+        double next = up;
+        for (const auto& r : region_outages_) {
+            if (r.region == region && in_window(up, r.window.start_s, r.window.end_s)) {
+                next = std::max(next, r.window.end_s);
+            }
+        }
+        if (region_seed_ != 0 && region_outage_count_ > 0) {
+            std::uint64_t state = region_seed_ ^ 0x4E04E04E04E04E04ull ^
+                                  (0x9E3779B97F4A7C15ull * (region + 1));
+            for (unsigned i = 0; i < region_outage_count_; ++i) {
+                const double start = uniform01(state) * region_horizon_s_;
+                if (in_window(up, start, start + region_outage_duration_s_)) {
+                    next = std::max(next, start + region_outage_duration_s_);
+                }
+            }
+        }
+        if (next == up) break;  // defensive: region_down implies progress
+        up = next;
+    }
+    return up;
+}
+
+double ChaosPlan::device_clock_rate(std::uint32_t device_id) const {
+    if (drift_seed_ == 0 || clock_drift_ppm_ <= 0.0) return 1.0;
+    std::uint64_t state = drift_seed_ ^ 0xD21F7D21F7D21F70ull ^
+                          (0x9E3779B97F4A7C15ull * (device_id + 1));
+    const double u = 2.0 * uniform01(state) - 1.0;  // [-1, 1)
+    return 1.0 + clock_drift_ppm_ * 1e-6 * u;
+}
+
 ChaosPlan::Conditions ChaosPlan::conditions(double t, std::uint32_t device_id,
-                                            bool payload_via_server) const {
+                                            bool payload_via_server,
+                                            int region) const {
     Conditions c;
     for (const auto& b : bursts_) {
         if (in_window(t, b.start_s, b.end_s)) c.extra_loss += b.loss_probability;
@@ -124,7 +186,9 @@ ChaosPlan::Conditions ChaosPlan::conditions(double t, std::uint32_t device_id,
     const DeviceChaosProfile p = device_profile(device_id);
     c.extra_loss += p.extra_loss;
     c.corrupt = in_window(t, p.corrupt_start_s, p.corrupt_end_s);
-    c.blocked = payload_via_server && server_down(t);
+    c.blocked = payload_via_server &&
+                (region >= 0 ? region_down(static_cast<unsigned>(region), t)
+                             : server_down(t));
     return c;
 }
 
@@ -186,6 +250,25 @@ std::uint64_t ChaosPlan::fingerprint() const {
     mix(h, corrupt_horizon_s_);
     mix(h, brick_fraction_);
     mix(h, chunk_corrupt_fraction_);
+    // Regional domains and drift mix in only when configured, so a plan
+    // without them keeps its pre-extension fingerprint (equal plans, equal
+    // fingerprints — in both directions across builds).
+    if (!region_outages_.empty() || region_outage_count_ > 0) {
+        mix(h, static_cast<std::uint64_t>(region_outages_.size()));
+        for (const auto& r : region_outages_) {
+            mix(h, static_cast<std::uint64_t>(r.region));
+            mix(h, r.window.start_s);
+            mix(h, r.window.end_s);
+        }
+        mix(h, region_seed_);
+        mix(h, static_cast<std::uint64_t>(region_outage_count_));
+        mix(h, region_outage_duration_s_);
+        mix(h, region_horizon_s_);
+    }
+    if (clock_drift_ppm_ > 0.0) {
+        mix(h, drift_seed_);
+        mix(h, clock_drift_ppm_);
+    }
     return h;
 }
 

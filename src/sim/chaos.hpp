@@ -82,6 +82,19 @@ struct ChaosSpec {
     /// corrupted on its first transmission. Exercises the per-chunk
     /// re-request path rather than whole-session failure.
     double chunk_corrupt_fraction = 0.0;
+
+    /// Per-region fault domains (multi-edge topologies): each of `regions`
+    /// regional edge servers gets `region_outages` outage windows of
+    /// region_outage_duration_s drawn from its own sub-stream, so region
+    /// r's faults never shift region r+1's (nor any of the streams above).
+    unsigned regions = 0;
+    unsigned region_outages = 0;
+    double region_outage_duration_s = 45.0;
+
+    /// Device oscillator drift: each device's crystal rate is drawn
+    /// uniformly from 1 ± clock_drift_ppm·1e-6, a pure function of
+    /// (seed, device). 0 keeps every device's rate exactly 1.0.
+    double clock_drift_ppm = 0.0;
 };
 
 class ChaosPlan {
@@ -123,12 +136,54 @@ public:
                                    double corrupt_duration_s, double horizon_s,
                                    double brick_fraction);
 
+    /// Pins a regional outage window explicitly (tests; generate() derives
+    /// windows from the region sub-streams instead).
+    void add_region_outage(unsigned region, double start_s, double end_s) {
+        region_outages_.push_back({region, {start_s, end_s}});
+    }
+
+    /// Derived regional windows (also set by generate() from the spec).
+    void set_region_outage_params(std::uint64_t seed, unsigned outages,
+                                  double duration_s, double horizon_s) {
+        region_seed_ = seed;
+        region_outage_count_ = outages;
+        region_outage_duration_s_ = duration_s;
+        region_horizon_s_ = horizon_s;
+    }
+
+    /// Per-device oscillator drift half-width in ppm (set by generate()).
+    void set_clock_drift(std::uint64_t seed, double ppm) {
+        drift_seed_ = seed;
+        clock_drift_ppm_ = ppm;
+    }
+
     bool server_down(double t) const;
     /// End of the outage containing `t`; `t` itself when the server is up.
     double server_up_at(double t) const;
 
+    /// Whether regional edge `region` is inside one of its fault windows at
+    /// campaign instant `t`. Pure in (seed, region, t): windows are
+    /// re-derived per call from the region's own sub-stream, so the answer
+    /// never depends on which other regions anyone asked about.
+    bool region_down(unsigned region, double t) const;
+    /// End of the regional outage containing `t`; `t` itself when up.
+    double region_up_at(unsigned region, double t) const;
+
+    /// Device crystal rate: local seconds per campaign second, drawn from
+    /// 1 ± clock_drift_ppm·1e-6. Pure in (seed, device); exactly 1.0 when
+    /// drift is unconfigured.
+    double device_clock_rate(std::uint32_t device_id) const;
+
     Conditions conditions(double t, std::uint32_t device_id,
-                          bool payload_via_server) const;
+                          bool payload_via_server) const {
+        return conditions(t, device_id, payload_via_server, -1);
+    }
+
+    /// Region-aware overlay: `region` >= 0 means the device's payload is
+    /// served by that regional edge, so `blocked` reflects the edge's fault
+    /// domain instead of the origin's. -1 keeps the legacy origin check.
+    Conditions conditions(double t, std::uint32_t device_id,
+                          bool payload_via_server, int region) const;
 
     /// Deterministic per-device profile (pure function of seed + id).
     DeviceChaosProfile device_profile(std::uint32_t device_id) const;
@@ -155,10 +210,24 @@ public:
     std::uint64_t fingerprint() const;
 
 private:
+    struct RegionOutage {
+        unsigned region = 0;
+        OutageWindow window;
+    };
+
     std::vector<OutageWindow> outages_;
     std::vector<LossBurst> bursts_;
     std::vector<LatencySpike> spikes_;
     std::vector<std::uint16_t> bad_versions_;
+    std::vector<RegionOutage> region_outages_;
+
+    std::uint64_t region_seed_ = 0;
+    unsigned region_outage_count_ = 0;
+    double region_outage_duration_s_ = 0.0;
+    double region_horizon_s_ = 0.0;
+
+    std::uint64_t drift_seed_ = 0;
+    double clock_drift_ppm_ = 0.0;
 
     std::uint64_t profile_seed_ = 0;
     double flaky_fraction_ = 0.0;

@@ -35,6 +35,8 @@ enum class TraceType : std::uint8_t {
     kServerOutage,   // request hit a down server (value = retry delay s)
     kTrialBoot,      // trial-boot verdict        (code = 1 confirmed, 2 rolled back)
     kTokenRefresh,   // session token re-issued   (code = refresh count)
+    kEdgeFallback,   // regional edge down, origin took the request (code = region)
+    kEdgeCache,      // edge served a request     (code = region, value = 1 hit / 0 miss)
 };
 
 /// Bit layout of the `code` field on kServerCache events.
@@ -60,6 +62,8 @@ constexpr std::string_view to_string(TraceType t) {
         case TraceType::kServerOutage: return "server-outage";
         case TraceType::kTrialBoot: return "trial-boot";
         case TraceType::kTokenRefresh: return "token-refresh";
+        case TraceType::kEdgeFallback: return "edge-fallback";
+        case TraceType::kEdgeCache: return "edge-cache";
     }
     return "?";
 }
@@ -102,6 +106,57 @@ private:
     std::size_t capacity_;
     std::deque<TraceEvent> events_;
     std::uint64_t total_seen_ = 0;
+};
+
+/// Rolling FNV-1a over every field of every event, in emission order. One
+/// u64 stands in for the full JSONL diff: equal fingerprints across reruns,
+/// shard counts, or engines mean the streams were identical event-for-event
+/// (the differential battery compares this alongside CampaignReports, and
+/// keeps the JSONL byte-diff for the small cases where storing it is cheap).
+class FingerprintSink final : public TraceSink {
+public:
+    void on_event(const TraceEvent& event) override {
+        mix_double(event.t);
+        mix(event.device_id);
+        mix(static_cast<std::uint64_t>(event.type));
+        mix_str(event.from);
+        mix_str(event.to);
+        mix(event.code);
+        mix_double(event.value);
+        ++events_;
+    }
+
+    std::uint64_t fingerprint() const { return h_; }
+    std::uint64_t events() const { return events_; }
+    void reset() {
+        h_ = 0xCBF29CE484222325ull;
+        events_ = 0;
+    }
+
+private:
+    void mix(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (v >> (8 * i)) & 0xFFu;
+            h_ *= 0x100000001B3ull;
+        }
+    }
+    void mix_double(double v) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    }
+    void mix_str(std::string_view s) {
+        for (const char c : s) {
+            h_ ^= static_cast<unsigned char>(c);
+            h_ *= 0x100000001B3ull;
+        }
+        h_ ^= 0xFFu;  // terminator: "ab","c" != "a","bc"
+        h_ *= 0x100000001B3ull;
+    }
+
+    std::uint64_t h_ = 0xCBF29CE484222325ull;
+    std::uint64_t events_ = 0;
 };
 
 /// Appends one JSON object per event to a caller-owned string. Formatting is

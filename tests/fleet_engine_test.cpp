@@ -533,5 +533,140 @@ TEST(FleetEngineTest, MeasuredModelRerunIsByteIdenticalWithCachesOn) {
     EXPECT_LT(a.report.server.busy_s, all_miss_service);
 }
 
+// ----------------------------------------------------------- edge topology
+
+TEST(FleetEdgeTest, EdgesCachePayloadsAndReportPerRegion) {
+    World world;
+    world.add_devices(8, 0x8000, net::ble_gatt(), 0.0, /*differential=*/false);
+    world.env.publish_os_update(2, 81);
+    world.env.server.set_model({.concurrency = 4, .service_time_s = 0.05});
+
+    world.campaign.set_edges({.edges = 2,
+                              .model = {.concurrency = 2, .service_time_s = 0.01},
+                              .backhaul_rtt_s = 0.5,
+                              .backhaul_per_kb_s = 0.01});
+    const CampaignReport report = world.campaign.run(kAppId);
+    ASSERT_EQ(report.succeeded, 8u);
+
+    // Round-robin assignment: 4 devices per region, every request admitted
+    // through its home edge, none through the origin's own queue.
+    ASSERT_EQ(report.edges.size(), 2u);
+    std::uint64_t edge_requests = 0;
+    for (const EdgeReport& e : report.edges) {
+        EXPECT_EQ(e.queue.requests, 4u);
+        EXPECT_EQ(e.fallbacks, 0u);
+        EXPECT_EQ(e.cache.requests, e.queue.requests);
+        // Identical full-image payloads: first request misses (origin
+        // fetch over the backhaul), the rest hit the edge cache.
+        EXPECT_EQ(e.cache.cache_misses, 1u);
+        EXPECT_EQ(e.cache.cache_hits, 3u);
+        EXPECT_GT(e.cache.origin_fetch_bytes, 0u);
+        EXPECT_GT(e.cache.bytes_served, e.cache.origin_fetch_bytes);
+        edge_requests += e.queue.requests;
+    }
+    EXPECT_EQ(edge_requests, report.server.requests);
+
+    // The origin still signed every response: edges cache payloads, never
+    // the device-bound envelope.
+    EXPECT_GE(report.server_stats.sign_ops, 8u);
+}
+
+TEST(FleetEdgeTest, CacheMissPaysBackhaulHitDoesNot) {
+    // Same fleet twice; the only difference is the backhaul price. Since
+    // exactly one request per region misses, the makespan difference is
+    // bounded by the per-miss backhaul charge — and the expensive-backhaul
+    // campaign must be measurably slower.
+    auto run = [](double rtt) {
+        World world;
+        world.add_devices(4, 0x8100, net::ble_gatt(), 0.0, false);
+        world.env.publish_os_update(2, 82);
+        world.env.server.set_model({.concurrency = 4, .service_time_s = 0.01});
+        world.campaign.set_edges({.edges = 1,
+                                  .model = {.concurrency = 1, .service_time_s = 0.01},
+                                  .backhaul_rtt_s = rtt});
+        return world.campaign.run(kAppId);
+    };
+    const CampaignReport cheap = run(0.0);
+    const CampaignReport dear = run(10.0);
+    ASSERT_EQ(cheap.succeeded, 4u);
+    ASSERT_EQ(dear.succeeded, 4u);
+    EXPECT_EQ(dear.edges[0].cache.cache_misses, 1u);
+    // One miss, one 10 s backhaul round trip, visible in busy time.
+    EXPECT_NEAR(dear.server.busy_s - cheap.server.busy_s, 10.0, 1e-6);
+    EXPECT_GT(dear.makespan_s, cheap.makespan_s + 9.9);
+}
+
+TEST(FleetEdgeTest, RegionOutageFallsBackToOriginAndSucceeds) {
+    World world;
+    world.add_devices(6, 0x8200, net::ble_gatt(), 0.0, false);
+    world.env.publish_os_update(2, 83);
+
+    // Region 0 is down for the whole campaign; the origin stays healthy.
+    sim::ChaosPlan plan;
+    plan.add_region_outage(0, 0.0, 10000.0);
+    server::ServerModel model{.concurrency = 4, .service_time_s = 0.05};
+    model.chaos = &plan;
+    world.env.server.set_model(model);
+
+    world.campaign.set_edges({.edges = 2,
+                              .model = {.concurrency = 2, .service_time_s = 0.01},
+                              .origin_fallback = true});
+    const CampaignReport report = world.campaign.run(kAppId);
+
+    // Every device succeeded: region-0 homes were served by the origin.
+    EXPECT_EQ(report.succeeded, 6u);
+    EXPECT_EQ(report.server.outage_rejections, 0u);
+    ASSERT_EQ(report.edges.size(), 2u);
+    EXPECT_EQ(report.edges[0].fallbacks, 3u);  // 3 devices home to region 0
+    EXPECT_EQ(report.edges[0].queue.requests, 0u);
+    EXPECT_EQ(report.edges[1].fallbacks, 0u);
+    EXPECT_EQ(report.edges[1].queue.requests, 3u);
+}
+
+TEST(FleetEdgeTest, RegionOutageIsConfinedWithoutFallback) {
+    // Fallback disabled: region-0 devices must wait the outage window out
+    // (connect-timeout rejections, retries), while region-1 devices update
+    // on schedule — the fault domain is confined to one region's fleet.
+    World world;
+    world.add_devices(6, 0x8300, net::ble_gatt(), 0.0, false);
+    world.env.publish_os_update(2, 84);
+
+    sim::ChaosPlan plan;
+    plan.add_region_outage(0, 0.0, 60.0);
+    server::ServerModel model{.concurrency = 4, .service_time_s = 0.05};
+    model.chaos = &plan;
+    world.env.server.set_model(model);
+
+    world.campaign.set_edges({.edges = 2,
+                              .model = {.concurrency = 2, .service_time_s = 0.01},
+                              .origin_fallback = false});
+    FleetPolicy policy;
+    policy.max_attempts = 8;
+    policy.initial_backoff_s = 20.0;
+    policy.max_backoff_s = 60.0;
+    const CampaignReport report = world.campaign.run(kAppId, policy);
+
+    ASSERT_EQ(report.edges.size(), 2u);
+    // No fallback: region-0 devices block at connect (the transport's fault
+    // domain) and retry, they are never rerouted and never reach another
+    // region's queue.
+    EXPECT_EQ(report.edges[0].fallbacks, 0u);
+    EXPECT_EQ(report.edges[1].fallbacks, 0u);
+    EXPECT_EQ(report.edges[0].queue.requests, 3u);  // all after the window
+    EXPECT_EQ(report.edges[1].queue.requests, 3u);
+
+    // Region 1 (odd fleet indices) never noticed: first-attempt successes.
+    for (std::size_t i = 0; i < report.devices.size(); ++i) {
+        const CampaignDeviceResult& d = report.devices[i];
+        EXPECT_EQ(d.status, Status::kOk) << "device " << i;
+        if (i % 2 == 1) {
+            EXPECT_EQ(d.attempts, 1u) << "device " << i;
+        } else {
+            EXPECT_GT(d.attempts, 1u) << "device " << i;
+            EXPECT_GT(d.end_s, 60.0) << "device " << i;  // outlived the window
+        }
+    }
+}
+
 }  // namespace
 }  // namespace upkit::core

@@ -1,0 +1,490 @@
+// Differential determinism battery for the sharded fleet engine.
+//
+// The sharded engine (core/fleet_shard.cpp) claims byte-identical replay of
+// the single-heap reference engine for ANY shard count. These tests pin that
+// claim, not just shard-to-shard consistency:
+//   1. Differential battery — shard counts {1, 2, 4, 8} each reproduce the
+//      reference engine's JSONL trace (byte-for-byte), its trace
+//      fingerprint, and its CampaignReport fingerprint, on a plain
+//      campaign, a tie-heavy campaign, and a gated chaos campaign with a
+//      multi-edge topology, regional outages, and clock drift.
+//   2. Reruns — the sharded engine is stable against itself across runs.
+//   3. Merge ordering — same-instant ties resolve in fleet order, shard
+//      counts exceeding the fleet size (empty shards) change nothing, and
+//      outage-window edges land identically across engines. The shard
+//      pool's per-shard FIFO guarantee gets its own unit test.
+//   4. Chaos regressions — per-region fault domains and clock drift are
+//      pure in (seed, region, device, t) and replay deterministically;
+//      unconfigured plans keep their legacy fingerprint.
+//   5. Verify memo — the opt-in signature-verification memo changes no
+//      observable campaign output, only the crypto op count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "crypto/backend.hpp"
+#include "net/link.hpp"
+#include "sim/chaos.hpp"
+#include "sim/shard.hpp"
+#include "sim/trace.hpp"
+#include "test_env.hpp"
+
+namespace upkit::core {
+namespace {
+
+using testenv::kAppId;
+using testenv::TestEnv;
+
+// ------------------------------------------------------------ fixtures
+
+struct RunResult {
+    std::string trace;
+    std::uint64_t trace_fp = 0;
+    std::uint64_t trace_events = 0;
+    CampaignReport report;
+};
+
+struct CampaignSpec {
+    std::size_t devices = 8;
+    unsigned shards = 0;       // 0 = reference engine
+    unsigned edges = 0;
+    bool gated = false;
+    bool chaos = false;
+    bool pinned_region_outage = false;  // explicit window instead of drawn
+    double wave_stagger_s = 5.0;
+    unsigned wave_size = 4;
+};
+
+/// Builds a fresh world and runs one campaign to completion. Every call
+/// constructs everything from scratch (devices mutate), so two calls with
+/// the same spec are two independent replays.
+void run_campaign(const CampaignSpec& spec, RunResult& out) {
+    TestEnv env(4 * 1024);
+    std::vector<std::unique_ptr<Device>> devices;
+    FleetCampaign campaign{env.server};
+
+    for (std::size_t i = 0; i < spec.devices; ++i) {
+        DeviceConfig config = env.device_config(
+            i % 2 == 0 ? SlotLayout::kAB : SlotLayout::kStaticInternal);
+        config.device_id = 0x5000 + static_cast<std::uint32_t>(i);
+        config.seed = static_cast<std::uint64_t>(i) + 1;
+        auto device = std::make_unique<Device>(config);
+        auto factory = env.server.prepare_update(
+            kAppId, {.device_id = config.device_id, .nonce = 0, .current_version = 0});
+        ASSERT_TRUE(factory.has_value()) << "factory image";
+        ASSERT_EQ(device->provision_factory(*factory), Status::kOk);
+        net::LinkParams link = net::ble_gatt();
+        if (i % 3 == 2) link.loss_probability = 0.2;  // some lossy links
+        campaign.add(*device, link);
+        devices.push_back(std::move(device));
+    }
+    env.publish_os_update(2, 77);
+    server::ServerModel model{
+        .concurrency = 2, .service_time_s = 0.05, .service_per_kb_s = 0.001};
+
+    sim::ChaosPlan plan;
+    if (spec.chaos) {
+        sim::ChaosSpec cs;
+        cs.seed = 99;
+        cs.horizon_s = 400.0;
+        cs.loss_bursts = 2;
+        cs.burst_loss = 0.3;
+        cs.outages = 1;
+        cs.outage_duration_s = 8.0;
+        cs.flaky_fraction = 0.25;
+        cs.brick_fraction = 0.1;
+        cs.regions = spec.edges;
+        cs.region_outages = spec.edges > 0 ? 2 : 0;
+        cs.region_outage_duration_s = 20.0;
+        cs.clock_drift_ppm = 40.0;
+        plan = sim::ChaosPlan::generate(cs);
+        model.chaos = &plan;
+    }
+    if (spec.pinned_region_outage) {
+        // Window edge exactly at the release instant of wave 0 (t = 0) and
+        // a second edge landing mid-campaign.
+        plan.add_region_outage(0, 0.0, 12.0);
+        model.chaos = &plan;
+    }
+    env.server.set_model(model);
+
+    if (spec.edges > 0) {
+        campaign.set_edges({.edges = spec.edges,
+                            .model = {.concurrency = 2,
+                                      .service_time_s = 0.02,
+                                      .service_per_kb_s = 0.0005},
+                            .backhaul_rtt_s = 0.08,
+                            .backhaul_per_kb_s = 0.002});
+    }
+    campaign.set_shards(spec.shards);
+
+    sim::Tracer tracer;
+    sim::JsonlSink jsonl(out.trace);
+    sim::FingerprintSink fp;
+    tracer.add_sink(jsonl);
+    tracer.add_sink(fp);
+    campaign.set_tracer(&tracer);
+
+    FleetPolicy policy;
+    policy.wave_size = spec.wave_size;
+    policy.wave_stagger_s = spec.wave_stagger_s;
+    policy.max_attempts = 3;
+    if (spec.gated) {
+        policy.canary_size = 2;
+        policy.promote_success_rate = 0.4;
+        policy.breaker_failure_rate = 0.9;
+        policy.breaker_abort = false;
+        policy.breaker_pause_s = 15.0;
+    }
+    out.report = campaign.run(kAppId, policy);
+    out.trace_fp = fp.fingerprint();
+    out.trace_events = fp.events();
+}
+
+/// Full-fidelity comparison of a sharded run against the reference run:
+/// byte-identical trace, identical trace fingerprint, identical report
+/// fingerprint, plus direct spot checks so a fingerprint bug can't mask a
+/// real divergence.
+void expect_identical(const RunResult& ref, const RunResult& got) {
+    EXPECT_FALSE(ref.trace.empty());
+    EXPECT_EQ(ref.trace, got.trace);
+    EXPECT_EQ(ref.trace_fp, got.trace_fp);
+    EXPECT_EQ(ref.trace_events, got.trace_events);
+    EXPECT_EQ(ref.report.fingerprint(), got.report.fingerprint());
+    EXPECT_EQ(ref.report.succeeded, got.report.succeeded);
+    EXPECT_EQ(ref.report.failed, got.report.failed);
+    EXPECT_EQ(ref.report.events_processed, got.report.events_processed);
+    EXPECT_EQ(ref.report.total_bytes, got.report.total_bytes);
+    EXPECT_EQ(ref.report.server.requests, got.report.server.requests);
+    EXPECT_DOUBLE_EQ(ref.report.makespan_s, got.report.makespan_s);
+    EXPECT_DOUBLE_EQ(ref.report.total_energy_mj, got.report.total_energy_mj);
+    ASSERT_EQ(ref.report.devices.size(), got.report.devices.size());
+    for (std::size_t i = 0; i < ref.report.devices.size(); ++i) {
+        const CampaignDeviceResult& x = ref.report.devices[i];
+        const CampaignDeviceResult& y = got.report.devices[i];
+        EXPECT_EQ(x.device_id, y.device_id);
+        EXPECT_EQ(x.status, y.status);
+        EXPECT_EQ(x.attempts, y.attempts);
+        EXPECT_DOUBLE_EQ(x.end_s, y.end_s);
+        EXPECT_DOUBLE_EQ(x.energy_mj, y.energy_mj);
+        EXPECT_EQ(x.bytes_over_air, y.bytes_over_air);
+    }
+    ASSERT_EQ(ref.report.edges.size(), got.report.edges.size());
+    for (std::size_t r = 0; r < ref.report.edges.size(); ++r) {
+        EXPECT_EQ(ref.report.edges[r].cache.cache_hits,
+                  got.report.edges[r].cache.cache_hits);
+        EXPECT_EQ(ref.report.edges[r].queue.requests,
+                  got.report.edges[r].queue.requests);
+        EXPECT_EQ(ref.report.edges[r].fallbacks, got.report.edges[r].fallbacks);
+    }
+}
+
+void run_battery(CampaignSpec spec) {
+    spec.shards = 0;
+    RunResult reference;
+    run_campaign(spec, reference);
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        CampaignSpec s = spec;
+        s.shards = shards;
+        RunResult got;
+        run_campaign(s, got);
+        expect_identical(reference, got);
+    }
+}
+
+// ------------------------------------------------- differential battery
+
+TEST(ShardDifferentialTest, PlainCampaignMatchesReferenceAtEveryShardCount) {
+    CampaignSpec spec;  // 8 devices, 2 waves, lossy links, single origin
+    run_battery(spec);
+}
+
+TEST(ShardDifferentialTest, GatedChaosEdgeCampaignMatchesReference) {
+    CampaignSpec spec;
+    spec.devices = 12;
+    spec.gated = true;
+    spec.chaos = true;   // outages, loss bursts, bricks, drift
+    spec.edges = 3;      // regional queues + caches + fault domains
+    run_battery(spec);
+}
+
+TEST(ShardDifferentialTest, ShardedRerunsAreByteIdentical) {
+    CampaignSpec spec;
+    spec.devices = 10;
+    spec.chaos = true;
+    spec.edges = 2;
+    spec.shards = 4;
+    RunResult a, b;
+    run_campaign(spec, a);
+    run_campaign(spec, b);
+    expect_identical(a, b);
+    EXPECT_GT(a.report.succeeded, 0u);  // not vacuously identical
+}
+
+// ---------------------------------------------------- merge ordering
+
+TEST(ShardMergeOrderingTest, SameInstantReleasesResolveInFleetOrder) {
+    // Every device releases at t = 0 (one wave, no stagger): the campaign
+    // is one long chain of same-timestamp ties that only the (time, seq)
+    // merge discipline can order. All shard counts must agree with the
+    // reference — and the session starts must appear in fleet order.
+    CampaignSpec spec;
+    spec.devices = 9;
+    spec.wave_size = 0;       // one wave
+    spec.wave_stagger_s = 0.0;
+    run_battery(spec);
+
+    spec.shards = 8;
+    RunResult got;
+    run_campaign(spec, got);
+    std::vector<std::string> lines;
+    std::size_t pos = 0;
+    std::uint32_t last_id = 0;
+    bool in_order = true;
+    unsigned starts = 0;
+    while (pos < got.trace.size()) {
+        const std::size_t nl = got.trace.find('\n', pos);
+        const std::string line = got.trace.substr(pos, nl - pos);
+        pos = nl == std::string::npos ? got.trace.size() : nl + 1;
+        if (line.find("\"ev\":\"session-start\"") == std::string::npos) continue;
+        const std::size_t at = line.find("\"dev\":");
+        ASSERT_NE(at, std::string::npos);
+        const std::uint32_t id =
+            static_cast<std::uint32_t>(std::stoul(line.substr(at + 6)));
+        if (starts > 0 && id <= last_id) in_order = false;
+        last_id = id;
+        ++starts;
+        if (starts == spec.devices) break;  // first attempt of each device
+    }
+    EXPECT_EQ(starts, spec.devices);
+    EXPECT_TRUE(in_order) << "first-attempt session starts out of fleet order";
+}
+
+TEST(ShardMergeOrderingTest, MoreShardsThanDevicesLeavesEmptyShardsHarmless) {
+    CampaignSpec spec;
+    spec.devices = 3;  // shards 4 and 8 leave idle workers
+    run_battery(spec);
+}
+
+TEST(ShardMergeOrderingTest, RegionOutageWindowEdgeIsIdenticalAcrossEngines) {
+    // An outage window whose start coincides exactly with the wave release
+    // instant (t = 0): the boundary comparison (start <= t < end) must land
+    // the same way in both engines, at every shard count.
+    CampaignSpec spec;
+    spec.devices = 8;
+    spec.edges = 2;
+    spec.pinned_region_outage = true;
+    run_battery(spec);
+}
+
+TEST(ShardPoolTest, TasksOnOneShardRunInFifoOrder) {
+    sim::ShardPool pool(4);
+    ASSERT_EQ(pool.shards(), 4u);
+    std::vector<std::vector<int>> seen(4);
+    for (int round = 0; round < 64; ++round) {
+        for (std::size_t s = 0; s < 4; ++s) {
+            pool.submit(s, [&seen, s, round] { seen[s].push_back(round); });
+        }
+    }
+    pool.drain();
+    for (std::size_t s = 0; s < 4; ++s) {
+        ASSERT_EQ(seen[s].size(), 64u) << "shard " << s;
+        EXPECT_TRUE(std::is_sorted(seen[s].begin(), seen[s].end()))
+            << "shard " << s << " reordered its queue";
+    }
+}
+
+TEST(ShardPoolTest, DrainWaitsForInFlightWork) {
+    sim::ShardPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit(i % 2, [&done] { ++done; });
+    }
+    pool.drain();
+    EXPECT_EQ(done.load(), 100);
+}
+
+// ------------------------------------------------- chaos regressions
+
+TEST(ChaosRegionTest, RegionWindowsArePureInSeedRegionAndTime) {
+    sim::ChaosSpec cs;
+    cs.seed = 7;
+    cs.horizon_s = 300.0;
+    cs.regions = 4;
+    cs.region_outages = 3;
+    cs.region_outage_duration_s = 25.0;
+    const sim::ChaosPlan a = sim::ChaosPlan::generate(cs);
+    const sim::ChaosPlan b = sim::ChaosPlan::generate(cs);
+
+    // Warm b up with a scrambled query order first: windows are derived
+    // per call from the region's own sub-stream, so query history must not
+    // matter — b's answers below still match a's straight sweep.
+    for (unsigned r = 4; r-- > 0;) {
+        for (double t = 300.0; t > 0.0; t -= 13.0) (void)b.region_down(r, t);
+    }
+    bool any_down = false;
+    for (unsigned r = 0; r < 4; ++r) {
+        for (double t = 0.0; t < 300.0; t += 7.5) {
+            EXPECT_EQ(a.region_down(r, t), b.region_down(r, t));
+            if (a.region_down(r, t)) {
+                any_down = true;
+                EXPECT_GT(a.region_up_at(r, t), t);
+            }
+        }
+    }
+    EXPECT_TRUE(any_down) << "spec drew no regional windows at all";
+
+    // Distinct regions draw distinct windows (overwhelmingly likely with 3
+    // windows in 300 s; equality would mean the sub-streams collide).
+    std::vector<std::vector<bool>> profile(4);
+    for (unsigned r = 0; r < 4; ++r) {
+        for (double t = 0.0; t < 300.0; t += 1.0) {
+            profile[r].push_back(a.region_down(r, t));
+        }
+    }
+    EXPECT_NE(profile[0], profile[1]);
+}
+
+TEST(ChaosRegionTest, ClockDriftIsPurePerDeviceAndBounded) {
+    sim::ChaosSpec cs;
+    cs.seed = 11;
+    cs.clock_drift_ppm = 50.0;
+    const sim::ChaosPlan a = sim::ChaosPlan::generate(cs);
+    const sim::ChaosPlan b = sim::ChaosPlan::generate(cs);
+    bool varies = false;
+    for (std::uint32_t id = 1; id <= 200; ++id) {
+        const double rate = a.device_clock_rate(id);
+        EXPECT_EQ(rate, b.device_clock_rate(id));
+        EXPECT_GE(rate, 1.0 - 50.0e-6);
+        EXPECT_LE(rate, 1.0 + 50.0e-6);
+        if (rate != a.device_clock_rate(1)) varies = true;
+    }
+    EXPECT_TRUE(varies) << "every device drew the identical rate";
+
+    // Unconfigured drift is *exactly* 1.0 — the fleet engine relies on that
+    // to keep undrifted clock-view arithmetic bit-identical to pre-drift.
+    sim::ChaosSpec plain;
+    plain.seed = 11;
+    const sim::ChaosPlan c = sim::ChaosPlan::generate(plain);
+    for (std::uint32_t id = 1; id <= 50; ++id) {
+        EXPECT_EQ(c.device_clock_rate(id), 1.0);
+    }
+}
+
+TEST(ChaosRegionTest, LegacyPlanFingerprintUnchangedByNewKnobs) {
+    sim::ChaosSpec legacy;
+    legacy.seed = 21;
+    legacy.outages = 2;
+    legacy.loss_bursts = 1;
+    const std::uint64_t base = sim::ChaosPlan::generate(legacy).fingerprint();
+
+    // Regenerating the identical spec is stable.
+    EXPECT_EQ(base, sim::ChaosPlan::generate(legacy).fingerprint());
+
+    // Configuring the new fault domains changes the fingerprint.
+    sim::ChaosSpec regions = legacy;
+    regions.regions = 2;
+    regions.region_outages = 1;
+    EXPECT_NE(base, sim::ChaosPlan::generate(regions).fingerprint());
+    sim::ChaosSpec drift = legacy;
+    drift.clock_drift_ppm = 30.0;
+    EXPECT_NE(base, sim::ChaosPlan::generate(drift).fingerprint());
+}
+
+TEST(ChaosRegionTest, DriftAndRegionCampaignReplaysByteIdentically) {
+    CampaignSpec spec;
+    spec.devices = 8;
+    spec.chaos = true;  // includes 40 ppm drift
+    spec.edges = 2;
+    RunResult a, b;
+    run_campaign(spec, a);
+    run_campaign(spec, b);
+    expect_identical(a, b);
+}
+
+// ---------------------------------------------------- verify memo
+
+/// RAII: the memo is process-global state; never leak it into other tests.
+struct MemoGuard {
+    ~MemoGuard() {
+        crypto::set_verify_memo_enabled(false);
+        crypto::verify_memo_reset();
+    }
+};
+
+TEST(VerifyMemoTest, DisabledByDefaultAndInvisibleToResults) {
+    MemoGuard guard;
+    ASSERT_FALSE(crypto::verify_memo_enabled());
+
+    CampaignSpec spec;
+    spec.devices = 6;
+    RunResult off;
+    run_campaign(spec, off);
+    const crypto::VerifyMemoStats before = crypto::verify_memo_stats();
+    EXPECT_EQ(before.hits, 0u);  // default-off: the memo never engaged
+
+    crypto::set_verify_memo_enabled(true);
+    crypto::verify_memo_reset();
+    RunResult on;
+    run_campaign(spec, on);
+    const crypto::VerifyMemoStats after = crypto::verify_memo_stats();
+    crypto::set_verify_memo_enabled(false);
+
+    // Identical campaign output — the memo only skips re-running a kernel
+    // on a (key, digest, signature) triple it has already proven.
+    expect_identical(off, on);
+    EXPECT_GT(after.hits, 0u) << "fleet campaign produced no repeated verifies";
+    EXPECT_GT(after.misses, 0u);
+}
+
+// ------------------------------------------------- synthetic fleets
+
+TEST(SyntheticFleetTest, AddSyntheticProvisionsAndShardsAgree) {
+    // add_synthetic() is the bench's bulk construction path: build two
+    // identical 24-device fleets (provisioned at v1, campaign to v2), run
+    // one on the reference engine and one on 4 shards, expect identical
+    // fingerprints.
+    auto build_and_run = [](unsigned shards, std::uint64_t& fp,
+                            CampaignReport& report) {
+        TestEnv env(4 * 1024);
+        FleetCampaign campaign{env.server};
+        SyntheticFleetSpec spec;
+        spec.count = 24;
+        spec.base = env.device_config();
+        spec.link = net::ble_gatt();
+        spec.app_id = kAppId;
+        spec.provision_version = 1;
+        ASSERT_EQ(campaign.add_synthetic(spec), Status::kOk);
+        ASSERT_EQ(campaign.size(), 24u);
+        env.publish_os_update(2, 31);  // published after provisioning
+        campaign.set_shards(shards);
+        FleetPolicy policy;
+        policy.wave_size = 8;
+        policy.wave_stagger_s = 2.0;
+        report = campaign.run(kAppId, policy);
+        fp = report.fingerprint();
+    };
+    std::uint64_t fp_ref = 0, fp_shard = 0;
+    CampaignReport ref, shard;
+    build_and_run(0, fp_ref, ref);
+    build_and_run(4, fp_shard, shard);
+    EXPECT_EQ(ref.succeeded, 24u);
+    EXPECT_EQ(fp_ref, fp_shard);
+    EXPECT_EQ(ref.events_processed, shard.events_processed);
+
+    // Device identity plumbing: ids and versions came out as specified.
+    EXPECT_EQ(ref.devices.front().device_id, 0x10001u);
+    EXPECT_EQ(ref.devices.back().device_id, 0x10001u + 23u);
+    for (const CampaignDeviceResult& d : ref.devices) {
+        EXPECT_EQ(d.final_version, 2u);
+    }
+}
+
+}  // namespace
+}  // namespace upkit::core

@@ -322,6 +322,86 @@ TEST(RolloutResilienceTest, ChaosCampaignReplaysByteIdentically) {
     EXPECT_DOUBLE_EQ(report_a.makespan_s, report_b.makespan_s);
 }
 
+// ------------------------------------------- containment on multi-edge
+
+TEST(RolloutResilienceTest, BadImageContainmentHoldsOnMultiEdgeTopology) {
+    // Same bad-image canary campaign as above, but rolled out through 3
+    // regional edges. The breaker's failure window is per-campaign, not
+    // per-region: canary failures spread across regions must still trip
+    // one campaign-wide gate, and containment must hold fleet-wide.
+    ChaosWorld world;
+    world.add_devices(60, 0x7500, net::ble_gatt(), /*trial_boot=*/true);
+    world.env.publish_os_update(2, 99);
+
+    sim::ChaosPlan plan;
+    plan.mark_bad_version(2);
+    server::ServerModel model{.concurrency = 8, .service_time_s = 0.02};
+    model.chaos = &plan;
+    world.env.server.set_model(model);
+    world.campaign.set_edges(
+        {.edges = 3, .model = {.concurrency = 4, .service_time_s = 0.01}});
+
+    const CampaignReport report = world.campaign.run(kAppId, containment_policy());
+
+    EXPECT_GT(report.exposed_devices, 0u);
+    EXPECT_LE(report.exposed_devices, 6u + 18u);
+    EXPECT_EQ(report.exposed_devices + report.halted_devices, 60u);
+    EXPECT_EQ(report.succeeded, 0u);
+    EXPECT_EQ(report.rolled_back_devices, report.exposed_devices);
+    ASSERT_GE(report.breaker_trips.size(), 1u);
+    EXPECT_TRUE(report.breaker_trips.back().aborted);
+
+    // The canary's requests were served through its members' home regions.
+    ASSERT_EQ(report.edges.size(), 3u);
+    std::uint64_t edge_requests = 0;
+    for (const EdgeReport& e : report.edges) {
+        edge_requests += e.queue.requests;
+        EXPECT_EQ(e.fallbacks, 0u);  // no regional outages in this plan
+    }
+    EXPECT_EQ(edge_requests, report.server.requests);
+
+    // Fleet healthy on v1 everywhere — the edges cached a bad payload, but
+    // trial boot still rolled every exposed device back.
+    for (const auto& device : world.devices) {
+        EXPECT_EQ(device->identity().installed_version, 1);
+    }
+}
+
+TEST(RolloutResilienceTest, RegionalOutageDoesNotTripTheCampaignBreaker) {
+    // A regional outage rejects that region's requests (kUnavailable),
+    // but with origin fallback those requests never become failed
+    // attempts — the breaker must stay quiet and the campaign completes.
+    ChaosWorld world;
+    world.add_devices(24, 0x7600, net::ble_gatt(), /*trial_boot=*/false);
+    world.env.publish_os_update(2, 56);
+
+    sim::ChaosPlan plan;
+    plan.add_region_outage(1, 0.0, 10000.0);  // region 1 down throughout
+    server::ServerModel model{.concurrency = 8, .service_time_s = 0.02};
+    model.chaos = &plan;
+    world.env.server.set_model(model);
+    world.campaign.set_edges({.edges = 2,
+                              .model = {.concurrency = 4, .service_time_s = 0.01},
+                              .origin_fallback = true});
+
+    FleetPolicy policy;
+    policy.canary_size = 4;
+    policy.wave_size = 10;
+    policy.wave_stagger_s = 2.0;
+    policy.promote_success_rate = 0.9;
+    policy.breaker_failure_rate = 0.5;
+    policy.breaker_min_failures = 3;
+    const CampaignReport report = world.campaign.run(kAppId, policy);
+
+    EXPECT_EQ(report.succeeded, 24u);
+    EXPECT_EQ(report.halted_devices, 0u);
+    EXPECT_TRUE(report.breaker_trips.empty());
+    ASSERT_EQ(report.edges.size(), 2u);
+    EXPECT_EQ(report.edges[1].queue.requests, 0u);   // down all campaign
+    EXPECT_EQ(report.edges[1].fallbacks, 12u);       // every request rerouted
+    EXPECT_EQ(report.edges[0].fallbacks, 0u);
+}
+
 // ------------------------------------------------- breaker pause/resume
 
 TEST(RolloutResilienceTest, TransientBurstPausesThenDrainsToSuccess) {
