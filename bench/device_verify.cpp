@@ -33,6 +33,7 @@
 #include "crypto/ecdsa.hpp"
 #include "crypto/p256.hpp"
 #include "crypto/sha256.hpp"
+#include "crypto/sha256x4.hpp"
 
 using namespace upkit;
 using namespace upkit::bench;
@@ -47,6 +48,8 @@ double seconds_since(Clock::time_point t0) {
 
 constexpr double kWnafGate = 2.5;     // precomputed wNAF vs generic ladder
 constexpr double kShaFloorMbS = 150;  // unrolled kernel, host RelWithDebInfo
+constexpr double kBatch2Gate = 1.5;   // verify2 vs two sequential prepared verifies
+constexpr double kShaX4Gate = 2.0;    // generic 4-lane sha256x4 vs sha256_reference
 
 struct FleetOutcome {
     core::CampaignReport report;
@@ -168,6 +171,37 @@ int main(int argc, char** argv) {
     const double verify_prepr_s = comb_s + ladder_s;
     const double verify_speedup = verify_prepr_s / verify_prepared_s;
 
+    // ---- micro: batched double verification ------------------------------
+    // UpKit's double signature: two distinct keys (vendor + server), one
+    // message digest each, verified as a pair — sequentially through the
+    // prepared hot path vs in one Strauss 4-point batch pass.
+    const crypto::PrivateKey priv2 = crypto::PrivateKey::generate(to_bytes("device-verify-2"));
+    const crypto::PublicKey pub2 = priv2.public_key();
+    const crypto::PreparedPublicKey prepared2(pub2);
+    const crypto::Sha256Digest digest2 = crypto::Sha256::digest(to_bytes("device-verify-msg-2"));
+    const crypto::Signature sig2 = crypto::ecdsa_sign(priv2, digest2);
+    crypto::Signature bad_sig = sig;
+    bad_sig[17] ^= 0x40;
+    if (!crypto::ecdsa_verify2(prepared, digest, ByteSpan(sig), prepared2, digest2,
+                               ByteSpan(sig2)) ||
+        crypto::ecdsa_verify2(prepared, digest, ByteSpan(bad_sig), prepared2, digest2,
+                              ByteSpan(sig2)) ||
+        crypto::ecdsa_verify2(prepared, digest, ByteSpan(sig), prepared2, digest,
+                              ByteSpan(sig2))) {
+        std::fprintf(stderr, "verify2 disagreement with the sequential verdicts\n");
+        return 1;
+    }
+    const double verify_seq_pair_s = time_ops(iters, [&](int) {
+        return static_cast<std::uint64_t>(
+            crypto::ecdsa_verify(prepared, digest, ByteSpan(sig)) &&
+            crypto::ecdsa_verify(prepared2, digest2, ByteSpan(sig2)));
+    });
+    const double verify2_s = time_ops(iters, [&](int) {
+        return static_cast<std::uint64_t>(crypto::ecdsa_verify2(
+            prepared, digest, ByteSpan(sig), prepared2, digest2, ByteSpan(sig2)));
+    });
+    const double verify2_speedup = verify_seq_pair_s / verify2_s;
+
     // ---- micro: SHA-256 unrolled vs rolled reference --------------------
     Bytes buf(1024 * 1024);
     for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(i * 31 + 7);
@@ -186,6 +220,52 @@ int main(int argc, char** argv) {
     });
     const double sha_mb_s = static_cast<double>(buf.size()) / sha_s / 1e6;
     const double sha_ref_mb_s = static_cast<double>(buf.size()) / sha_ref_s / 1e6;
+
+    // ---- micro: multi-buffer SHA-256 -------------------------------------
+    // Four independent 1 MiB lanes (the server's publish/ingest shape) vs
+    // four sequential reference digests. The gate counts the always-present
+    // generic SWAR lanes (forced via UPKIT_FORCE_SCALAR_SHA); the
+    // hardware-dispatched path is reported alongside when available.
+    Bytes lane_bufs[4];
+    ByteSpan lanes[4];
+    crypto::Sha256Digest lane_out[4];
+    for (std::size_t i = 0; i < 4; ++i) {
+        lane_bufs[i] = buf;
+        lane_bufs[i][1] = static_cast<std::uint8_t>(i);
+        lanes[i] = ByteSpan(lane_bufs[i]);
+    }
+    crypto::sha256x4_digest(lanes, lane_out, 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        if (lane_out[i] != crypto::sha256_reference(lane_bufs[i])) {
+            std::fprintf(stderr, "sha256x4 lane %zu disagreement\n", i);
+            return 1;
+        }
+    }
+    auto time_sha_lanes = [&](int n) {
+        const auto t0 = Clock::now();
+        for (int i = 0; i < n; ++i) {
+            lane_bufs[0][0] = static_cast<std::uint8_t>(i);
+            crypto::sha256x4_digest(lanes, lane_out, 4);
+            sink = sink + lane_out[0][0];
+        }
+        return seconds_since(t0) / n;
+    };
+    const crypto::Sha256x4Impl sha_x4_impl = crypto::sha256x4_impl();
+    const double sha_x4_s = time_sha_lanes(sha_iters);
+    ::setenv("UPKIT_FORCE_SCALAR_SHA", "1", 1);
+    const double sha_x4_generic_s = time_sha_lanes(sha_iters);
+    ::unsetenv("UPKIT_FORCE_SCALAR_SHA");
+    const double sha_x4_ref_s = time_ops(sha_iters, [&](int i) {
+        lane_bufs[0][0] = static_cast<std::uint8_t>(i);
+        std::uint64_t acc = 0;
+        for (const auto& lane : lane_bufs) acc += crypto::sha256_reference(lane)[0];
+        return acc;
+    });
+    const double lane_bytes = 4.0 * static_cast<double>(buf.size());
+    const double sha_x4_mb_s = lane_bytes / sha_x4_s / 1e6;
+    const double sha_x4_generic_mb_s = lane_bytes / sha_x4_generic_s / 1e6;
+    const double sha_x4_generic_speedup = sha_x4_ref_s / sha_x4_generic_s;
+    const double sha_x4_speedup = sha_x4_ref_s / sha_x4_s;
 
     // ---- calibrated cost model ------------------------------------------
     const crypto::VerifyCalibration& cal = crypto::measure_verify_speedup();
@@ -207,11 +287,18 @@ int main(int argc, char** argv) {
         "\"mul_wnaf_precomputed_ops_s\":%.1f,\"wnaf_fresh_speedup\":%.2f,"
         "\"wnaf_precomputed_speedup\":%.2f,"
         "\"verify_fresh_ops_s\":%.1f,\"verify_prepared_ops_s\":%.1f,"
-        "\"verify_prepr_ops_s\":%.1f,\"verify_speedup\":%.2f,"
+        "\"verify_prepared_reconstruction_ops_s\":%.1f,\"verify_speedup\":%.2f,"
+        "\"verify_sequential_pair_ops_s\":%.1f,\"verify2_ops_s\":%.1f,"
+        "\"verify2_speedup\":%.2f,"
         "\"sha256_mb_s\":%.1f,\"sha256_reference_mb_s\":%.1f,"
         "\"sha256_speedup\":%.2f,"
+        "\"sha256x4_impl\":\"%s\",\"sha256x4_mb_s\":%.1f,"
+        "\"sha256x4_generic_mb_s\":%.1f,\"sha256x4_speedup\":%.2f,"
+        "\"sha256x4_generic_speedup\":%.2f,"
         "\"calibration_ecdsa_speedup\":%.2f,\"calibration_sha256_speedup\":%.2f,"
+        "\"calibration_batch2_speedup\":%.2f,\"calibration_sha256x4_speedup\":%.2f,"
         "\"tinycrypt_verify_s\":%.4f,\"tinycrypt_verify_calibrated_s\":%.4f,"
+        "\"tinycrypt_verify2_calibrated_s\":%.4f,"
         "\"tinycrypt_sha_s_per_kb\":%.6f,\"tinycrypt_sha_calibrated_s_per_kb\":%.6f,"
         "\"campaign_verification_baseline_s\":%.3f,"
         "\"campaign_verification_calibrated_s\":%.3f,"
@@ -219,9 +306,13 @@ int main(int argc, char** argv) {
         "\"makespan_baseline_s\":%.3f,\"makespan_calibrated_s\":%.3f}\n",
         fleet, iters, 1.0 / ladder_s, 1.0 / fresh_s, 1.0 / pre_s,
         wnaf_fresh_speedup, wnaf_pre_speedup, 1.0 / verify_fresh_s,
-        1.0 / verify_prepared_s, 1.0 / verify_prepr_s, verify_speedup, sha_mb_s,
-        sha_ref_mb_s, sha_ref_s / sha_s, cal.ecdsa_speedup, cal.sha256_speedup,
-        paper.verify_seconds, calibrated.verify_seconds, paper.sha256_seconds_per_kb,
+        1.0 / verify_prepared_s, 1.0 / verify_prepr_s, verify_speedup,
+        1.0 / verify_seq_pair_s, 1.0 / verify2_s, verify2_speedup, sha_mb_s,
+        sha_ref_mb_s, sha_ref_s / sha_s, crypto::sha256x4_impl_name(sha_x4_impl),
+        sha_x4_mb_s, sha_x4_generic_mb_s, sha_x4_speedup, sha_x4_generic_speedup,
+        cal.ecdsa_speedup, cal.sha256_speedup, cal.batch2_speedup,
+        cal.sha256x4_speedup, paper.verify_seconds, calibrated.verify_seconds,
+        calibrated.verify2_seconds, paper.sha256_seconds_per_kb,
         calibrated.sha256_seconds_per_kb, baseline.report.verification_s,
         hot.report.verification_s,
         baseline.report.verification_s / hot.report.verification_s,
@@ -237,6 +328,22 @@ int main(int argc, char** argv) {
                      "device_verify: prepared verify (%.1f ops/s) did not beat the "
                      "pre-PR kernel (%.1f ops/s)\n",
                      1.0 / verify_prepared_s, 1.0 / verify_prepr_s);
+        return 1;
+    }
+    if (verify2_speedup < kBatch2Gate) {
+        std::fprintf(stderr,
+                     "device_verify: batched double verification %.2fx under the "
+                     "%.1fx bar (batch %.1f pairs/s, sequential %.1f pairs/s)\n",
+                     verify2_speedup, kBatch2Gate, 1.0 / verify2_s,
+                     1.0 / verify_seq_pair_s);
+        return 1;
+    }
+    if (sha_x4_generic_speedup < kShaX4Gate) {
+        std::fprintf(stderr,
+                     "device_verify: generic multi-buffer SHA-256 %.2fx under the "
+                     "%.1fx bar (%.1f MB/s vs reference %.1f MB/s)\n",
+                     sha_x4_generic_speedup, kShaX4Gate, sha_x4_generic_mb_s,
+                     lane_bytes / sha_x4_ref_s / 1e6);
         return 1;
     }
     if (sha_mb_s < kShaFloorMbS) {

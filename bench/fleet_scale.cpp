@@ -23,6 +23,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hpp"
@@ -224,6 +225,51 @@ int main(int argc, char** argv) {
                 }
             }
         }
+    }
+
+    // ---- host-parallel speedup curve ------------------------------------
+    // The shard workers are real threads, so the main sweep proves
+    // determinism but says nothing about parallelism (on a small host every
+    // shard count serializes onto the same cores). When the host actually
+    // has cores to spread over, sweep shards 1,2,4,... up to the core count
+    // on one campaign and report wall-clock speedup against the 1-shard
+    // run. Single- and dual-core runners emit a skip marker instead of a
+    // meaningless flat curve.
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores > 2) {
+        const std::size_t par_devices = std::min<std::size_t>(
+            *std::max_element(device_counts.begin(), device_counts.end()), 100000);
+        double base_wall = 0.0;
+        std::uint64_t base_fp = 0;
+        for (unsigned shards = 1; shards <= std::min(cores, 16u); shards *= 2) {
+            CellResult cell;
+            if (run_cell(par_devices, shards, 0, cell) != 0) return 1;
+            const std::uint64_t fp = cell.report.fingerprint();
+            if (shards == 1) {
+                base_wall = cell.run_wall_s;
+                base_fp = fp;
+            }
+            if (cell.report.succeeded != par_devices || fp != base_fp) {
+                std::fprintf(stderr,
+                             "fleet_scale: parallel cell diverged at shards=%u\n",
+                             shards);
+                rc = 1;
+            }
+            std::printf(
+                "{\"bench\":\"fleet_scale_parallel\",\"cores\":%u,\"devices\":%zu,"
+                "\"shards\":%u,\"run_wall_s\":%.3f,\"speedup_vs_1_shard\":%.2f,"
+                "\"fingerprint\":\"%016llx\"}\n",
+                cores, par_devices, shards, cell.run_wall_s,
+                cell.run_wall_s > 0.0 ? base_wall / cell.run_wall_s : 0.0,
+                static_cast<unsigned long long>(fp));
+            std::fflush(stdout);
+        }
+    } else {
+        std::printf(
+            "{\"bench\":\"fleet_scale_parallel\",\"cores\":%u,\"skipped\":true,"
+            "\"reason\":\"needs more than 2 hardware threads\"}\n",
+            cores);
+        std::fflush(stdout);
     }
     return rc;
 }

@@ -229,9 +229,10 @@ Status UpdateAgent::verify_manifest_now() {
     }
 
     const slots::SlotConfig* target = slots_->slot(config_.target_slot);
-    // Two ECDSA verifications (vendor + server) plus field checks.
+    // Both ECDSA verifications (vendor + server), priced as one batched
+    // pass when the backend's cost model is calibrated for it.
     const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
-    charge_cpu(2 * verifier_->backend().costs().verify_seconds);
+    charge_cpu(crypto::double_verify_seconds(verifier_->backend().costs()));
     const Status verdict =
         verifier_->verify_manifest(*parsed, *token_, config_.identity, *target);
     if (clock_ != nullptr) stats_.verification_seconds += clock_->now() - verify_start;
@@ -264,7 +265,7 @@ Status UpdateAgent::offer_suit_manifest(ByteSpan envelope_bytes) {
 
     const slots::SlotConfig* target = slots_->slot(config_.target_slot);
     const double verify_start = clock_ != nullptr ? clock_->now() : 0.0;
-    charge_cpu(2 * verifier_->backend().costs().verify_seconds);
+    charge_cpu(crypto::double_verify_seconds(verifier_->backend().costs()));
     Status verdict = verifier_->verify_suit_envelope(*envelope);
     if (verdict == Status::kOk) {
         verdict =

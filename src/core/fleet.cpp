@@ -190,6 +190,7 @@ CampaignReport FleetCampaign::run_reference(std::uint32_t app_id,
     CampaignReport report;
     sim::EventScheduler sched;
     const server::ServerStats stats_before = server_->stats();
+    const crypto::VerifyMemoStats memo_before = crypto::verify_memo_stats();
     const server::ServerModel& model = server_->model();
     const unsigned service_cap = model.concurrency == 0
                                      ? std::numeric_limits<unsigned>::max()
@@ -761,6 +762,9 @@ CampaignReport FleetCampaign::run_reference(std::uint32_t app_id,
     }
     report.events_processed = sched.events_processed();
     report.server_stats = detail::stats_delta(server_->stats(), stats_before);
+    const crypto::VerifyMemoStats memo_after = crypto::verify_memo_stats();
+    report.verify_memo = {memo_after.hits - memo_before.hits,
+                          memo_after.misses - memo_before.misses};
     return report;
 }
 

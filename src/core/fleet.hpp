@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/session.hpp"
+#include "crypto/backend.hpp"
 #include "server/edge.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
@@ -265,6 +266,13 @@ struct CampaignReport {
     /// campaign (counters are snapshotted at run start and diffed, so
     /// provisioning traffic before the campaign is excluded).
     server::ServerStats server_stats;
+    /// Device-side ECDSA verify-memo traffic during this campaign
+    /// (snapshotted at run start and diffed, like server_stats). NOT mixed
+    /// into fingerprint(): the memo is shared process-wide, so under
+    /// sharding which worker's verify takes the one miss and which take
+    /// hits depends on thread interleaving — every verdict is
+    /// deterministic, the hit/miss split is not.
+    crypto::VerifyMemoStats verify_memo;
     /// Discrete events the scheduler processed for this campaign.
     std::uint64_t events_processed = 0;
     /// Per-region detail (empty without an EdgeTopology). With edges,

@@ -154,6 +154,48 @@ public:
     std::optional<AffinePoint> mul_add_generic(const U256& u1, const U256& u2,
                                                const AffinePoint& p) const;
 
+    /// u1*G + u2*P1 + u3*G + u4*P2 — the 4-point Shamir/Strauss form of the
+    /// double-signature verification equation. The two fixed-base halves
+    /// collapse into one comb walk over (u1 + u3) mod n, and the two
+    /// variable-base halves share a single 64-doubling interleaved wNAF
+    /// walk folding both per-key tables, so the combined multiplication
+    /// costs one walk's doublings instead of two. Variable-time; PUBLIC
+    /// scalars only (ECDSA verification inputs are).
+    std::optional<AffinePoint> mul_add4(const U256& u1, const U256& u2,
+                                        const Precomputed& p1, const U256& u3,
+                                        const U256& u4, const Precomputed& p2) const;
+
+    /// The same 4-point sum via the generic double-and-add ladder on every
+    /// half — the reference the differential suite pins mul_add4 against.
+    std::optional<AffinePoint> mul_add4_generic(const U256& u1, const U256& u2,
+                                                const AffinePoint& p1, const U256& u3,
+                                                const U256& u4, const AffinePoint& p2) const;
+
+    /// Batched double-ECDSA combination test with a randomized linear
+    /// combination: decides whether, for some signs s1, s2 and some affine
+    /// lift R1, R2 of the x-candidates of r1, r2,
+    ///
+    ///   (u1*G + u2*P1) + gamma * (u3*G + u4*P2) == s1*R1 + gamma*s2*R2.
+    ///
+    /// For honest signatures this holds exactly when both individually
+    /// verify; for a forged pair it can only hold if gamma lands on one of
+    /// a handful of adversary-determined residues mod n — probability
+    /// <= 8/2^64 for a uniform 64-bit gamma drawn after the signatures are
+    /// fixed. The whole test runs in Jacobian coordinates: one batched
+    /// x-candidate lift (sqrt in F_p), one shared Strauss walk with
+    /// -gamma*R2 folded in, and cross-multiplied x-comparisons against r1,
+    /// so no final-inversion to_affine is ever paid.
+    ///
+    /// gamma must be in [1, 2^64). Returns nullopt for the one undecidable
+    /// corner (both r2 and r2 + n are x-coordinates of curve points, which
+    /// needs r2 + n < p — a ~2^-32 slice of signatures); callers fall back
+    /// to two sequential verifies there. Variable-time; PUBLIC inputs only.
+    std::optional<bool> verify2_combination(const U256& u1, const U256& u2,
+                                            const Precomputed& p1, const U256& r1,
+                                            const U256& u3, const U256& u4,
+                                            const Precomputed& p2, const U256& r2,
+                                            std::uint64_t gamma) const;
+
 private:
     P256();
 
@@ -189,6 +231,19 @@ private:
 
     /// Interleaved wNAF walk over a per-key table (64 doublings).
     Jacobian wnaf_mul(const U256& k, const Precomputed& pre) const;
+
+    /// ka*Pa + kb*Pb in ONE interleaved walk: both scalars' wNAF digits are
+    /// folded against their own table inside the same 64-doubling chain, so
+    /// the doubling cost of the second point drops to zero.
+    Jacobian wnaf_mul2(const U256& ka, const Precomputed& pa, const U256& kb,
+                       const Precomputed& pb) const;
+
+    /// -q in Jacobian coordinates (field negation of y).
+    Jacobian jneg(const Jacobian& q) const;
+
+    /// Square root in F_p, Montgomery form: a^((p+1)/4) via a 253S + 7M
+    /// addition chain (p ≡ 3 mod 4). nullopt when a is a non-residue.
+    std::optional<U256> sqrt_mont(const U256& a) const;
 
     /// Sum of comb-table entries for the byte digits of k (k in [1, n)).
     Jacobian comb_mul_base(const U256& k) const;

@@ -35,7 +35,9 @@ public:
 
     /// Adds one image's chunks (one refcount per table entry; bytes stored
     /// only for digests not yet present). The table must lie within the
-    /// image: kInvalidArgument otherwise, with no partial ingest.
+    /// image (kInvalidArgument otherwise) and every not-yet-stored slice
+    /// must actually hash to its claimed digest (kBadDigest otherwise,
+    /// checked in one multi-buffer pass) — both with no partial ingest.
     Status ingest(ByteSpan image, const std::vector<manifest::ChunkRef>& table);
 
     /// Drops one image's references; chunks no other release still

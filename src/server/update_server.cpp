@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "crypto/content_key.hpp"
 #include "crypto/poly1305.hpp"
+#include "crypto/sha256x4.hpp"
 #include "diff/bsdiff.hpp"
 #include "suit/suit.hpp"
 
@@ -80,11 +81,20 @@ Status UpdateServer::publish(Release release) {
         if (manifest::validate_chunk_table(release.manifest) != Status::kOk) {
             return Status::kBadManifest;
         }
-        for (const manifest::ChunkRef& ref : release.manifest.chunk_table) {
-            const auto digest = crypto::Sha256::digest(
-                ByteSpan(release.firmware.data() + ref.offset, ref.length));
-            if (!ct_equal(ByteSpan(digest.data(), digest.size()),
-                          ByteSpan(ref.digest.data(), ref.digest.size()))) {
+        // All per-chunk digests at once through the multi-buffer kernel —
+        // the chunks are independent buffers, exactly the shape sha256x4
+        // exists for — then one comparison sweep.
+        const auto& chunk_table = release.manifest.chunk_table;
+        std::vector<ByteSpan> slices(chunk_table.size());
+        std::vector<crypto::Sha256Digest> digests(chunk_table.size());
+        for (std::size_t i = 0; i < chunk_table.size(); ++i) {
+            slices[i] =
+                ByteSpan(release.firmware.data() + chunk_table[i].offset, chunk_table[i].length);
+        }
+        crypto::sha256_multi(slices.data(), digests.data(), slices.size());
+        for (std::size_t i = 0; i < chunk_table.size(); ++i) {
+            if (!ct_equal(ByteSpan(digests[i].data(), digests[i].size()),
+                          ByteSpan(chunk_table[i].digest.data(), chunk_table[i].digest.size()))) {
                 return Status::kBadDigest;
             }
         }

@@ -5,15 +5,28 @@ namespace upkit::verify {
 using manifest::Manifest;
 
 Status Verifier::verify_signatures(const Manifest& m) const {
+    // Both signatures go through the backend's batch entry point (one
+    // Strauss walk + one inversion on software backends, two sequential
+    // verifies on hardware). The batch only answers "both valid?"; the
+    // common path — a well-formed manifest — needs nothing more. On
+    // rejection the halves are re-verified individually so the caller
+    // still learns *which* signature failed, exactly as the sequential
+    // code reported it.
     const crypto::Sha256Digest vendor_tbs = crypto::Sha256::digest(m.vendor_signed_bytes());
+    const crypto::Sha256Digest server_tbs = crypto::Sha256::digest(m.server_signed_bytes());
+    if (backend_->verify2(vendor_key_, vendor_tbs, m.vendor_signature, server_key_,
+                          server_tbs, m.server_signature)) {
+        return Status::kOk;
+    }
     if (!backend_->verify(vendor_key_, vendor_tbs, m.vendor_signature)) {
         return Status::kBadVendorSignature;
     }
-    const crypto::Sha256Digest server_tbs = crypto::Sha256::digest(m.server_signed_bytes());
     if (!backend_->verify(server_key_, server_tbs, m.server_signature)) {
         return Status::kBadServerSignature;
     }
-    return Status::kOk;
+    // The batch kernel and the individual kernels disagree only if one of
+    // them is broken; fail closed on the batch verdict.
+    return Status::kBadVendorSignature;
 }
 
 Status Verifier::verify_suit_envelope(const suit::Envelope& envelope) const {

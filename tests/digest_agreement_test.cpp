@@ -10,7 +10,10 @@
 // reference kernel, then runs full updates at the edge sizes end to end.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "crypto/sha256.hpp"
+#include "crypto/sha256x4.hpp"
 #include "test_env.hpp"
 
 namespace upkit::core {
@@ -59,6 +62,89 @@ TEST(DigestAgreementTest, StreamedChunkingsMatchReference) {
             }
             EXPECT_EQ(hasher.finalize(), expected) << size << "/" << chunk;
         }
+    }
+}
+
+TEST(DigestAgreementTest, Sha256x4MatchesReferenceOnRaggedLanes) {
+    // Every lane count 1–4 over ragged length mixes built from the edge
+    // sizes: lane i gets a different length and pattern, so a transposed
+    // load, a lane-straggler handoff, or a padding bug in any lane shows as
+    // a mismatch against the rolled reference.
+    for (std::size_t lanes = 1; lanes <= 4; ++lanes) {
+        for (const std::size_t base : kEdgeSizes) {
+            Bytes bufs[4];
+            ByteSpan spans[4];
+            crypto::Sha256Digest expected[4];
+            for (std::size_t i = 0; i < lanes; ++i) {
+                // Lengths straddle block boundaries differently per lane
+                // (base, base+1, base+63, 2*base+9) and stay within 0..4097*2.
+                const std::size_t len = i == 0 ? base
+                                      : i == 1 ? base + 1
+                                      : i == 2 ? base + 63
+                                               : 2 * base + 9;
+                bufs[i] = patterned(len);
+                // Distinct per-lane content: shift the pattern so equal
+                // lengths still digest different bytes.
+                for (auto& byte : bufs[i]) byte = static_cast<std::uint8_t>(byte + 31 * i);
+                spans[i] = ByteSpan(bufs[i]);
+                expected[i] = crypto::sha256_reference(bufs[i]);
+            }
+            crypto::Sha256Digest out[4];
+            crypto::sha256x4_digest(spans, out, lanes);
+            for (std::size_t i = 0; i < lanes; ++i) {
+                EXPECT_EQ(out[i], expected[i]) << "lanes " << lanes << " base "
+                                               << base << " lane " << i;
+            }
+        }
+    }
+}
+
+TEST(DigestAgreementTest, Sha256x4ForcedGenericMatchesDispatchedPath) {
+    // UPKIT_FORCE_SCALAR_SHA pins the generic lanes; digests must be
+    // byte-identical either way, and the override must actually take effect
+    // (sha256x4_impl reports kGeneric while set). Single-threaded test —
+    // setenv is process-global. The prior value is restored on exit so the
+    // test also passes when CI runs the whole suite under the override.
+    const char* prior = ::getenv("UPKIT_FORCE_SCALAR_SHA");
+    const auto before = crypto::sha256x4_impl();
+    Bytes bufs[4] = {patterned(4097), patterned(256), patterned(0), patterned(65)};
+    ByteSpan spans[4];
+    for (std::size_t i = 0; i < 4; ++i) spans[i] = ByteSpan(bufs[i]);
+
+    crypto::Sha256Digest dispatched[4];
+    crypto::sha256x4_digest(spans, dispatched, 4);
+
+    ::setenv("UPKIT_FORCE_SCALAR_SHA", "1", 1);
+    EXPECT_EQ(crypto::sha256x4_impl(), crypto::Sha256x4Impl::kGeneric);
+    crypto::Sha256Digest generic[4];
+    crypto::sha256x4_digest(spans, generic, 4);
+    if (prior != nullptr) {
+        ::setenv("UPKIT_FORCE_SCALAR_SHA", prior, 1);
+    } else {
+        ::unsetenv("UPKIT_FORCE_SCALAR_SHA");
+    }
+    EXPECT_EQ(crypto::sha256x4_impl(), before);
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(dispatched[i], generic[i]) << "lane " << i;
+        EXPECT_EQ(dispatched[i], crypto::sha256_reference(bufs[i])) << "lane " << i;
+    }
+}
+
+TEST(DigestAgreementTest, Sha256MultiMatchesReferenceOnManyBuffers) {
+    // A non-multiple-of-four batch (13 buffers) through the any-count
+    // entry: full quads plus a 1-lane remainder group.
+    constexpr std::size_t kCount = 13;
+    std::vector<Bytes> bufs(kCount);
+    std::vector<ByteSpan> spans(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+        bufs[i] = patterned(i * 97 + (i % 3));
+        spans[i] = ByteSpan(bufs[i]);
+    }
+    std::vector<crypto::Sha256Digest> out(kCount);
+    crypto::sha256_multi(spans.data(), out.data(), kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(out[i], crypto::sha256_reference(bufs[i])) << i;
     }
 }
 

@@ -481,6 +481,35 @@ TEST(FleetEngineTest, ServerCacheCountersSurfaceInReportAndTrace) {
     EXPECT_EQ(response_hits, s.response_hits);
 }
 
+TEST(FleetEngineTest, VerifyMemoCountersSurfaceInReport) {
+    // Memo off (the default): the report's counters stay zero.
+    World cold;
+    cold.add_devices(4, 0x9400, net::ble_gatt());
+    cold.env.publish_os_update(2, 85);
+    const CampaignReport off = cold.campaign.run(kAppId);
+    ASSERT_EQ(off.succeeded, 4u);
+    EXPECT_EQ(off.verify_memo.hits, 0u);
+    EXPECT_EQ(off.verify_memo.misses, 0u);
+
+    // Memo on: the same campaign shape in a fresh world. Each device's
+    // receive-time verification resolves its (vendor, server) signature
+    // pair — the vendor triple is shared fleet-wide (one miss total), the
+    // server triple is token-bound (one miss per device) — and the
+    // bootloader's re-verification of the stored manifest answers both
+    // halves from the memo, so hits cover at least that boot re-check.
+    crypto::set_verify_memo_enabled(true);
+    crypto::verify_memo_reset();
+    World warm;
+    warm.add_devices(4, 0x9480, net::ble_gatt());
+    warm.env.publish_os_update(2, 85);
+    const CampaignReport on = warm.campaign.run(kAppId);
+    crypto::set_verify_memo_enabled(false);
+    crypto::verify_memo_reset();
+    ASSERT_EQ(on.succeeded, 4u);
+    EXPECT_GE(on.verify_memo.misses, 4u);  // >= one token-bound triple per device
+    EXPECT_GE(on.verify_memo.hits, 2u * 4u);  // boot re-verifies both signatures
+}
+
 /// The mixed campaign again, but under a measured-mode server model with
 /// fixed cost constants (what calibrate() would produce, pinned so the test
 /// is host-independent): service time now depends on each request's receipt.

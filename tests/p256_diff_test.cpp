@@ -400,6 +400,248 @@ TEST(P256DiffTest, MulAddVariantsMatchGenericReference) {
     }
 }
 
+// ---------------------------------------------- 4-point Strauss (mul_add4)
+
+U256 mod_mul(const Montgomery& fn, const U256& a, const U256& b) {
+    return fn.from_mont(fn.mul(fn.to_mont(a), fn.to_mont(b)));
+}
+
+U256 mod_inv(const Montgomery& fn, const U256& a) {
+    return fn.from_mont(fn.inv(fn.to_mont(a)));
+}
+
+TEST(P256DiffTest, MulAdd4MatchesGenericReference) {
+    // ~1k seeded scalar quadruples against the pure-ladder reference, with
+    // edge mixes rotating through zero / one / n-1 scalars and the two
+    // tables collapsing to the same key (the verifier's equal-key corner).
+    const P256& curve = P256::instance();
+    const Montgomery& fn = curve.order();
+    Rng rng(0x5EED0010);
+    const auto points = seeded_points(4, 0x5EED0110);
+    std::vector<P256::Precomputed> tables;
+    for (const auto& p : points) tables.push_back(curve.precompute(p));
+
+    for (std::size_t i = 0; i < kCases; ++i) {
+        U256 u1 = fn.reduce(random_u256(rng));
+        U256 u2 = fn.reduce(random_u256(rng));
+        U256 u3 = fn.reduce(random_u256(rng));
+        U256 u4 = fn.reduce(random_u256(rng));
+        switch (i % 12) {
+            case 4: u1 = U256::zero(); break;
+            case 5: u2 = U256::zero(); break;
+            case 6: u3 = U256::zero(); break;
+            case 7: u4 = U256::zero(); break;
+            case 8: u1 = U256::one(); u3 = U256::one(); break;
+            case 9: sub(u2, curve.n(), U256::one()); break;
+            case 10: sub(u4, curve.n(), U256::one()); break;
+            // u1 + u3 == 0 mod n: the collapsed comb half vanishes.
+            case 11: sub(u3, curve.n(), u1.is_zero() ? curve.n() : u1); break;
+            default: break;
+        }
+        const std::size_t j = i % points.size();
+        const std::size_t j2 = (i % 3 == 0) ? j : (i + 1) % points.size();  // j == j2 every 3rd
+        expect_same(
+            curve.mul_add4(u1, u2, tables[j], u3, u4, tables[j2]),
+            curve.mul_add4_generic(u1, u2, points[j], u3, u4, points[j2]),
+            "mul_add4", i);
+    }
+}
+
+TEST(P256DiffTest, MulAdd4MatchesOrderEdgeScalars) {
+    // n±k straddles on every operand: reduction and the wNAF carry digit at
+    // position 256 must agree with the ladder through the shared walk.
+    const P256& curve = P256::instance();
+    const U256 n = curve.n();
+    const auto points = seeded_points(2, 0x5EED0111);
+    const P256::Precomputed t0 = curve.precompute(points[0]);
+    const P256::Precomputed t1 = curve.precompute(points[1]);
+    Rng rng(0x5EED0011);
+    for (std::size_t i = 0; i < 64; ++i) {
+        U256 quad[4];
+        for (auto& q : quad) {
+            const std::uint64_t d = rng.next_u64() % 17;
+            if (i % 2 == 0) {
+                add(q, n, U256::from_u64(d));  // n + k
+            } else {
+                sub(q, n, U256::from_u64(d + 1));  // n - k
+            }
+        }
+        expect_same(curve.mul_add4(quad[0], quad[1], t0, quad[2], quad[3], t1),
+                    curve.mul_add4_generic(quad[0], quad[1], points[0], quad[2],
+                                           quad[3], points[1]),
+                    "mul_add4 n±k", i);
+    }
+    // All four zero: both paths must report infinity.
+    EXPECT_FALSE(curve.mul_add4(U256::zero(), U256::zero(), t0, U256::zero(),
+                                U256::zero(), t1)
+                     .has_value());
+    EXPECT_FALSE(curve.mul_add4_generic(U256::zero(), U256::zero(), points[0],
+                                        U256::zero(), U256::zero(), points[1])
+                     .has_value());
+}
+
+// ------------------------------------------------- batch verify (verify2)
+
+TEST(P256DiffTest, Verify2AgreesWithSequentialVerifies) {
+    // Honest pairs accept; any corrupted signature, digest, or key pairing
+    // must get the same verdict as the two sequential verifies.
+    Rng rng(0x5EED0012);
+    for (std::size_t i = 0; i < 192; ++i) {
+        const PrivateKey key1 = PrivateKey::generate(rng.bytes(32));
+        // Every 4th case reuses key1 for both slots — the fleet's actual
+        // shape is two distinct trust anchors, but equal keys must work.
+        const PrivateKey key2 = (i % 4 == 0) ? key1 : PrivateKey::generate(rng.bytes(32));
+        const PreparedPublicKey prep1(key1.public_key());
+        const PreparedPublicKey prep2(key2.public_key());
+        const Sha256Digest d1 = Sha256::digest(rng.bytes(1 + i % 80));
+        const Sha256Digest d2 = Sha256::digest(rng.bytes(1 + (i * 7) % 80));
+        Signature s1 = ecdsa_sign(key1, d1);
+        Signature s2 = ecdsa_sign(key2, d2);
+
+        EXPECT_TRUE(ecdsa_verify2(prep1, d1, s1, prep2, d2, s2)) << i;
+
+        // Corrupt one signature: batch must reject, like the sequential pair.
+        Signature bad = s1;
+        bad[i % bad.size()] ^= static_cast<std::uint8_t>(1u << (i % 8));
+        EXPECT_FALSE(ecdsa_verify2(prep1, d1, bad, prep2, d2, s2)) << i;
+        bad = s2;
+        bad[(i * 3) % bad.size()] ^= static_cast<std::uint8_t>(1u << ((i + 5) % 8));
+        EXPECT_FALSE(ecdsa_verify2(prep1, d1, s1, prep2, d2, bad)) << i;
+
+        // Swapped digests: both slots see the wrong message.
+        if (!(d1 == d2)) {
+            EXPECT_FALSE(ecdsa_verify2(prep1, d2, s1, prep2, d1, s2)) << i;
+        }
+
+        // Swapped keys (distinct-key cases): wrong key for each signature.
+        if (i % 4 != 0) {
+            EXPECT_FALSE(ecdsa_verify2(prep2, d1, s1, prep1, d2, s2)) << i;
+        }
+    }
+}
+
+TEST(P256DiffTest, Verify2RejectsMalformedInputs) {
+    Rng rng(0x5EED0013);
+    const PrivateKey key = PrivateKey::generate(rng.bytes(32));
+    const PreparedPublicKey prep(key.public_key());
+    const Sha256Digest digest = Sha256::digest(rng.bytes(40));
+    const Signature good = ecdsa_sign(key, digest);
+
+    // Zero r / zero s / r >= n / s >= n in either slot.
+    Signature zero_r = good;
+    std::fill(zero_r.begin(), zero_r.begin() + 32, std::uint8_t{0});
+    Signature zero_s = good;
+    std::fill(zero_s.begin() + 32, zero_s.end(), std::uint8_t{0});
+    Signature big_r = good;
+    std::fill(big_r.begin(), big_r.begin() + 32, std::uint8_t{0xff});
+    Signature big_s = good;
+    std::fill(big_s.begin() + 32, big_s.end(), std::uint8_t{0xff});
+    for (const Signature& bad : {zero_r, zero_s, big_r, big_s}) {
+        EXPECT_FALSE(ecdsa_verify2(prep, digest, bad, prep, digest, good));
+        EXPECT_FALSE(ecdsa_verify2(prep, digest, good, prep, digest, bad));
+    }
+    // Truncated signature and invalid (empty) prepared key.
+    EXPECT_FALSE(ecdsa_verify2(prep, digest, ByteSpan(good.data(), 63), prep,
+                               digest, good));
+    const PreparedPublicKey empty;
+    EXPECT_FALSE(ecdsa_verify2(empty, digest, good, prep, digest, good));
+    EXPECT_FALSE(ecdsa_verify2(prep, digest, good, empty, digest, good));
+}
+
+TEST(P256DiffTest, Verify2RejectsForgedCancellationPair) {
+    // Adversarial pair built to cancel in the UNWEIGHTED combined equation:
+    // neither signature verifies individually, but error1 + error2 == O, so
+    // a batch verifier that naively sums the two verification equations
+    // (gamma == 1) accepts. The randomized gamma is exactly what defeats
+    // this, and verify2 must reject. Scalars are constructed through the
+    // known discrete log x of P = x*G, so every point is a mul_base of a
+    // known scalar.
+    const P256& curve = P256::instance();
+    const Montgomery& fn = curve.order();
+    Rng rng(0x5EED0014);
+    const PrivateKey key = PrivateKey::generate(rng.bytes(32));
+    const U256 x = key.scalar();
+    const PreparedPublicKey prep(key.public_key());
+
+    for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+        // R1 = k*G with r1 = x(R1) < n (so the verifier's lift finds it).
+        U256 k, r1;
+        for (;;) {
+            k = fn.reduce(random_u256(rng));
+            if (k.is_zero()) continue;
+            const auto r1_point = curve.mul_base_generic(k);
+            if (r1_point && r1_point->x < curve.n()) {
+                r1 = r1_point->x;
+                break;
+            }
+        }
+        // Garbage signature 1: (r1, s1) over a random digest scalar z1.
+        const U256 s1 = fn.reduce(random_u256(rng));
+        const U256 z1 = fn.reduce(random_u256(rng));
+        if (s1.is_zero() || z1.is_zero()) continue;
+        const U256 w1 = mod_inv(fn, s1);
+        const U256 u1 = mod_mul(fn, z1, w1);
+        const U256 u2 = mod_mul(fn, r1, w1);
+        // error1 = (u1 + u2*x - k)*G, nonzero w.h.p.
+        U256 e1 = fn.add(u1, mod_mul(fn, u2, x));
+        e1 = fn.sub(e1, k);
+        if (e1.is_zero()) continue;
+
+        // Signature 2 engineered so error2 == -error1: R2 = (a + b*x + e1)*G,
+        // s2 = r2/b, z2 = a*s2 — then u3 = a, u4 = b, and
+        // u3*G + u4*P - R2 = -e1*G.
+        U256 a, b, r2, s2, z2;
+        for (;;) {
+            a = fn.reduce(random_u256(rng));
+            b = fn.reduce(random_u256(rng));
+            if (a.is_zero() || b.is_zero()) continue;
+            U256 t = fn.add(a, mod_mul(fn, b, x));
+            t = fn.add(t, e1);
+            if (t.is_zero()) continue;
+            const auto r2_point = curve.mul_base_generic(t);
+            if (!r2_point || !(r2_point->x < curve.n())) continue;
+            r2 = r2_point->x;
+            if (r2.is_zero()) continue;
+            s2 = mod_mul(fn, r2, mod_inv(fn, b));
+            z2 = mod_mul(fn, a, s2);
+            if (!s2.is_zero() && !z2.is_zero()) break;
+        }
+
+        Signature sig1{}, sig2{};
+        r1.to_be_bytes(MutByteSpan(sig1.data(), 32));
+        s1.to_be_bytes(MutByteSpan(sig1.data() + 32, 32));
+        r2.to_be_bytes(MutByteSpan(sig2.data(), 32));
+        s2.to_be_bytes(MutByteSpan(sig2.data() + 32, 32));
+        Sha256Digest d1{}, d2{};
+        z1.to_be_bytes(MutByteSpan(d1.data(), d1.size()));
+        z2.to_be_bytes(MutByteSpan(d2.data(), d2.size()));
+
+        // Neither forgery passes a sequential verify.
+        ASSERT_FALSE(ecdsa_verify(prep, d1, sig1)) << attempt;
+        ASSERT_FALSE(ecdsa_verify(prep, d2, sig2)) << attempt;
+
+        // The unweighted combination DOES cancel — proving this pair is the
+        // real attack, not a strawman…
+        const U256 u3 = a;
+        const U256 u4 = b;
+        const auto naive = curve.verify2_combination(u1, u2, prep.table(), r1, u3,
+                                                     u4, prep.table(), r2, 1);
+        ASSERT_TRUE(naive.has_value()) << attempt;
+        EXPECT_TRUE(*naive) << attempt << " (cancellation construction broken?)";
+
+        // …and any other gamma breaks the cancellation…
+        for (const std::uint64_t gamma : {2ull, 3ull, 0x123456789abcdefull}) {
+            const auto weighted = curve.verify2_combination(
+                u1, u2, prep.table(), r1, u3, u4, prep.table(), r2, gamma);
+            ASSERT_TRUE(weighted.has_value()) << attempt << " gamma " << gamma;
+            EXPECT_FALSE(*weighted) << attempt << " gamma " << gamma;
+        }
+
+        // …so the production entry (random gamma) rejects the pair.
+        EXPECT_FALSE(ecdsa_verify2(prep, d1, sig1, prep, d2, sig2)) << attempt;
+    }
+}
+
 // ------------------------------------------------------ ECDSA verify paths
 
 TEST(P256DiffTest, PreparedKeysShareInternedTables) {
