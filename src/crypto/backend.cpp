@@ -201,7 +201,7 @@ VerifyCalibration run_verify_calibration() {
     // One signed message, verified through the prepared hot path vs the
     // pre-PR kernel reconstructed from its two halves: the comb u1*G that
     // already existed plus the generic ladder that used to serve u2*P.
-    const PrivateKey priv = PrivateKey::generate(::upkit::to_bytes("upkit-calibration"));
+    const PrivateKey priv = PrivateKey::generate(::upkit::to_bytes("upkit-calibration"));  // lint: public-value (calibration key from a fixed public seed)
     const PublicKey pub = priv.public_key();
     const Sha256Digest digest = Sha256::digest(::upkit::to_bytes("calibration-msg"));
     const Signature sig = ecdsa_sign(priv, digest);
@@ -218,7 +218,7 @@ VerifyCalibration run_verify_calibration() {
     // Batched double verification: a second, distinct key pair so the batch
     // walks two different precomputed tables (UpKit's vendor + server keys),
     // timed against the two sequential prepared verifies it replaces.
-    const PrivateKey priv2 = PrivateKey::generate(::upkit::to_bytes("upkit-calibration-2"));
+    const PrivateKey priv2 = PrivateKey::generate(::upkit::to_bytes("upkit-calibration-2"));  // lint: public-value (calibration key from a fixed public seed)
     const PublicKey pub2 = priv2.public_key();
     const Sha256Digest digest2 = Sha256::digest(::upkit::to_bytes("calibration-msg-2"));
     const Signature sig2 = ecdsa_sign(priv2, digest2);

@@ -35,9 +35,9 @@ struct InternCache {
     static constexpr std::size_t kCapacity = 128;
 
     std::mutex mu;
-    std::list<KeyId> lru;  // front = most recently used
-    std::map<KeyId, Entry> entries;
-    InternStats stats;
+    std::list<KeyId> lru;           // lint: guarded-by(mu) — front = most recently used
+    std::map<KeyId, Entry> entries; // lint: guarded-by(mu)
+    InternStats stats;              // lint: guarded-by(mu)
 };
 
 InternCache& intern_cache() {
@@ -210,19 +210,23 @@ Signature ecdsa_sign(const PrivateKey& key, const Sha256Digest& digest) {
         // leaked bits across signatures break the key via lattice attacks),
         // so k*G takes the constant-time Booth walk, not the comb table.
         const auto point = curve.mul_base_ct(k);
-        if (point) {
+        // Branching on "k*G is infinity" reveals one-in-2^256 information;
+        // the declassify records that this k-dependent bit is deliberately
+        // public (it only fires on the astronomically-unlikely retry).
+        if (ct::declassify_value(point.has_value())) {
             // r is the published signature half: declassified the moment
             // it exists.
             const U256 r = ct::declassify_value(fn.reduce(point->x));
             if (!r.is_zero()) {
                 // s = k^-1 (z + r d) mod n, computed in the order's
-                // Montgomery domain (branchless mul/add; inv is a fixed
-                // public-exponent pow).
+                // Montgomery domain. The nonce inverse takes the
+                // Bernstein-Yang divstep ladder: fixed 744-step schedule,
+                // mask selects only.
                 const U256 km = fn.to_mont(k);
                 const U256 rm = fn.to_mont(r);
                 const U256 dm = fn.to_mont(key.scalar());
                 const U256 zm = fn.to_mont(z);
-                const U256 s_m = fn.mul(fn.inv(km), fn.add(zm, fn.mul(rm, dm)));  // lint: inv-audited (fixed public exponent n-2, branchless mul)
+                const U256 s_m = fn.mul(fn.inv_ct(km), fn.add(zm, fn.mul(rm, dm)));
                 const U256 s = ct::declassify_value(fn.from_mont(s_m));
                 if (!s.is_zero()) {
                     Signature sig{};

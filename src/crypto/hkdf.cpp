@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/ct.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/p256.hpp"
 
@@ -44,7 +45,9 @@ Expected<Bytes> ecdh_shared_secret(const PrivateKey& private_key,
     // variable-base multiplication in the repo that runs on a secret, so it
     // takes the constant-time Booth walk rather than wNAF.
     const auto point = P256::instance().mul_ct(private_key.scalar(), peer_public_key.point());
-    if (!point) return Status::kBadKey;
+    // The "result is infinity" bit is scalar-dependent; it is deliberately
+    // published as the kBadKey error (it only fires for an invalid peer key).
+    if (!ct::declassify_value(point.has_value())) return Status::kBadKey;
     return point->x.to_be_bytes();
 }
 

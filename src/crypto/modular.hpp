@@ -39,8 +39,17 @@ public:
     U256 pow(const U256& a, const U256& e) const;
 
     /// Multiplicative inverse via Fermat (modulus must be prime);
-    /// Montgomery form in, Montgomery form out.
+    /// Montgomery form in, Montgomery form out. Variable-time in the
+    /// (public) exponent bits only, but routes through pow/mul whose
+    /// schedule is fixed; prefer inv_ct for secret inputs anyway.
     U256 inv(const U256& a) const;
+
+    /// Constant-time multiplicative inverse: Bernstein-Yang branchless
+    /// divsteps (safegcd). Montgomery form in, Montgomery form out;
+    /// inv_ct(0) == 0, matching inv(). Works for any odd modulus (does
+    /// not require primality), fixed 744-iteration schedule with no
+    /// data-dependent branches or memory accesses.
+    U256 inv_ct(const U256& a) const;
 
     /// Reduces an arbitrary 256-bit value into [0, n).
     U256 reduce(const U256& a) const;

@@ -1,0 +1,25 @@
+// Negative fixture: guarded-field mutations under a live lock — both the
+// RAII shape and the manual lock()/unlock() shape. lock-discipline must
+// stay silent on this file.
+#include <list>
+#include <mutex>
+
+namespace upkit {
+
+struct LockedCache {
+    std::mutex mu;
+    std::list<int> order;  // lint: guarded-by(mu)
+};
+
+void raii_locked(LockedCache& c) {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.order.push_back(1);
+}
+
+void manually_locked(LockedCache& c) {
+    c.mu.lock();
+    c.order.clear();
+    c.mu.unlock();
+}
+
+}  // namespace upkit

@@ -1,0 +1,33 @@
+// Negative fixture: every flash Status is consumed by one of the legal
+// shapes — compared in a condition, propagated by return, annotated as a
+// deliberate discard, or read by an exhaustive switch. must-check must
+// stay silent on this file.
+#include "flash/flash.hpp"
+
+namespace upkit::flash {
+
+Status checked_paths(Flash& device, ByteSpan data) {
+    if (device.erase_sector(0) != Status::kOk) {
+        return Status::kFlashIoError;
+    }
+    const Status st = device.write(0, data);
+    if (st != Status::kOk) {
+        return st;
+    }
+    device.sync();  // lint: status-checked (best-effort sync at shutdown)
+    return Status::kOk;
+}
+
+void switched_fully(Flash& device, ByteSpan data) {
+    const Status st = device.write(0, data);
+    switch (st) {
+        case Status::kOk:
+            break;
+        case Status::kFlashIoError:
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace upkit::flash

@@ -1,0 +1,23 @@
+// Fixture: a field annotated `guarded-by(mu)` mutated with no lock held —
+// must trip `lock-discipline`. The second function shows the same mutation
+// correctly locked (no finding expected from it).
+#include <list>
+#include <mutex>
+
+namespace upkit {
+
+struct UnlockedCache {
+    std::mutex mu;
+    std::list<int> order;  // lint: guarded-by(mu)
+};
+
+void touch_without_lock(UnlockedCache& c) {
+    c.order.push_front(1);
+}
+
+void touch_with_lock(UnlockedCache& c) {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.order.push_front(2);
+}
+
+}  // namespace upkit

@@ -1,0 +1,15 @@
+// Fixture: a deterministic nonce (secret) used directly in a branch
+// condition — must trip `secret-taint` (secret-dependent branch).
+#include "crypto/ecdsa.hpp"
+
+namespace upkit::crypto {
+
+bool branch_on_nonce(const PrivateKey& key, const Sha256Digest& digest) {
+    const U256 k = rfc6979_nonce(key.scalar(), digest);
+    if (k.bit(0)) {
+        return true;
+    }
+    return false;
+}
+
+}  // namespace upkit::crypto

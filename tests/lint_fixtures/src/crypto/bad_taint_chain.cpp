@@ -1,0 +1,23 @@
+// Fixture: two-level call chain — the secret passes through level1 into
+// level2, which hands it to the variable-time wNAF scalar multiplication.
+// Must trip `secret-taint` at the full configured descent depth.
+#include "crypto/ecdsa.hpp"
+#include "crypto/p256.hpp"
+
+namespace upkit::crypto {
+
+static std::optional<AffinePoint> level2(const P256& curve, const U256& s) {
+    return curve.mul(s, curve.generator());
+}
+
+static std::optional<AffinePoint> level1(const P256& curve, const U256& s) {
+    return level2(curve, s);
+}
+
+std::optional<AffinePoint> chain_to_vt_mul(const PrivateKey& key,
+                                           const Sha256Digest& digest) {
+    const U256 k = rfc6979_nonce(key.scalar(), digest);
+    return level1(P256::instance(), k);
+}
+
+}  // namespace upkit::crypto

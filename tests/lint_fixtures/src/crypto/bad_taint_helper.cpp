@@ -1,0 +1,20 @@
+// Fixture: the secret never branches in the function that derives it — it
+// flows into a helper whose *parameter* feeds a branch. Must trip
+// `secret-taint` interprocedurally (descent depth 1).
+#include "crypto/ecdsa.hpp"
+
+namespace upkit::crypto {
+
+static bool helper_is_small(const U256& v) {
+    if (v.bit(200)) {
+        return false;
+    }
+    return true;
+}
+
+bool taint_through_helper(const PrivateKey& key, const Sha256Digest& digest) {
+    const U256 k = rfc6979_nonce(key.scalar(), digest);
+    return helper_is_small(k);
+}
+
+}  // namespace upkit::crypto

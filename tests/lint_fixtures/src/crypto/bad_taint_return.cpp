@@ -1,0 +1,22 @@
+// Fixture: a helper *returns* the secret; the caller feeds the returned
+// value into a variable-time comparison. Must trip `secret-taint` via
+// return-value propagation (the summary of derive_k is "returns tainted").
+#include <cstring>
+
+#include "crypto/ecdsa.hpp"
+
+namespace upkit::crypto {
+
+static U256 derive_k(const PrivateKey& key, const Sha256Digest& digest) {
+    return rfc6979_nonce(key.scalar(), digest);
+}
+
+int compare_nonce(const PrivateKey& key, const Sha256Digest& digest,
+                  const U256& pub) {
+    const U256 k = derive_k(key, digest);
+    const Bytes kb = k.to_be_bytes();
+    const Bytes pb = pub.to_be_bytes();
+    return memcmp(kb.data(), pb.data(), 32);
+}
+
+}  // namespace upkit::crypto

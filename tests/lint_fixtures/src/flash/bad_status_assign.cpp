@@ -1,0 +1,12 @@
+// Fixture: flash Status parked in a local that is never read again — the
+// naive statement-position scan cannot see this, the flow-aware must-check
+// pass must. Trips `discarded-flash-status` (assigned-and-ignored arm).
+#include "flash/flash.hpp"
+
+namespace upkit::flash {
+
+void assign_and_forget(Flash& device, ByteSpan data) {
+    const Status st = device.write(0, data);
+}
+
+}  // namespace upkit::flash

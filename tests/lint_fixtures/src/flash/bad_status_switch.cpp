@@ -1,0 +1,18 @@
+// Fixture: the Status *is* read — but only by a switch that handles some
+// outcomes, has no default, and silently drops kFlashPowerLoss. Trips
+// `discarded-flash-status` (partial-switch arm).
+#include "flash/flash.hpp"
+
+namespace upkit::flash {
+
+void partial_switch(Flash& device, ByteSpan data) {
+    const Status st = device.write(0, data);
+    switch (st) {
+        case Status::kOk:
+            break;
+        case Status::kFlashIoError:
+            break;
+    }
+}
+
+}  // namespace upkit::flash

@@ -4,6 +4,7 @@
 // device provision/stage/boot — and checks exit codes and artefacts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -144,22 +145,25 @@ TEST_F(ToolsCliTest, DeviceBenchVerifyRunsWithoutFlashImage) {
 
 // --- upkit-lint self-test ------------------------------------------------
 //
-// Two halves prove the lint is neither toothless nor noisy: it must catch
-// 100% of the seeded violations in tests/lint_fixtures/ (one file per rule
-// class), and it must report zero findings on the real tree.
+// Three halves prove the lint is neither toothless nor noisy: it must
+// catch 100% of the seeded violations in tests/lint_fixtures/src (one
+// file per rule class, including the interprocedural taint shapes), it
+// must stay silent on the correctly-written twins in
+// tests/lint_fixtures/good, and it must report zero findings on the real
+// tree. The baseline and SARIF paths get their own round-trips.
 
 TEST_F(ToolsCliTest, LintCatchesAllSeededFixtureViolations) {
     const std::string src = UPKIT_SOURCE_DIR;
     const std::string rules = src + "/tools/upkit_lint.rules";
     ASSERT_EQ(run("upkit-lint",
-                  "--rules " + rules + " " + src + "/tests/lint_fixtures"),
+                  "--rules " + rules + " " + src + "/tests/lint_fixtures/src"),
               1);
     const Bytes log = read(dir_ / "out.log");
     const std::string out(log.begin(), log.end());
     for (const char* rule_id :
          {"raw-compare", "vt-scalar-mul", "secret-inverse", "banned-rand",
           "banned-unbounded-copy", "banned-wall-clock", "fsm-switch-exhaustive",
-          "discarded-flash-status"}) {
+          "discarded-flash-status", "secret-taint", "lock-discipline"}) {
         EXPECT_NE(out.find(std::string("[") + rule_id + "]"), std::string::npos)
             << "fixture violation for rule '" << rule_id << "' not caught:\n"
             << out;
@@ -168,18 +172,112 @@ TEST_F(ToolsCliTest, LintCatchesAllSeededFixtureViolations) {
     // missing-case arm; both must be present.
     EXPECT_NE(out.find("missing: kCleaning"), std::string::npos) << out;
     EXPECT_NE(out.find("default swallows"), std::string::npos) << out;
+
+    // Flow-sensitive arms, each tied to its seeding fixture. Three of the
+    // four taint findings are interprocedural: a branch on a tainted
+    // parameter inside a helper, a tainted return value reaching memcmp in
+    // the caller, and a two-level chain ending in variable-time curve.mul.
+    EXPECT_NE(out.find("bad_taint_branch.cpp"), std::string::npos) << out;
+    EXPECT_NE(out.find("secret-dependent branch on 'k'"), std::string::npos) << out;
+    EXPECT_NE(out.find("bad_taint_helper.cpp"), std::string::npos) << out;
+    EXPECT_NE(out.find("secret-dependent branch on 'v'"), std::string::npos) << out;
+    EXPECT_NE(out.find("bad_taint_return.cpp"), std::string::npos) << out;
+    EXPECT_NE(out.find("variable-time sink memcmp()"), std::string::npos) << out;
+    EXPECT_NE(out.find("bad_taint_chain.cpp"), std::string::npos) << out;
+    EXPECT_NE(out.find("variable-time sink mul()"), std::string::npos) << out;
+    EXPECT_NE(out.find("assigned to 'st' but never checked"), std::string::npos) << out;
+    EXPECT_NE(out.find("partial switch on 'st' missing: kFlashPowerLoss"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("'order' mutated without 'mu' held"), std::string::npos) << out;
 }
 
-TEST_F(ToolsCliTest, LintRealTreeIsClean) {
+TEST_F(ToolsCliTest, LintGoodFixturesAreClean) {
+    // The negative twins: declassified branches, ct-kernel consumption,
+    // checked statuses, locked mutations. Zero findings or the flow rules
+    // are firing on syntax rather than dataflow.
     const std::string src = UPKIT_SOURCE_DIR;
     EXPECT_EQ(run("upkit-lint", "--rules " + src + "/tools/upkit_lint.rules " + src +
-                                    "/src " + src + "/tools " + src + "/bench " + src +
-                                    "/examples"),
+                                    "/tests/lint_fixtures/good"),
               0)
         << [this] {
                const Bytes log = read(dir_ / "out.log");
                return std::string(log.begin(), log.end());
            }();
+}
+
+TEST_F(ToolsCliTest, LintRealTreeIsClean) {
+    const std::string src = UPKIT_SOURCE_DIR;
+    EXPECT_EQ(run("upkit-lint", "--rules " + src + "/tools/upkit_lint.rules " +
+                                    "--baseline " + src + "/tools/upkit_lint.baseline " +
+                                    src + "/src " + src + "/tools " + src + "/bench " +
+                                    src + "/examples"),
+              0)
+        << [this] {
+               const Bytes log = read(dir_ / "out.log");
+               return std::string(log.begin(), log.end());
+           }();
+}
+
+TEST_F(ToolsCliTest, LintBaselineRoundTrip) {
+    // --write-baseline over the seeded violations, then a re-run against
+    // that baseline: every finding must be suppressed (exit 0), and a run
+    // WITHOUT the baseline must still fail — the baseline masks known
+    // findings, it does not disable rules.
+    const std::string src = UPKIT_SOURCE_DIR;
+    const std::string rules = " --rules " + src + "/tools/upkit_lint.rules ";
+    const std::string fixtures = src + "/tests/lint_fixtures/src";
+    ASSERT_EQ(run("upkit-lint", rules + "--write-baseline " + path("base.txt") + " " +
+                                    fixtures),
+              0);
+    EXPECT_EQ(run("upkit-lint", rules + "--baseline " + path("base.txt") + " " + fixtures),
+              0);
+    {
+        const Bytes log = read(dir_ / "out.log");
+        const std::string out(log.begin(), log.end());
+        EXPECT_NE(out.find("baseline-suppressed"), std::string::npos) << out;
+    }
+    EXPECT_EQ(run("upkit-lint", rules + fixtures), 1);
+    // A malformed baseline must fail closed (exit 2), not scan noisily.
+    write(dir_ / "garbage.txt", Bytes{'x', ' ', 'y', '\n'});
+    EXPECT_EQ(run("upkit-lint", rules + "--baseline " + path("garbage.txt") + " " +
+                                    fixtures),
+              2);
+}
+
+TEST_F(ToolsCliTest, LintSarifIsWellFormed) {
+    const std::string src = UPKIT_SOURCE_DIR;
+    ASSERT_EQ(run("upkit-lint", "--rules " + src + "/tools/upkit_lint.rules --sarif " +
+                                    path("lint.sarif") + " " + src +
+                                    "/tests/lint_fixtures/src"),
+              1);
+    const Bytes raw = read(dir_ / "lint.sarif");
+    const std::string sarif(raw.begin(), raw.end());
+    ASSERT_FALSE(sarif.empty());
+    // Structural sanity: version header, tool driver, rule metadata, and
+    // one result per printed finding with a physical location.
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"upkit-lint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"id\": \"secret-taint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"secret-taint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\""), std::string::npos);
+    // Balanced braces => it at least parses as a JSON-shaped document.
+    EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '{'),
+              std::count(sarif.begin(), sarif.end(), '}'));
+    EXPECT_EQ(std::count(sarif.begin(), sarif.end(), '['),
+              std::count(sarif.begin(), sarif.end(), ']'));
+}
+
+TEST_F(ToolsCliTest, LintBudgetExceededIsAnError) {
+    // A 1ms budget cannot be met by a full src/ scan (two regex passes plus
+    // the flow analysis take tens of ms at minimum); the tool must exit 2
+    // (infrastructure error), distinct from exit 1 (findings). 0 would mean
+    // "no budget".
+    const std::string src = UPKIT_SOURCE_DIR;
+    EXPECT_EQ(run("upkit-lint", "--rules " + src + "/tools/upkit_lint.rules "
+                                    "--budget-ms 1 " +
+                                    src + "/src"),
+              2);
 }
 
 TEST_F(ToolsCliTest, DeviceBootRejectsForeignAppImage) {

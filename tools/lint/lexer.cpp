@@ -1,0 +1,175 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+#include <regex>
+
+namespace upkit::lint {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Multi-char punctuators the dataflow pass must not split: assignment vs
+/// comparison disambiguation depends on "==" and "<=" being single tokens.
+const char* kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+}  // namespace
+
+bool TokenFile::line_has(std::size_t line, const std::string& word) const {
+    return find(line, word) != nullptr;
+}
+
+const Annotation* TokenFile::find(std::size_t line, const std::string& word) const {
+    const auto it = annotations.find(line);
+    if (it == annotations.end()) return nullptr;
+    for (const Annotation& a : it->second) {
+        if (a.word == word) return &a;
+    }
+    return nullptr;
+}
+
+TokenFile lex(const std::string& path, const std::string& source) {
+    TokenFile out;
+    out.path = path;
+
+    static const std::regex kAnnot(R"(lint:\s*([A-Za-z0-9_-]+)(?:\(([^)]*)\))?)");
+
+    std::size_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+    auto at_line_start = [&](std::size_t pos) {
+        // True when only whitespace precedes pos on its line.
+        while (pos > 0 && source[pos - 1] != '\n') {
+            if (source[pos - 1] != ' ' && source[pos - 1] != '\t') return false;
+            --pos;
+        }
+        return true;
+    };
+    auto note_comment = [&](std::size_t begin, std::size_t end, std::size_t at_line) {
+        std::smatch m;
+        std::string text = source.substr(begin, end - begin);
+        if (std::regex_search(text, m, kAnnot)) {
+            out.annotations[at_line].push_back(Annotation{m[1], m[2]});
+        }
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: swallow the logical line (continuations
+        // included). Directives never carry lint-relevant code.
+        if (c == '#' && at_line_start(i)) {
+            while (i < n && source[i] != '\n') {
+                if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                ++i;
+            }
+            continue;
+        }
+        // Line comment (annotation source).
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            std::size_t begin = i;
+            while (i < n && source[i] != '\n') ++i;
+            note_comment(begin, i, line);
+            continue;
+        }
+        // Block comment; may span lines, annotation attaches to its first line.
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            const std::size_t begin = i;
+            const std::size_t begin_line = line;
+            i += 2;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n') ++line;
+                ++i;
+            }
+            i = (i + 1 < n) ? i + 2 : n;
+            note_comment(begin, i, begin_line);
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && source[j] != '(' && delim.size() <= 16) delim += source[j++];
+            if (j < n && source[j] == '(') {
+                const std::string close = ")" + delim + "\"";
+                std::size_t end = source.find(close, j + 1);
+                if (end == std::string::npos) end = n;
+                for (std::size_t k = i; k < end && k < n; ++k) {
+                    if (source[k] == '\n') ++line;
+                }
+                out.tokens.push_back({Tok::kString, "\"\"", line});
+                i = (end == n) ? n : end + close.size();
+                continue;
+            }
+            // Fall through: not actually a raw string ('R' then quote with a
+            // malformed delimiter); treat R as an identifier start below.
+        }
+        // String / char literal, contents blanked.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && source[j] != quote) {
+                if (source[j] == '\\' && j + 1 < n) ++j;
+                if (source[j] == '\n') break;  // unterminated: stop at line end
+                ++j;
+            }
+            out.tokens.push_back(
+                {quote == '"' ? Tok::kString : Tok::kChar,
+                 quote == '"' ? std::string("\"\"") : std::string("''"), line});
+            i = (j < n && source[j] == quote) ? j + 1 : j;
+            continue;
+        }
+        if (ident_start(c)) {
+            std::size_t j = i;
+            while (j < n && ident_char(source[j])) ++j;
+            out.tokens.push_back({Tok::kIdent, source.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            // pp-number-ish: digits, letters, dots, quotes-as-separators,
+            // and exponent signs. Precision about the value is irrelevant.
+            while (j < n && (ident_char(source[j]) || source[j] == '.' ||
+                             source[j] == '\'' ||
+                             ((source[j] == '+' || source[j] == '-') && j > i &&
+                              (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                               source[j - 1] == 'p' || source[j - 1] == 'P')))) {
+                ++j;
+            }
+            out.tokens.push_back({Tok::kNumber, source.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        // Punctuator: longest match against the multi-char table.
+        std::string match(1, c);
+        for (const char* p : kPuncts) {
+            const std::size_t len = std::char_traits<char>::length(p);
+            if (i + len <= n && source.compare(i, len, p) == 0) {
+                match.assign(p);
+                break;
+            }
+        }
+        out.tokens.push_back({Tok::kPunct, match, line});
+        i += match.size();
+    }
+    return out;
+}
+
+}  // namespace upkit::lint

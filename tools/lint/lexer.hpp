@@ -1,0 +1,64 @@
+// upkit-lint analysis core, stage 1: a lightweight C++ lexer.
+//
+// The flow-sensitive checks (secret-taint, must-check, lock discipline)
+// need more than the per-line regex view: they need to know where string
+// literals, comments, and preprocessor directives end, so that taint and
+// scope tracking never fire on prose. This lexer produces exactly the
+// token stream those checks consume — identifiers, numbers, punctuators
+// (longest-match for the multi-char operators the dataflow pass cares
+// about), and blanked literals — plus the `// lint: word(args)`
+// annotations collected per line before comments are dropped.
+//
+// Deliberately not a full C++ front end: no keyword table beyond what the
+// extraction heuristics need, no template disambiguation. The invariants
+// upkit-lint guards are visible at this level, and staying ~200 lines of
+// standard library keeps the tool buildable in seconds on every CI job.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace upkit::lint {
+
+enum class Tok {
+    kIdent,   // identifiers and keywords
+    kNumber,  // numeric literals (value unused, kept for position)
+    kString,  // string literal, contents blanked ("" in text)
+    kChar,    // char literal, contents blanked
+    kPunct,   // operators and punctuation, longest-match
+};
+
+struct Token {
+    Tok kind;
+    std::string text;
+    std::size_t line;  // 1-based
+};
+
+/// A `// lint: word(args)` escape-hatch annotation. `args` is empty for the
+/// bare `// lint: word` form the regex rules use; the flow rules also read
+/// the parenthesized form (`guarded-by(mu)`, `requires-lock(mu)`).
+struct Annotation {
+    std::string word;
+    std::string args;
+};
+
+struct TokenFile {
+    std::string path;
+    std::vector<Token> tokens;
+    /// line -> annotations found on that line (comment text included).
+    std::map<std::size_t, std::vector<Annotation>> annotations;
+
+    bool line_has(std::size_t line, const std::string& word) const;
+    /// First annotation on `line` whose word matches, or nullptr.
+    const Annotation* find(std::size_t line, const std::string& word) const;
+};
+
+/// Lexes a whole source file. Handles // and /* */ comments, ordinary and
+/// raw string literals (R"delim(...)delim"), char literals, and
+/// preprocessor directives (skipped entirely, including backslash
+/// continuations, so `#include <x>` never produces comparison tokens).
+TokenFile lex(const std::string& path, const std::string& source);
+
+}  // namespace upkit::lint

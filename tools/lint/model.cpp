@@ -1,0 +1,224 @@
+#include "lint/model.hpp"
+
+#include <set>
+
+namespace upkit::lint {
+
+namespace {
+
+const std::set<std::string> kNotCallable = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "new", "delete", "static_assert", "assert", "co_await",
+    "co_return", "throw", "defined",
+};
+
+/// Skips a balanced template-argument list starting at the '<' at `i`.
+/// Returns the index just past the closing '>', or `i` when the contents
+/// do not look like template arguments (a comparison, not a list).
+std::size_t skip_template_args(const std::vector<Token>& tokens, std::size_t i) {
+    int depth = 0;
+    std::size_t j = i;
+    while (j < tokens.size()) {
+        const std::string& t = tokens[j].text;
+        if (t == "<") {
+            ++depth;
+        } else if (t == ">") {
+            if (--depth == 0) return j + 1;
+        } else if (t == ">>") {
+            depth -= 2;
+            if (depth <= 0) return j + 1;
+        } else if (tokens[j].kind == Tok::kPunct && t != "::" && t != "," &&
+                   t != "*" && t != "&") {
+            return i;  // operators that cannot appear in a type list
+        }
+        if (++j - i > 64) return i;  // give up: comparison chains, not types
+    }
+    return i;
+}
+
+/// Extracts the declared name of one parameter span: the last identifier
+/// before the end, skipping default arguments and array suffixes.
+std::string param_name(const std::vector<Token>& tokens, std::size_t begin,
+                       std::size_t end) {
+    std::size_t stop = end;
+    for (std::size_t i = begin; i < end; ++i) {
+        if (tokens[i].kind == Tok::kPunct && tokens[i].text == "=") {
+            stop = i;
+            break;
+        }
+    }
+    for (std::size_t i = stop; i-- > begin;) {
+        if (tokens[i].kind == Tok::kIdent) return tokens[i].text;
+        if (tokens[i].text == "]") continue;  // skip over array suffixes
+    }
+    return "";
+}
+
+}  // namespace
+
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open) {
+    const std::string& o = tokens[open].text;
+    const std::string c = o == "(" ? ")" : o == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].text == o) ++depth;
+        else if (tokens[i].text == c && --depth == 0) return i;
+    }
+    return tokens.size();
+}
+
+bool parse_call(const std::vector<Token>& tokens, std::size_t i, CallSite& out) {
+    if (tokens[i].kind != Tok::kIdent || kNotCallable.count(tokens[i].text)) return false;
+    std::size_t open = i + 1;
+    if (open < tokens.size() && tokens[open].text == "<") {
+        open = skip_template_args(tokens, open);
+        if (open == i + 1) return false;  // comparison, not template args
+    }
+    if (open >= tokens.size() || tokens[open].text != "(") return false;
+
+    out.name = tokens[i].text;
+    out.name_index = i;
+    out.line = tokens[i].line;
+    out.receiver.clear();
+    if (i >= 2 && (tokens[i - 1].text == "." || tokens[i - 1].text == "->" ||
+                   tokens[i - 1].text == "::")) {
+        if (tokens[i - 2].kind == Tok::kIdent) out.receiver = tokens[i - 2].text;
+    }
+
+    out.args_end = match_forward(tokens, open);
+    if (out.args_end == tokens.size()) return false;
+    out.args_begin = open + 1;
+    out.args.clear();
+    std::size_t arg_start = out.args_begin;
+    int depth = 0;
+    for (std::size_t j = out.args_begin; j < out.args_end; ++j) {
+        const std::string& t = tokens[j].text;
+        if (t == "(" || t == "[" || t == "{") ++depth;
+        else if (t == ")" || t == "]" || t == "}") --depth;
+        else if (t == "," && depth == 0) {
+            out.args.emplace_back(arg_start, j);
+            arg_start = j + 1;
+        }
+    }
+    if (out.args_end > arg_start) out.args.emplace_back(arg_start, out.args_end);
+    return true;
+}
+
+FileModel build_model(TokenFile tokens) {
+    FileModel model;
+    model.tokens = std::move(tokens);
+    const std::vector<Token>& toks = model.tokens.tokens;
+
+    // Guarded-field annotations: the field is the last identifier before the
+    // ';' that terminates the annotated declaration line.
+    for (const auto& [line, annots] : model.tokens.annotations) {
+        for (const Annotation& a : annots) {
+            if (a.word != "guarded-by" || a.args.empty()) continue;
+            std::string field;
+            for (std::size_t i = 0; i < toks.size(); ++i) {
+                if (toks[i].line != line) continue;
+                for (std::size_t j = i; j < toks.size() && toks[j].line == line; ++j) {
+                    if (toks[j].kind == Tok::kIdent) field = toks[j].text;
+                    if (toks[j].text == ";") break;
+                }
+                break;
+            }
+            if (!field.empty()) model.guarded.push_back({field, a.args, line});
+        }
+    }
+
+    // Function definitions. Walk every identifier-then-'(' shape; accept it
+    // as a definition when the post-parameter context reaches '{' without a
+    // ';' or '=' (declarations, pure-virtuals, variable initializers).
+    // Tokens that cannot sit between a name and '(' in a definition: they
+    // mark the name as part of an expression (`if (f(x) == y) {` must not
+    // extract a function `f` whose "body" is the if-block).
+    static const std::set<std::string> kExprBefore = {
+        "(", "!", ",", "==", "!=", "<=", ">=", "&&", "||", "?", "+", "-", "/",
+        "%", "|", "^", "<", "=", "+=", "-=", "return", ".", "->",
+    };
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Tok::kIdent || toks[i + 1].text != "(") continue;
+        if (kNotCallable.count(toks[i].text)) continue;
+        if (i >= 1 && kExprBefore.count(toks[i - 1].text)) continue;
+        const std::size_t close = match_forward(toks, i + 1);
+        if (close == toks.size()) continue;
+
+        // Scan forward from ')' for the body '{'. Anything that can only
+        // appear in an expression — a comparison, an arithmetic operator, a
+        // member access, or an unbalanced closer — proves this was a call,
+        // not a definition.
+        std::size_t j = close + 1;
+        bool in_ctor_init = false;
+        std::size_t body_open = 0;
+        static const std::set<std::string> kExprAfter = {
+            ")", "]", "==", "!=", "<=", ">=", "?", "+", "-", "/", "%", "|",
+            "^", ".", "[",
+        };
+        while (j < toks.size()) {
+            const std::string& t = toks[j].text;
+            if (t == ";" || t == "=" || t == ",") break;  // declaration/initializer
+            if (kExprAfter.count(t)) break;
+            if (t == ":" ) { in_ctor_init = true; ++j; continue; }
+            if (t == "(") { j = match_forward(toks, j) + 1; continue; }
+            if (t == "{") {
+                // In a ctor-init list a '{' directly after an identifier is a
+                // member brace-init; skip it and keep looking for the body.
+                if (in_ctor_init && j > 0 && toks[j - 1].kind == Tok::kIdent) {
+                    j = match_forward(toks, j) + 1;
+                    continue;
+                }
+                body_open = j;
+                break;
+            }
+            ++j;
+        }
+        if (body_open == 0) continue;
+        const std::size_t body_close = match_forward(toks, body_open);
+        if (body_close == toks.size()) continue;
+
+        if (i >= 1 && toks[i - 1].text == "~") continue;  // destructors: nothing to check
+        FunctionInfo fn;
+        fn.name = toks[i].text;
+        fn.line = toks[i].line;
+        if (i >= 2 && toks[i - 1].text == "::" && toks[i - 2].kind == Tok::kIdent) {
+            fn.qualifier = toks[i - 2].text;
+        }
+        fn.body_begin = body_open + 1;
+        fn.body_end = body_close;
+
+        // Parameter names from the spans between top-level commas.
+        std::size_t arg_start = i + 2;
+        int depth = 0;
+        for (std::size_t k = i + 1; k <= close; ++k) {
+            const std::string& t = toks[k].text;
+            if (t == "(" || t == "[" || t == "{") ++depth;
+            else if (t == ")" || t == "]" || t == "}") --depth;
+            else if (t == "<") { k = skip_template_args(toks, k); if (toks[k].text != "<") --k; continue; }
+            if ((t == "," && depth == 1) || k == close) {
+                if (k > arg_start) fn.params.push_back(param_name(toks, arg_start, k));
+                else if (k == close && close > i + 2) fn.params.push_back(param_name(toks, arg_start, k));
+                arg_start = k + 1;
+            }
+        }
+
+        model.functions.push_back(std::move(fn));
+        // Do not skip past the body: nested definitions (lambdas aside) are
+        // rare, but local structs with methods do occur in benches.
+    }
+    return model;
+}
+
+void Program::index() {
+    // Re-point each function at its (now address-stable) owning TokenFile —
+    // build_model ran before the FileModels were moved into `files`.
+    by_name.clear();
+    for (FileModel& f : files) {
+        for (FunctionInfo& fn : f.functions) {
+            fn.file = &f.tokens;
+            by_name.emplace(fn.name, &fn);
+        }
+    }
+}
+
+}  // namespace upkit::lint

@@ -1,0 +1,82 @@
+// upkit-lint analysis core, stage 2: per-TU structure extraction.
+//
+// From a token stream this builds the skeleton the dataflow checks run on:
+// function definitions (name, parameter names, body token range), call
+// sites with receiver/name/argument spans, and the tree-wide call graph
+// keyed by function name. Overloads and same-named functions across TUs
+// are merged — the checks are conservative, so a merged summary can only
+// widen what they flag, never hide a flow.
+//
+// Extraction is heuristic by design (no semantic analysis): a function
+// definition is an identifier followed by a balanced parameter list whose
+// trailing context reaches `{` without hitting `;` or `=`. That shape
+// covers every definition in this codebase, and misidentified non-bodies
+// only cost a little wasted scanning, not false findings.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hpp"
+
+namespace upkit::lint {
+
+struct FunctionInfo {
+    std::string name;       // unqualified (last component)
+    std::string qualifier;  // e.g. "PrivateKey" for PrivateKey::generate
+    std::vector<std::string> params;  // declared parameter names, in order
+    std::size_t body_begin = 0;       // token index just after the opening {
+    std::size_t body_end = 0;         // token index of the closing }
+    std::size_t line = 0;             // line of the name token
+    const TokenFile* file = nullptr;
+};
+
+/// One parsed call expression inside a function body.
+struct CallSite {
+    std::string name;                  // callee (last identifier before '(')
+    std::string receiver;              // identifier before '.'/'->'/'::', or ""
+    std::size_t name_index = 0;        // token index of the callee name
+    std::size_t args_begin = 0;        // first token inside the parens
+    std::size_t args_end = 0;          // token index of the closing ')'
+    std::vector<std::pair<std::size_t, std::size_t>> args;  // per-arg spans
+    std::size_t line = 0;
+};
+
+/// A field declaration annotated `// lint: guarded-by(<mutex>)`.
+struct GuardedField {
+    std::string field;
+    std::string mutex;
+    std::size_t line = 0;
+};
+
+struct FileModel {
+    TokenFile tokens;
+    std::vector<FunctionInfo> functions;
+    std::vector<GuardedField> guarded;
+};
+
+/// The whole analyzed tree: one FileModel per TU plus the name-merged
+/// function index the interprocedural checks resolve calls through.
+struct Program {
+    std::vector<FileModel> files;
+    std::multimap<std::string, const FunctionInfo*> by_name;
+
+    void index();
+};
+
+/// Extracts functions and guarded-field annotations from a lexed file.
+FileModel build_model(TokenFile tokens);
+
+/// Token index of the matching ')' / '}' / ']' for the opener at `open`
+/// (which must point at the opening token). Returns `tokens.size()` when
+/// unbalanced.
+std::size_t match_forward(const std::vector<Token>& tokens, std::size_t open);
+
+/// Parses the call expression whose callee name is at `i` (identifier
+/// followed by an optional template-argument list and then '('). Returns
+/// false if the shape does not match a call.
+bool parse_call(const std::vector<Token>& tokens, std::size_t i, CallSite& out);
+
+}  // namespace upkit::lint

@@ -1,0 +1,188 @@
+#include "lint/report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace upkit::lint {
+
+std::uint64_t fnv1a(const std::string& s) {
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string normalize_path(const std::string& path) {
+    static const char* kRoots[] = {"src/", "tools/", "bench/", "examples/",
+                                   "tests/"};
+    std::size_t best = std::string::npos;
+    for (const char* root : kRoots) {
+        std::size_t pos = 0;
+        while (true) {
+            pos = path.find(root, pos);
+            if (pos == std::string::npos) break;
+            // Must be a path-component boundary, not e.g. "mytools/".
+            if (pos == 0 || path[pos - 1] == '/') {
+                if (pos < best) best = pos;
+                break;
+            }
+            ++pos;
+        }
+    }
+    if (best == std::string::npos || best == 0) return path;
+    return path.substr(best);
+}
+
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& out) {
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "upkit-lint: cannot open baseline %s\n", path.c_str());
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos || line[first] == '#') continue;
+        std::istringstream ls(line);
+        BaselineEntry e;
+        std::string hash;
+        if (!(ls >> e.rule_id >> e.path >> hash) || hash.size() != 16) {
+            std::fprintf(stderr, "upkit-lint: malformed baseline line %zu: %s\n",
+                         lineno, line.c_str());
+            return false;
+        }
+        char* endp = nullptr;
+        e.hash = std::strtoull(hash.c_str(), &endp, 16);
+        if (endp == nullptr || *endp != '\0') {
+            std::fprintf(stderr, "upkit-lint: bad hash on baseline line %zu\n",
+                         lineno);
+            return false;
+        }
+        out.push_back(std::move(e));
+    }
+    return true;
+}
+
+std::size_t apply_baseline(const std::vector<BaselineEntry>& baseline,
+                           std::vector<Finding>& findings) {
+    std::vector<bool> used(baseline.size(), false);
+    for (Finding& f : findings) {
+        const std::string norm = normalize_path(f.path);
+        const std::uint64_t h = fnv1a(f.snippet);
+        for (std::size_t i = 0; i < baseline.size(); ++i) {
+            const BaselineEntry& e = baseline[i];
+            if (e.rule_id == f.rule_id && e.path == norm && e.hash == h) {
+                f.suppressed = true;
+                used[i] = true;
+                break;
+            }
+        }
+    }
+    std::size_t stale = 0;
+    for (bool u : used) {
+        if (!u) ++stale;
+    }
+    return stale;
+}
+
+bool write_baseline(const std::string& path, const std::vector<Finding>& findings) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "# upkit-lint audited baseline.\n"
+           "# Format: <rule-id> <normalized-path> <fnv1a-16hex-of-line-text>\n"
+           "# Regenerate with `upkit-lint --rules ... --write-baseline "
+           "tools/upkit_lint.baseline <targets>`,\n"
+           "# review the diff (every added line is an accepted debt), and "
+           "commit.\n";
+    for (const Finding& f : findings) {
+        if (f.suppressed) continue;
+        char hash[17];
+        std::snprintf(hash, sizeof hash, "%016llx",
+                      static_cast<unsigned long long>(fnv1a(f.snippet)));
+        out << f.rule_id << ' ' << normalize_path(f.path) << ' ' << hash << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+bool write_sarif(const std::string& path, const std::vector<Finding>& findings,
+                 const std::vector<std::pair<std::string, std::string>>& rules) {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n"
+           "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+           "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+           "  \"version\": \"2.1.0\",\n"
+           "  \"runs\": [\n"
+           "    {\n"
+           "      \"tool\": {\n"
+           "        \"driver\": {\n"
+           "          \"name\": \"upkit-lint\",\n"
+           "          \"informationUri\": \"tools/upkit_lint.cpp\",\n"
+           "          \"rules\": [\n";
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+        out << "            {\"id\": \"" << json_escape(rules[i].first)
+            << "\", \"shortDescription\": {\"text\": \""
+            << json_escape(rules[i].second) << "\"}}"
+            << (i + 1 < rules.size() ? ",\n" : "\n");
+    }
+    out << "          ]\n"
+           "        }\n"
+           "      },\n"
+           "      \"results\": [\n";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding& f = findings[i];
+        out << "        {\n"
+            << "          \"ruleId\": \"" << json_escape(f.rule_id) << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": {\"text\": \"" << json_escape(f.message)
+            << "\"},\n"
+            << "          \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << json_escape(normalize_path(f.path))
+            << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]";
+        if (f.suppressed) {
+            out << ",\n          \"suppressions\": [{\"kind\": \"external\"}]";
+        }
+        out << "\n        }" << (i + 1 < findings.size() ? ",\n" : "\n");
+    }
+    out << "      ]\n"
+           "    }\n"
+           "  ]\n"
+           "}\n";
+    return static_cast<bool>(out);
+}
+
+}  // namespace upkit::lint

@@ -1,0 +1,68 @@
+// upkit-lint findings, baseline suppression, and SARIF export.
+//
+// The baseline turns the lint into a ratchet: a committed, audited file of
+// known findings lets CI fail only on NEW violations while the old ones
+// are burned down. Entries are keyed by (rule, normalized path, FNV-1a of
+// the finding's source-line text) — stable across line-number churn, so an
+// unrelated edit above a baselined finding does not resurrect it.
+//
+// SARIF 2.1.0 output makes the findings machine-readable for CI artifact
+// upload and code-scanning UIs; baseline-suppressed findings are emitted
+// with a `suppressions` entry rather than dropped, so the report is the
+// complete audit surface.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace upkit::lint {
+
+struct Finding {
+    std::string path;
+    std::size_t line = 0;
+    std::string rule_id;
+    std::string message;
+    std::string snippet;      // cooked text of the offending line
+    bool suppressed = false;  // matched by the baseline
+};
+
+/// FNV-1a over a string; the baseline's line-content fingerprint.
+std::uint64_t fnv1a(const std::string& s);
+
+/// Normalizes a path for baseline matching: strips any prefix before the
+/// repo's top-level source dirs (src/tools/bench/examples/tests), so
+/// findings match whether the tool was invoked with absolute or relative
+/// targets.
+std::string normalize_path(const std::string& path);
+
+/// One baseline entry: `rule<space>path<space>hash16` per line, '#' comments.
+struct BaselineEntry {
+    std::string rule_id;
+    std::string path;  // normalized
+    std::uint64_t hash = 0;
+};
+
+/// Loads a baseline file. Returns false (with a message on stderr) on a
+/// malformed line — an unparseable baseline must fail closed, not silently
+/// suppress nothing.
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& out);
+
+/// Marks findings present in the baseline as suppressed. Returns the
+/// number of baseline entries that matched nothing (stale entries a
+/// baseline audit should prune).
+std::size_t apply_baseline(const std::vector<BaselineEntry>& baseline,
+                           std::vector<Finding>& findings);
+
+/// Writes every unsuppressed finding as a baseline file (audit workflow:
+/// regenerate, review the diff, commit).
+bool write_baseline(const std::string& path, const std::vector<Finding>& findings);
+
+/// Writes a SARIF 2.1.0 report covering all findings (suppressed ones
+/// carry a suppressions entry). `rule_ids` lists every loaded rule so the
+/// driver's rule table is complete even when a rule found nothing.
+bool write_sarif(const std::string& path, const std::vector<Finding>& findings,
+                 const std::vector<std::pair<std::string, std::string>>& rules);
+
+}  // namespace upkit::lint

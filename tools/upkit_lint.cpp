@@ -1,25 +1,43 @@
 // upkit-lint: the repo's invariant and constant-time-discipline checker.
 //
-// A deliberately small line-based scanner, not a compiler plugin: the
-// invariants it guards (no variable-time compares on secrets, exhaustive
-// FSM switches, no discarded flash Status, no banned libc calls) are all
-// visible at the token level, and a 500-line tool with zero dependencies
-// can run in every CI job and on a contributor's laptop in milliseconds.
+// A two-stage analyzer, still with zero dependencies beyond the standard
+// library:
 //
-// The rules are data (tools/upkit_lint.rules), so adding a ban or widening
-// a path scope is a table edit reviewed like any other change — the rule
-// table IS the written-down discipline. Escape hatches are explicit
-// `// lint: <word>` annotations on the offending line, each one an
-// auditable claim ("this memcmp compares a public magic number").
+//   Stage 1 — line rules. The original data-driven regex scanner: banned
+//   patterns, statement-position must-use-result, exhaustive FSM switches.
+//   Rules are data (tools/upkit_lint.rules); escape hatches are explicit
+//   `// lint: <word>` annotations, each an auditable claim.
+//
+//   Stage 2 — flow rules. A lightweight lexer (comment/string/preprocessor
+//   aware), per-TU function extraction, and a tree-wide call graph feed
+//   three flow-sensitive checks (tools/lint/): interprocedural
+//   secret-taint, must-check status propagation, and lock discipline for
+//   `guarded-by`-annotated fields. Same rules file, new rule types.
+//
+// Findings from both stages share one reporting pipeline: an optional
+// committed baseline (tools/upkit_lint.baseline) suppresses audited
+// pre-existing findings so CI fails only on NEW violations, and --sarif
+// emits a SARIF 2.1.0 report for artifact upload.
 //
 // Usage:
-//   upkit-lint --rules tools/upkit_lint.rules <dir-or-file>...
+//   upkit-lint --rules tools/upkit_lint.rules [options] <dir-or-file>...
+//     --baseline FILE        suppress findings recorded in FILE
+//     --write-baseline FILE  write unsuppressed findings as a new baseline
+//     --sarif FILE           write a SARIF 2.1.0 report
+//     --budget-ms N          fail if the whole run exceeds N milliseconds
 //
-// Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+// Exit codes: 0 clean, 1 findings, 2 usage/parse/budget error.
+//
+// Debugging: UPKIT_LINT_DEBUG=1 traces the taint engine's interprocedural
+// descent (function, mask, depth) and each finding's carrier to stderr.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <regex>
 #include <set>
@@ -27,13 +45,20 @@
 #include <string>
 #include <vector>
 
+#include "lint/dataflow.hpp"
+#include "lint/lexer.hpp"
+#include "lint/model.hpp"
+#include "lint/report.hpp"
+
 namespace {
 
 namespace fs = std::filesystem;
+using upkit::lint::Finding;
 
 struct Rule {
     std::string id;
     std::string type;  // ban-pattern | must-use-result | switch-exhaustive
+                       // | taint | must-check | lock-guard
     std::vector<std::string> paths;     // substring scopes (empty = all)
     std::vector<std::string> excludes;  // substring skips
     std::string pattern_text;
@@ -42,13 +67,14 @@ struct Rule {
     std::string marker;  // switch-exhaustive: enum label prefix
     std::vector<std::string> labels;
     std::string message;
-};
-
-struct Finding {
-    std::string path;
-    std::size_t line;
-    std::string rule_id;
-    std::string message;
+    // Flow-rule fields (see tools/lint/dataflow.hpp for semantics).
+    std::vector<std::string> sources;     // taint: secret producers
+    std::vector<std::string> sinks;       // taint: variable-time consumers
+    std::vector<std::string> ct_list;     // taint: trusted CT kernels
+    std::vector<std::string> sanitizers;  // taint: declassify family
+    int depth = 3;                        // taint: interprocedural bound
+    std::vector<std::string> calls;       // must-check: status-returning fns
+    std::vector<std::string> mutators;    // lock-guard: mutating member calls
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -62,6 +88,10 @@ std::vector<std::string> split_csv(const std::string& s) {
         if (b != std::string::npos) out.push_back(item.substr(b, e - b + 1));
     }
     return out;
+}
+
+bool is_flow_type(const std::string& type) {
+    return type == "taint" || type == "must-check" || type == "lock-guard";
 }
 
 /// Parses the block-structured rules file. Returns nullopt on malformed
@@ -104,6 +134,13 @@ std::optional<std::vector<Rule>> parse_rules(const std::string& path) {
         else if (key == "marker") current->marker = value;
         else if (key == "labels") current->labels = split_csv(value);
         else if (key == "message") current->message = value;
+        else if (key == "source") current->sources = split_csv(value);
+        else if (key == "sink") current->sinks = split_csv(value);
+        else if (key == "ct") current->ct_list = split_csv(value);
+        else if (key == "sanitizer") current->sanitizers = split_csv(value);
+        else if (key == "depth") current->depth = std::atoi(value.c_str());
+        else if (key == "calls") current->calls = split_csv(value);
+        else if (key == "mutators") current->mutators = split_csv(value);
         else if (key == "end") { rules.push_back(*current); current.reset(); }
         else return fail("unknown field");
     }
@@ -111,7 +148,7 @@ std::optional<std::vector<Rule>> parse_rules(const std::string& path) {
 
     for (Rule& r : rules) {
         if (r.type != "ban-pattern" && r.type != "must-use-result" &&
-            r.type != "switch-exhaustive") {
+            r.type != "switch-exhaustive" && !is_flow_type(r.type)) {
             std::fprintf(stderr, "upkit-lint: rule %s: unknown type '%s'\n", r.id.c_str(),
                          r.type.c_str());
             return std::nullopt;
@@ -119,6 +156,30 @@ std::optional<std::vector<Rule>> parse_rules(const std::string& path) {
         if (r.type == "switch-exhaustive") {
             if (r.marker.empty() || r.labels.empty()) {
                 std::fprintf(stderr, "upkit-lint: rule %s: switch-exhaustive needs marker + labels\n",
+                             r.id.c_str());
+                return std::nullopt;
+            }
+            continue;
+        }
+        if (r.type == "taint") {
+            if (r.sources.empty() || r.sinks.empty()) {
+                std::fprintf(stderr, "upkit-lint: rule %s: taint needs source + sink\n",
+                             r.id.c_str());
+                return std::nullopt;
+            }
+            continue;
+        }
+        if (r.type == "must-check") {
+            if (r.calls.empty()) {
+                std::fprintf(stderr, "upkit-lint: rule %s: must-check needs calls\n",
+                             r.id.c_str());
+                return std::nullopt;
+            }
+            continue;
+        }
+        if (r.type == "lock-guard") {
+            if (r.mutators.empty()) {
+                std::fprintf(stderr, "upkit-lint: rule %s: lock-guard needs mutators\n",
                              r.id.c_str());
                 return std::nullopt;
             }
@@ -208,29 +269,29 @@ struct SwitchScan {
     std::set<std::string> seen_labels;
 };
 
-void scan_file(const fs::path& file, const std::vector<Rule>& rules,
-               std::vector<Finding>& findings) {
-    std::ifstream in(file);
-    if (!in) return;
-    const std::string path = file.generic_string();
-
+/// Stage 1 over one file's raw lines. Also returns the cooked line texts so
+/// the driver can fill snippets (the baseline's content fingerprints) for
+/// flow findings on the same file without re-reading it.
+void scan_file(const std::string& path, const std::vector<std::string>& lines,
+               const std::vector<Rule>& rules, std::vector<Finding>& findings,
+               std::vector<std::string>& cooked_out) {
     std::vector<const Rule*> line_rules;
     std::vector<const Rule*> switch_rules;
     for (const Rule& r : rules) {
-        if (!path_applies(r, path)) continue;
+        if (is_flow_type(r.type) || !path_applies(r, path)) continue;
         if (r.type == "switch-exhaustive") switch_rules.push_back(&r);
         else line_rules.push_back(&r);
     }
-    if (line_rules.empty() && switch_rules.empty()) return;
 
     Stripper stripper;
     std::vector<SwitchScan> open_switches;
-    std::string raw;
     std::size_t lineno = 0;
-    while (std::getline(in, raw)) {
+    cooked_out.reserve(lines.size());
+    for (const std::string& raw : lines) {
         ++lineno;
         const CookedLine cooked = stripper.cook(raw);
         const std::string& code = cooked.code;
+        cooked_out.push_back(code);
 
         for (const Rule* r : line_rules) {
             if (!r->allow.empty() && cooked.annotation == r->allow) continue;
@@ -243,7 +304,7 @@ void scan_file(const fs::path& file, const std::vector<Rule>& rules,
                 const std::string prefix = code.substr(0, static_cast<std::size_t>(m.position(0)));
                 if (prefix.find_first_not_of(" \t") != std::string::npos) continue;
             }
-            findings.push_back({path, lineno, r->id, r->message});
+            findings.push_back({path, lineno, r->id, r->message, code, false});
         }
 
         // switch-exhaustive: open a scan per switch keyword, then feed
@@ -277,11 +338,13 @@ void scan_file(const fs::path& file, const std::vector<Rule>& rules,
                     }
                     if (!missing.empty()) {
                         findings.push_back({path, s.start_line, s.rule->id,
-                                            s.rule->message + " [missing: " + missing + "]"});
+                                            s.rule->message + " [missing: " + missing + "]",
+                                            cooked_out[s.start_line - 1], false});
                     }
                     if (s.has_default) {
                         findings.push_back({path, s.start_line, s.rule->id,
-                                            s.rule->message + " [default swallows new states]"});
+                                            s.rule->message + " [default swallows new states]",
+                                            cooked_out[s.start_line - 1], false});
                     }
                 }
                 it = open_switches.erase(it);
@@ -324,17 +387,27 @@ void collect_files(const fs::path& root, std::vector<fs::path>& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    std::string rules_path;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string rules_path, sarif_path, baseline_path, write_baseline_path;
+    long budget_ms = 0;
     std::vector<std::string> targets;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--rules") == 0 && i + 1 < argc) {
-            rules_path = argv[++i];
-        } else {
-            targets.emplace_back(argv[i]);
-        }
+        auto val = [&](const char* flag) -> const char* {
+            if (std::strcmp(argv[i], flag) != 0 || i + 1 >= argc) return nullptr;
+            return argv[++i];
+        };
+        if (const char* v = val("--rules")) rules_path = v;
+        else if (const char* v = val("--sarif")) sarif_path = v;
+        else if (const char* v = val("--baseline")) baseline_path = v;
+        else if (const char* v = val("--write-baseline")) write_baseline_path = v;
+        else if (const char* v = val("--budget-ms")) budget_ms = std::atol(v);
+        else targets.emplace_back(argv[i]);
     }
     if (rules_path.empty() || targets.empty()) {
-        std::fprintf(stderr, "usage: upkit-lint --rules <rules-file> <dir-or-file>...\n");
+        std::fprintf(stderr,
+                     "usage: upkit-lint --rules <rules-file> [--baseline F] "
+                     "[--write-baseline F] [--sarif F] [--budget-ms N] "
+                     "<dir-or-file>...\n");
         return 2;
     }
 
@@ -350,18 +423,149 @@ int main(int argc, char** argv) {
         collect_files(t, files);
     }
 
-    std::vector<Finding> findings;
-    for (const fs::path& f : files) scan_file(f, *rules, findings);
+    const bool have_flow_rules =
+        std::any_of(rules->begin(), rules->end(),
+                    [](const Rule& r) { return is_flow_type(r.type); });
 
+    std::vector<Finding> findings;
+    std::map<std::string, std::vector<std::string>> cooked;  // path -> lines
+    upkit::lint::Program program;
+
+    for (const fs::path& f : files) {
+        std::ifstream in(f, std::ios::binary);
+        if (!in) continue;
+        std::stringstream buf;
+        buf << in.rdbuf();
+        const std::string text = buf.str();
+        const std::string path = f.generic_string();
+
+        std::vector<std::string> lines;
+        std::string line;
+        std::istringstream ls(text);
+        while (std::getline(ls, line)) lines.push_back(std::move(line));
+
+        // Stage 1: line rules.
+        scan_file(path, lines, *rules, findings, cooked[path]);
+
+        // Stage 2 input: lex + structural model for the flow rules.
+        if (have_flow_rules) {
+            program.files.push_back(
+                upkit::lint::build_model(upkit::lint::lex(path, text)));
+        }
+    }
+
+    // Stage 2: flow rules over the whole-program model.
+    if (have_flow_rules) {
+        program.index();
+        std::vector<Finding> flow;
+        for (const Rule& r : *rules) {
+            if (r.type == "taint") {
+                upkit::lint::TaintRule tr;
+                tr.id = r.id; tr.message = r.message; tr.allow = r.allow;
+                tr.paths = r.paths; tr.excludes = r.excludes;
+                tr.sources = r.sources;
+                tr.sinks = r.sinks;
+                tr.ct = {r.ct_list.begin(), r.ct_list.end()};
+                tr.sanitizers = {r.sanitizers.begin(), r.sanitizers.end()};
+                tr.max_depth = r.depth;
+                upkit::lint::run_taint(program, tr, flow);
+            } else if (r.type == "must-check") {
+                upkit::lint::MustCheckRule mr;
+                mr.id = r.id; mr.message = r.message; mr.allow = r.allow;
+                mr.paths = r.paths; mr.excludes = r.excludes;
+                mr.calls = {r.calls.begin(), r.calls.end()};
+                mr.labels = r.labels;
+                upkit::lint::run_must_check(program, mr, flow);
+            } else if (r.type == "lock-guard") {
+                upkit::lint::LockRule lr;
+                lr.id = r.id; lr.message = r.message; lr.allow = r.allow;
+                lr.paths = r.paths; lr.excludes = r.excludes;
+                lr.mutators = {r.mutators.begin(), r.mutators.end()};
+                upkit::lint::run_lock_guard(program, lr, flow);
+            }
+        }
+        // Snippets (the baseline's content fingerprint) come from the
+        // cooked-line cache built during stage 1.
+        for (Finding& f : flow) {
+            const auto it = cooked.find(f.path);
+            if (it != cooked.end() && f.line >= 1 && f.line <= it->second.size()) {
+                f.snippet = it->second[f.line - 1];
+            }
+            findings.push_back(std::move(f));
+        }
+    }
+
+    // Dedup: a flow rule can reach the same line under several caller
+    // contexts; report each (path, line, rule, message) once.
+    {
+        std::set<std::string> seen;
+        std::vector<Finding> unique;
+        unique.reserve(findings.size());
+        for (Finding& f : findings) {
+            std::string key = f.path + '\x1f' + std::to_string(f.line) + '\x1f' +
+                              f.rule_id + '\x1f' + f.message;
+            if (seen.insert(std::move(key)).second) unique.push_back(std::move(f));
+        }
+        findings = std::move(unique);
+    }
+
+    // Baseline suppression: committed, audited debts never fail the run.
+    if (!baseline_path.empty()) {
+        std::vector<upkit::lint::BaselineEntry> baseline;
+        if (!upkit::lint::load_baseline(baseline_path, baseline)) return 2;
+        const std::size_t stale = upkit::lint::apply_baseline(baseline, findings);
+        if (stale > 0) {
+            std::fprintf(stderr,
+                         "upkit-lint: %zu stale baseline entr%s (matched nothing; "
+                         "prune with --write-baseline)\n",
+                         stale, stale == 1 ? "y" : "ies");
+        }
+    }
+
+    if (!write_baseline_path.empty()) {
+        if (!upkit::lint::write_baseline(write_baseline_path, findings)) {
+            std::fprintf(stderr, "upkit-lint: cannot write baseline %s\n",
+                         write_baseline_path.c_str());
+            return 2;
+        }
+        std::printf("upkit-lint: baseline written to %s\n", write_baseline_path.c_str());
+        return 0;
+    }
+
+    if (!sarif_path.empty()) {
+        std::vector<std::pair<std::string, std::string>> rule_table;
+        for (const Rule& r : *rules) rule_table.emplace_back(r.id, r.message);
+        if (!upkit::lint::write_sarif(sarif_path, findings, rule_table)) {
+            std::fprintf(stderr, "upkit-lint: cannot write SARIF %s\n", sarif_path.c_str());
+            return 2;
+        }
+    }
+
+    std::size_t live = 0, suppressed = 0;
     for (const Finding& f : findings) {
+        if (f.suppressed) { ++suppressed; continue; }
+        ++live;
         std::printf("%s:%zu: [%s] %s\n", f.path.c_str(), f.line, f.rule_id.c_str(),
                     f.message.c_str());
     }
-    if (!findings.empty()) {
-        std::fprintf(stderr, "upkit-lint: %zu finding(s) in %zu file(s) scanned\n",
-                     findings.size(), files.size());
+
+    const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+    if (budget_ms > 0 && elapsed_ms > budget_ms) {
+        std::fprintf(stderr, "upkit-lint: budget exceeded: %lld ms > %ld ms\n",
+                     static_cast<long long>(elapsed_ms), budget_ms);
+        return 2;
+    }
+
+    if (live > 0) {
+        std::fprintf(stderr, "upkit-lint: %zu finding(s) in %zu file(s) scanned"
+                             " (%zu baseline-suppressed)\n",
+                     live, files.size(), suppressed);
         return 1;
     }
-    std::printf("upkit-lint: clean (%zu files, %zu rules)\n", files.size(), rules->size());
+    std::printf("upkit-lint: clean (%zu files, %zu rules, %zu baseline-suppressed, %lld ms)\n",
+                files.size(), rules->size(), suppressed,
+                static_cast<long long>(elapsed_ms));
     return 0;
 }
